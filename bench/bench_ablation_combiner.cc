@@ -1,0 +1,67 @@
+// Ablation: the engine-level combiner (sender-side aggregation, the
+// mechanism under partial-gather) on a *non-GNN* workload — PageRank —
+// to show the substrate optimization is general, as in its PowerGraph
+// lineage. Measures shuffle records/bytes with and without combining.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/common/byte_size.h"
+#include "src/pregel/algorithms.h"
+
+namespace inferturbo {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Ablation: combiner",
+                     "PageRank message volume with/without combining");
+  PowerLawConfig config;
+  config.num_nodes = 20000;
+  config.avg_degree = 8.0;
+  config.alpha = 1.7;
+  config.skew = PowerLawSkew::kIn;
+  config.seed = 73;
+  const Dataset dataset = MakePowerLawDataset(config, /*feature_dim=*/4);
+
+  // The library PageRank always combines; rebuild the uncombined
+  // variant by chopping the combiner out via a direct engine run is
+  // what the engine test does — here we compare against the
+  // theoretical uncombined volume, which is exactly one record per
+  // edge per iteration.
+  PregelAlgorithmOptions options;
+  options.num_workers = 16;
+  options.max_iterations = 10;
+  JobMetrics metrics;
+  (void)PageRank(dataset.graph, options, 0.85, &metrics);
+
+  std::int64_t records_in = 0;
+  for (const auto& w : metrics.PerWorkerTotals()) {
+    records_in += w.records_in;
+  }
+  const std::int64_t uncombined =
+      dataset.graph.num_edges() * (metrics.num_steps() - 1);
+  std::printf("graph: %lld nodes, %lld edges; %lld supersteps\n",
+              static_cast<long long>(dataset.graph.num_nodes()),
+              static_cast<long long>(dataset.graph.num_edges()),
+              static_cast<long long>(metrics.num_steps()));
+  std::printf("records delivered with combiner:    %12lld\n",
+              static_cast<long long>(records_in));
+  std::printf("records an uncombined run delivers: %12lld\n",
+              static_cast<long long>(uncombined));
+  std::printf("reduction: %.1fx\n",
+              static_cast<double>(uncombined) /
+                  std::max<double>(1.0, static_cast<double>(records_in)));
+  std::printf("total bytes in: %s\n",
+              FormatBytes(metrics.TotalBytesIn()).c_str());
+  std::printf(
+      "\nexpected shape: combining caps each destination at one record per\n"
+      "sending worker per step, so the reduction grows with the average\n"
+      "in-degree (here ~%.0f edges/node over %lld workers).\n",
+      static_cast<double>(dataset.graph.num_edges()) /
+          static_cast<double>(dataset.graph.num_nodes()),
+      static_cast<long long>(options.num_workers));
+}
+
+}  // namespace
+}  // namespace inferturbo
+
+int main() { inferturbo::Run(); }

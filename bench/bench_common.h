@@ -1,0 +1,82 @@
+#ifndef INFERTURBO_BENCH_BENCH_COMMON_H_
+#define INFERTURBO_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/graph/datasets.h"
+#include "src/nn/model.h"
+#include "src/nn/trainer.h"
+
+namespace inferturbo {
+namespace bench {
+
+/// Every experiment binary prints a header naming the paper artifact it
+/// regenerates, so `for b in build/bench/*; do $b; done` output reads
+/// as a reproduction log.
+inline void PrintHeader(const std::string& artifact,
+                        const std::string& description) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("--------------------------------------------------------------\n");
+}
+
+/// Trains `kind` on `dataset` with fast defaults; benches that need a
+/// trained model share this so tables stay comparable.
+inline std::unique_ptr<GnnModel> TrainModelOn(const Dataset& dataset,
+                                              const std::string& kind,
+                                              std::int64_t hidden_dim = 32,
+                                              std::int64_t num_layers = 2,
+                                              std::int64_t epochs = 8) {
+  ModelConfig config;
+  config.input_dim = dataset.graph.feature_dim();
+  config.hidden_dim = hidden_dim;
+  config.num_classes = dataset.graph.num_classes();
+  config.num_layers = num_layers;
+  config.heads = 4;
+  config.seed = 11;
+  Result<std::unique_ptr<GnnModel>> model = MakeModel(kind, config);
+  INFERTURBO_CHECK(model.ok()) << model.status().ToString();
+
+  TrainerOptions trainer_options;
+  trainer_options.epochs = epochs;
+  trainer_options.batch_size = 64;
+  trainer_options.fanout = 10;
+  trainer_options.learning_rate = 1e-2f;
+  trainer_options.seed = 7;
+  MiniBatchTrainer trainer(&dataset.graph, model->get(), trainer_options);
+  const Result<TrainReport> report = trainer.Train();
+  INFERTURBO_CHECK(report.ok()) << report.status().ToString();
+  return std::move(*model);
+}
+
+/// Untrained model with the dataset's shapes (for pure-performance
+/// benches where accuracy is irrelevant).
+inline std::unique_ptr<GnnModel> UntrainedModelOn(const Dataset& dataset,
+                                                  const std::string& kind,
+                                                  std::int64_t hidden_dim = 32,
+                                                  std::int64_t num_layers = 2,
+                                                  std::int64_t heads = 4) {
+  ModelConfig config;
+  config.input_dim = dataset.graph.feature_dim();
+  config.hidden_dim = hidden_dim;
+  config.num_classes = dataset.graph.num_classes();
+  config.num_layers = num_layers;
+  config.heads = heads;
+  config.seed = 11;
+  Result<std::unique_ptr<GnnModel>> model = MakeModel(kind, config);
+  INFERTURBO_CHECK(model.ok()) << model.status().ToString();
+  return std::move(*model);
+}
+
+}  // namespace bench
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_BENCH_BENCH_COMMON_H_

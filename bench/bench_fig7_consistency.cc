@@ -1,0 +1,124 @@
+// Fig. 7: prediction consistency over repeated runs. The traditional
+// pipeline with fan-out sampling is re-run 10 times with different
+// seeds; for every node we count how many *distinct* classes it was
+// assigned. InferTurbo runs full-graph without sampling, so every node
+// lands in exactly one class across runs.
+#include <cstdio>
+
+#include <map>
+#include <set>
+
+#include "bench/bench_common.h"
+#include "src/inference/inferturbo_pregel.h"
+#include "src/inference/traditional_pipeline.h"
+
+namespace inferturbo {
+namespace {
+
+constexpr int kRuns = 10;
+
+std::map<std::int64_t, std::int64_t> ClassCountHistogram(
+    const std::vector<std::vector<std::int64_t>>& runs) {
+  const std::size_t num_nodes = runs[0].size();
+  std::map<std::int64_t, std::int64_t> histogram;
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    std::set<std::int64_t> classes;
+    for (const auto& run : runs) classes.insert(run[v]);
+    ++histogram[static_cast<std::int64_t>(classes.size())];
+  }
+  return histogram;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Fig. 7", "distinct predicted classes per node across 10 runs");
+  // MAG240M-like class structure *with* power-law in-degrees: hub
+  // nodes have thousands of in-neighbors, so even generous fan-outs
+  // subsample somewhere and scores drift between runs.
+  PlantedGraphConfig config;
+  config.num_nodes = 2500;
+  config.avg_degree = 12.0;
+  config.num_classes = 32;
+  config.feature_dim = 32;
+  config.homophily = 0.6;
+  config.noise = 1.6;
+  config.in_skew_alpha = 1.3;
+  config.train_fraction = 0.3;
+  config.seed = 21;
+  const Dataset dataset = MakePlantedDataset("mag-skewed", config);
+  const std::unique_ptr<GnnModel> model = bench::TrainModelOn(
+      dataset, "sage", /*hidden_dim=*/32, /*num_layers=*/2, /*epochs=*/6);
+  const std::int64_t n = dataset.graph.num_nodes();
+  std::int64_t max_in = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    max_in = std::max(max_in, dataset.graph.InDegree(v));
+  }
+  std::printf("graph: %lld nodes, max in-degree %lld; trained SAGE\n",
+              static_cast<long long>(n), static_cast<long long>(max_in));
+  std::printf("%-10s | %8s %8s %8s %8s | %16s\n", "pipeline", "1", "2", "3",
+              "4+", "unstable nodes");
+  bench::PrintRule();
+
+  for (const std::int64_t fanout : {10L, 50L, 100L, 1000L}) {
+    std::vector<std::vector<std::int64_t>> runs;
+    for (int run = 0; run < kRuns; ++run) {
+      TraditionalPipelineOptions options;
+      options.num_workers = 8;
+      options.fanout = fanout;
+      options.seed = static_cast<std::uint64_t>(run + 1);
+      const Result<InferenceResult> r =
+          RunTraditionalPipeline(dataset.graph, *model, options);
+      INFERTURBO_CHECK(r.ok()) << r.status().ToString();
+      runs.push_back(r->predictions);
+    }
+    const auto histogram = ClassCountHistogram(runs);
+    std::int64_t ge4 = 0, unstable = 0;
+    for (const auto& [classes, count] : histogram) {
+      if (classes >= 4) ge4 += count;
+      if (classes >= 2) unstable += count;
+    }
+    const auto at = [&](std::int64_t k) {
+      const auto it = histogram.find(k);
+      return it == histogram.end() ? 0L : it->second;
+    };
+    std::printf("nbr%-7lld | %8lld %8lld %8lld %8lld | %9lld (%4.1f%%)\n",
+                static_cast<long long>(fanout),
+                static_cast<long long>(at(1)), static_cast<long long>(at(2)),
+                static_cast<long long>(at(3)), static_cast<long long>(ge4),
+                static_cast<long long>(unstable),
+                100.0 * static_cast<double>(unstable) /
+                    static_cast<double>(n));
+  }
+
+  // InferTurbo: 10 runs, same seed-free full-graph job.
+  std::vector<std::vector<std::int64_t>> runs;
+  for (int run = 0; run < kRuns; ++run) {
+    InferTurboOptions options;
+    options.num_workers = 8;
+    options.strategies.partial_gather = true;
+    const Result<InferenceResult> r =
+        RunInferTurboPregel(dataset.graph, *model, options);
+    INFERTURBO_CHECK(r.ok()) << r.status().ToString();
+    runs.push_back(r->predictions);
+  }
+  const auto histogram = ClassCountHistogram(runs);
+  std::int64_t unstable = 0;
+  for (const auto& [classes, count] : histogram) {
+    if (classes >= 2) unstable += count;
+  }
+  const auto stable_it = histogram.find(1);
+  std::printf("%-10s | %8lld %8d %8d %8d | %9lld (%4.1f%%)\n", "ours",
+              static_cast<long long>(
+                  stable_it == histogram.end() ? 0 : stable_it->second),
+              0, 0, 0, static_cast<long long>(unstable),
+              100.0 * static_cast<double>(unstable) / static_cast<double>(n));
+  std::printf(
+      "\nexpected shape (paper Fig. 7): smaller fan-outs flip more nodes\n"
+      "(paper: ~30%% unstable at nbr10, ~0.1%% at nbr1000); ours is 0 by\n"
+      "construction.\n");
+}
+
+}  // namespace
+}  // namespace inferturbo
+
+int main() { inferturbo::Run(); }

@@ -1,0 +1,97 @@
+// Extension ablation: incremental full-graph inference (historical
+// embeddings + change propagation) vs re-scoring from scratch, as the
+// daily delta grows. Shows where the crossover sits: tiny deltas are
+// orders of magnitude cheaper; once the delta's k-hop out-cone covers
+// the graph, incremental degenerates to the full pass.
+#include <cstdio>
+
+#include <numeric>
+
+#include "bench/bench_common.h"
+#include "src/common/timer.h"
+#include "src/graph/graph_builder.h"
+#include "src/inference/incremental.h"
+
+namespace inferturbo {
+namespace {
+
+Graph WithRefreshedFeatures(const Graph& graph,
+                            const std::vector<NodeId>& nodes) {
+  GraphBuilder builder(graph.num_nodes());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    builder.AddEdge(graph.EdgeSrc(e), graph.EdgeDst(e));
+  }
+  Tensor features = graph.node_features();
+  for (NodeId v : nodes) {
+    for (std::int64_t j = 0; j < features.cols(); ++j) {
+      features.At(v, j) += 0.25f;
+    }
+  }
+  builder.SetNodeFeatures(std::move(features));
+  builder.SetLabels(graph.labels(), graph.num_classes());
+  return std::move(builder).Finish().ValueOrDie();
+}
+
+void Run() {
+  bench::PrintHeader("Extension: incremental inference",
+                     "delta size vs recomputation and wall time");
+  PlantedGraphConfig config;
+  config.num_nodes = 20000;
+  config.avg_degree = 8.0;
+  config.num_classes = 4;
+  config.feature_dim = 32;
+  config.seed = 71;
+  const Dataset dataset = MakePlantedDataset("incremental-bench", config);
+  const std::unique_ptr<GnnModel> model =
+      bench::UntrainedModelOn(dataset, "sage", /*hidden_dim=*/32);
+
+  WallTimer full_timer;
+  const LayerStates history = ComputeLayerStates(*model, dataset.graph);
+  const double full_seconds = full_timer.ElapsedSeconds();
+  const std::int64_t full_work =
+      dataset.graph.num_nodes() * model->num_layers();
+  std::printf("full pass: %.3fs, %lld node-state computations\n",
+              full_seconds, static_cast<long long>(full_work));
+  std::printf("\n%10s | %14s %10s | %10s %9s\n", "delta", "recomputed",
+              "of full", "time (s)", "speedup");
+  bench::PrintRule();
+
+  Rng rng(5);
+  for (const std::int64_t delta_size : {1L, 10L, 100L, 1000L, 10000L}) {
+    std::vector<NodeId> changed;
+    for (std::int64_t i = 0; i < delta_size; ++i) {
+      changed.push_back(static_cast<NodeId>(rng.NextBounded(
+          static_cast<std::uint64_t>(dataset.graph.num_nodes()))));
+    }
+    std::sort(changed.begin(), changed.end());
+    changed.erase(std::unique(changed.begin(), changed.end()),
+                  changed.end());
+    const Graph mutated = WithRefreshedFeatures(dataset.graph, changed);
+    GraphDelta delta;
+    delta.changed_nodes = changed;
+
+    WallTimer timer;
+    const Result<IncrementalResult> r =
+        IncrementalInference(*model, mutated, history, delta);
+    const double seconds = timer.ElapsedSeconds();
+    INFERTURBO_CHECK(r.ok()) << r.status().ToString();
+    const std::int64_t recomputed = std::accumulate(
+        r->recomputed_per_layer.begin(), r->recomputed_per_layer.end(),
+        std::int64_t{0});
+    std::printf("%10lld | %14lld %9.2f%% | %10.4f %8.1fx\n",
+                static_cast<long long>(delta_size),
+                static_cast<long long>(recomputed),
+                100.0 * static_cast<double>(recomputed) /
+                    static_cast<double>(full_work),
+                seconds, full_seconds / std::max(1e-9, seconds));
+  }
+  std::printf(
+      "\nexpected shape: recomputation tracks the delta's k-hop out-cone;\n"
+      "small daily deltas re-score a few percent of the graph, converging\n"
+      "to a full pass as the delta saturates it.\n");
+}
+
+}  // namespace
+}  // namespace inferturbo
+
+int main() { inferturbo::Run(); }

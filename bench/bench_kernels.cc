@@ -1,0 +1,116 @@
+// Kernel microbenchmarks (google-benchmark): the inner loops every
+// experiment above is built from. Useful for tracking regressions in
+// the substrate independent of the end-to-end harnesses.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/gas/message.h"
+#include "src/graph/partition.h"
+#include "src/graph/power_law.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/segment_ops.h"
+#include "src/tensor/sparse.h"
+
+namespace inferturbo {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  const Tensor a = Tensor::RandomNormal(n, n, 1.0f, &rng);
+  const Tensor b = Tensor::RandomNormal(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SegmentSum(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  Rng rng(2);
+  const Tensor values = Tensor::RandomNormal(rows, 32, 1.0f, &rng);
+  std::vector<std::int64_t> ids;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    ids.push_back(static_cast<std::int64_t>(rng.NextBounded(64)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SegmentSum(values, ids, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SegmentSum)->Arg(1024)->Arg(16384);
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  Rng rng(3);
+  const Tensor logits = Tensor::RandomNormal(rows, 1, 1.0f, &rng);
+  std::vector<std::int64_t> ids;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    ids.push_back(static_cast<std::int64_t>(rng.NextBounded(64)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SegmentSoftmax(logits, ids, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(16384);
+
+void BM_PooledAccumulatorFold(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  Rng rng(4);
+  const Tensor values = Tensor::RandomNormal(rows, 32, 1.0f, &rng);
+  std::vector<NodeId> dst;
+  for (std::int64_t i = 0; i < rows; ++i) {
+    dst.push_back(static_cast<NodeId>(rng.NextBounded(512)));
+  }
+  for (auto _ : state) {
+    PooledAccumulator acc(AggKind::kMean, 32);
+    for (std::int64_t i = 0; i < rows; ++i) {
+      acc.Add(dst[static_cast<std::size_t>(i)], values.RowPtr(i));
+    }
+    benchmark::DoNotOptimize(acc.Finalize());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_PooledAccumulatorFold)->Arg(16384);
+
+void BM_SpMM(benchmark::State& state) {
+  const std::int64_t n = 4096, e = 32768;
+  Rng rng(5);
+  std::vector<std::int64_t> src, dst;
+  for (std::int64_t i = 0; i < e; ++i) {
+    src.push_back(static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(n))));
+    dst.push_back(static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(n))));
+  }
+  const CsrMatrix a = CsrMatrix::FromEdges(n, dst, src);
+  const Tensor x = Tensor::RandomNormal(n, 32, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.MatMulDense(x));
+  }
+  state.SetItemsProcessed(state.iterations() * e);
+}
+BENCHMARK(BM_SpMM);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(1'000'000, 2.0);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_PartitionAssign(benchmark::State& state) {
+  HashPartitioner partitioner(1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AssignPartitions(100000, partitioner));
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_PartitionAssign);
+
+}  // namespace
+}  // namespace inferturbo

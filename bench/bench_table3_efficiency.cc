@@ -1,0 +1,91 @@
+// Table III: time and resource cost of full-graph scoring on the
+// MAG240M analogue — traditional pipeline (the PyG/DGL columns' role)
+// vs InferTurbo on MapReduce and on Pregel. Time is the simulated
+// cluster makespan (per step, the slowest instance gates the barrier);
+// resource is cpu time summed over instances, the paper's cpu·min.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/inference/inferturbo_mapreduce.h"
+#include "src/inference/inferturbo_pregel.h"
+#include "src/inference/traditional_pipeline.h"
+
+namespace inferturbo {
+namespace {
+
+struct Cell {
+  double wall_seconds = 0.0;
+  double cpu_seconds = 0.0;
+};
+
+void Run() {
+  bench::PrintHeader("Table III",
+                     "time and resource on the MAG240M analogue");
+  const Dataset dataset = MakeMag240mLike(0.12, /*seed=*/3);
+  std::printf("graph: %lld nodes, %lld edges\n",
+              static_cast<long long>(dataset.graph.num_nodes()),
+              static_cast<long long>(dataset.graph.num_edges()));
+  std::printf("%-9s %-6s | %14s %14s %14s\n", "metric", "model",
+              "traditional", "on-mr", "on-pregel");
+  bench::PrintRule();
+
+  for (const std::string model_kind : {"sage", "gat"}) {
+    const std::unique_ptr<GnnModel> model =
+        bench::UntrainedModelOn(dataset, model_kind, /*hidden_dim=*/32);
+
+    Cell traditional, on_mr, on_pregel;
+    {
+      TraditionalPipelineOptions options;
+      options.num_workers = 16;
+      const Result<InferenceResult> r =
+          RunTraditionalPipeline(dataset.graph, *model, options);
+      INFERTURBO_CHECK(r.ok()) << r.status().ToString();
+      traditional = {r->metrics.SimulatedWallSeconds(),
+                     r->metrics.TotalCpuSeconds()};
+    }
+    {
+      InferTurboOptions options;
+      options.num_workers = 16;
+      options.strategies.partial_gather = true;
+      const Result<InferenceResult> r =
+          RunInferTurboMapReduce(dataset.graph, *model, options);
+      INFERTURBO_CHECK(r.ok()) << r.status().ToString();
+      on_mr = {r->metrics.SimulatedWallSeconds(),
+               r->metrics.TotalCpuSeconds()};
+    }
+    {
+      InferTurboOptions options;
+      options.num_workers = 16;
+      options.strategies.partial_gather = true;
+      const Result<InferenceResult> r =
+          RunInferTurboPregel(dataset.graph, *model, options);
+      INFERTURBO_CHECK(r.ok()) << r.status().ToString();
+      on_pregel = {r->metrics.SimulatedWallSeconds(),
+                   r->metrics.TotalCpuSeconds()};
+    }
+
+    std::printf("%-9s %-6s | %13.2fs %13.2fs %13.2fs\n", "time",
+                model_kind.c_str(), traditional.wall_seconds,
+                on_mr.wall_seconds, on_pregel.wall_seconds);
+    std::printf("%-9s %-6s | %13.2fs %13.2fs %13.2fs\n", "cpu",
+                model_kind.c_str(), traditional.cpu_seconds,
+                on_mr.cpu_seconds, on_pregel.cpu_seconds);
+    std::printf("%-9s %-6s | speedup over traditional: mr %.1fx, pregel "
+                "%.1fx\n",
+                "", model_kind.c_str(),
+                traditional.wall_seconds / std::max(1e-9, on_mr.wall_seconds),
+                traditional.wall_seconds /
+                    std::max(1e-9, on_pregel.wall_seconds));
+    bench::PrintRule();
+  }
+  std::printf(
+      "expected shape (paper Tab. III): both InferTurbo backends beat the\n"
+      "traditional pipeline by a wide margin (paper: 30-50x on 1000\n"
+      "instances); Pregel edges out MapReduce on time, MapReduce trades\n"
+      "time for lower resident memory.\n");
+}
+
+}  // namespace
+}  // namespace inferturbo
+
+int main() { inferturbo::Run(); }

@@ -1,0 +1,107 @@
+// §V-B.2 threshold sweep: vary the hub-activation threshold for the
+// broadcast and shadow-nodes strategies around the heuristic value
+// threshold = lambda * edges / workers (lambda = 0.1). The paper's
+// findings: (a) tail IO shrinks as the threshold drops, (b) within a
+// decade of the heuristic the IO difference is small (<5%), while
+// (c) overhead (mirrors / broadcast-table size) grows as the threshold
+// drops — so the heuristic is a sane default.
+#include <cstdio>
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "src/common/byte_size.h"
+#include "src/inference/inferturbo_pregel.h"
+#include "src/inference/strategies.h"
+
+namespace inferturbo {
+namespace {
+
+struct SweepPoint {
+  std::uint64_t tail_bytes_out = 0;  // heaviest-10% workers
+  std::uint64_t total_bytes = 0;
+  std::int64_t mirrors = 0;  // SN: duplication overhead proxy
+};
+
+SweepPoint RunPoint(const Dataset& dataset, const GnnModel& model,
+                    bool broadcast, bool shadow_nodes,
+                    std::int64_t threshold) {
+  InferTurboOptions options;
+  options.num_workers = 16;
+  options.strategies.partial_gather = false;
+  options.strategies.broadcast = broadcast;
+  options.strategies.shadow_nodes = shadow_nodes;
+  options.strategies.threshold_override = threshold;
+  const Result<InferenceResult> r =
+      RunInferTurboPregel(dataset.graph, model, options);
+  INFERTURBO_CHECK(r.ok()) << r.status().ToString();
+  std::vector<std::uint64_t> bytes;
+  for (const WorkerStepMetrics& m : r->metrics.PerWorkerTotals()) {
+    bytes.push_back(m.bytes_out);
+  }
+  std::sort(bytes.begin(), bytes.end());
+  SweepPoint point;
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    point.total_bytes += bytes[i];
+    if (i + 1 + bytes.size() / 10 > bytes.size()) {
+      point.tail_bytes_out += bytes[i];
+    }
+  }
+  if (shadow_nodes) {
+    const Result<ShadowGraph> shadow =
+        ApplyShadowNodes(dataset.graph, threshold);
+    INFERTURBO_CHECK(shadow.ok());
+    point.mirrors = shadow->num_mirrors;
+  }
+  return point;
+}
+
+void Run() {
+  bench::PrintHeader("Threshold sweep (§V-B.2)",
+                     "hub threshold vs tail IO and overhead");
+  PowerLawConfig config;
+  config.num_nodes = 30000;
+  config.avg_degree = 8.0;
+  config.alpha = 1.7;
+  config.skew = PowerLawSkew::kOut;
+  config.seed = 61;
+  const Dataset dataset = MakePowerLawDataset(config, /*feature_dim=*/32);
+  const std::unique_ptr<GnnModel> model =
+      bench::UntrainedModelOn(dataset, "sage", /*hidden_dim=*/32);
+  const std::int64_t heuristic = StrategyConfig().HubThreshold(
+      dataset.graph.num_edges(), /*total_workers=*/16);
+  std::printf("heuristic threshold (lambda=0.1): %lld\n",
+              static_cast<long long>(heuristic));
+
+  const std::vector<std::int64_t> thresholds = {
+      heuristic / 10, heuristic / 3, heuristic, heuristic * 3,
+      heuristic * 10};
+
+  std::printf("\n%-10s | %-26s | %-26s\n", "", "broadcast",
+              "shadow-nodes");
+  std::printf("%-10s | %12s %12s | %12s %12s %7s\n", "threshold",
+              "tail bytes", "total", "tail bytes", "total", "mirrors");
+  bench::PrintRule();
+  for (const std::int64_t t : thresholds) {
+    if (t <= 0) continue;
+    const SweepPoint bc = RunPoint(dataset, *model, true, false, t);
+    const SweepPoint sn = RunPoint(dataset, *model, false, true, t);
+    std::printf("%-10lld | %12s %12s | %12s %12s %7lld\n",
+                static_cast<long long>(t),
+                FormatBytes(bc.tail_bytes_out).c_str(),
+                FormatBytes(bc.total_bytes).c_str(),
+                FormatBytes(sn.tail_bytes_out).c_str(),
+                FormatBytes(sn.total_bytes).c_str(),
+                static_cast<long long>(sn.mirrors));
+  }
+  std::printf(
+      "\nexpected shape (paper §V-B.2): tail IO falls as the threshold\n"
+      "drops, but so does overhead headroom (mirror count grows);\n"
+      "within [heuristic/10, heuristic] total IO moves only a few\n"
+      "percent, so the lambda=0.1 heuristic is a reasonable default.\n");
+}
+
+}  // namespace
+}  // namespace inferturbo
+
+int main() { inferturbo::Run(); }

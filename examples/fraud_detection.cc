@@ -1,0 +1,103 @@
+// Fraud detection on a transaction graph — the paper's motivating
+// financial scenario. Three things matter here and the example
+// demonstrates each:
+//
+//   * the graph is power-law (merchant "hub" accounts with huge
+//     degree), so the hub strategies are enabled;
+//   * predictions must be *consistent* across runs (a flip-flopping
+//     fraud score is unacceptable) — shown by diffing repeated runs of
+//     the sampled baseline vs InferTurbo;
+//   * GAT is used, whose attention cannot be partially gathered —
+//     the broadcast strategy carries its hub traffic instead.
+#include <cstdio>
+
+#include <set>
+
+#include "src/graph/datasets.h"
+#include "src/inference/inferturbo_pregel.h"
+#include "src/inference/traditional_pipeline.h"
+#include "src/nn/model.h"
+#include "src/nn/trainer.h"
+
+int main() {
+  using namespace inferturbo;
+
+  // Transaction graph: accounts with a heavy-tailed degree
+  // distribution (hub merchants receive payments from thousands of
+  // accounts), two classes: benign / fraudulent.
+  PowerLawConfig graph_config;
+  graph_config.num_nodes = 8000;
+  graph_config.avg_degree = 10.0;
+  graph_config.alpha = 1.7;
+  graph_config.skew = PowerLawSkew::kBoth;
+  graph_config.seed = 2024;
+  const Dataset dataset = MakePowerLawDataset(graph_config,
+                                              /*feature_dim=*/24);
+  std::printf("transaction graph: %lld accounts, %lld transfers\n",
+              static_cast<long long>(dataset.graph.num_nodes()),
+              static_cast<long long>(dataset.graph.num_edges()));
+
+  // 2-layer GAT risk model, trained on the millesimal labeled split
+  // (fraud labels are scarce, as in production).
+  ModelConfig model_config;
+  model_config.input_dim = dataset.graph.feature_dim();
+  model_config.hidden_dim = 32;
+  model_config.num_classes = 2;
+  model_config.num_layers = 2;
+  model_config.heads = 4;
+  std::unique_ptr<GnnModel> model = MakeGatModel(model_config);
+  TrainerOptions trainer_options;
+  trainer_options.epochs = 20;
+  trainer_options.batch_size = 8;
+  MiniBatchTrainer trainer(&dataset.graph, model.get(), trainer_options);
+  if (!trainer.Train().ok()) return 1;
+
+  // Baseline: sampled k-hop serving, re-run 5 times. Count accounts
+  // whose fraud verdict changes between runs.
+  std::vector<std::vector<std::int64_t>> runs;
+  for (int run = 0; run < 5; ++run) {
+    TraditionalPipelineOptions baseline;
+    baseline.num_workers = 8;
+    baseline.fanout = 5;
+    baseline.seed = static_cast<std::uint64_t>(run + 1);
+    const Result<InferenceResult> r =
+        RunTraditionalPipeline(dataset.graph, *model, baseline);
+    if (!r.ok()) return 1;
+    runs.push_back(r->predictions);
+  }
+  std::int64_t flapping = 0;
+  for (NodeId v = 0; v < dataset.graph.num_nodes(); ++v) {
+    std::set<std::int64_t> verdicts;
+    for (const auto& run : runs) {
+      verdicts.insert(run[static_cast<std::size_t>(v)]);
+    }
+    flapping += verdicts.size() > 1;
+  }
+  std::printf("sampled baseline: %lld of %lld accounts change verdict "
+              "across 5 runs\n",
+              static_cast<long long>(flapping),
+              static_cast<long long>(dataset.graph.num_nodes()));
+
+  // InferTurbo: exact full-graph scoring with all hub strategies on.
+  InferTurboOptions options;
+  options.num_workers = 16;
+  options.strategies.partial_gather = true;  // no-op for GAT, harmless
+  options.strategies.broadcast = true;       // carries hub out-traffic
+  options.strategies.shadow_nodes = true;    // splits extreme hubs
+  const Result<InferenceResult> first =
+      RunInferTurboPregel(dataset.graph, *model, options);
+  const Result<InferenceResult> second =
+      RunInferTurboPregel(dataset.graph, *model, options);
+  if (!first.ok() || !second.ok()) return 1;
+  std::printf("inferturbo: verdicts identical across runs: %s\n",
+              first->predictions == second->predictions ? "yes" : "NO");
+
+  std::int64_t flagged = 0;
+  for (std::int64_t p : first->predictions) flagged += p == 1;
+  std::printf("flagged %lld accounts; job used %.2f cpu-seconds, "
+              "simulated makespan %.3fs\n",
+              static_cast<long long>(flagged),
+              first->metrics.TotalCpuSeconds(),
+              first->metrics.SimulatedWallSeconds());
+  return 0;
+}

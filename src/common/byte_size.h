@@ -1,0 +1,44 @@
+#ifndef INFERTURBO_COMMON_BYTE_SIZE_H_
+#define INFERTURBO_COMMON_BYTE_SIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace inferturbo {
+
+/// Serialized-size accounting for the simulated wire format.
+///
+/// The cluster experiments (Figs. 11–13) report per-instance input and
+/// output bytes. The simulated engines never actually serialize — they
+/// hand vectors across thread queues — so these helpers define the
+/// canonical on-wire cost a real deployment would pay, and the engines
+/// charge it to worker counters.
+
+/// Fixed per-message envelope: 8-byte destination id, 8-byte source id,
+/// 4-byte payload kind tag, 4-byte payload length.
+inline constexpr std::size_t kMessageHeaderBytes = 24;
+
+/// Payload bytes for a dense float32 embedding of `dim` values.
+inline constexpr std::size_t EmbeddingBytes(std::size_t dim) {
+  return dim * sizeof(float);
+}
+
+/// Wire size of one node-to-node message carrying a `dim`-value
+/// embedding.
+inline constexpr std::size_t MessageBytes(std::size_t dim) {
+  return kMessageHeaderBytes + EmbeddingBytes(dim);
+}
+
+/// Wire size of an identifier-only message (broadcast strategy sends
+/// these along edges instead of embeddings).
+inline constexpr std::size_t IdOnlyMessageBytes() {
+  return kMessageHeaderBytes + sizeof(std::uint64_t);
+}
+
+/// "12.3 MiB"-style rendering for logs and bench output.
+std::string FormatBytes(std::uint64_t bytes);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_COMMON_BYTE_SIZE_H_

@@ -1,0 +1,63 @@
+#include "src/common/flags.h"
+
+#include <cstdlib>
+
+namespace inferturbo {
+
+Result<FlagParser> FlagParser::Parse(int argc, const char* const argv[]) {
+  FlagParser parser;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      return Status::InvalidArgument("expected --flag, got '" + token + "'");
+    }
+    token = token.substr(2);
+    const std::size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      parser.values_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // `--key value` form, unless the next token is another flag (then
+    // treat as boolean true).
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      parser.values_[token] = argv[++i];
+    } else {
+      parser.values_[token] = "true";
+    }
+  }
+  return parser;
+}
+
+std::string FlagParser::GetString(const std::string& key,
+                                  const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t FlagParser::GetInt(const std::string& key,
+                                std::int64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double FlagParser::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> FlagParser::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace inferturbo

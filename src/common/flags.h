@@ -1,0 +1,41 @@
+#ifndef INFERTURBO_COMMON_FLAGS_H_
+#define INFERTURBO_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace inferturbo {
+
+/// A minimal `--key=value` / `--key value` command-line parser for the
+/// example binaries and tools. No registry, no globals: parse argv,
+/// then pull typed values with defaults.
+class FlagParser {
+ public:
+  /// Parses argv; returns InvalidArgument on malformed input
+  /// (non-flag tokens, dangling `--key` without value).
+  static Result<FlagParser> Parse(int argc, const char* const argv[]);
+
+  bool Has(const std::string& key) const {
+    return values_.count(key) > 0;
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  std::int64_t GetInt(const std::string& key, std::int64_t fallback) const;
+  double GetDouble(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  /// Keys seen on the command line, for unknown-flag validation.
+  std::vector<std::string> Keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_COMMON_FLAGS_H_

@@ -1,0 +1,73 @@
+#ifndef INFERTURBO_COMMON_LOGGING_H_
+#define INFERTURBO_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace inferturbo {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are discarded.
+/// Defaults to kInfo. Thread-safe.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink that emits one line to stderr on destruction.
+/// Use through the INFERTURBO_LOG macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define INFERTURBO_LOG(level)                                  \
+  ::inferturbo::internal_logging::LogMessage(                  \
+      ::inferturbo::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Fatal invariant check: logs and aborts when `cond` is false. Used for
+/// programmer errors (not data errors, which return Status).
+#define INFERTURBO_CHECK(cond)                                          \
+  if (!(cond))                                                          \
+  ::inferturbo::internal_logging::FatalMessage(__FILE__, __LINE__)      \
+      << "Check failed: " #cond " "
+
+namespace internal_logging {
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_COMMON_LOGGING_H_

@@ -1,0 +1,79 @@
+#ifndef INFERTURBO_COMMON_RESULT_H_
+#define INFERTURBO_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "src/common/status.h"
+
+namespace inferturbo {
+
+/// A value-or-error type: either holds a `T` or a non-OK Status.
+///
+/// Usage:
+///   Result<Graph> r = GraphBuilder::Finish();
+///   if (!r.ok()) return r.status();
+///   Graph g = std::move(r).ValueOrDie();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (the common success path).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (the common failure path).
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// OK status when a value is held, the stored error otherwise.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error. Usable only in functions returning Status.
+#define INFERTURBO_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  INFERTURBO_ASSIGN_OR_RETURN_IMPL_(                  \
+      INFERTURBO_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define INFERTURBO_CONCAT_INNER_(a, b) a##b
+#define INFERTURBO_CONCAT_(a, b) INFERTURBO_CONCAT_INNER_(a, b)
+#define INFERTURBO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                      \
+  if (!tmp.ok()) return tmp.status();                      \
+  lhs = std::move(tmp).ValueOrDie()
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_COMMON_RESULT_H_

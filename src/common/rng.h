@@ -1,0 +1,100 @@
+#ifndef INFERTURBO_COMMON_RNG_H_
+#define INFERTURBO_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace inferturbo {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// Every stochastic component in the library (graph generation, weight
+/// init, neighbor sampling) takes an explicit seed, because reproducible
+/// predictions are one of the paper's headline claims — the only allowed
+/// nondeterminism is the one we *measure* (Fig. 7's sampling churn),
+/// and there it is driven by explicit per-run seeds.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t NextUint64() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  std::uint64_t NextBounded(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = NextUint64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = NextUint64();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi) {
+    return lo + static_cast<float>(NextDouble()) * (hi - lo);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; the spare is
+  /// cached).
+  double NextGaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi_u2 = 6.283185307179586 * u2;
+    spare_ = mag * std::sin(two_pi_u2);
+    has_spare_ = true;
+    return mag * std::cos(two_pi_u2);
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_COMMON_RNG_H_

@@ -1,0 +1,33 @@
+#ifndef INFERTURBO_COMMON_TIMER_H_
+#define INFERTURBO_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace inferturbo {
+
+/// Wall-clock stopwatch with microsecond resolution.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  std::int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_COMMON_TIMER_H_

@@ -1,0 +1,164 @@
+#include "src/gas/message.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace inferturbo {
+
+void MessageBatch::Append(const MessageBatch& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  INFERTURBO_CHECK(payload.cols() == other.payload.cols())
+      << "MessageBatch width mismatch on Append";
+  dst.insert(dst.end(), other.dst.begin(), other.dst.end());
+  src.insert(src.end(), other.src.begin(), other.src.end());
+  Tensor merged(payload.rows() + other.payload.rows(), payload.cols());
+  std::memcpy(merged.data(), payload.data(), payload.ByteSize());
+  std::memcpy(merged.RowPtr(payload.rows()), other.payload.data(),
+              other.payload.ByteSize());
+  payload = std::move(merged);
+}
+
+void MessageBatch::Push(NodeId dst_id, NodeId src_id, const float* row,
+                        std::int64_t width) {
+  if (payload.empty() && dst.empty()) {
+    payload = Tensor(0, width);
+  }
+  INFERTURBO_CHECK(payload.cols() == width || payload.rows() == 0)
+      << "MessageBatch width mismatch on Push";
+  // Amortized growth: double the row capacity through a staging tensor.
+  Tensor grown(payload.rows() + 1, width);
+  if (!payload.empty()) {
+    std::memcpy(grown.data(), payload.data(), payload.ByteSize());
+  }
+  std::memcpy(grown.RowPtr(payload.rows()), row,
+              static_cast<std::size_t>(width) * sizeof(float));
+  payload = std::move(grown);
+  dst.push_back(dst_id);
+  src.push_back(src_id);
+}
+
+void MessageBatch::Reserve(std::size_t n, std::int64_t width) {
+  dst.reserve(n);
+  src.reserve(n);
+  if (payload.empty()) payload = Tensor(0, width);
+}
+
+MessageBatch MessageBatch::Merge(std::span<const MessageBatch> batches) {
+  MessageBatch out;
+  std::size_t total = 0;
+  std::int64_t width = 0;
+  for (const MessageBatch& b : batches) {
+    total += b.dst.size();
+    if (!b.empty()) width = b.payload.cols();
+  }
+  if (total == 0) return out;
+  out.dst.reserve(total);
+  out.src.reserve(total);
+  out.payload = Tensor(static_cast<std::int64_t>(total), width);
+  std::int64_t row = 0;
+  for (const MessageBatch& b : batches) {
+    if (b.empty()) continue;
+    INFERTURBO_CHECK(b.payload.cols() == width)
+        << "MessageBatch width mismatch on Merge";
+    out.dst.insert(out.dst.end(), b.dst.begin(), b.dst.end());
+    out.src.insert(out.src.end(), b.src.begin(), b.src.end());
+    std::memcpy(out.payload.RowPtr(row), b.payload.data(),
+                b.payload.ByteSize());
+    row += b.payload.rows();
+  }
+  return out;
+}
+
+PooledAccumulator::PooledAccumulator(AggKind kind, std::int64_t width)
+    : kind_(kind), width_(width) {
+  INFERTURBO_CHECK(kind != AggKind::kUnion)
+      << "PooledAccumulator cannot pool a union aggregate";
+}
+
+float* PooledAccumulator::RowFor(NodeId dst, std::int64_t count_delta) {
+  auto [it, inserted] =
+      index_.try_emplace(dst, static_cast<std::int64_t>(dst_order_.size()));
+  if (inserted) {
+    dst_order_.push_back(dst);
+    counts_.push_back(0);
+    const float init = (kind_ == AggKind::kMax)
+                           ? -std::numeric_limits<float>::infinity()
+                       : (kind_ == AggKind::kMin)
+                           ? std::numeric_limits<float>::infinity()
+                           : 0.0f;
+    rows_.insert(rows_.end(), static_cast<std::size_t>(width_), init);
+  }
+  counts_[static_cast<std::size_t>(it->second)] += count_delta;
+  return rows_.data() + it->second * width_;
+}
+
+void PooledAccumulator::Add(NodeId dst, const float* row) {
+  AddPartial(dst, row, 1);
+}
+
+void PooledAccumulator::AddPartial(NodeId dst, const float* row,
+                                   std::int64_t count) {
+  float* acc = RowFor(dst, count);
+  switch (kind_) {
+    case AggKind::kSum:
+    case AggKind::kMean:  // carried as running sum until Finalize
+      for (std::int64_t j = 0; j < width_; ++j) acc[j] += row[j];
+      break;
+    case AggKind::kMax:
+      for (std::int64_t j = 0; j < width_; ++j) {
+        acc[j] = std::max(acc[j], row[j]);
+      }
+      break;
+    case AggKind::kMin:
+      for (std::int64_t j = 0; j < width_; ++j) {
+        acc[j] = std::min(acc[j], row[j]);
+      }
+      break;
+    case AggKind::kUnion:
+      INFERTURBO_CHECK(false) << "unreachable";
+  }
+}
+
+MessageBatch PooledAccumulator::ToPartialBatch(NodeId from) const {
+  MessageBatch batch;
+  batch.dst = dst_order_;
+  batch.src.assign(dst_order_.size(), from);
+  batch.payload = Tensor(static_cast<std::int64_t>(dst_order_.size()),
+                         width_ + 1);
+  for (std::size_t i = 0; i < dst_order_.size(); ++i) {
+    float* row = batch.payload.RowPtr(static_cast<std::int64_t>(i));
+    std::memcpy(row, rows_.data() + static_cast<std::int64_t>(i) * width_,
+                static_cast<std::size_t>(width_) * sizeof(float));
+    row[width_] = static_cast<float>(counts_[i]);
+  }
+  return batch;
+}
+
+PooledAccumulator::Finalized PooledAccumulator::Finalize() const {
+  Finalized out;
+  out.dst = dst_order_;
+  out.counts = counts_;
+  out.values = Tensor(static_cast<std::int64_t>(dst_order_.size()), width_);
+  for (std::size_t i = 0; i < dst_order_.size(); ++i) {
+    const float* src_row = rows_.data() + static_cast<std::int64_t>(i) *
+                                              width_;
+    float* dst_row = out.values.RowPtr(static_cast<std::int64_t>(i));
+    if (kind_ == AggKind::kMean && counts_[i] > 0) {
+      const float inv = 1.0f / static_cast<float>(counts_[i]);
+      for (std::int64_t j = 0; j < width_; ++j) dst_row[j] = src_row[j] * inv;
+    } else {
+      std::memcpy(dst_row, src_row,
+                  static_cast<std::size_t>(width_) * sizeof(float));
+    }
+  }
+  return out;
+}
+
+}  // namespace inferturbo

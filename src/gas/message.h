@@ -1,0 +1,113 @@
+#ifndef INFERTURBO_GAS_MESSAGE_H_
+#define INFERTURBO_GAS_MESSAGE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/byte_size.h"
+#include "src/gas/signature.h"
+#include "src/graph/graph.h"
+#include "src/tensor/tensor.h"
+
+namespace inferturbo {
+
+/// Vectorized messages: the struct-of-arrays form the paper's
+/// gather_nbrs produces — destination ids, source ids, and a payload
+/// row per message. This is the unit moved between workers by both
+/// backends, and the unit combiners operate on.
+struct MessageBatch {
+  std::vector<NodeId> dst;
+  std::vector<NodeId> src;
+  /// (dst.size() × payload_dim); when the batch holds partial
+  /// aggregates the last column is the folded message count.
+  Tensor payload;
+
+  std::int64_t size() const { return static_cast<std::int64_t>(dst.size()); }
+  bool empty() const { return dst.empty(); }
+
+  /// Simulated wire bytes of the whole batch (header per message plus
+  /// payload rows).
+  std::uint64_t WireBytes() const {
+    if (empty()) return 0;
+    // A zero-width payload is an identifier-only reference (broadcast
+    // strategy): the source id in the header is the lookup key.
+    const std::size_t per_message =
+        payload.cols() == 0
+            ? IdOnlyMessageBytes()
+            : MessageBytes(static_cast<std::size_t>(payload.cols()));
+    return static_cast<std::uint64_t>(dst.size()) * per_message;
+  }
+
+  /// Appends all messages of `other` (payload widths must match unless
+  /// one side is empty). O(size + other.size); for merging many
+  /// batches use Merge, which allocates once.
+  void Append(const MessageBatch& other);
+  /// Appends a single message row of `width` floats. O(size) per call —
+  /// convenience for tests and tiny batches; hot paths size `payload`
+  /// up front and fill rows in place.
+  void Push(NodeId dst_id, NodeId src_id, const float* row,
+            std::int64_t width);
+
+  void Reserve(std::size_t n, std::int64_t width);
+
+  /// Concatenates `batches` with a single allocation.
+  static MessageBatch Merge(std::span<const MessageBatch> batches);
+};
+
+/// Accumulates pooled (sum/mean/max/min) aggregates keyed by
+/// destination node, supporting both receiver-side gather and
+/// sender-side combining (partial-gather). Mean is carried as
+/// (sum, count) so partial combines stay exact — the commutative/
+/// associative contract the paper's aggregate stage requires.
+class PooledAccumulator {
+ public:
+  PooledAccumulator(AggKind kind, std::int64_t width);
+
+  PooledAccumulator(const PooledAccumulator&) = delete;
+  PooledAccumulator& operator=(const PooledAccumulator&) = delete;
+  PooledAccumulator(PooledAccumulator&&) = default;
+  PooledAccumulator& operator=(PooledAccumulator&&) = default;
+
+  /// Folds one message row for `dst` (count 1).
+  void Add(NodeId dst, const float* row);
+  /// Folds a partial aggregate row for `dst` carrying `count` original
+  /// messages.
+  void AddPartial(NodeId dst, const float* row, std::int64_t count);
+
+  /// Emits one message per destination: payload = aggregate row with
+  /// the count appended as a final column so downstream merges stay
+  /// exact. `src` on every message is `from` (the combining worker).
+  MessageBatch ToPartialBatch(NodeId from) const;
+
+  /// Finalized values (divided by count for mean), with destinations
+  /// and counts aligned to rows, in first-seen order.
+  struct Finalized {
+    std::vector<NodeId> dst;
+    std::vector<std::int64_t> counts;
+    Tensor values;
+  };
+  Finalized Finalize() const;
+
+  std::int64_t width() const { return width_; }
+  bool empty() const { return dst_order_.empty(); }
+  std::int64_t num_destinations() const {
+    return static_cast<std::int64_t>(dst_order_.size());
+  }
+
+ private:
+  float* RowFor(NodeId dst, std::int64_t count_delta);
+
+  AggKind kind_;
+  std::int64_t width_;
+  /// Aggregate rows in first-seen order, width_ floats each.
+  std::vector<float> rows_;
+  std::vector<NodeId> dst_order_;
+  std::vector<std::int64_t> counts_;
+  std::unordered_map<NodeId, std::int64_t> index_;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_GAS_MESSAGE_H_

@@ -1,0 +1,87 @@
+#include "src/gas/signature.h"
+
+#include <sstream>
+#include <vector>
+
+namespace inferturbo {
+
+std::string_view AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kMean:
+      return "mean";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kUnion:
+      return "union";
+  }
+  return "unknown";
+}
+
+Result<AggKind> AggKindFromString(std::string_view s) {
+  if (s == "sum") return AggKind::kSum;
+  if (s == "mean") return AggKind::kMean;
+  if (s == "max") return AggKind::kMax;
+  if (s == "min") return AggKind::kMin;
+  if (s == "union") return AggKind::kUnion;
+  return Status::InvalidArgument("unknown agg kind: '" + std::string(s) + "'");
+}
+
+std::string LayerSignature::Serialize() const {
+  std::ostringstream os;
+  os << "layer_type=" << layer_type << " agg=" << AggKindToString(agg_kind)
+     << " in=" << input_dim << " out=" << output_dim
+     << " msg=" << message_dim << " partial=" << (partial_gather ? 1 : 0)
+     << " broadcastable=" << (broadcastable_messages ? 1 : 0)
+     << " edge_feats=" << (uses_edge_features ? 1 : 0);
+  return os.str();
+}
+
+Result<LayerSignature> LayerSignature::Parse(const std::string& line) {
+  LayerSignature sig;
+  std::istringstream is(line);
+  std::string token;
+  bool saw_type = false;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("bad signature token: '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    try {
+      if (key == "layer_type") {
+        sig.layer_type = value;
+        saw_type = true;
+      } else if (key == "agg") {
+        INFERTURBO_ASSIGN_OR_RETURN(sig.agg_kind, AggKindFromString(value));
+      } else if (key == "in") {
+        sig.input_dim = std::stoll(value);
+      } else if (key == "out") {
+        sig.output_dim = std::stoll(value);
+      } else if (key == "msg") {
+        sig.message_dim = std::stoll(value);
+      } else if (key == "partial") {
+        sig.partial_gather = value == "1";
+      } else if (key == "broadcastable") {
+        sig.broadcastable_messages = value == "1";
+      } else if (key == "edge_feats") {
+        sig.uses_edge_features = value == "1";
+      } else {
+        return Status::InvalidArgument("unknown signature key: '" + key + "'");
+      }
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad signature value for " + key + ": '" +
+                                     value + "'");
+    }
+  }
+  if (!saw_type) {
+    return Status::InvalidArgument("signature missing layer_type");
+  }
+  return sig;
+}
+
+}  // namespace inferturbo

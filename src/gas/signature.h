@@ -1,0 +1,70 @@
+#ifndef INFERTURBO_GAS_SIGNATURE_H_
+#define INFERTURBO_GAS_SIGNATURE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+
+namespace inferturbo {
+
+/// The reduce semantics of a layer's `aggregate` stage.
+///
+/// The paper's rule (§IV-B): computation placed in `aggregate` must be
+/// commutative and associative — sum/mean/max/min pooling or union.
+/// Anything else (GAT's attention) must move to `apply_node`, with the
+/// aggregate reduced to a plain union of messages.
+enum class AggKind {
+  kSum,
+  kMean,
+  kMax,
+  kMin,
+  kUnion,
+};
+
+std::string_view AggKindToString(AggKind kind);
+Result<AggKind> AggKindFromString(std::string_view s);
+
+/// True when sender-side partial aggregation shrinks the message volume
+/// (the partial-gather strategy's payoff). Union is associative too,
+/// but combining unions does not reduce bytes, so partial-gather is a
+/// no-op for it.
+inline bool PartialGatherReduces(AggKind kind) {
+  return kind != AggKind::kUnion;
+}
+
+/// The layer-wise "signature file" the paper records beside a trained
+/// model: everything the inference runtime must know to re-deploy the
+/// layer's computation flow into the GAS stages without manual
+/// configuration (§IV-B, annotation technique).
+struct LayerSignature {
+  std::string layer_type;  ///< e.g. "sage", "gat", "gcn"
+  AggKind agg_kind = AggKind::kSum;
+  /// Dimensionality of node state entering the layer.
+  std::int64_t input_dim = 0;
+  /// Dimensionality of node state leaving the layer.
+  std::int64_t output_dim = 0;
+  /// Width of a scatter message row.
+  std::int64_t message_dim = 0;
+  /// Whether the @Gather(partial=...) annotation enables sender-side
+  /// aggregation for this layer.
+  bool partial_gather = false;
+  /// Whether one node's messages are identical across its out-edges
+  /// (the broadcast strategy's precondition). False whenever
+  /// apply_edge mixes in per-edge state.
+  bool broadcastable_messages = true;
+  /// Whether apply_edge consumes edge features (message_dim then
+  /// exceeds the per-node message width by the edge feature dim).
+  bool uses_edge_features = false;
+
+  /// One-line text form, parseable by Parse().
+  std::string Serialize() const;
+  static Result<LayerSignature> Parse(const std::string& line);
+
+  friend bool operator==(const LayerSignature& a,
+                         const LayerSignature& b) = default;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_GAS_SIGNATURE_H_

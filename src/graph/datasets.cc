@@ -1,0 +1,284 @@
+#include "src/graph/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/graph/graph_builder.h"
+
+namespace inferturbo {
+namespace {
+
+/// Assigns each node a class/group uniformly and returns per-class node
+/// lists for homophilous rewiring.
+std::vector<std::int64_t> AssignClasses(
+    std::int64_t num_nodes, std::int64_t num_classes, Rng* rng,
+    std::vector<std::vector<NodeId>>* by_class) {
+  std::vector<std::int64_t> classes(static_cast<std::size_t>(num_nodes));
+  by_class->assign(static_cast<std::size_t>(num_classes), {});
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const std::int64_t c = static_cast<std::int64_t>(
+        rng->NextBounded(static_cast<std::uint64_t>(num_classes)));
+    classes[static_cast<std::size_t>(v)] = c;
+    (*by_class)[static_cast<std::size_t>(c)].push_back(v);
+  }
+  // Guarantee non-empty classes so centroids are always exercised.
+  for (std::int64_t c = 0; c < num_classes; ++c) {
+    if ((*by_class)[static_cast<std::size_t>(c)].empty()) {
+      const NodeId v = static_cast<NodeId>(
+          rng->NextBounded(static_cast<std::uint64_t>(num_nodes)));
+      (*by_class)[static_cast<std::size_t>(
+          classes[static_cast<std::size_t>(v)])]
+          .erase(std::find((*by_class)[static_cast<std::size_t>(
+                               classes[static_cast<std::size_t>(v)])]
+                               .begin(),
+                           (*by_class)[static_cast<std::size_t>(
+                               classes[static_cast<std::size_t>(v)])]
+                               .end(),
+                           v));
+      classes[static_cast<std::size_t>(v)] = c;
+      (*by_class)[static_cast<std::size_t>(c)].push_back(v);
+    }
+  }
+  return classes;
+}
+
+/// Features = unit-ish class centroid + N(0, noise) per dimension.
+Tensor PlantFeatures(const std::vector<std::int64_t>& classes,
+                     std::int64_t num_classes, std::int64_t feature_dim,
+                     double noise, Rng* rng) {
+  Tensor centroids = Tensor::RandomNormal(num_classes, feature_dim, 1.0f, rng);
+  Tensor features(static_cast<std::int64_t>(classes.size()), feature_dim);
+  for (std::size_t v = 0; v < classes.size(); ++v) {
+    const float* pc = centroids.RowPtr(classes[v]);
+    float* pf = features.RowPtr(static_cast<std::int64_t>(v));
+    for (std::int64_t j = 0; j < feature_dim; ++j) {
+      pf[j] = pc[j] + static_cast<float>(noise * rng->NextGaussian());
+    }
+  }
+  return features;
+}
+
+void MakeSplits(std::int64_t num_nodes, double train_fraction,
+                double val_fraction, Rng* rng, std::vector<NodeId>* train,
+                std::vector<NodeId>* val, std::vector<NodeId>* test) {
+  std::vector<NodeId> ids(static_cast<std::size_t>(num_nodes));
+  std::iota(ids.begin(), ids.end(), 0);
+  // Fisher-Yates under the dataset rng keeps splits reproducible.
+  for (std::size_t i = ids.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng->NextBounded(static_cast<std::uint64_t>(
+            i)));
+    std::swap(ids[i - 1], ids[j]);
+  }
+  const auto n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(num_nodes));
+  const auto n_val = static_cast<std::size_t>(
+      val_fraction * static_cast<double>(num_nodes));
+  train->assign(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(
+                                               n_train));
+  val->assign(ids.begin() + static_cast<std::ptrdiff_t>(n_train),
+              ids.begin() + static_cast<std::ptrdiff_t>(n_train + n_val));
+  test->assign(ids.begin() + static_cast<std::ptrdiff_t>(n_train + n_val),
+               ids.end());
+}
+
+}  // namespace
+
+Dataset MakePlantedDataset(const std::string& name,
+                           const PlantedGraphConfig& config) {
+  INFERTURBO_CHECK(config.num_nodes > 1 && config.num_classes > 0 &&
+                   config.feature_dim > 0)
+      << "invalid planted dataset config for " << name;
+  Rng rng(config.seed);
+  const std::int64_t hidden_classes =
+      config.multi_label ? config.num_groups : config.num_classes;
+
+  std::vector<std::vector<NodeId>> by_class;
+  std::vector<std::int64_t> classes =
+      AssignClasses(config.num_nodes, hidden_classes, &rng, &by_class);
+
+  // Homophilous edges: pick a uniform source; with probability
+  // `homophily` the destination comes from the source's class. With
+  // in_skew_alpha > 0, destination picks are Zipf-rank-biased (low
+  // positions become hubs; class assignment is random, so hubs carry
+  // no class bias).
+  const std::int64_t num_edges = static_cast<std::int64_t>(
+      config.avg_degree * static_cast<double>(config.num_nodes));
+  std::unique_ptr<ZipfSampler> global_zipf;
+  std::vector<std::unique_ptr<ZipfSampler>> class_zipf;
+  if (config.in_skew_alpha > 0.0) {
+    global_zipf =
+        std::make_unique<ZipfSampler>(config.num_nodes, config.in_skew_alpha);
+    class_zipf.resize(by_class.size());
+    for (std::size_t c = 0; c < by_class.size(); ++c) {
+      class_zipf[c] = std::make_unique<ZipfSampler>(
+          static_cast<std::int64_t>(by_class[c].size()),
+          config.in_skew_alpha);
+    }
+  }
+  GraphBuilder builder(config.num_nodes);
+  builder.ReserveEdges(static_cast<std::size_t>(num_edges));
+  Tensor edge_feats;
+  if (config.edge_feature_dim > 0) {
+    edge_feats = Tensor::RandomNormal(num_edges, config.edge_feature_dim,
+                                      1.0f, &rng);
+  }
+  for (std::int64_t e = 0; e < num_edges; ++e) {
+    const NodeId src = static_cast<NodeId>(
+        rng.NextBounded(static_cast<std::uint64_t>(config.num_nodes)));
+    NodeId dst;
+    if (rng.NextDouble() < config.homophily) {
+      const auto& peers =
+          by_class[static_cast<std::size_t>(
+              classes[static_cast<std::size_t>(src)])];
+      const std::size_t pick =
+          global_zipf
+              ? static_cast<std::size_t>(
+                    class_zipf[static_cast<std::size_t>(
+                                   classes[static_cast<std::size_t>(src)])]
+                        ->Sample(&rng))
+              : static_cast<std::size_t>(
+                    rng.NextBounded(static_cast<std::uint64_t>(peers.size())));
+      dst = peers[pick];
+    } else if (global_zipf) {
+      dst = static_cast<NodeId>(global_zipf->Sample(&rng));
+    } else {
+      dst = static_cast<NodeId>(
+          rng.NextBounded(static_cast<std::uint64_t>(config.num_nodes)));
+    }
+    if (dst == src) dst = static_cast<NodeId>((dst + 1) % config.num_nodes);
+    if (config.edge_feature_dim > 0) {
+      // Column 0 carries the intra-class signal edge-featured layers
+      // can learn from; the rest stays noise.
+      edge_feats.At(e, 0) =
+          classes[static_cast<std::size_t>(src)] ==
+                  classes[static_cast<std::size_t>(dst)]
+              ? 1.0f
+              : -1.0f;
+    }
+    builder.AddEdge(src, dst);
+  }
+  if (config.edge_feature_dim > 0) {
+    builder.SetEdgeFeatures(std::move(edge_feats));
+  }
+
+  builder.SetNodeFeatures(PlantFeatures(classes, hidden_classes,
+                                        config.feature_dim, config.noise,
+                                        &rng));
+
+  if (config.multi_label) {
+    // Each hidden group maps to a fixed multi-hot pattern; node targets
+    // are the group pattern with small flip noise, mirroring PPI's
+    // correlated 121-way labels.
+    Tensor patterns(hidden_classes, config.num_classes);
+    for (std::int64_t g = 0; g < hidden_classes; ++g) {
+      for (std::int64_t l = 0; l < config.num_classes; ++l) {
+        patterns.At(g, l) = rng.NextDouble() < 0.25 ? 1.0f : 0.0f;
+      }
+    }
+    Tensor targets(config.num_nodes, config.num_classes);
+    for (NodeId v = 0; v < config.num_nodes; ++v) {
+      const float* pp = patterns.RowPtr(classes[static_cast<std::size_t>(v)]);
+      float* pt = targets.RowPtr(v);
+      for (std::int64_t l = 0; l < config.num_classes; ++l) {
+        const bool flip = rng.NextDouble() < 0.02;
+        pt[l] = flip ? 1.0f - pp[l] : pp[l];
+      }
+    }
+    builder.SetMultiLabels(std::move(targets));
+  } else {
+    builder.SetLabels(classes, hidden_classes);
+  }
+
+  std::vector<NodeId> train, val, test;
+  MakeSplits(config.num_nodes, config.train_fraction, config.val_fraction,
+             &rng, &train, &val, &test);
+  builder.SetSplits(std::move(train), std::move(val), std::move(test));
+
+  Result<Graph> graph = std::move(builder).Finish();
+  INFERTURBO_CHECK(graph.ok()) << graph.status().ToString();
+  return Dataset{name, std::move(graph).ValueOrDie()};
+}
+
+Dataset MakePpiLike(double scale, std::uint64_t seed) {
+  PlantedGraphConfig config;
+  config.num_nodes =
+      std::max<std::int64_t>(64, static_cast<std::int64_t>(2000 * scale));
+  config.avg_degree = 14.0;  // PPI is dense: ~14 edges/node
+  config.feature_dim = 50;
+  config.num_classes = 121;
+  config.multi_label = true;
+  config.num_groups = 12;
+  config.homophily = 0.8;
+  config.noise = 0.8;
+  config.seed = seed;
+  return MakePlantedDataset("ppi-like", config);
+}
+
+Dataset MakeProductsLike(double scale, std::uint64_t seed) {
+  PlantedGraphConfig config;
+  config.num_nodes =
+      std::max<std::int64_t>(128, static_cast<std::int64_t>(10000 * scale));
+  config.avg_degree = 25.0;  // Products: ~25 edges/node
+  config.feature_dim = 100;
+  config.num_classes = 47;
+  config.homophily = 0.75;
+  config.noise = 1.2;
+  config.train_fraction = 0.1;  // Products trains on a small split
+  config.val_fraction = 0.05;
+  config.seed = seed;
+  return MakePlantedDataset("products-like", config);
+}
+
+Dataset MakeMag240mLike(double scale, std::uint64_t seed) {
+  PlantedGraphConfig config;
+  config.num_nodes =
+      std::max<std::int64_t>(256, static_cast<std::int64_t>(50000 * scale));
+  config.avg_degree = 20.0;  // MAG240M subset: ~22 edges/node
+  config.feature_dim = 128;  // paper: 768; scaled with the node count
+  config.num_classes = 153;
+  config.homophily = 0.65;
+  config.noise = 1.5;
+  config.train_fraction = 0.02;  // about 1% labeled, like the paper
+  config.val_fraction = 0.01;
+  config.seed = seed;
+  return MakePlantedDataset("mag240m-like", config);
+}
+
+Dataset MakePowerLawDataset(const PowerLawConfig& config,
+                            std::int64_t feature_dim) {
+  Rng rng(config.seed ^ 0x5bd1e995ULL);
+  EdgeList edges = GeneratePowerLawEdges(config);
+  GraphBuilder builder(config.num_nodes);
+  builder.ReserveEdges(edges.src.size());
+  for (std::size_t e = 0; e < edges.src.size(); ++e) {
+    builder.AddEdge(edges.src[e], edges.dst[e]);
+  }
+  // Two planted classes (the paper's Power-Law dataset has #Class = 2).
+  std::vector<std::vector<NodeId>> by_class;
+  std::vector<std::int64_t> classes =
+      AssignClasses(config.num_nodes, 2, &rng, &by_class);
+  builder.SetNodeFeatures(
+      PlantFeatures(classes, 2, feature_dim, 1.0, &rng));
+  builder.SetLabels(classes, 2);
+  // "all nodes ... are used in inference task, while millesimal are
+  // used in training phase" (§V-A).
+  std::vector<NodeId> train;
+  const std::int64_t train_count =
+      std::max<std::int64_t>(2, config.num_nodes / 1000);
+  for (std::int64_t i = 0; i < train_count; ++i) {
+    train.push_back(static_cast<NodeId>(
+        rng.NextBounded(static_cast<std::uint64_t>(config.num_nodes))));
+  }
+  std::vector<NodeId> all(static_cast<std::size_t>(config.num_nodes));
+  std::iota(all.begin(), all.end(), 0);
+  builder.SetSplits(std::move(train), {}, std::move(all));
+  Result<Graph> graph = std::move(builder).Finish();
+  INFERTURBO_CHECK(graph.ok()) << graph.status().ToString();
+  return Dataset{"power-law", std::move(graph).ValueOrDie()};
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,87 @@
+#include "src/graph/degree_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace inferturbo {
+namespace {
+
+DegreeStats ComputeFromDegrees(std::vector<std::int64_t> degrees) {
+  DegreeStats stats;
+  if (degrees.empty()) return stats;
+  double sum = 0.0;
+  std::int64_t max_log2 = 0;
+  for (std::int64_t d : degrees) {
+    sum += static_cast<double>(d);
+    stats.max_degree = std::max(stats.max_degree, d);
+  }
+  while ((std::int64_t{1} << max_log2) < std::max<std::int64_t>(
+             stats.max_degree, 1)) {
+    ++max_log2;
+  }
+  stats.mean_degree = sum / static_cast<double>(degrees.size());
+  stats.log2_histogram.assign(static_cast<std::size_t>(max_log2) + 1, 0);
+  for (std::int64_t d : degrees) {
+    std::size_t bucket = 0;
+    while ((std::int64_t{1} << bucket) < d) ++bucket;
+    ++stats.log2_histogram[bucket];
+  }
+  std::sort(degrees.begin(), degrees.end());
+  auto percentile = [&degrees](double p) {
+    const std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(degrees.size() - 1));
+    return degrees[idx];
+  };
+  stats.p50 = percentile(0.50);
+  stats.p90 = percentile(0.90);
+  stats.p99 = percentile(0.99);
+  return stats;
+}
+
+}  // namespace
+
+DegreeStats ComputeInDegreeStats(const Graph& graph) {
+  std::vector<std::int64_t> degrees(
+      static_cast<std::size_t>(graph.num_nodes()));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    degrees[static_cast<std::size_t>(v)] = graph.InDegree(v);
+  }
+  return ComputeFromDegrees(std::move(degrees));
+}
+
+DegreeStats ComputeOutDegreeStats(const Graph& graph) {
+  std::vector<std::int64_t> degrees(
+      static_cast<std::size_t>(graph.num_nodes()));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    degrees[static_cast<std::size_t>(v)] = graph.OutDegree(v);
+  }
+  return ComputeFromDegrees(std::move(degrees));
+}
+
+std::int64_t HubDegreeThreshold(std::int64_t total_edges,
+                                std::int64_t total_workers, double lambda) {
+  if (total_workers <= 0) return total_edges;
+  const double t = lambda * static_cast<double>(total_edges) /
+                   static_cast<double>(total_workers);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(t));
+}
+
+std::vector<NodeId> FindOutDegreeHubs(const Graph& graph,
+                                      std::int64_t threshold) {
+  std::vector<NodeId> hubs;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.OutDegree(v) > threshold) hubs.push_back(v);
+  }
+  return hubs;
+}
+
+std::vector<NodeId> FindInDegreeHubs(const Graph& graph,
+                                     std::int64_t threshold) {
+  std::vector<NodeId> hubs;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.InDegree(v) > threshold) hubs.push_back(v);
+  }
+  return hubs;
+}
+
+}  // namespace inferturbo

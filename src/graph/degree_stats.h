@@ -1,0 +1,45 @@
+#ifndef INFERTURBO_GRAPH_DEGREE_STATS_H_
+#define INFERTURBO_GRAPH_DEGREE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace inferturbo {
+
+/// Degree-distribution summaries used to analyze skew (paper §IV-D) and
+/// to pick hub thresholds.
+struct DegreeStats {
+  std::int64_t max_degree = 0;
+  double mean_degree = 0.0;
+  /// 50th/90th/99th percentile degrees.
+  std::int64_t p50 = 0;
+  std::int64_t p90 = 0;
+  std::int64_t p99 = 0;
+  /// Count of nodes whose degree strictly exceeds each power of two;
+  /// histogram[k] covers degree in (2^k, 2^(k+1)].
+  std::vector<std::int64_t> log2_histogram;
+};
+
+/// Stats over in-degrees.
+DegreeStats ComputeInDegreeStats(const Graph& graph);
+/// Stats over out-degrees.
+DegreeStats ComputeOutDegreeStats(const Graph& graph);
+
+/// The paper's hub-activation heuristic:
+/// threshold = lambda * total_edges / total_workers (§IV-D, lambda=0.1).
+std::int64_t HubDegreeThreshold(std::int64_t total_edges,
+                                std::int64_t total_workers,
+                                double lambda = 0.1);
+
+/// Nodes whose out-degree exceeds `threshold`.
+std::vector<NodeId> FindOutDegreeHubs(const Graph& graph,
+                                      std::int64_t threshold);
+/// Nodes whose in-degree exceeds `threshold`.
+std::vector<NodeId> FindInDegreeHubs(const Graph& graph,
+                                     std::int64_t threshold);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_GRAPH_DEGREE_STATS_H_

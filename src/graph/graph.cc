@@ -1,0 +1,20 @@
+#include "src/graph/graph.h"
+
+namespace inferturbo {
+
+std::size_t Graph::ApproxByteSize() const {
+  std::size_t bytes = 0;
+  bytes += out_offsets_.size() * sizeof(std::int64_t);
+  bytes += out_edge_ids_.size() * sizeof(EdgeId);
+  bytes += edge_src_.size() * sizeof(NodeId);
+  bytes += edge_dst_.size() * sizeof(NodeId);
+  bytes += in_offsets_.size() * sizeof(std::int64_t);
+  bytes += in_edge_ids_.size() * sizeof(EdgeId);
+  bytes += node_features_.ByteSize();
+  bytes += edge_features_.ByteSize();
+  bytes += labels_.size() * sizeof(std::int64_t);
+  bytes += multi_labels_.ByteSize();
+  return bytes;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,117 @@
+#ifndef INFERTURBO_GRAPH_GRAPH_H_
+#define INFERTURBO_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace inferturbo {
+
+using NodeId = std::int64_t;
+using EdgeId = std::int64_t;
+
+/// A directed, attributed graph G = {V, E, X, E_feat} (paper §II-A),
+/// immutable once built.
+///
+/// Edges are stored once, sorted by source (CSR over out-edges), with a
+/// secondary index sorted by destination (CSC over in-edges) so both the
+/// Scatter side (out-edges) and the Gather side (in-edges) are O(degree).
+/// Node ids are dense [0, num_nodes).
+class Graph {
+ public:
+  Graph() = default;
+
+  // --- topology ----------------------------------------------------
+  std::int64_t num_nodes() const { return num_nodes_; }
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(edge_dst_.size());
+  }
+
+  std::int64_t OutDegree(NodeId u) const {
+    return out_offsets_[static_cast<std::size_t>(u) + 1] -
+           out_offsets_[static_cast<std::size_t>(u)];
+  }
+  std::int64_t InDegree(NodeId v) const {
+    return in_offsets_[static_cast<std::size_t>(v) + 1] -
+           in_offsets_[static_cast<std::size_t>(v)];
+  }
+
+  /// Edge ids leaving `u`; index into edge_src()/edge_dst().
+  std::span<const EdgeId> OutEdges(NodeId u) const {
+    return {out_edge_ids_.data() + out_offsets_[static_cast<std::size_t>(u)],
+            static_cast<std::size_t>(OutDegree(u))};
+  }
+  /// Edge ids entering `v`.
+  std::span<const EdgeId> InEdges(NodeId v) const {
+    return {in_edge_ids_.data() + in_offsets_[static_cast<std::size_t>(v)],
+            static_cast<std::size_t>(InDegree(v))};
+  }
+
+  NodeId EdgeSrc(EdgeId e) const {
+    return edge_src_[static_cast<std::size_t>(e)];
+  }
+  NodeId EdgeDst(EdgeId e) const {
+    return edge_dst_[static_cast<std::size_t>(e)];
+  }
+
+  const std::vector<NodeId>& edge_src() const { return edge_src_; }
+  const std::vector<NodeId>& edge_dst() const { return edge_dst_; }
+
+  // --- attributes ---------------------------------------------------
+  /// (num_nodes × feature_dim) raw node features X.
+  const Tensor& node_features() const { return node_features_; }
+  std::int64_t feature_dim() const { return node_features_.cols(); }
+
+  /// (num_edges × edge_feature_dim), empty when the graph has no edge
+  /// features.
+  const Tensor& edge_features() const { return edge_features_; }
+  bool has_edge_features() const { return !edge_features_.empty(); }
+
+  // --- supervision ---------------------------------------------------
+  /// Single-label class ids (empty for multi-label graphs).
+  const std::vector<std::int64_t>& labels() const { return labels_; }
+  /// (num_nodes × num_classes) multi-hot targets (empty for
+  /// single-label graphs).
+  const Tensor& multi_labels() const { return multi_labels_; }
+  bool is_multi_label() const { return !multi_labels_.empty(); }
+  std::int64_t num_classes() const { return num_classes_; }
+
+  const std::vector<NodeId>& train_nodes() const { return train_nodes_; }
+  const std::vector<NodeId>& val_nodes() const { return val_nodes_; }
+  const std::vector<NodeId>& test_nodes() const { return test_nodes_; }
+
+  /// Approximate resident bytes (topology + features), used by memory
+  /// budgeting in the baseline pipeline.
+  std::size_t ApproxByteSize() const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::int64_t num_nodes_ = 0;
+
+  // CSR by source. edge id e is a position in edge_src_/edge_dst_;
+  // out_edge_ids_ is the identity permutation kept for API symmetry.
+  std::vector<std::int64_t> out_offsets_;
+  std::vector<EdgeId> out_edge_ids_;
+  std::vector<NodeId> edge_src_;
+  std::vector<NodeId> edge_dst_;
+
+  // CSC by destination: edge ids grouped by dst.
+  std::vector<std::int64_t> in_offsets_;
+  std::vector<EdgeId> in_edge_ids_;
+
+  Tensor node_features_;
+  Tensor edge_features_;
+  std::vector<std::int64_t> labels_;
+  Tensor multi_labels_;
+  std::int64_t num_classes_ = 0;
+  std::vector<NodeId> train_nodes_;
+  std::vector<NodeId> val_nodes_;
+  std::vector<NodeId> test_nodes_;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_GRAPH_GRAPH_H_

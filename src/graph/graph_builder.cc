@@ -1,0 +1,153 @@
+#include "src/graph/graph_builder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+namespace inferturbo {
+
+std::int64_t GraphBuilder::AddEdge(NodeId src, NodeId dst) {
+  src_.push_back(src);
+  dst_.push_back(dst);
+  return static_cast<std::int64_t>(src_.size()) - 1;
+}
+
+void GraphBuilder::ReserveEdges(std::size_t n) {
+  src_.reserve(n);
+  dst_.reserve(n);
+}
+
+void GraphBuilder::SetNodeFeatures(Tensor features) {
+  node_features_ = std::move(features);
+}
+
+void GraphBuilder::SetEdgeFeatures(Tensor features) {
+  edge_features_ = std::move(features);
+}
+
+void GraphBuilder::SetLabels(std::vector<std::int64_t> labels,
+                             std::int64_t num_classes) {
+  labels_ = std::move(labels);
+  num_classes_ = num_classes;
+}
+
+void GraphBuilder::SetMultiLabels(Tensor targets) {
+  num_classes_ = targets.cols();
+  multi_labels_ = std::move(targets);
+}
+
+void GraphBuilder::SetSplits(std::vector<NodeId> train, std::vector<NodeId> val,
+                             std::vector<NodeId> test) {
+  train_ = std::move(train);
+  val_ = std::move(val);
+  test_ = std::move(test);
+}
+
+Result<Graph> GraphBuilder::Finish() && {
+  if (num_nodes_ < 0) {
+    return Status::InvalidArgument("negative node count");
+  }
+  for (std::size_t i = 0; i < src_.size(); ++i) {
+    if (src_[i] < 0 || src_[i] >= num_nodes_ || dst_[i] < 0 ||
+        dst_[i] >= num_nodes_) {
+      return Status::InvalidArgument(
+          "edge " + std::to_string(i) + " (" + std::to_string(src_[i]) +
+          " -> " + std::to_string(dst_[i]) + ") references a node outside [0," +
+          std::to_string(num_nodes_) + ")");
+    }
+  }
+  if (node_features_.rows() != num_nodes_) {
+    return Status::InvalidArgument(
+        "node features have " + std::to_string(node_features_.rows()) +
+        " rows for " + std::to_string(num_nodes_) + " nodes");
+  }
+  if (!edge_features_.empty() &&
+      edge_features_.rows() != static_cast<std::int64_t>(src_.size())) {
+    return Status::InvalidArgument(
+        "edge features have " + std::to_string(edge_features_.rows()) +
+        " rows for " + std::to_string(src_.size()) + " edges");
+  }
+  if (!labels_.empty() &&
+      static_cast<std::int64_t>(labels_.size()) != num_nodes_) {
+    return Status::InvalidArgument("labels size mismatch");
+  }
+  if (!multi_labels_.empty() && multi_labels_.rows() != num_nodes_) {
+    return Status::InvalidArgument("multi-label target rows mismatch");
+  }
+  if (!labels_.empty()) {
+    for (std::int64_t y : labels_) {
+      if (y < 0 || y >= num_classes_) {
+        return Status::InvalidArgument("label " + std::to_string(y) +
+                                       " outside [0," +
+                                       std::to_string(num_classes_) + ")");
+      }
+    }
+  }
+  for (const std::vector<NodeId>* split : {&train_, &val_, &test_}) {
+    for (NodeId v : *split) {
+      if (v < 0 || v >= num_nodes_) {
+        return Status::InvalidArgument("split references node " +
+                                       std::to_string(v));
+      }
+    }
+  }
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  const std::int64_t num_edges = static_cast<std::int64_t>(src_.size());
+
+  // Counting sort edges by src to build the CSR arrays; edge ids are
+  // positions in the sorted order, so edge features are permuted along.
+  std::vector<std::int64_t> out_counts(
+      static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (NodeId s : src_) ++out_counts[static_cast<std::size_t>(s) + 1];
+  std::partial_sum(out_counts.begin(), out_counts.end(), out_counts.begin());
+  g.out_offsets_ = out_counts;
+
+  std::vector<std::int64_t> cursor(out_counts.begin(), out_counts.end() - 1);
+  g.edge_src_.resize(static_cast<std::size_t>(num_edges));
+  g.edge_dst_.resize(static_cast<std::size_t>(num_edges));
+  std::vector<std::int64_t> perm(static_cast<std::size_t>(num_edges));
+  for (std::size_t i = 0; i < src_.size(); ++i) {
+    const std::int64_t pos = cursor[static_cast<std::size_t>(src_[i])]++;
+    g.edge_src_[static_cast<std::size_t>(pos)] = src_[i];
+    g.edge_dst_[static_cast<std::size_t>(pos)] = dst_[i];
+    perm[static_cast<std::size_t>(pos)] = static_cast<std::int64_t>(i);
+  }
+  g.out_edge_ids_.resize(static_cast<std::size_t>(num_edges));
+  std::iota(g.out_edge_ids_.begin(), g.out_edge_ids_.end(), 0);
+
+  if (!edge_features_.empty()) {
+    Tensor permuted(num_edges, edge_features_.cols());
+    for (std::int64_t e = 0; e < num_edges; ++e) {
+      permuted.SetRow(e,
+                      edge_features_.RowPtr(perm[static_cast<std::size_t>(e)]));
+    }
+    g.edge_features_ = std::move(permuted);
+  }
+
+  // CSC: group edge ids by destination.
+  std::vector<std::int64_t> in_counts(static_cast<std::size_t>(num_nodes_) + 1,
+                                      0);
+  for (NodeId d : g.edge_dst_) ++in_counts[static_cast<std::size_t>(d) + 1];
+  std::partial_sum(in_counts.begin(), in_counts.end(), in_counts.begin());
+  g.in_offsets_ = in_counts;
+  std::vector<std::int64_t> in_cursor(in_counts.begin(), in_counts.end() - 1);
+  g.in_edge_ids_.resize(static_cast<std::size_t>(num_edges));
+  for (std::int64_t e = 0; e < num_edges; ++e) {
+    const NodeId d = g.edge_dst_[static_cast<std::size_t>(e)];
+    g.in_edge_ids_[static_cast<std::size_t>(
+        in_cursor[static_cast<std::size_t>(d)]++)] = e;
+  }
+
+  g.node_features_ = std::move(node_features_);
+  g.labels_ = std::move(labels_);
+  g.multi_labels_ = std::move(multi_labels_);
+  g.num_classes_ = num_classes_;
+  g.train_nodes_ = std::move(train_);
+  g.val_nodes_ = std::move(val_);
+  g.test_nodes_ = std::move(test_);
+  return g;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,61 @@
+#ifndef INFERTURBO_GRAPH_GRAPH_BUILDER_H_
+#define INFERTURBO_GRAPH_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/graph/graph.h"
+#include "src/tensor/tensor.h"
+
+namespace inferturbo {
+
+/// Accumulates nodes, edges, and attributes, then freezes them into an
+/// immutable Graph (validating shapes and id ranges).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::int64_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Appends a directed edge src -> dst. Returns its edge position in
+  /// insertion order (edge features must follow the same order).
+  std::int64_t AddEdge(NodeId src, NodeId dst);
+  void ReserveEdges(std::size_t n);
+
+  /// (num_nodes × d) feature matrix; required before Finish().
+  void SetNodeFeatures(Tensor features);
+  /// Optional (num_added_edges × d) edge features, rows in insertion
+  /// order.
+  void SetEdgeFeatures(Tensor features);
+  /// Single-label supervision.
+  void SetLabels(std::vector<std::int64_t> labels, std::int64_t num_classes);
+  /// Multi-label supervision (num_nodes × num_classes, entries 0/1).
+  void SetMultiLabels(Tensor targets);
+  void SetSplits(std::vector<NodeId> train, std::vector<NodeId> val,
+                 std::vector<NodeId> test);
+
+  std::int64_t num_nodes() const { return num_nodes_; }
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(src_.size());
+  }
+
+  /// Validates and builds both adjacency indexes. The builder is
+  /// consumed (moved-from) on success.
+  Result<Graph> Finish() &&;
+
+ private:
+  std::int64_t num_nodes_;
+  std::vector<NodeId> src_;
+  std::vector<NodeId> dst_;
+  Tensor node_features_;
+  Tensor edge_features_;
+  std::vector<std::int64_t> labels_;
+  Tensor multi_labels_;
+  std::int64_t num_classes_ = 0;
+  std::vector<NodeId> train_;
+  std::vector<NodeId> val_;
+  std::vector<NodeId> test_;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,191 @@
+#include "src/graph/graph_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/graph_builder.h"
+
+namespace inferturbo {
+namespace {
+
+void AppendFloatCsv(const float* values, std::int64_t n, std::string* out) {
+  char buf[32];
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (i > 0) out->push_back(',');
+    std::snprintf(buf, sizeof(buf), "%.6g", values[i]);
+    out->append(buf);
+  }
+}
+
+std::vector<std::string_view> SplitView(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, begin);
+    if (pos == std::string_view::npos) {
+      parts.push_back(s.substr(begin));
+      return parts;
+    }
+    parts.push_back(s.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+}
+
+Status ParseInt(std::string_view s, std::int64_t* out) {
+  const auto result = std::from_chars(s.data(), s.data() + s.size(), *out);
+  if (result.ec != std::errc() || result.ptr != s.data() + s.size()) {
+    return Status::IoError("bad integer field: '" + std::string(s) + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseFloatCsv(std::string_view s, std::vector<float>* out) {
+  out->clear();
+  if (s.empty()) return Status::OK();
+  for (std::string_view part : SplitView(s, ',')) {
+    float v = 0.0f;
+    const auto result =
+        std::from_chars(part.data(), part.data() + part.size(), v);
+    if (result.ec != std::errc()) {
+      return Status::IoError("bad float field: '" + std::string(part) + "'");
+    }
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteNodeTable(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::string line;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    line.clear();
+    line += std::to_string(v);
+    line.push_back('\t');
+    line += std::to_string(graph.labels().empty()
+                               ? -1
+                               : graph.labels()[static_cast<std::size_t>(v)]);
+    line.push_back('\t');
+    AppendFloatCsv(graph.node_features().RowPtr(v), graph.feature_dim(),
+                   &line);
+    line.push_back('\t');
+    bool first = true;
+    for (EdgeId e : graph.OutEdges(v)) {
+      if (!first) line.push_back(',');
+      first = false;
+      line += std::to_string(graph.EdgeDst(e));
+    }
+    line.push_back('\n');
+    out << line;
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Status WriteEdgeTable(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  std::string line;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    line.clear();
+    line += std::to_string(graph.EdgeSrc(e));
+    line.push_back('\t');
+    line += std::to_string(graph.EdgeDst(e));
+    if (graph.has_edge_features()) {
+      line.push_back('\t');
+      AppendFloatCsv(graph.edge_features().RowPtr(e),
+                     graph.edge_features().cols(), &line);
+    }
+    line.push_back('\n');
+    out << line;
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<Graph> LoadGraphFromTables(const std::string& node_path,
+                                  const std::string& edge_path) {
+  std::ifstream nodes(node_path);
+  if (!nodes) return Status::IoError("cannot open " + node_path);
+
+  std::vector<std::vector<float>> features;
+  std::vector<std::int64_t> labels;
+  std::int64_t max_label = -1;
+  std::string line;
+  std::int64_t expected_id = 0;
+  while (std::getline(nodes, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string_view> fields = SplitView(line, '\t');
+    if (fields.size() < 3) {
+      return Status::IoError("node table row needs >= 3 fields");
+    }
+    std::int64_t id = 0;
+    INFERTURBO_RETURN_NOT_OK(ParseInt(fields[0], &id));
+    if (id != expected_id) {
+      return Status::IoError("node table ids must be dense and ordered; got " +
+                             std::to_string(id) + " expecting " +
+                             std::to_string(expected_id));
+    }
+    ++expected_id;
+    std::int64_t label = 0;
+    INFERTURBO_RETURN_NOT_OK(ParseInt(fields[1], &label));
+    labels.push_back(label);
+    max_label = std::max(max_label, label);
+    std::vector<float> feat;
+    INFERTURBO_RETURN_NOT_OK(ParseFloatCsv(fields[2], &feat));
+    if (!features.empty() && feat.size() != features[0].size()) {
+      return Status::IoError("inconsistent feature dim in node table");
+    }
+    features.push_back(std::move(feat));
+  }
+  const std::int64_t num_nodes = static_cast<std::int64_t>(features.size());
+  if (num_nodes == 0) return Status::IoError("empty node table");
+
+  GraphBuilder builder(num_nodes);
+  std::ifstream edges(edge_path);
+  if (!edges) return Status::IoError("cannot open " + edge_path);
+  std::vector<std::vector<float>> edge_feats;
+  bool has_edge_feats = false;
+  while (std::getline(edges, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string_view> fields = SplitView(line, '\t');
+    if (fields.size() < 2) {
+      return Status::IoError("edge table row needs >= 2 fields");
+    }
+    std::int64_t src = 0, dst = 0;
+    INFERTURBO_RETURN_NOT_OK(ParseInt(fields[0], &src));
+    INFERTURBO_RETURN_NOT_OK(ParseInt(fields[1], &dst));
+    builder.AddEdge(src, dst);
+    if (fields.size() >= 3) {
+      has_edge_feats = true;
+      std::vector<float> feat;
+      INFERTURBO_RETURN_NOT_OK(ParseFloatCsv(fields[2], &feat));
+      edge_feats.push_back(std::move(feat));
+    }
+  }
+
+  Tensor feat_tensor = Tensor::FromRows(features);
+  builder.SetNodeFeatures(std::move(feat_tensor));
+  const bool all_unlabeled = max_label < 0;
+  if (!all_unlabeled) {
+    // -1 marks "no label"; map it to class 0 for storage simplicity.
+    for (std::int64_t& y : labels) y = std::max<std::int64_t>(y, 0);
+    builder.SetLabels(std::move(labels), max_label + 1);
+  }
+  if (has_edge_feats) {
+    if (static_cast<std::int64_t>(edge_feats.size()) != builder.num_edges()) {
+      return Status::IoError("edge table mixes rows with and without "
+                             "features");
+    }
+    builder.SetEdgeFeatures(Tensor::FromRows(edge_feats));
+  }
+  return std::move(builder).Finish();
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,27 @@
+#ifndef INFERTURBO_GRAPH_GRAPH_IO_H_
+#define INFERTURBO_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/graph/graph.h"
+
+namespace inferturbo {
+
+/// Text form of the MapReduce pipeline's inputs (paper §IV-C2): a *node
+/// table* — `id \t label \t f0,f1,... \t out_nbr0,out_nbr1,...` — and an
+/// *edge table* — `src \t dst [\t e0,e1,...]`.
+
+/// Writes the node table of `graph` to `path`.
+Status WriteNodeTable(const Graph& graph, const std::string& path);
+/// Writes the edge table of `graph` to `path`.
+Status WriteEdgeTable(const Graph& graph, const std::string& path);
+
+/// Rebuilds a Graph from the two tables. Splits and multi-label targets
+/// are not round-tripped (tables carry what the inference job needs).
+Result<Graph> LoadGraphFromTables(const std::string& node_path,
+                                  const std::string& edge_path);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_GRAPH_GRAPH_IO_H_

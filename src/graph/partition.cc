@@ -1,0 +1,22 @@
+#include "src/graph/partition.h"
+
+namespace inferturbo {
+
+PartitionAssignment AssignPartitions(std::int64_t num_nodes,
+                                     const HashPartitioner& partitioner) {
+  PartitionAssignment out;
+  out.partition_of.resize(static_cast<std::size_t>(num_nodes));
+  out.local_index.resize(static_cast<std::size_t>(num_nodes));
+  out.members.resize(static_cast<std::size_t>(partitioner.num_partitions()));
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const std::int64_t p = partitioner.PartitionOf(v);
+    out.partition_of[static_cast<std::size_t>(v)] = p;
+    out.local_index[static_cast<std::size_t>(v)] =
+        static_cast<std::int64_t>(out.members[static_cast<std::size_t>(p)]
+                                      .size());
+    out.members[static_cast<std::size_t>(p)].push_back(v);
+  }
+  return out;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,52 @@
+#ifndef INFERTURBO_GRAPH_PARTITION_H_
+#define INFERTURBO_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace inferturbo {
+
+/// Pregel-style node partitioning (paper §IV-C1): nodes are assigned to
+/// workers by a hash of their id, and a partition owns its nodes' state
+/// and all their out-edges.
+class HashPartitioner {
+ public:
+  explicit HashPartitioner(std::int64_t num_partitions)
+      : num_partitions_(num_partitions) {}
+
+  std::int64_t num_partitions() const { return num_partitions_; }
+
+  /// Worker owning node `v`. Fibonacci-hash of the id rather than plain
+  /// `mod N` so consecutive ids (as produced by generators) spread out.
+  std::int64_t PartitionOf(NodeId v) const {
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(v) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::int64_t>(h % static_cast<std::uint64_t>(
+                                             num_partitions_));
+  }
+
+ private:
+  std::int64_t num_partitions_;
+};
+
+/// Node-to-partition assignment with both directions materialized:
+/// which worker owns a node, the node's dense local index there, and
+/// each worker's member list.
+struct PartitionAssignment {
+  /// partition_of[v] = owning worker.
+  std::vector<std::int64_t> partition_of;
+  /// local_index[v] = position of v within members[partition_of[v]].
+  std::vector<std::int64_t> local_index;
+  /// members[p] = global node ids owned by worker p, ascending.
+  std::vector<std::vector<NodeId>> members;
+};
+
+/// Assigns all `num_nodes` ids under `partitioner`.
+PartitionAssignment AssignPartitions(std::int64_t num_nodes,
+                                     const HashPartitioner& partitioner);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_GRAPH_PARTITION_H_

@@ -1,0 +1,104 @@
+#include "src/graph/power_law.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace inferturbo {
+
+ZipfSampler::ZipfSampler(std::int64_t n, double alpha) {
+  INFERTURBO_CHECK(n > 0) << "ZipfSampler needs n > 0";
+  cdf_.resize(static_cast<std::size_t>(n));
+  double acc = 0.0;
+  for (std::int64_t r = 0; r < n; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -alpha);
+    cdf_[static_cast<std::size_t>(r)] = acc;
+  }
+  const double inv = 1.0 / acc;
+  for (double& c : cdf_) c *= inv;
+  cdf_.back() = 1.0;
+}
+
+std::int64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::int64_t>(it - cdf_.begin());
+}
+
+namespace {
+
+/// A cheap bijective mix of ids within [0, n): multiply-mod by a prime
+/// picked coprime to n, plus an offset. Keeps hubs scattered without a
+/// materialized permutation.
+class IdScrambler {
+ public:
+  explicit IdScrambler(std::int64_t n, std::uint64_t seed) : n_(n) {
+    Rng rng(seed);
+    offset_ = static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(n)));
+    // Pick an odd multiplier coprime to n.
+    mult_ = 0;
+    while (mult_ == 0) {
+      const std::int64_t candidate = static_cast<std::int64_t>(
+          rng.NextBounded(static_cast<std::uint64_t>(n - 1))) + 1;
+      if (Gcd(candidate, n) == 1) mult_ = candidate;
+    }
+  }
+
+  NodeId Map(std::int64_t rank) const {
+    return static_cast<NodeId>(
+        (static_cast<__int128>(rank) * mult_ + offset_) % n_);
+  }
+
+ private:
+  static std::int64_t Gcd(std::int64_t a, std::int64_t b) {
+    while (b != 0) {
+      const std::int64_t t = a % b;
+      a = b;
+      b = t;
+    }
+    return a;
+  }
+
+  std::int64_t n_;
+  std::int64_t mult_ = 1;
+  std::int64_t offset_ = 0;
+};
+
+}  // namespace
+
+EdgeList GeneratePowerLawEdges(const PowerLawConfig& config) {
+  INFERTURBO_CHECK(config.num_nodes > 1) << "power-law graph needs >1 node";
+  const std::int64_t num_edges = static_cast<std::int64_t>(
+      config.avg_degree * static_cast<double>(config.num_nodes));
+  Rng rng(config.seed);
+  const bool zipf_src = config.skew == PowerLawSkew::kOut ||
+                        config.skew == PowerLawSkew::kBoth;
+  const bool zipf_dst = config.skew == PowerLawSkew::kIn ||
+                        config.skew == PowerLawSkew::kBoth;
+  // Separate scramblers for the two endpoints so kBoth does not force
+  // the same nodes to be hubs on both sides.
+  IdScrambler src_scrambler(config.num_nodes, config.seed ^ 0xabcdef01ULL);
+  IdScrambler dst_scrambler(config.num_nodes, config.seed ^ 0x12345678ULL);
+  ZipfSampler zipf(config.num_nodes, config.alpha);
+
+  EdgeList edges;
+  edges.src.reserve(static_cast<std::size_t>(num_edges));
+  edges.dst.reserve(static_cast<std::size_t>(num_edges));
+  const std::uint64_t n = static_cast<std::uint64_t>(config.num_nodes);
+  for (std::int64_t e = 0; e < num_edges; ++e) {
+    NodeId s = zipf_src
+                   ? src_scrambler.Map(zipf.Sample(&rng))
+                   : static_cast<NodeId>(rng.NextBounded(n));
+    NodeId d = zipf_dst
+                   ? dst_scrambler.Map(zipf.Sample(&rng))
+                   : static_cast<NodeId>(rng.NextBounded(n));
+    if (s == d) d = static_cast<NodeId>((d + 1) % config.num_nodes);
+    edges.src.push_back(s);
+    edges.dst.push_back(d);
+  }
+  return edges;
+}
+
+}  // namespace inferturbo

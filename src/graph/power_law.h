@@ -1,0 +1,59 @@
+#ifndef INFERTURBO_GRAPH_POWER_LAW_H_
+#define INFERTURBO_GRAPH_POWER_LAW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+
+namespace inferturbo {
+
+/// Which endpoint of each edge is drawn from the heavy-tailed (Zipf)
+/// node distribution. The paper's §V-A generates in-degree-skewed and
+/// out-degree-skewed variants separately for variable control.
+enum class PowerLawSkew {
+  kNone,  ///< both endpoints uniform (Erdős–Rényi-like)
+  kIn,    ///< destinations Zipf-distributed -> skewed in-degree
+  kOut,   ///< sources Zipf-distributed -> skewed out-degree
+  kBoth,  ///< both endpoints Zipf (independent)
+};
+
+struct PowerLawConfig {
+  std::int64_t num_nodes = 10'000;
+  /// Edges = num_nodes * avg_degree.
+  double avg_degree = 10.0;
+  PowerLawSkew skew = PowerLawSkew::kBoth;
+  /// Zipf exponent; 2.0 reproduces the hub-heavy tails of natural
+  /// graphs (PowerGraph reports alpha ~ 2 for real web/social graphs).
+  double alpha = 2.0;
+  std::uint64_t seed = 17;
+};
+
+/// Draws ranks 1..n with P(rank) proportional to rank^-alpha, by
+/// inverting a precomputed CDF. Deterministic under the caller's Rng.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::int64_t n, double alpha);
+
+  /// A rank in [0, n).
+  std::int64_t Sample(Rng* rng) const;
+
+  std::int64_t n() const { return static_cast<std::int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Edge list of a power-law graph per `config`. Node ids hosting the
+/// heavy ranks are scattered via a pseudorandom permutation so hubs do
+/// not cluster in id space (which would bias hash partitioning).
+struct EdgeList {
+  std::vector<NodeId> src;
+  std::vector<NodeId> dst;
+};
+EdgeList GeneratePowerLawEdges(const PowerLawConfig& config);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_GRAPH_POWER_LAW_H_

@@ -1,0 +1,162 @@
+#include "src/inference/incremental.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/logging.h"
+#include "src/gas/gas_conv.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+
+LayerStates ComputeLayerStates(const GnnModel& model, const Graph& graph) {
+  LayerStates out;
+  out.states.push_back(graph.node_features());
+  Tensor h = graph.node_features();
+  for (std::int64_t l = 0; l < model.num_layers(); ++l) {
+    const GasConv& layer = model.layer(l);
+    const Tensor node_messages = layer.ComputeMessage(h);
+    Tensor edge_messages = GatherRows(node_messages, graph.edge_src());
+    edge_messages = layer.ApplyEdge(
+        edge_messages, layer.signature().uses_edge_features
+                           ? &graph.edge_features()
+                           : nullptr);
+    const GatherResult gathered =
+        GatherIntoResult(layer.signature().agg_kind, edge_messages,
+                         graph.edge_dst(), graph.num_nodes(),
+                         /*is_partial=*/false);
+    h = layer.ApplyNode(h, gathered);
+    out.states.push_back(h);
+  }
+  return out;
+}
+
+namespace {
+
+/// Recomputes layer `l`'s output rows for `affected` over `graph`,
+/// reading inputs from `prev` (layer-l input states, already correct
+/// for every node) and writing into `next` rows.
+void RecomputeRows(const GasConv& layer, const Graph& graph,
+                   const Tensor& prev, const std::vector<NodeId>& affected,
+                   Tensor* next) {
+  // Per-edge gather restricted to the affected nodes' in-edges, in
+  // global edge-id order per node — the same fold order the full pass
+  // uses, so results are bit-identical.
+  std::vector<std::int64_t> srcs;
+  std::vector<std::int64_t> dst_local;
+  std::vector<EdgeId> edge_ids;
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    for (EdgeId e : graph.InEdges(affected[i])) {
+      srcs.push_back(graph.EdgeSrc(e));
+      dst_local.push_back(static_cast<std::int64_t>(i));
+      edge_ids.push_back(e);
+    }
+  }
+  const Tensor src_states = GatherRows(prev, srcs);
+  Tensor edge_messages = layer.ComputeMessage(src_states);
+  if (layer.signature().uses_edge_features) {
+    const Tensor edge_feats = GatherRows(graph.edge_features(), edge_ids);
+    edge_messages = layer.ApplyEdge(edge_messages, &edge_feats);
+  } else {
+    edge_messages = layer.ApplyEdge(edge_messages, nullptr);
+  }
+  const GatherResult gathered = GatherIntoResult(
+      layer.signature().agg_kind, edge_messages, dst_local,
+      static_cast<std::int64_t>(affected.size()), /*is_partial=*/false);
+  std::vector<std::int64_t> affected_idx(affected.begin(), affected.end());
+  const Tensor own_states = GatherRows(prev, affected_idx);
+  const Tensor updated = layer.ApplyNode(own_states, gathered);
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    next->SetRow(affected[i], updated.RowPtr(static_cast<std::int64_t>(i)));
+  }
+}
+
+}  // namespace
+
+Result<IncrementalResult> IncrementalInference(const GnnModel& model,
+                                               const Graph& new_graph,
+                                               const LayerStates& old_states,
+                                               const GraphDelta& delta) {
+  if (old_states.num_layers() != model.num_layers()) {
+    return Status::InvalidArgument("historical states layer count (" +
+                                   std::to_string(old_states.num_layers()) +
+                                   ") does not match the model");
+  }
+  const std::int64_t old_n = old_states.states[0].rows();
+  const std::int64_t new_n = new_graph.num_nodes();
+  if (new_n < old_n) {
+    return Status::InvalidArgument(
+        "node removals are not supported; rebuild from scratch");
+  }
+  for (NodeId v : delta.changed_nodes) {
+    if (v < 0 || v >= new_n) {
+      return Status::InvalidArgument("changed node out of range");
+    }
+  }
+  for (NodeId v : delta.changed_in_edges) {
+    if (v < 0 || v >= new_n) {
+      return Status::InvalidArgument("changed destination out of range");
+    }
+  }
+
+  IncrementalResult result;
+  result.states.states.reserve(
+      static_cast<std::size_t>(model.num_layers()) + 1);
+  // Layer 0: the new feature matrix (already includes changed rows).
+  result.states.states.push_back(new_graph.node_features());
+
+  // dirty[v] = v's *current-layer* state differs from the historical
+  // one. Seeds: feature changes and graph growth.
+  std::vector<bool> dirty(static_cast<std::size_t>(new_n), false);
+  std::vector<NodeId> dirty_list;
+  const auto mark = [&dirty, &dirty_list](NodeId v) {
+    if (!dirty[static_cast<std::size_t>(v)]) {
+      dirty[static_cast<std::size_t>(v)] = true;
+      dirty_list.push_back(v);
+    }
+  };
+  for (NodeId v : delta.changed_nodes) mark(v);
+  for (NodeId v = old_n; v < new_n; ++v) mark(v);
+
+  for (std::int64_t l = 0; l < model.num_layers(); ++l) {
+    // Who needs layer l+1 recomputed: every currently-dirty node, every
+    // out-neighbor of a dirty node, and every node whose in-edge set
+    // changed (their gather differs at every layer).
+    std::vector<bool> next_dirty(static_cast<std::size_t>(new_n), false);
+    std::vector<NodeId> affected;
+    const auto mark_next = [&next_dirty, &affected](NodeId v) {
+      if (!next_dirty[static_cast<std::size_t>(v)]) {
+        next_dirty[static_cast<std::size_t>(v)] = true;
+        affected.push_back(v);
+      }
+    };
+    for (NodeId v : dirty_list) {
+      mark_next(v);
+      for (EdgeId e : new_graph.OutEdges(v)) mark_next(new_graph.EdgeDst(e));
+    }
+    for (NodeId v : delta.changed_in_edges) mark_next(v);
+    std::sort(affected.begin(), affected.end());
+
+    // Start from the historical layer (grown to the new node count),
+    // then patch the affected rows.
+    const Tensor& historical =
+        old_states.states[static_cast<std::size_t>(l) + 1];
+    Tensor next(new_n, historical.cols());
+    for (NodeId v = 0; v < old_n; ++v) {
+      next.SetRow(v, historical.RowPtr(v));
+    }
+    RecomputeRows(model.layer(l), new_graph,
+                  result.states.states.back(), affected, &next);
+    result.recomputed_per_layer.push_back(
+        static_cast<std::int64_t>(affected.size()));
+    result.states.states.push_back(std::move(next));
+
+    dirty = std::move(next_dirty);
+    dirty_list = std::move(affected);
+  }
+
+  result.logits = model.PredictLogits(result.states.states.back());
+  return result;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,75 @@
+#ifndef INFERTURBO_INFERENCE_INCREMENTAL_H_
+#define INFERTURBO_INFERENCE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/graph/graph.h"
+#include "src/nn/model.h"
+
+namespace inferturbo {
+
+/// Incremental full-graph inference — the extension the paper's node
+/// state design points at (§IV-C1 keeps "raw features, intermediate
+/// embeddings, or even historical embeddings" on the vertex): when a
+/// daily graph changes only a little (some features refreshed, some
+/// edges added), the affected cone is tiny compared to the graph, and
+/// re-scoring everything wastes the very redundancy InferTurbo exists
+/// to avoid.
+///
+/// The algorithm is the standard change-propagation view of layer-wise
+/// inference: a node's layer-(l+1) state must be recomputed iff its own
+/// layer-l state changed or the layer-l state of any in-neighbor
+/// changed (or its in-edge set changed). Everything else is reused from
+/// the historical per-layer states.
+
+/// All per-layer states of a full forward: states[0] is the raw feature
+/// matrix, states[l] for l in [1, num_layers] the layer outputs.
+struct LayerStates {
+  std::vector<Tensor> states;
+
+  std::int64_t num_layers() const {
+    return static_cast<std::int64_t>(states.size()) - 1;
+  }
+};
+
+/// Runs a full layer-wise forward, retaining every layer — the
+/// "historical embeddings" a later incremental run starts from.
+LayerStates ComputeLayerStates(const GnnModel& model, const Graph& graph);
+
+/// What changed between the historical graph and `new_graph`.
+struct GraphDelta {
+  /// Nodes whose raw features differ in new_graph (new nodes appended
+  /// at the end of the id range count as changed).
+  std::vector<NodeId> changed_nodes;
+  /// Destinations whose in-edge set changed (edges added or removed).
+  std::vector<NodeId> changed_in_edges;
+};
+
+struct IncrementalResult {
+  /// Updated per-layer states over new_graph.
+  LayerStates states;
+  /// Fresh logits for every node (head applied to the final layer).
+  Tensor logits;
+  /// Node-state recomputations performed, per layer. Sum << layers * N
+  /// is the savings; a full pass would be exactly layers * N.
+  std::vector<std::int64_t> recomputed_per_layer;
+};
+
+/// Recomputes only the delta's forward cone. `old_states` must come
+/// from ComputeLayerStates on the *previous* graph with the same model;
+/// `new_graph` may have more nodes than old_states (growth), in which
+/// case the new ids must be listed in delta.changed_nodes.
+///
+/// Exactness (tested): the returned states equal a from-scratch
+/// ComputeLayerStates(model, new_graph) bit-for-bit on every node.
+Result<IncrementalResult> IncrementalInference(const GnnModel& model,
+                                               const Graph& new_graph,
+                                               const LayerStates& old_states,
+                                               const GraphDelta& delta);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_INFERENCE_INCREMENTAL_H_

@@ -1,0 +1,537 @@
+#include "src/inference/inferturbo_mapreduce.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/gas/gas_conv.h"
+#include "src/graph/partition.h"
+#include "src/mapreduce/mapreduce_engine.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+namespace {
+
+/// Record tags on the MapReduce dataflow.
+enum RecordTag : std::int32_t {
+  kSelfState = 1,   ///< floats = node's current embedding
+  kOutEdges = 2,    ///< ids = out-neighbor node ids
+  kInMessage = 3,   ///< floats = one in-edge message row, src = sender
+  kPartialAgg = 4,  ///< floats = pooled sums, ids = {count}
+  kRef = 5,         ///< broadcast reference, src = hub id
+  kPrediction = 6,  ///< floats = logits row (final round output)
+  kEmbedding = 7,   ///< floats = final-layer state (optional output)
+};
+
+/// Orchestrates the Map + k-Reduce pipeline.
+class MrInferenceDriver {
+ public:
+  MrInferenceDriver(const Graph& graph, const GnnModel& model,
+                    const InferTurboOptions& options,
+                    std::int64_t hub_threshold)
+      : graph_(graph),
+        model_(model),
+        options_(options),
+        hub_threshold_(hub_threshold) {
+    for (std::int64_t l = 0; l < model.num_layers(); ++l) {
+      ships_edge_features_ =
+          ships_edge_features_ || model.layer(l).signature().uses_edge_features;
+    }
+    INFERTURBO_CHECK(!ships_edge_features_ || graph.has_edge_features())
+        << "model needs edge features the graph does not have";
+    // Map splits: nodes hashed over instances, same scheme as the
+    // Pregel partitioner.
+    HashPartitioner partitioner(options.num_workers);
+    assignment_ = AssignPartitions(graph.num_nodes(), partitioner);
+  }
+
+  Result<Tensor> Run() {
+    MapReduceJob::Options job_options;
+    job_options.num_instances = options_.num_workers;
+    job_options.cost_model = options_.cost_model;
+    job_options.pool = options_.pool;
+    job_options.failure_injector = options_.failure_injector;
+    job_options.spill_directory = options_.mr_spill_directory;
+    MapReduceJob job(job_options);
+
+    job.RunMap([this](std::int64_t instance, MrEmitter* emitter) {
+      MapStage(instance, emitter);
+    });
+    FlushBroadcastStaging(&job);
+
+    const std::int64_t num_layers = model_.num_layers();
+    for (std::int64_t l = 0; l < num_layers; ++l) {
+      MapReduceJob::CombineFn combiner;
+      const LayerSignature& sig = model_.layer(l).signature();
+      const bool use_partial = options_.strategies.partial_gather &&
+                               sig.partial_gather &&
+                               PartialGatherReduces(sig.agg_kind);
+      if (use_partial) {
+        const AggKind kind = sig.agg_kind;
+        const std::int64_t msg_dim = sig.message_dim;
+        combiner = [kind, msg_dim](std::int64_t key,
+                                   std::vector<MrValue>* values) {
+          CombineInMessages(kind, msg_dim, key, values);
+        };
+      }
+      job.RunReduce(
+          [this, l](std::int64_t key, std::span<MrValue> values,
+                    MrEmitter* emitter) { ReduceStage(l, key, values,
+                                                      emitter); },
+          combiner ? &combiner : nullptr);
+      FlushBroadcastStaging(&job);
+    }
+
+    // Collect kPrediction (and optional kEmbedding) rows.
+    Tensor logits(graph_.num_nodes(), model_.num_classes());
+    if (options_.export_embeddings) {
+      embeddings_ = Tensor(graph_.num_nodes(), model_.embedding_dim());
+    }
+    std::vector<bool> seen(static_cast<std::size_t>(graph_.num_nodes()),
+                           false);
+    for (MrKeyValue& kv : job.TakeOutputs()) {
+      if (kv.second.tag == kEmbedding) {
+        embeddings_.SetRow(kv.first, kv.second.floats.data());
+        continue;
+      }
+      if (kv.second.tag != kPrediction) continue;
+      const NodeId v = kv.first;
+      logits.SetRow(v, kv.second.floats.data());
+      seen[static_cast<std::size_t>(v)] = true;
+    }
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        return Status::Internal("node " + std::to_string(v) +
+                                " produced no prediction");
+      }
+    }
+    metrics_ = job.metrics();
+    failures_recovered_ = job.failures_recovered();
+    return logits;
+  }
+
+  std::int64_t failures_recovered() const { return failures_recovered_; }
+  Tensor TakeEmbeddings() { return std::move(embeddings_); }
+
+  JobMetrics TakeMetrics() { return std::move(metrics_); }
+
+ private:
+  /// Map-side combine: fold this producer's kInMessage rows for `key`
+  /// into a single kPartialAgg record; other tags pass through.
+  static void CombineInMessages(AggKind kind, std::int64_t msg_dim,
+                                std::int64_t key,
+                                std::vector<MrValue>* values) {
+    (void)key;
+    std::vector<MrValue> kept;
+    std::vector<float> acc;
+    std::int64_t count = 0;
+    for (MrValue& v : *values) {
+      const bool foldable =
+          (v.tag == kInMessage &&
+           static_cast<std::int64_t>(v.floats.size()) == msg_dim) ||
+          v.tag == kPartialAgg;
+      if (!foldable) {
+        kept.push_back(std::move(v));
+        continue;
+      }
+      const std::int64_t v_count = v.tag == kPartialAgg ? v.ids[0] : 1;
+      if (acc.empty()) {
+        acc = std::move(v.floats);
+        count = v_count;
+        continue;
+      }
+      switch (kind) {
+        case AggKind::kSum:
+        case AggKind::kMean:
+          for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += v.floats[j];
+          break;
+        case AggKind::kMax:
+          for (std::size_t j = 0; j < acc.size(); ++j) {
+            acc[j] = std::max(acc[j], v.floats[j]);
+          }
+          break;
+        case AggKind::kMin:
+          for (std::size_t j = 0; j < acc.size(); ++j) {
+            acc[j] = std::min(acc[j], v.floats[j]);
+          }
+          break;
+        case AggKind::kUnion:
+          INFERTURBO_CHECK(false) << "union is not combinable";
+      }
+      count += v_count;
+    }
+    if (!acc.empty()) {
+      MrValue partial;
+      partial.tag = kPartialAgg;
+      partial.floats = std::move(acc);
+      partial.ids = {count};
+      kept.push_back(std::move(partial));
+    }
+    *values = std::move(kept);
+  }
+
+  /// The initialization stage: raw features become layer-0 states;
+  /// self-state, out-edge info, and layer-0 messages enter the
+  /// dataflow.
+  void MapStage(std::int64_t instance, MrEmitter* emitter) {
+    const std::vector<NodeId>& nodes =
+        assignment_.members[static_cast<std::size_t>(instance)];
+    if (nodes.empty()) return;
+    const Tensor states = GatherRows(graph_.node_features(), nodes);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const NodeId v = nodes[i];
+      MrValue self;
+      self.tag = kSelfState;
+      self.floats = states.RowVector(static_cast<std::int64_t>(i));
+      emitter->Emit(v, std::move(self));
+
+      MrValue out_edges;
+      out_edges.tag = kOutEdges;
+      for (EdgeId e : graph_.OutEdges(v)) {
+        out_edges.ids.push_back(graph_.EdgeDst(e));
+        if (ships_edge_features_) {
+          const float* feat = graph_.edge_features().RowPtr(e);
+          out_edges.floats.insert(
+              out_edges.floats.end(), feat,
+              feat + graph_.edge_features().cols());
+        }
+      }
+      emitter->Emit(v, std::move(out_edges));
+    }
+    ScatterMessages(instance, /*layer_index=*/0, nodes, states, emitter);
+  }
+
+  /// One GNN layer for one key. `values` hold the node's previous
+  /// state, its out-edges, and its gathered in-messages.
+  void ReduceStage(std::int64_t layer_index, std::int64_t key,
+                   std::span<MrValue> values, MrEmitter* emitter) {
+    const GasConv& layer = model_.layer(layer_index);
+    const LayerSignature& sig = layer.signature();
+    const AggKind kind = sig.agg_kind;
+    const std::int64_t msg_dim = sig.message_dim;
+
+    Tensor state;
+    std::vector<std::int64_t> out_neighbors;
+    std::vector<float> out_edge_feats;
+    GatherResult gathered;
+    gathered.kind = kind;
+    gathered.counts.assign(1, 0);
+
+    // First pass: locate state/out-edges, count message rows.
+    std::int64_t union_rows = 0;
+    for (const MrValue& v : values) {
+      if (v.tag == kInMessage || v.tag == kRef) ++union_rows;
+    }
+    if (kind == AggKind::kUnion) {
+      gathered.messages = Tensor(union_rows, msg_dim);
+    } else {
+      gathered.pooled = Tensor(1, msg_dim);
+      if (kind == AggKind::kMax || kind == AggKind::kMin) {
+        gathered.pooled = Tensor::Full(
+            1, msg_dim,
+            kind == AggKind::kMax ? -std::numeric_limits<float>::infinity()
+                                  : std::numeric_limits<float>::infinity());
+      }
+    }
+
+    std::int64_t row_cursor = 0;
+    for (MrValue& v : values) {
+      switch (v.tag) {
+        case kSelfState: {
+          state = Tensor(1, static_cast<std::int64_t>(v.floats.size()));
+          state.SetRow(0, v.floats.data());
+          break;
+        }
+        case kOutEdges:
+          out_neighbors = std::move(v.ids);
+          out_edge_feats = std::move(v.floats);
+          break;
+        case kInMessage:
+        case kRef:
+        case kPartialAgg: {
+          const float* row = nullptr;
+          std::int64_t count = 1;
+          if (v.tag == kRef) {
+            const std::vector<float>* value = LookupBroadcast(v.src);
+            INFERTURBO_CHECK(value != nullptr)
+                << "missing broadcast value for hub " << v.src;
+            row = value->data();
+          } else {
+            row = v.floats.data();
+            if (v.tag == kPartialAgg) count = v.ids[0];
+          }
+          if (kind == AggKind::kUnion) {
+            INFERTURBO_CHECK(v.tag != kPartialAgg)
+                << "union layer received a partial aggregate";
+            gathered.messages.SetRow(row_cursor, row);
+            gathered.dst_index.push_back(0);
+            ++row_cursor;
+            gathered.counts[0] += 1;
+          } else {
+            float* acc = gathered.pooled.RowPtr(0);
+            switch (kind) {
+              case AggKind::kSum:
+              case AggKind::kMean:
+                for (std::int64_t j = 0; j < msg_dim; ++j) acc[j] += row[j];
+                break;
+              case AggKind::kMax:
+                for (std::int64_t j = 0; j < msg_dim; ++j) {
+                  acc[j] = std::max(acc[j], row[j]);
+                }
+                break;
+              case AggKind::kMin:
+                for (std::int64_t j = 0; j < msg_dim; ++j) {
+                  acc[j] = std::min(acc[j], row[j]);
+                }
+                break;
+              case AggKind::kUnion:
+                break;
+            }
+            gathered.counts[0] += count;
+          }
+          break;
+        }
+        case kPrediction:
+          INFERTURBO_CHECK(false) << "prediction record in a reduce round";
+      }
+    }
+    INFERTURBO_CHECK(!state.empty())
+        << "node " << key << " lost its self-state record";
+
+    // Finalize pooled aggregates for this single node.
+    if (kind != AggKind::kUnion) {
+      float* acc = gathered.pooled.RowPtr(0);
+      if (gathered.counts[0] == 0) {
+        std::fill(acc, acc + msg_dim, 0.0f);
+      } else if (kind == AggKind::kMean) {
+        const float inv = 1.0f / static_cast<float>(gathered.counts[0]);
+        for (std::int64_t j = 0; j < msg_dim; ++j) acc[j] *= inv;
+      }
+    }
+
+    const Tensor new_state = layer.ApplyNode(state, gathered);
+
+    if (layer_index + 1 == model_.num_layers()) {
+      const Tensor logits = model_.PredictLogits(new_state);
+      MrValue prediction;
+      prediction.tag = kPrediction;
+      prediction.floats = logits.RowVector(0);
+      emitter->Emit(key, std::move(prediction));
+      if (options_.export_embeddings) {
+        MrValue embedding;
+        embedding.tag = kEmbedding;
+        embedding.floats = new_state.RowVector(0);
+        emitter->Emit(key, std::move(embedding));
+      }
+      return;
+    }
+
+    // Re-emit persistent records and the next layer's messages.
+    MrValue self;
+    self.tag = kSelfState;
+    self.floats = new_state.RowVector(0);
+    emitter->Emit(key, std::move(self));
+    MrValue out_edges;
+    out_edges.tag = kOutEdges;
+    out_edges.ids = out_neighbors;
+    out_edges.floats = out_edge_feats;
+    emitter->Emit(key, std::move(out_edges));
+
+    ScatterSingle(layer_index + 1, key, new_state, out_neighbors,
+                  out_edge_feats, emitter);
+  }
+
+  /// Scatter for a batch of nodes (Map stage): dense rows, or broadcast
+  /// refs for hubs. Map-side partial aggregation is the engine
+  /// combiner's job, so dense rows are emitted as-is here.
+  void ScatterMessages(std::int64_t instance, std::int64_t layer_index,
+                       const std::vector<NodeId>& nodes, const Tensor& states,
+                       MrEmitter* emitter) {
+    (void)instance;
+    const GasConv& layer = model_.layer(layer_index);
+    const Tensor messages = layer.ComputeMessage(states);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      std::vector<NodeId> out_neighbors;
+      std::vector<float> out_edge_feats;
+      for (EdgeId e : graph_.OutEdges(nodes[i])) {
+        out_neighbors.push_back(graph_.EdgeDst(e));
+        if (ships_edge_features_) {
+          const float* feat = graph_.edge_features().RowPtr(e);
+          out_edge_feats.insert(out_edge_feats.end(), feat,
+                                feat + graph_.edge_features().cols());
+        }
+      }
+      EmitNodeMessages(layer_index, nodes[i],
+                       messages.RowVector(static_cast<std::int64_t>(i)),
+                       out_neighbors, out_edge_feats, emitter);
+    }
+  }
+
+  /// Scatter for one node (Reduce rounds).
+  void ScatterSingle(std::int64_t layer_index, NodeId v,
+                     const Tensor& new_state,
+                     const std::vector<std::int64_t>& out_neighbors,
+                     const std::vector<float>& out_edge_feats,
+                     MrEmitter* emitter) {
+    const GasConv& layer = model_.layer(layer_index);
+    const Tensor message = layer.ComputeMessage(new_state);
+    EmitNodeMessages(layer_index, v, message.RowVector(0), out_neighbors,
+                     out_edge_feats, emitter);
+  }
+
+  void EmitNodeMessages(std::int64_t layer_index, NodeId v,
+                        std::vector<float> row,
+                        const std::vector<std::int64_t>& out_neighbors,
+                        const std::vector<float>& out_edge_feats,
+                        MrEmitter* emitter) {
+    const GasConv& layer = model_.layer(layer_index);
+    const LayerSignature& sig = layer.signature();
+    if (sig.uses_edge_features) {
+      // apply_edge varies per out-edge: materialize the merged rows in
+      // one batched call, then emit each.
+      const std::int64_t degree =
+          static_cast<std::int64_t>(out_neighbors.size());
+      if (degree == 0) return;
+      const std::int64_t edge_dim =
+          static_cast<std::int64_t>(out_edge_feats.size()) / degree;
+      Tensor base(degree, static_cast<std::int64_t>(row.size()));
+      Tensor feats(degree, edge_dim);
+      for (std::int64_t i = 0; i < degree; ++i) {
+        base.SetRow(i, row.data());
+        feats.SetRow(i, out_edge_feats.data() + i * edge_dim);
+      }
+      const Tensor merged = layer.ApplyEdge(base, &feats);
+      for (std::int64_t i = 0; i < degree; ++i) {
+        MrValue msg;
+        msg.tag = kInMessage;
+        msg.src = v;
+        msg.floats = merged.RowVector(i);
+        emitter->Emit(out_neighbors[static_cast<std::size_t>(i)],
+                      std::move(msg));
+      }
+      return;
+    }
+    const bool hub = options_.strategies.broadcast &&
+                     sig.broadcastable_messages && hub_threshold_ > 0 &&
+                     static_cast<std::int64_t>(out_neighbors.size()) >
+                         hub_threshold_;
+    if (hub) {
+      {
+        std::lock_guard<std::mutex> lock(broadcast_mutex_);
+        broadcast_staging_[v] = row;
+      }
+      for (NodeId d : out_neighbors) {
+        MrValue ref;
+        ref.tag = kRef;
+        ref.src = v;
+        emitter->Emit(d, std::move(ref));
+      }
+      return;
+    }
+    for (NodeId d : out_neighbors) {
+      MrValue msg;
+      msg.tag = kInMessage;
+      msg.src = v;
+      msg.floats = row;
+      emitter->Emit(d, std::move(msg));
+    }
+  }
+
+  const std::vector<float>* LookupBroadcast(NodeId key) const {
+    const auto it = broadcast_table_.find(key);
+    return it == broadcast_table_.end() ? nullptr : &it->second;
+  }
+
+  /// Promotes this round's staged hub payloads to the readable table
+  /// and charges the side channel: one copy to every other instance
+  /// (the Spark-broadcast cost model).
+  void FlushBroadcastStaging(MapReduceJob* job) {
+    broadcast_table_ = std::move(broadcast_staging_);
+    broadcast_staging_.clear();
+    if (broadcast_table_.empty()) return;
+    JobMetrics* metrics = job->mutable_metrics();
+    const std::int64_t instances = job->num_instances();
+    for (const auto& [key, row] : broadcast_table_) {
+      const std::uint64_t wire = MessageBytes(row.size());
+      const std::int64_t owner =
+          MapReduceJob::InstanceForKey(key, instances);
+      WorkerMetrics& w = metrics->workers[static_cast<std::size_t>(owner)];
+      w.steps.back().bytes_out +=
+          wire * static_cast<std::uint64_t>(instances - 1);
+      w.steps.back().records_out += instances - 1;
+      for (std::int64_t d = 0; d < instances; ++d) {
+        if (d == owner) continue;
+        WorkerMetrics& r = metrics->workers[static_cast<std::size_t>(d)];
+        r.steps.back().bytes_in += wire;
+        ++r.steps.back().records_in;
+      }
+    }
+  }
+
+  const Graph& graph_;
+  const GnnModel& model_;
+  const InferTurboOptions& options_;
+  std::int64_t hub_threshold_;
+  /// True when some layer's apply_edge consumes edge features, so the
+  /// out-edge records must ship them between rounds.
+  bool ships_edge_features_ = false;
+  PartitionAssignment assignment_;
+  JobMetrics metrics_;
+  Tensor embeddings_;
+  std::int64_t failures_recovered_ = 0;
+
+  std::mutex broadcast_mutex_;
+  std::unordered_map<NodeId, std::vector<float>> broadcast_staging_;
+  std::unordered_map<NodeId, std::vector<float>> broadcast_table_;
+};
+
+}  // namespace
+
+Result<InferenceResult> RunInferTurboMapReduce(
+    const Graph& graph, const GnnModel& model,
+    const InferTurboOptions& options) {
+  if (graph.feature_dim() != model.input_dim()) {
+    return Status::InvalidArgument("graph feature dim does not match model");
+  }
+  if (options.num_workers <= 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+
+  const Graph* active = &graph;
+  ShadowGraph shadow;
+  const std::int64_t threshold = options.strategies.HubThreshold(
+      graph.num_edges(), options.num_workers);
+  if (options.strategies.shadow_nodes) {
+    INFERTURBO_ASSIGN_OR_RETURN(shadow, ApplyShadowNodes(graph, threshold));
+    active = &shadow.graph;
+  }
+
+  MrInferenceDriver driver(*active, model, options, threshold);
+  INFERTURBO_ASSIGN_OR_RETURN(Tensor all_logits, driver.Run());
+  options.failures_recovered = driver.failures_recovered();
+
+  InferenceResult result;
+  Tensor all_embeddings = driver.TakeEmbeddings();
+  if (options.strategies.shadow_nodes) {
+    result.logits = Tensor(graph.num_nodes(), all_logits.cols());
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      result.logits.SetRow(v, all_logits.RowPtr(v));
+    }
+    if (!all_embeddings.empty()) {
+      result.embeddings = Tensor(graph.num_nodes(), all_embeddings.cols());
+      for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+        result.embeddings.SetRow(v, all_embeddings.RowPtr(v));
+      }
+    }
+  } else {
+    result.logits = std::move(all_logits);
+    result.embeddings = std::move(all_embeddings);
+  }
+  result.predictions = ArgmaxRows(result.logits);
+  result.metrics = driver.TakeMetrics();
+  return result;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,27 @@
+#ifndef INFERTURBO_INFERENCE_INFERTURBO_MAPREDUCE_H_
+#define INFERTURBO_INFERENCE_INFERTURBO_MAPREDUCE_H_
+
+#include "src/common/result.h"
+#include "src/graph/graph.h"
+#include "src/inference/inferturbo_pregel.h"
+#include "src/inference/result.h"
+#include "src/nn/model.h"
+
+namespace inferturbo {
+
+/// Full-graph layer-wise GNN inference on the MapReduce backend (paper
+/// §IV-C2). Unlike the Pregel backend nothing stays resident between
+/// rounds: the Map stage turns the node table into self-state,
+/// in-message, and out-edge records; each Reduce round performs one GNN
+/// layer for its keys and re-emits everything the next round needs
+/// (including each node's state and out-edge list, shipped to itself).
+/// The prediction slice is merged into the last Reduce. More shuffle
+/// volume than Pregel, far lower resident memory — the paper's
+/// cost/efficiency trade-off between the two backends.
+Result<InferenceResult> RunInferTurboMapReduce(
+    const Graph& graph, const GnnModel& model,
+    const InferTurboOptions& options);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_INFERENCE_INFERTURBO_MAPREDUCE_H_

@@ -1,0 +1,483 @@
+#include "src/inference/inferturbo_pregel.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/gas/gas_conv.h"
+#include "src/pregel/pregel_engine.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+namespace {
+
+/// Per-worker resident state: the partition's node ids, their current
+/// embeddings, and scratch for the gather stage.
+struct WorkerState {
+  std::vector<NodeId> nodes;  // global ids owned, ascending
+  Tensor states;              // (nodes.size() × current_dim)
+};
+
+/// The vertex program closure. One instance shared by all workers; all
+/// mutable state lives in per-worker slots.
+class PregelInferenceDriver {
+ public:
+  PregelInferenceDriver(const Graph& graph, const GnnModel& model,
+                        const InferTurboOptions& options,
+                        const PartitionAssignment& assignment,
+                        std::int64_t hub_threshold)
+      : graph_(graph),
+        model_(model),
+        options_(options),
+        assignment_(assignment),
+        hub_threshold_(hub_threshold),
+        logits_(graph.num_nodes(), model.num_classes()) {
+    if (options.export_embeddings) {
+      embeddings_ = Tensor(graph.num_nodes(), model.embedding_dim());
+    }
+    workers_.resize(static_cast<std::size_t>(options.num_workers));
+    for (std::int64_t w = 0; w < options.num_workers; ++w) {
+      workers_[static_cast<std::size_t>(w)].nodes =
+          assignment.members[static_cast<std::size_t>(w)];
+    }
+  }
+
+  void Compute(PregelContext* ctx) {
+    WorkerState& worker = workers_[static_cast<std::size_t>(
+        ctx->worker_id())];
+    const std::int64_t step = ctx->superstep();
+    const std::int64_t num_layers = model_.num_layers();
+
+    if (step == 0) {
+      // Initialization superstep: raw features become layer-0 input
+      // states, then scatter layer 0's messages.
+      worker.states = GatherRows(graph_.node_features(), worker.nodes);
+      ctx->ChargeResidentBytes(worker.states.ByteSize());
+      ScatterLayer(ctx, &worker, 0);
+      return;
+    }
+
+    const std::int64_t layer_index = step - 1;
+    const GasConv& layer = model_.layer(layer_index);
+    const GatherResult gathered = GatherInbox(ctx, worker, layer);
+    const std::uint64_t gathered_bytes =
+        gathered.pooled.ByteSize() + gathered.messages.ByteSize();
+    const std::uint64_t old_state_bytes = worker.states.ByteSize();
+    worker.states = layer.ApplyNode(worker.states, gathered);
+    // Old state, vectorized gather result, and new state coexist at
+    // the apply_node boundary — the Pregel backend's resident cost.
+    ctx->ChargeResidentBytes(old_state_bytes + gathered_bytes +
+                             worker.states.ByteSize());
+
+    if (layer_index + 1 < num_layers) {
+      ScatterLayer(ctx, &worker, layer_index + 1);
+    } else {
+      // Last superstep: fuse the prediction slice and emit results.
+      const Tensor logits = model_.PredictLogits(worker.states);
+      for (std::size_t i = 0; i < worker.nodes.size(); ++i) {
+        logits_.SetRow(worker.nodes[i],
+                       logits.RowPtr(static_cast<std::int64_t>(i)));
+        if (!embeddings_.empty()) {
+          embeddings_.SetRow(worker.nodes[i],
+                             worker.states.RowPtr(static_cast<std::int64_t>(
+                                 i)));
+        }
+      }
+      ctx->VoteToHalt();
+    }
+  }
+
+  Tensor TakeLogits() { return std::move(logits_); }
+  Tensor TakeEmbeddings() { return std::move(embeddings_); }
+
+  /// Checkpoint hooks: the driver's entire mutable state is the
+  /// per-worker embeddings plus the result buffer.
+  struct Snapshot {
+    std::vector<WorkerState> workers;
+    Tensor logits;
+    Tensor embeddings;
+  };
+  std::shared_ptr<const void> SnapshotState() const {
+    auto snap = std::make_shared<Snapshot>();
+    snap->workers = workers_;
+    snap->logits = logits_;
+    snap->embeddings = embeddings_;
+    return snap;
+  }
+  void RestoreState(const std::shared_ptr<const void>& state) {
+    const auto* snap = static_cast<const Snapshot*>(state.get());
+    workers_ = snap->workers;
+    logits_ = snap->logits;
+    embeddings_ = snap->embeddings;
+  }
+
+ private:
+  /// Local index of a global node id owned by this worker.
+  std::int64_t LocalIndex(NodeId v) const {
+    return assignment_.local_index[static_cast<std::size_t>(v)];
+  }
+
+  /// gather_nbrs + aggregate: vectorize the inbox into a GatherResult
+  /// in this worker's local index space. Id-only rows (broadcast
+  /// references) are resolved against the board first.
+  GatherResult GatherInbox(PregelContext* ctx, const WorkerState& worker,
+                           const GasConv& layer) const {
+    const AggKind kind = layer.signature().agg_kind;
+    const std::int64_t msg_dim = layer.signature().message_dim;
+    const std::int64_t local_n =
+        static_cast<std::int64_t>(worker.nodes.size());
+
+    if (kind == AggKind::kUnion) {
+      // Materialize all rows with local dst indices.
+      std::int64_t total = 0;
+      for (const MessageBatch& b : ctx->inbox()) total += b.size();
+      GatherResult result;
+      result.kind = kind;
+      result.messages = Tensor(total, msg_dim);
+      result.dst_index.reserve(static_cast<std::size_t>(total));
+      result.counts.assign(static_cast<std::size_t>(local_n), 0);
+      std::int64_t row = 0;
+      for (const MessageBatch& b : ctx->inbox()) {
+        const bool id_only = b.payload.cols() == 0;
+        for (std::int64_t i = 0; i < b.size(); ++i) {
+          const std::int64_t local =
+              LocalIndex(b.dst[static_cast<std::size_t>(i)]);
+          if (id_only) {
+            const std::vector<float>* value =
+                ctx->LookupBroadcast(b.src[static_cast<std::size_t>(i)]);
+            INFERTURBO_CHECK(value != nullptr)
+                << "missing broadcast value for node "
+                << b.src[static_cast<std::size_t>(i)];
+            result.messages.SetRow(row, value->data());
+          } else {
+            result.messages.SetRow(row, b.payload.RowPtr(i));
+          }
+          result.dst_index.push_back(local);
+          ++result.counts[static_cast<std::size_t>(local)];
+          ++row;
+        }
+      }
+      return result;
+    }
+
+    // Pooled path: fold rows (and pre-pooled partial rows) directly.
+    GatherResult result;
+    result.kind = kind;
+    result.pooled = Tensor(local_n, msg_dim);
+    result.counts.assign(static_cast<std::size_t>(local_n), 0);
+    if (kind == AggKind::kMax || kind == AggKind::kMin) {
+      result.pooled = Tensor::Full(
+          local_n, msg_dim,
+          kind == AggKind::kMax ? -std::numeric_limits<float>::infinity()
+                                : std::numeric_limits<float>::infinity());
+    }
+    for (std::size_t bi = 0; bi < ctx->inbox().size(); ++bi) {
+      const MessageBatch& b = ctx->inbox()[bi];
+      const bool partial = ctx->IsPartialBatch(bi);
+      const bool id_only = b.payload.cols() == 0;
+      for (std::int64_t i = 0; i < b.size(); ++i) {
+        const std::int64_t local =
+            LocalIndex(b.dst[static_cast<std::size_t>(i)]);
+        const float* row_data;
+        std::int64_t count = 1;
+        if (id_only) {
+          const std::vector<float>* value =
+              ctx->LookupBroadcast(b.src[static_cast<std::size_t>(i)]);
+          INFERTURBO_CHECK(value != nullptr)
+              << "missing broadcast value for node "
+              << b.src[static_cast<std::size_t>(i)];
+          row_data = value->data();
+        } else {
+          row_data = b.payload.RowPtr(i);
+          if (partial) {
+            count = static_cast<std::int64_t>(row_data[msg_dim]);
+          }
+        }
+        float* acc = result.pooled.RowPtr(local);
+        switch (kind) {
+          case AggKind::kSum:
+          case AggKind::kMean:
+            for (std::int64_t j = 0; j < msg_dim; ++j) acc[j] += row_data[j];
+            break;
+          case AggKind::kMax:
+            for (std::int64_t j = 0; j < msg_dim; ++j) {
+              acc[j] = std::max(acc[j], row_data[j]);
+            }
+            break;
+          case AggKind::kMin:
+            for (std::int64_t j = 0; j < msg_dim; ++j) {
+              acc[j] = std::min(acc[j], row_data[j]);
+            }
+            break;
+          case AggKind::kUnion:
+            INFERTURBO_CHECK(false) << "unreachable";
+        }
+        result.counts[static_cast<std::size_t>(local)] += count;
+      }
+    }
+    // Finalize: mean division, neutral zero for isolated nodes.
+    for (std::int64_t v = 0; v < local_n; ++v) {
+      float* acc = result.pooled.RowPtr(v);
+      const std::int64_t count = result.counts[static_cast<std::size_t>(v)];
+      if (count == 0) {
+        std::fill(acc, acc + msg_dim, 0.0f);
+      } else if (kind == AggKind::kMean) {
+        const float inv = 1.0f / static_cast<float>(count);
+        for (std::int64_t j = 0; j < msg_dim; ++j) acc[j] *= inv;
+      }
+    }
+    return result;
+  }
+
+  /// apply_edge + scatter_nbrs for `layer_index`, from the worker's
+  /// freshly-updated states. Routes per strategy:
+  ///   - hubs (out-degree > threshold, broadcast on, broadcastable
+  ///     messages): one payload on the board + id-only rows per edge;
+  ///   - lawful aggregates with partial-gather on: fold into per-worker
+  ///     accumulators, send one partial row per (worker, destination);
+  ///   - otherwise: one dense row per out-edge.
+  void ScatterLayer(PregelContext* ctx, WorkerState* worker,
+                    std::int64_t layer_index) const {
+    const GasConv& layer = model_.layer(layer_index);
+    const LayerSignature& sig = layer.signature();
+    const Tensor messages = layer.ComputeMessage(worker->states);
+    const std::int64_t msg_dim = sig.message_dim;
+    const std::int64_t num_workers = ctx->num_workers();
+
+    const bool use_partial = options_.strategies.partial_gather &&
+                             sig.partial_gather &&
+                             PartialGatherReduces(sig.agg_kind);
+    const bool use_broadcast = options_.strategies.broadcast &&
+                               sig.broadcastable_messages &&
+                               hub_threshold_ > 0;
+
+    if (sig.uses_edge_features) {
+      ScatterWithEdgeFeatures(ctx, *worker, layer, messages, use_partial);
+      return;
+    }
+
+    // Partial accumulators, one per destination worker.
+    std::vector<PooledAccumulator> accumulators;
+    if (use_partial) {
+      accumulators.reserve(static_cast<std::size_t>(num_workers));
+      for (std::int64_t w = 0; w < num_workers; ++w) {
+        accumulators.emplace_back(sig.agg_kind, msg_dim);
+      }
+    }
+    // Dense per-edge rows (non-partial path), sized in a first pass.
+    MessageBatch dense;
+    // Id-only rows for hub out-edges.
+    MessageBatch refs;
+    refs.payload = Tensor(0, 0);
+
+    std::int64_t dense_rows = 0;
+    std::vector<bool> is_hub(worker->nodes.size(), false);
+    for (std::size_t i = 0; i < worker->nodes.size(); ++i) {
+      const NodeId v = worker->nodes[i];
+      const std::int64_t out_degree = graph_.OutDegree(v);
+      if (use_broadcast && out_degree > hub_threshold_) {
+        is_hub[i] = true;
+      } else if (!use_partial) {
+        dense_rows += out_degree;
+      }
+    }
+    if (dense_rows > 0) {
+      dense.Reserve(static_cast<std::size_t>(dense_rows), msg_dim);
+      dense.payload = Tensor(dense_rows, msg_dim);
+    }
+
+    std::int64_t dense_cursor = 0;
+    for (std::size_t i = 0; i < worker->nodes.size(); ++i) {
+      const NodeId v = worker->nodes[i];
+      const float* row = messages.RowPtr(static_cast<std::int64_t>(i));
+      if (is_hub[i]) {
+        ctx->PublishBroadcast(v, row, msg_dim);
+        for (EdgeId e : graph_.OutEdges(v)) {
+          refs.dst.push_back(graph_.EdgeDst(e));
+          refs.src.push_back(v);
+        }
+        continue;
+      }
+      if (use_partial) {
+        for (EdgeId e : graph_.OutEdges(v)) {
+          const NodeId d = graph_.EdgeDst(e);
+          accumulators[static_cast<std::size_t>(
+                           engine_partitioner_->PartitionOf(d))]
+              .Add(d, row);
+        }
+      } else {
+        for (EdgeId e : graph_.OutEdges(v)) {
+          dense.dst.push_back(graph_.EdgeDst(e));
+          dense.src.push_back(v);
+          dense.payload.SetRow(dense_cursor++, row);
+        }
+      }
+    }
+
+    if (!dense.empty()) ctx->SendBatch(std::move(dense));
+    if (!refs.dst.empty()) ctx->SendBatch(std::move(refs));
+    if (use_partial) {
+      for (std::int64_t w = 0; w < num_workers; ++w) {
+        PooledAccumulator& acc =
+            accumulators[static_cast<std::size_t>(w)];
+        if (!acc.empty()) {
+          ctx->SendPartialBatch(acc.ToPartialBatch(ctx->worker_id()));
+        }
+      }
+    }
+  }
+
+  /// Scatter for layers whose apply_edge consumes edge features: the
+  /// per-edge rows genuinely differ, so they are materialized (in one
+  /// batched ApplyEdge call), then either folded into partial
+  /// accumulators or sent dense. Broadcast never applies here — the
+  /// messages are not identical across out-edges.
+  void ScatterWithEdgeFeatures(PregelContext* ctx, const WorkerState& worker,
+                               const GasConv& layer, const Tensor& messages,
+                               bool use_partial) const {
+    INFERTURBO_CHECK(graph_.has_edge_features())
+        << "layer " << layer.signature().layer_type
+        << " needs edge features the graph does not have";
+    std::int64_t total = 0;
+    for (NodeId v : worker.nodes) total += graph_.OutDegree(v);
+    Tensor base_rows(total, messages.cols());
+    Tensor edge_feats(total, graph_.edge_features().cols());
+    std::vector<NodeId> dst(static_cast<std::size_t>(total));
+    std::vector<NodeId> src(static_cast<std::size_t>(total));
+    std::int64_t cursor = 0;
+    for (std::size_t i = 0; i < worker.nodes.size(); ++i) {
+      const NodeId v = worker.nodes[i];
+      const float* row = messages.RowPtr(static_cast<std::int64_t>(i));
+      for (EdgeId e : graph_.OutEdges(v)) {
+        base_rows.SetRow(cursor, row);
+        edge_feats.SetRow(cursor, graph_.edge_features().RowPtr(e));
+        dst[static_cast<std::size_t>(cursor)] = graph_.EdgeDst(e);
+        src[static_cast<std::size_t>(cursor)] = v;
+        ++cursor;
+      }
+    }
+    Tensor final_rows = layer.ApplyEdge(base_rows, &edge_feats);
+
+    if (use_partial) {
+      std::vector<PooledAccumulator> accumulators;
+      accumulators.reserve(static_cast<std::size_t>(ctx->num_workers()));
+      for (std::int64_t w = 0; w < ctx->num_workers(); ++w) {
+        accumulators.emplace_back(layer.signature().agg_kind,
+                                  final_rows.cols());
+      }
+      for (std::int64_t i = 0; i < total; ++i) {
+        const NodeId d = dst[static_cast<std::size_t>(i)];
+        accumulators[static_cast<std::size_t>(
+                         engine_partitioner_->PartitionOf(d))]
+            .Add(d, final_rows.RowPtr(i));
+      }
+      for (std::int64_t w = 0; w < ctx->num_workers(); ++w) {
+        if (!accumulators[static_cast<std::size_t>(w)].empty()) {
+          ctx->SendPartialBatch(accumulators[static_cast<std::size_t>(w)]
+                                    .ToPartialBatch(ctx->worker_id()));
+        }
+      }
+      return;
+    }
+    MessageBatch batch;
+    batch.dst = std::move(dst);
+    batch.src = std::move(src);
+    batch.payload = std::move(final_rows);
+    ctx->SendBatch(std::move(batch));
+  }
+
+ public:
+  /// Set by RunInferTurboPregel before the job starts (the partitioner
+  /// lives in the engine).
+  const HashPartitioner* engine_partitioner_ = nullptr;
+
+ private:
+  const Graph& graph_;
+  const GnnModel& model_;
+  const InferTurboOptions& options_;
+  const PartitionAssignment& assignment_;
+  std::int64_t hub_threshold_;
+  Tensor logits_;
+  Tensor embeddings_;
+  std::vector<WorkerState> workers_;
+};
+
+}  // namespace
+
+Result<InferenceResult> RunInferTurboPregel(const Graph& graph,
+                                            const GnnModel& model,
+                                            const InferTurboOptions& options) {
+  if (graph.feature_dim() != model.input_dim()) {
+    return Status::InvalidArgument("graph feature dim does not match model");
+  }
+  if (options.num_workers <= 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+
+  // Shadow-nodes preprocessing rewrites the graph; everything below
+  // runs on the (possibly augmented) graph.
+  const Graph* active = &graph;
+  ShadowGraph shadow;
+  const std::int64_t threshold = options.strategies.HubThreshold(
+      graph.num_edges(), options.num_workers);
+  if (options.strategies.shadow_nodes) {
+    INFERTURBO_ASSIGN_OR_RETURN(shadow, ApplyShadowNodes(graph, threshold));
+    active = &shadow.graph;
+  }
+
+  HashPartitioner partitioner(options.num_workers);
+  const PartitionAssignment assignment =
+      AssignPartitions(active->num_nodes(), partitioner);
+
+  PregelInferenceDriver driver(*active, model, options, assignment,
+                               threshold);
+
+  PregelEngine::Options engine_options;
+  engine_options.num_workers = options.num_workers;
+  engine_options.max_supersteps = model.num_layers() + 1;
+  engine_options.cost_model = options.cost_model;
+  engine_options.pool = options.pool;
+  engine_options.checkpoint_interval = options.checkpoint_interval;
+  engine_options.failure_injector = options.failure_injector;
+  if (options.checkpoint_interval > 0) {
+    engine_options.snapshot_state = [&driver] {
+      return driver.SnapshotState();
+    };
+    engine_options.restore_state =
+        [&driver](const std::shared_ptr<const void>& state) {
+          driver.RestoreState(state);
+        };
+  }
+  PregelEngine engine(engine_options, partitioner);
+  driver.engine_partitioner_ = &engine.partitioner();
+
+  JobMetrics metrics =
+      engine.Run([&driver](PregelContext* ctx) { driver.Compute(ctx); });
+  options.failures_recovered = engine.failures_recovered();
+
+  InferenceResult result;
+  Tensor all_logits = driver.TakeLogits();
+  Tensor all_embeddings = driver.TakeEmbeddings();
+  if (options.strategies.shadow_nodes) {
+    // Keep the original id range; mirror rows are duplicates by
+    // construction.
+    result.logits = Tensor(graph.num_nodes(), all_logits.cols());
+    for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+      result.logits.SetRow(v, all_logits.RowPtr(v));
+    }
+    if (!all_embeddings.empty()) {
+      result.embeddings = Tensor(graph.num_nodes(), all_embeddings.cols());
+      for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+        result.embeddings.SetRow(v, all_embeddings.RowPtr(v));
+      }
+    }
+  } else {
+    result.logits = std::move(all_logits);
+    result.embeddings = std::move(all_embeddings);
+  }
+  result.predictions = ArgmaxRows(result.logits);
+  result.metrics = std::move(metrics);
+  return result;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,63 @@
+#ifndef INFERTURBO_INFERENCE_INFERTURBO_PREGEL_H_
+#define INFERTURBO_INFERENCE_INFERTURBO_PREGEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/thread_pool.h"
+#include "src/graph/graph.h"
+#include "src/inference/result.h"
+#include "src/inference/strategies.h"
+#include "src/nn/model.h"
+
+namespace inferturbo {
+
+/// Configuration shared by both InferTurbo backends.
+struct InferTurboOptions {
+  /// Logical cluster size (paper: ~1000 Pregel instances / ~5000
+  /// MapReduce instances).
+  std::int64_t num_workers = 8;
+  StrategyConfig strategies;
+  ClusterCostModel cost_model;
+  /// Physical pool the logical workers run on (DefaultThreadPool() if
+  /// null).
+  ThreadPool* pool = nullptr;
+
+  // --- fault tolerance --------------------------------------------
+  /// Pregel backend: checkpoint driver + engine state every N
+  /// supersteps (0 = off). The MapReduce backend needs no
+  /// checkpointing — its shuffle inputs are durable and failed tasks
+  /// re-execute.
+  std::int64_t checkpoint_interval = 0;
+  /// Simulated failures for tests/benches: (superstep-or-stage,
+  /// worker) -> crashed? See the engines' Options for semantics.
+  std::function<bool(std::int64_t, std::int64_t)> failure_injector;
+  /// Filled on return: how many injected failures were recovered.
+  mutable std::int64_t failures_recovered = 0;
+
+  /// MapReduce backend only: when non-empty, shuffle blocks round-trip
+  /// through files under this directory (must exist) instead of
+  /// staying in memory — the backend's external-storage dataflow.
+  std::string mr_spill_directory;
+
+  /// Also return final-layer node embeddings (InferenceResult::
+  /// embeddings) — the output mode embedding-production jobs use.
+  bool export_embeddings = false;
+};
+
+/// Full-graph layer-wise GNN inference on the Pregel backend (paper
+/// §IV-C1): nodes are hash-partitioned with their out-edges and state;
+/// superstep 0 initializes states from raw features and scatters layer-0
+/// messages; superstep s applies layer s-1 and scatters layer-s
+/// messages; the prediction head is fused into the last superstep. A
+/// k-layer model finishes in k+1 supersteps with no k-hop redundancy —
+/// each node's state is computed exactly once per layer.
+Result<InferenceResult> RunInferTurboPregel(const Graph& graph,
+                                            const GnnModel& model,
+                                            const InferTurboOptions& options);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_INFERENCE_INFERTURBO_PREGEL_H_

@@ -1,0 +1,139 @@
+#include "src/inference/output_writer.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "src/graph/partition.h"
+
+namespace inferturbo {
+namespace {
+
+std::string ShardName(const char* prefix, std::int64_t shard) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s_%05lld.tsv", prefix,
+                static_cast<long long>(shard));
+  return buf;
+}
+
+void AppendFloats(const float* values, std::int64_t n, std::string* line) {
+  char buf[32];
+  for (std::int64_t j = 0; j < n; ++j) {
+    line->push_back(j == 0 ? '\t' : ',');
+    std::snprintf(buf, sizeof(buf), "%.6g", values[j]);
+    line->append(buf);
+  }
+}
+
+}  // namespace
+
+Status WriteInferenceOutput(const InferenceResult& result,
+                            const std::string& directory,
+                            const OutputWriterOptions& options) {
+  if (options.num_shards <= 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  const std::int64_t num_nodes = result.logits.rows();
+  const bool with_embeddings = !result.embeddings.empty();
+  HashPartitioner partitioner(options.num_shards);
+
+  std::vector<std::ofstream> scores;
+  std::vector<std::ofstream> embeddings;
+  for (std::int64_t s = 0; s < options.num_shards; ++s) {
+    scores.emplace_back(directory + "/" + ShardName("scores", s));
+    if (!scores.back()) {
+      return Status::IoError("cannot open score shard " +
+                             std::to_string(s) + " under " + directory);
+    }
+    if (with_embeddings) {
+      embeddings.emplace_back(directory + "/" + ShardName("embeddings", s));
+      if (!embeddings.back()) {
+        return Status::IoError("cannot open embedding shard " +
+                               std::to_string(s));
+      }
+    }
+  }
+
+  std::vector<std::int64_t> rows_per_shard(
+      static_cast<std::size_t>(options.num_shards), 0);
+  std::string line;
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const std::int64_t shard = partitioner.PartitionOf(v);
+    ++rows_per_shard[static_cast<std::size_t>(shard)];
+    line.clear();
+    line += std::to_string(v);
+    line.push_back('\t');
+    line += std::to_string(result.predictions[static_cast<std::size_t>(v)]);
+    if (options.write_logits) {
+      AppendFloats(result.logits.RowPtr(v), result.logits.cols(), &line);
+    }
+    line.push_back('\n');
+    scores[static_cast<std::size_t>(shard)] << line;
+    if (with_embeddings) {
+      line.clear();
+      line += std::to_string(v);
+      AppendFloats(result.embeddings.RowPtr(v), result.embeddings.cols(),
+                   &line);
+      line.push_back('\n');
+      embeddings[static_cast<std::size_t>(shard)] << line;
+    }
+  }
+
+  std::ofstream manifest(directory + "/MANIFEST.tsv");
+  if (!manifest) return Status::IoError("cannot open manifest");
+  manifest << "num_nodes\t" << num_nodes << "\n";
+  manifest << "num_shards\t" << options.num_shards << "\n";
+  manifest << "embeddings\t" << (with_embeddings ? 1 : 0) << "\n";
+  for (std::int64_t s = 0; s < options.num_shards; ++s) {
+    manifest << ShardName("scores", s) << "\t"
+             << rows_per_shard[static_cast<std::size_t>(s)] << "\n";
+  }
+  for (auto& out : scores) {
+    if (!out) return Status::IoError("score shard write failed");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::int64_t>> ReadPredictions(
+    const std::string& directory) {
+  std::ifstream manifest(directory + "/MANIFEST.tsv");
+  if (!manifest) return Status::IoError("cannot open manifest");
+  std::string key;
+  std::int64_t num_nodes = 0, num_shards = 0, has_embeddings = 0;
+  manifest >> key >> num_nodes >> key >> num_shards >> key >> has_embeddings;
+  if (!manifest || num_nodes <= 0 || num_shards <= 0) {
+    return Status::IoError("malformed manifest");
+  }
+  std::vector<std::int64_t> predictions(
+      static_cast<std::size_t>(num_nodes), -1);
+  for (std::int64_t s = 0; s < num_shards; ++s) {
+    std::ifstream shard(directory + "/" + ShardName("scores", s));
+    if (!shard) return Status::IoError("missing score shard");
+    std::string line;
+    while (std::getline(shard, line)) {
+      if (line.empty()) continue;
+      std::int64_t node = 0, pred = 0;
+      const char* p = line.data();
+      const char* end = line.data() + line.size();
+      auto r1 = std::from_chars(p, end, node);
+      if (r1.ec != std::errc() || r1.ptr >= end || *r1.ptr != '\t') {
+        return Status::IoError("malformed score row: " + line);
+      }
+      auto r2 = std::from_chars(r1.ptr + 1, end, pred);
+      if (r2.ec != std::errc()) {
+        return Status::IoError("malformed score row: " + line);
+      }
+      if (node < 0 || node >= num_nodes) {
+        return Status::IoError("score row for unknown node");
+      }
+      predictions[static_cast<std::size_t>(node)] = pred;
+    }
+  }
+  for (std::int64_t pred : predictions) {
+    if (pred < 0) return Status::IoError("manifest promised missing rows");
+  }
+  return predictions;
+}
+
+}  // namespace inferturbo

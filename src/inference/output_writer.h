@@ -1,0 +1,39 @@
+#ifndef INFERTURBO_INFERENCE_OUTPUT_WRITER_H_
+#define INFERTURBO_INFERENCE_OUTPUT_WRITER_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/inference/result.h"
+
+namespace inferturbo {
+
+/// Sharded result export: production inference jobs end by writing one
+/// output file per instance plus a manifest (downstream consumers —
+/// feature stores, ANN indexers, rule engines — read shards in
+/// parallel). Shards are assigned by node id hash, matching the
+/// workers' partitioning.
+struct OutputWriterOptions {
+  /// Files written: scores_<shard>.tsv (+ embeddings_<shard>.tsv when
+  /// the result carries embeddings), MANIFEST.tsv.
+  std::int64_t num_shards = 4;
+  /// Include the full logits row after the prediction column.
+  bool write_logits = true;
+};
+
+/// Writes `result` under `directory` (which must exist). Score rows:
+/// `node_id \t prediction [\t logit0,logit1,...]`; embedding rows:
+/// `node_id \t e0,e1,...`. Deterministic: same result -> same files.
+Status WriteInferenceOutput(const InferenceResult& result,
+                            const std::string& directory,
+                            const OutputWriterOptions& options);
+
+/// Reads back every score shard listed in the manifest and returns the
+/// predictions indexed by node id (round-trip used by tests and
+/// downstream loaders).
+Result<std::vector<std::int64_t>> ReadPredictions(
+    const std::string& directory);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_INFERENCE_OUTPUT_WRITER_H_

@@ -1,0 +1,48 @@
+#include "src/inference/reference_inference.h"
+
+#include "src/common/logging.h"
+#include "src/gas/gas_conv.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+
+Tensor LayerStackForward(const GnnModel& model, const Tensor& features,
+                         std::span<const std::int64_t> src_index,
+                         std::span<const std::int64_t> dst_index,
+                         const Tensor* edge_features) {
+  INFERTURBO_CHECK(src_index.size() == dst_index.size())
+      << "edge index length mismatch";
+  const std::int64_t num_nodes = features.rows();
+  Tensor h = features;
+  for (std::int64_t l = 0; l < model.num_layers(); ++l) {
+    const GasConv& layer = model.layer(l);
+    const AggKind kind = layer.signature().agg_kind;
+    // scatter: per-node message content, then per-edge rows merged with
+    // edge features by apply_edge.
+    const Tensor node_messages = layer.ComputeMessage(h);
+    Tensor edge_messages = GatherRows(node_messages, src_index);
+    if (layer.signature().uses_edge_features) {
+      INFERTURBO_CHECK(edge_features != nullptr &&
+                       edge_features->rows() ==
+                           static_cast<std::int64_t>(src_index.size()))
+          << "layer " << l << " requires per-edge features";
+      edge_messages = layer.ApplyEdge(edge_messages, edge_features);
+    } else {
+      edge_messages = layer.ApplyEdge(edge_messages, nullptr);
+    }
+    // gather + apply_node.
+    const GatherResult gathered = GatherIntoResult(
+        kind, edge_messages, dst_index, num_nodes, /*is_partial=*/false);
+    h = layer.ApplyNode(h, gathered);
+  }
+  return h;
+}
+
+Tensor FullGraphReferenceLogits(const GnnModel& model, const Graph& graph) {
+  const Tensor states = LayerStackForward(
+      model, graph.node_features(), graph.edge_src(), graph.edge_dst(),
+      graph.has_edge_features() ? &graph.edge_features() : nullptr);
+  return model.PredictLogits(states);
+}
+
+}  // namespace inferturbo

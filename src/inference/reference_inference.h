@@ -1,0 +1,32 @@
+#ifndef INFERTURBO_INFERENCE_REFERENCE_INFERENCE_H_
+#define INFERTURBO_INFERENCE_REFERENCE_INFERENCE_H_
+
+#include <span>
+
+#include "src/graph/graph.h"
+#include "src/nn/model.h"
+#include "src/tensor/tensor.h"
+
+namespace inferturbo {
+
+/// Single-machine layer-wise forward over an arbitrary edge list in
+/// local index space: the mathematical definition of full-graph
+/// inference that both distributed backends must match bit-for-bit
+/// (their integration tests assert exactly this), and the per-batch
+/// forward of the traditional-pipeline baseline.
+///
+/// Returns the final node states (num_nodes × embedding_dim).
+/// `edge_features` (nullable) has one row per edge for layers whose
+/// signature declares uses_edge_features.
+Tensor LayerStackForward(const GnnModel& model, const Tensor& features,
+                         std::span<const std::int64_t> src_index,
+                         std::span<const std::int64_t> dst_index,
+                         const Tensor* edge_features = nullptr);
+
+/// LayerStackForward over a Graph's full edge set, plus the prediction
+/// head: (num_nodes × num_classes) logits.
+Tensor FullGraphReferenceLogits(const GnnModel& model, const Graph& graph);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_INFERENCE_REFERENCE_INFERENCE_H_

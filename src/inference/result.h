@@ -1,0 +1,30 @@
+#ifndef INFERTURBO_INFERENCE_RESULT_H_
+#define INFERTURBO_INFERENCE_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/pregel/worker_metrics.h"
+#include "src/tensor/tensor.h"
+
+namespace inferturbo {
+
+/// Output of a full-graph inference job: per-node logits and argmax
+/// predictions (indexed by original node id), plus the per-worker
+/// accounting the evaluation section plots.
+struct InferenceResult {
+  /// (num_nodes × num_classes); for multi-label models these are
+  /// per-label sigmoid logits.
+  Tensor logits;
+  /// Argmax class per node (single-label convenience view).
+  std::vector<std::int64_t> predictions;
+  /// (num_nodes × embedding_dim) final-layer states — the paper's other
+  /// output mode ("node embeddings or scores", §IV-C1). Populated only
+  /// when InferTurboOptions.export_embeddings is set.
+  Tensor embeddings;
+  JobMetrics metrics;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_INFERENCE_RESULT_H_

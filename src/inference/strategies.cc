@@ -1,0 +1,124 @@
+#include "src/inference/strategies.h"
+
+#include <cmath>
+
+#include "src/graph/degree_stats.h"
+#include "src/graph/graph_builder.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+
+std::int64_t StrategyConfig::HubThreshold(std::int64_t total_edges,
+                                          std::int64_t total_workers) const {
+  if (threshold_override >= 0) return threshold_override;
+  return HubDegreeThreshold(total_edges, total_workers, lambda);
+}
+
+Result<ShadowGraph> ApplyShadowNodes(const Graph& graph,
+                                     std::int64_t out_degree_threshold) {
+  if (out_degree_threshold <= 0) {
+    return Status::InvalidArgument("shadow-nodes threshold must be positive");
+  }
+  ShadowGraph out;
+  out.num_original = graph.num_nodes();
+
+  // Pass 1: decide the mirror count of each hub and assign mirror ids
+  // after the original range.
+  std::vector<std::int64_t> groups_of(
+      static_cast<std::size_t>(graph.num_nodes()), 1);
+  std::vector<NodeId> first_mirror_id(
+      static_cast<std::size_t>(graph.num_nodes()), -1);
+  NodeId next_id = graph.num_nodes();
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const std::int64_t degree = graph.OutDegree(v);
+    if (degree > out_degree_threshold) {
+      const std::int64_t groups =
+          (degree + out_degree_threshold - 1) / out_degree_threshold;
+      groups_of[static_cast<std::size_t>(v)] = groups;
+      first_mirror_id[static_cast<std::size_t>(v)] = next_id;
+      next_id += groups - 1;  // mirror 0 is the original node itself
+    }
+  }
+  const std::int64_t total_nodes = next_id;
+  out.num_mirrors = total_nodes - graph.num_nodes();
+  out.origin.resize(static_cast<std::size_t>(total_nodes));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    out.origin[static_cast<std::size_t>(v)] = v;
+    if (first_mirror_id[static_cast<std::size_t>(v)] >= 0) {
+      for (std::int64_t g = 1; g < groups_of[static_cast<std::size_t>(v)];
+           ++g) {
+        out.origin[static_cast<std::size_t>(
+            first_mirror_id[static_cast<std::size_t>(v)] + g - 1)] = v;
+      }
+    }
+  }
+
+  // The mirror hosting out-edge group g of node v.
+  const auto mirror_for_group = [&](NodeId v, std::int64_t g) -> NodeId {
+    if (g == 0) return v;
+    return first_mirror_id[static_cast<std::size_t>(v)] + g - 1;
+  };
+
+  GraphBuilder builder(total_nodes);
+  builder.ReserveEdges(static_cast<std::size_t>(graph.num_edges()));
+  // Pass 2: re-home out-edges to mirrors (round-robin across groups so
+  // groups stay even) and duplicate in-edges onto every mirror. Edge
+  // features follow their edge (and are copied onto duplicates).
+  std::vector<EdgeId> feature_origin;
+  if (graph.has_edge_features()) {
+    feature_origin.reserve(static_cast<std::size_t>(graph.num_edges()));
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const std::int64_t groups = groups_of[static_cast<std::size_t>(v)];
+    std::int64_t position = 0;
+    for (EdgeId e : graph.OutEdges(v)) {
+      const NodeId dst = graph.EdgeDst(e);
+      // Destination may itself be a hub: its in-edges must reach every
+      // one of its mirrors.
+      const NodeId src_mirror = mirror_for_group(v, position % groups);
+      const std::int64_t dst_groups =
+          groups_of[static_cast<std::size_t>(dst)];
+      for (std::int64_t g = 0; g < dst_groups; ++g) {
+        builder.AddEdge(src_mirror, mirror_for_group(dst, g));
+        if (graph.has_edge_features()) feature_origin.push_back(e);
+      }
+      ++position;
+    }
+  }
+  if (graph.has_edge_features()) {
+    Tensor edge_feats = GatherRows(graph.edge_features(), feature_origin);
+    builder.SetEdgeFeatures(std::move(edge_feats));
+  }
+
+  // Attributes: mirrors copy the original's feature row and label.
+  Tensor features(total_nodes, graph.feature_dim());
+  for (NodeId v = 0; v < total_nodes; ++v) {
+    features.SetRow(v, graph.node_features().RowPtr(
+                           out.origin[static_cast<std::size_t>(v)]));
+  }
+  builder.SetNodeFeatures(std::move(features));
+  if (!graph.labels().empty()) {
+    std::vector<std::int64_t> labels(static_cast<std::size_t>(total_nodes));
+    for (NodeId v = 0; v < total_nodes; ++v) {
+      labels[static_cast<std::size_t>(v)] =
+          graph.labels()[static_cast<std::size_t>(
+              out.origin[static_cast<std::size_t>(v)])];
+    }
+    builder.SetLabels(std::move(labels), graph.num_classes());
+  }
+  if (graph.is_multi_label()) {
+    Tensor targets(total_nodes, graph.multi_labels().cols());
+    for (NodeId v = 0; v < total_nodes; ++v) {
+      targets.SetRow(v, graph.multi_labels().RowPtr(
+                            out.origin[static_cast<std::size_t>(v)]));
+    }
+    builder.SetMultiLabels(std::move(targets));
+  }
+  builder.SetSplits(graph.train_nodes(), graph.val_nodes(),
+                    graph.test_nodes());
+
+  INFERTURBO_ASSIGN_OR_RETURN(out.graph, std::move(builder).Finish());
+  return out;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,70 @@
+#ifndef INFERTURBO_INFERENCE_STRATEGIES_H_
+#define INFERTURBO_INFERENCE_STRATEGIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/graph/graph.h"
+
+namespace inferturbo {
+
+/// Which of the paper's §IV-D load-balancing strategies an inference
+/// job enables. All three are exact — no sampling, no information
+/// dropped — so enabling any combination never changes predictions
+/// (property-tested in tests/strategies_test.cc).
+struct StrategyConfig {
+  /// Sender-side aggregation of lawful (commutative+associative)
+  /// aggregates; shrinks a hub's in-traffic to <= one message per
+  /// worker and moves Gather compute onto senders. Applies to all
+  /// nodes; nearly free.
+  bool partial_gather = false;
+  /// Deduplicate identical out-messages of high-out-degree nodes to one
+  /// payload per worker plus id-only references along edges.
+  bool broadcast = false;
+  /// Split high-out-degree nodes into mirrors (preprocessing), each
+  /// carrying all in-edges and an even share of out-edges.
+  bool shadow_nodes = false;
+
+  /// Hub-activation heuristic threshold = lambda * edges / workers.
+  double lambda = 0.1;
+  /// When >= 0, overrides the heuristic (the §V-B.2 threshold sweep).
+  std::int64_t threshold_override = -1;
+
+  /// The out-degree above which broadcast/shadow-nodes treat a node as
+  /// a hub for this graph/worker-count.
+  std::int64_t HubThreshold(std::int64_t total_edges,
+                            std::int64_t total_workers) const;
+
+  static StrategyConfig None() { return {}; }
+  static StrategyConfig All() {
+    StrategyConfig c;
+    c.partial_gather = c.broadcast = c.shadow_nodes = true;
+    return c;
+  }
+};
+
+/// A graph preprocessed by the shadow-nodes strategy: mirrors of hub
+/// nodes are appended after the original id range; `origin[v]` maps any
+/// node (original or mirror) back to its original id. Running an
+/// unchanged inference pipeline over `graph` and keeping rows
+/// [0, num_original) of the output reproduces the original answers
+/// exactly, because every mirror receives all of the original's
+/// in-edges and the union of mirror out-edge groups equals the original
+/// out-edge set.
+struct ShadowGraph {
+  Graph graph;
+  std::vector<NodeId> origin;
+  std::int64_t num_original = 0;
+  std::int64_t num_mirrors = 0;
+};
+
+/// Splits every node with out-degree > `out_degree_threshold` into
+/// ceil(out_degree / threshold) mirrors. Labels/features/multi-labels
+/// are copied onto mirrors; splits are preserved on originals.
+Result<ShadowGraph> ApplyShadowNodes(const Graph& graph,
+                                     std::int64_t out_degree_threshold);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_INFERENCE_STRATEGIES_H_

@@ -1,0 +1,143 @@
+#include "src/inference/traditional_pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/common/timer.h"
+#include "src/inference/reference_inference.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+namespace {
+
+/// Bytes the worker pulls from the graph store for one neighborhood:
+/// feature rows of every fetched node plus 16 bytes per adjacency
+/// record.
+std::uint64_t StoreFetchBytes(const Subgraph& sub) {
+  return sub.features.ByteSize() +
+         static_cast<std::uint64_t>(sub.num_edges()) * 16;
+}
+
+/// Peak working set of forwarding `model` on `sub`: the neighborhood
+/// itself plus the widest per-edge message tensor and per-node state
+/// tensor any layer materializes.
+std::size_t ForwardWorkingSetBytes(const GnnModel& model,
+                                   const Subgraph& sub) {
+  std::int64_t max_msg = 0;
+  std::int64_t max_state = sub.features.cols();
+  for (std::int64_t l = 0; l < model.num_layers(); ++l) {
+    max_msg = std::max(max_msg, model.layer(l).signature().message_dim);
+    max_state = std::max(max_state, model.layer(l).signature().output_dim);
+  }
+  return sub.ApproxByteSize() +
+         static_cast<std::size_t>(sub.num_edges() * max_msg) * sizeof(float) +
+         static_cast<std::size_t>(sub.num_nodes() * max_state) *
+             sizeof(float);
+}
+
+}  // namespace
+
+Result<InferenceResult> RunTraditionalPipeline(
+    const Graph& graph, const GnnModel& model,
+    const TraditionalPipelineOptions& options) {
+  if (graph.feature_dim() != model.input_dim()) {
+    return Status::InvalidArgument("graph feature dim does not match model");
+  }
+  if (options.num_workers <= 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  const std::int64_t hops =
+      options.hops > 0 ? options.hops : model.num_layers();
+
+  std::vector<NodeId> targets = options.targets;
+  if (targets.empty()) {
+    targets.resize(static_cast<std::size_t>(graph.num_nodes()));
+    std::iota(targets.begin(), targets.end(), 0);
+  }
+
+  InferenceResult result;
+  result.logits = Tensor(graph.num_nodes(), model.num_classes());
+  result.metrics.cost_model = options.cost_model;
+  result.metrics.workers.resize(
+      static_cast<std::size_t>(options.num_workers));
+
+  ThreadPool& pool =
+      options.pool != nullptr ? *options.pool : DefaultThreadPool();
+  const KHopSampler sampler(&graph);
+  std::atomic<bool> oom{false};
+  std::atomic<std::uint64_t> peak_batch_bytes{0};
+
+  // Contiguous shard of targets per worker.
+  const std::size_t shard =
+      (targets.size() + static_cast<std::size_t>(options.num_workers) - 1) /
+      static_cast<std::size_t>(options.num_workers);
+  pool.ParallelFor(static_cast<std::size_t>(options.num_workers),
+                   [&](std::size_t w) {
+    WorkerStepMetrics& m =
+        result.metrics.workers[w].steps.emplace_back();
+    const std::size_t begin = w * shard;
+    const std::size_t end = std::min(targets.size(), begin + shard);
+    std::int64_t batch_counter = 0;
+    for (std::size_t b = begin; b < end && !oom.load();
+         b += static_cast<std::size_t>(options.batch_size)) {
+      const std::size_t batch_end = std::min(
+          end, b + static_cast<std::size_t>(options.batch_size));
+      const std::span<const NodeId> batch(targets.data() + b, batch_end - b);
+
+      // Per-(run, worker, batch) sampling stream: different seeds give
+      // different predictions when fanout is active (Fig. 7).
+      Rng rng(options.seed * 0x9e3779b97f4a7c15ULL +
+              (static_cast<std::uint64_t>(w) << 32) +
+              static_cast<std::uint64_t>(batch_counter++));
+      KHopOptions khop;
+      khop.hops = hops;
+      khop.fanout = options.fanout;
+
+      WallTimer timer;
+      const Subgraph sub = sampler.Sample(batch, khop, &rng);
+      const std::size_t working_set = ForwardWorkingSetBytes(model, sub);
+      std::uint64_t prev = peak_batch_bytes.load();
+      while (working_set > prev &&
+             !peak_batch_bytes.compare_exchange_weak(prev, working_set)) {
+      }
+      if (working_set > options.memory_budget_bytes) {
+        oom.store(true);
+        return;
+      }
+      // Store traffic: the whole neighborhood crosses the network, one
+      // round trip per hop expansion.
+      m.bytes_in += StoreFetchBytes(sub);
+      m.wait_seconds += options.store_rtt_seconds * static_cast<double>(hops);
+      m.records_in += sub.num_nodes() + sub.num_edges();
+
+      const Tensor states =
+          LayerStackForward(model, sub.features, sub.src_local,
+                            sub.dst_local);
+      // Head over the batch targets (local rows [0, num_targets)).
+      Tensor target_states(sub.num_targets, states.cols());
+      for (std::int64_t i = 0; i < sub.num_targets; ++i) {
+        target_states.SetRow(i, states.RowPtr(i));
+      }
+      const Tensor logits = model.PredictLogits(target_states);
+      for (std::int64_t i = 0; i < sub.num_targets; ++i) {
+        result.logits.SetRow(sub.nodes[static_cast<std::size_t>(i)],
+                             logits.RowPtr(i));
+        ++m.records_out;
+      }
+      m.busy_seconds += timer.ElapsedSeconds();
+    }
+  });
+
+  if (oom.load()) {
+    return Status::OutOfMemory(
+        "a neighborhood working set of " +
+        FormatBytes(peak_batch_bytes.load()) + " exceeded the per-worker "
+        "budget of " + FormatBytes(options.memory_budget_bytes));
+  }
+  result.predictions = ArgmaxRows(result.logits);
+  return result;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,58 @@
+#ifndef INFERTURBO_INFERENCE_TRADITIONAL_PIPELINE_H_
+#define INFERTURBO_INFERENCE_TRADITIONAL_PIPELINE_H_
+
+#include <cstddef>
+
+#include "src/common/result.h"
+#include "src/common/thread_pool.h"
+#include "src/graph/graph.h"
+#include "src/inference/result.h"
+#include "src/nn/model.h"
+#include "src/sampling/khop_sampler.h"
+
+namespace inferturbo {
+
+/// The traditional training-style inference pipeline the paper
+/// benchmarks against (its PyG/DGL columns): a fleet of stateless
+/// inference workers pulls each target node's k-hop neighborhood from a
+/// distributed graph store, then forwards the model on that
+/// neighborhood — recomputing every overlap between neighborhoods. With
+/// `fanout` set, neighbors are subsampled per hop (fast but stochastic:
+/// Fig. 7's inconsistency); with kNoSampling it is exact but the
+/// neighborhood grows exponentially with hops (Tab. IV) and can exceed
+/// the per-worker memory budget (the paper's OOM cells).
+struct TraditionalPipelineOptions {
+  std::int64_t num_workers = 8;
+  /// Target nodes scored per forward.
+  std::int64_t batch_size = 32;
+  /// Per-hop in-neighbor cap; KHopOptions::kNoSampling = exact.
+  std::int64_t fanout = KHopOptions::kNoSampling;
+  /// Hops to expand; 0 = use the model's layer count.
+  std::int64_t hops = 0;
+  /// Seed for neighbor sampling — vary it across runs to reproduce the
+  /// paper's consistency experiment.
+  std::uint64_t seed = 1;
+  /// Per-worker memory budget; a batch whose neighborhood working set
+  /// exceeds it aborts the job with OutOfMemory.
+  std::size_t memory_budget_bytes = std::size_t{2} * 1024 * 1024 * 1024;
+  /// Graph-store servers backing the workers (adds request latency).
+  std::int64_t graph_store_servers = 4;
+  /// Round-trip latency per neighborhood-expansion request to the
+  /// store.
+  double store_rtt_seconds = 2e-4;
+  ClusterCostModel cost_model;
+  ThreadPool* pool = nullptr;
+  /// When non-empty, score only these nodes (all nodes otherwise).
+  std::vector<NodeId> targets;
+};
+
+/// Runs the baseline over every node (or options.targets) and returns
+/// logits/predictions plus per-worker accounting comparable to the
+/// InferTurbo backends'.
+Result<InferenceResult> RunTraditionalPipeline(
+    const Graph& graph, const GnnModel& model,
+    const TraditionalPipelineOptions& options);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_INFERENCE_TRADITIONAL_PIPELINE_H_

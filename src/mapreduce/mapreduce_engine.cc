@@ -1,0 +1,305 @@
+#include "src/mapreduce/mapreduce_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/common/timer.h"
+
+namespace inferturbo {
+namespace {
+
+std::int64_t InstanceOfKey(std::int64_t key, std::int64_t num_instances) {
+  const std::uint64_t h =
+      static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+  return static_cast<std::int64_t>(h %
+                                   static_cast<std::uint64_t>(num_instances));
+}
+
+}  // namespace
+
+namespace {
+
+/// Binary (de)serialization of one shuffle block. Format per record:
+/// key, tag, src, #floats, floats..., #ids, ids... — little-endian,
+/// no alignment padding (read back the same way it was written).
+void WriteBlock(const std::string& path,
+                const std::vector<MrKeyValue>& block,
+                std::uint64_t* bytes_written) {
+  std::ofstream out(path, std::ios::binary);
+  INFERTURBO_CHECK(out.good()) << "cannot open spill file " << path;
+  const auto put = [&out](const void* data, std::size_t size) {
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  };
+  const std::uint64_t count = block.size();
+  put(&count, sizeof(count));
+  for (const MrKeyValue& kv : block) {
+    put(&kv.first, sizeof(kv.first));
+    put(&kv.second.tag, sizeof(kv.second.tag));
+    put(&kv.second.src, sizeof(kv.second.src));
+    const std::uint64_t nf = kv.second.floats.size();
+    put(&nf, sizeof(nf));
+    put(kv.second.floats.data(), nf * sizeof(float));
+    const std::uint64_t ni = kv.second.ids.size();
+    put(&ni, sizeof(ni));
+    put(kv.second.ids.data(), ni * sizeof(std::int64_t));
+  }
+  INFERTURBO_CHECK(out.good()) << "spill write failed for " << path;
+  *bytes_written += static_cast<std::uint64_t>(out.tellp());
+}
+
+std::vector<MrKeyValue> ReadBlock(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  INFERTURBO_CHECK(in.good()) << "cannot open spill file " << path;
+  const auto get = [&in, &path](void* data, std::size_t size) {
+    in.read(reinterpret_cast<char*>(data),
+            static_cast<std::streamsize>(size));
+    INFERTURBO_CHECK(in.good()) << "truncated spill file " << path;
+  };
+  std::uint64_t count = 0;
+  get(&count, sizeof(count));
+  std::vector<MrKeyValue> block(count);
+  for (MrKeyValue& kv : block) {
+    get(&kv.first, sizeof(kv.first));
+    get(&kv.second.tag, sizeof(kv.second.tag));
+    get(&kv.second.src, sizeof(kv.second.src));
+    std::uint64_t nf = 0;
+    get(&nf, sizeof(nf));
+    kv.second.floats.resize(nf);
+    if (nf > 0) get(kv.second.floats.data(), nf * sizeof(float));
+    std::uint64_t ni = 0;
+    get(&ni, sizeof(ni));
+    kv.second.ids.resize(ni);
+    if (ni > 0) get(kv.second.ids.data(), ni * sizeof(std::int64_t));
+  }
+  return block;
+}
+
+}  // namespace
+
+std::int64_t MapReduceJob::InstanceForKey(std::int64_t key,
+                                          std::int64_t num_instances) {
+  return InstanceOfKey(key, num_instances);
+}
+
+std::string MapReduceJob::SpillPath(std::int64_t stage,
+                                    std::int64_t producer,
+                                    std::int64_t reducer) const {
+  return options_.spill_directory + "/stage" + std::to_string(stage) +
+         "_p" + std::to_string(producer) + "_r" + std::to_string(reducer) +
+         ".blk";
+}
+
+MapReduceJob::MapReduceJob(Options options) : options_(options) {
+  INFERTURBO_CHECK(options_.num_instances > 0)
+      << "MapReduceJob needs instances";
+  dataflow_.resize(static_cast<std::size_t>(options_.num_instances));
+  metrics_.cost_model = options_.cost_model;
+  metrics_.workers.resize(static_cast<std::size_t>(options_.num_instances));
+}
+
+void MapReduceJob::RunMap(const MapFn& map_fn) {
+  ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : DefaultThreadPool();
+  const std::int64_t n = options_.num_instances;
+  std::vector<WorkerStepMetrics> step(static_cast<std::size_t>(n));
+  pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t i) {
+    MrEmitter emitter;
+    WallTimer timer;
+    map_fn(static_cast<std::int64_t>(i), &emitter);
+    step[i].busy_seconds = timer.ElapsedSeconds();
+    step[i].records_out = static_cast<std::int64_t>(emitter.buffer().size());
+    dataflow_[i] = std::move(emitter.buffer());
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    metrics_.workers[static_cast<std::size_t>(i)].steps.push_back(
+        step[static_cast<std::size_t>(i)]);
+  }
+}
+
+void MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
+                             const CombineFn* combiner) {
+  ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : DefaultThreadPool();
+  const std::int64_t n = options_.num_instances;
+  std::vector<WorkerStepMetrics> step(static_cast<std::size_t>(n));
+
+  // --- producer side: partition by destination, combine, account ----
+  // sorted_outgoing[p][r] = p's records for reducer r, key-grouped.
+  std::vector<std::vector<std::vector<MrKeyValue>>> outgoing(
+      static_cast<std::size_t>(n));
+  pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t p) {
+    WallTimer timer;
+    outgoing[p].resize(static_cast<std::size_t>(n));
+    // Group this producer's pairs by destination reducer, preserving
+    // emission order within each destination.
+    for (MrKeyValue& kv : dataflow_[p]) {
+      outgoing[p][static_cast<std::size_t>(InstanceOfKey(kv.first, n))]
+          .push_back(std::move(kv));
+    }
+    dataflow_[p].clear();
+    if (combiner != nullptr) {
+      // Map-side combine: within one (producer, reducer) block, fold
+      // same-key runs. Stable sort keeps values in emission order.
+      for (auto& block : outgoing[p]) {
+        std::stable_sort(block.begin(), block.end(),
+                         [](const MrKeyValue& a, const MrKeyValue& b) {
+                           return a.first < b.first;
+                         });
+        std::vector<MrKeyValue> combined;
+        combined.reserve(block.size());
+        std::vector<MrValue> run;
+        for (std::size_t i = 0; i < block.size();) {
+          const std::int64_t key = block[i].first;
+          run.clear();
+          while (i < block.size() && block[i].first == key) {
+            run.push_back(std::move(block[i].second));
+            ++i;
+          }
+          (*combiner)(key, &run);
+          for (MrValue& v : run) combined.emplace_back(key, std::move(v));
+        }
+        block = std::move(combined);
+      }
+    }
+    // Shuffle-write accounting: every record leaves through external
+    // storage, local or not.
+    for (const auto& block : outgoing[p]) {
+      for (const MrKeyValue& kv : block) {
+        step[p].bytes_out += kv.second.WireBytes();
+        ++step[p].records_out;
+      }
+    }
+    step[p].busy_seconds += timer.ElapsedSeconds();
+  });
+
+  // --- optional external-storage hop ---------------------------------
+  const std::int64_t spill_stage = metrics_.num_steps();
+  const bool spill = !options_.spill_directory.empty();
+  if (spill) {
+    // Producers write their blocks out and release the memory; the
+    // reducer half reads them back — the dataflow never lives fully in
+    // RAM, which is the MR backend's §IV-C2 selling point.
+    std::atomic<std::uint64_t> written{0};
+    pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t p) {
+      for (std::int64_t r = 0; r < n; ++r) {
+        auto& block = outgoing[p][static_cast<std::size_t>(r)];
+        if (block.empty()) continue;
+        std::uint64_t bytes = 0;
+        WriteBlock(SpillPath(spill_stage, static_cast<std::int64_t>(p), r),
+                   block, &bytes);
+        written.fetch_add(bytes);
+        block.clear();
+        block.shrink_to_fit();
+      }
+    });
+    spill_bytes_written_ += written.load();
+  }
+
+  // --- reducer side: read, sort, reduce ------------------------------
+  const std::int64_t stage = metrics_.num_steps();
+  std::atomic<std::int64_t> failures{0};
+  std::vector<std::vector<MrKeyValue>> next_dataflow(
+      static_cast<std::size_t>(n));
+  pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t r) {
+    WallTimer timer;
+    // Gather blocks from producers in id order, then a stable sort by
+    // key: values for one key arrive in (producer, emission) order —
+    // the determinism contract.
+    std::vector<MrKeyValue> incoming;
+    std::size_t total = 0;
+    for (std::int64_t p = 0; p < n; ++p) {
+      total += outgoing[static_cast<std::size_t>(p)][r].size();
+    }
+    incoming.reserve(total);
+    for (std::int64_t p = 0; p < n; ++p) {
+      std::vector<MrKeyValue> from_disk;
+      std::vector<MrKeyValue>* block =
+          &outgoing[static_cast<std::size_t>(p)][r];
+      if (spill) {
+        const std::string path =
+            SpillPath(spill_stage, p, static_cast<std::int64_t>(r));
+        if (std::ifstream(path).good()) {
+          from_disk = ReadBlock(path);
+          std::remove(path.c_str());
+          block = &from_disk;
+        }
+      }
+      for (MrKeyValue& kv : *block) {
+        step[r].bytes_in += kv.second.WireBytes();
+        ++step[r].records_in;
+        incoming.push_back(std::move(kv));
+      }
+    }
+    std::stable_sort(incoming.begin(), incoming.end(),
+                     [](const MrKeyValue& a, const MrKeyValue& b) {
+                       return a.first < b.first;
+                     });
+    // Shuffle inputs are durable: a failed task (injected) is simply
+    // re-executed over the same inputs; the wasted attempt's time is
+    // charged. Reduce functions are pure w.r.t. the dataflow, so
+    // re-execution is exact — MapReduce's fault-tolerance model.
+    std::int64_t attempts_left = 1;
+    while (options_.failure_injector &&
+           options_.failure_injector(stage, static_cast<std::int64_t>(r))) {
+      ++attempts_left;
+      failures.fetch_add(1);
+      INFERTURBO_CHECK(attempts_left <= 10)
+          << "failure injector never stopped firing";
+    }
+    MrEmitter emitter;
+    for (std::int64_t attempt = 0; attempt < attempts_left; ++attempt) {
+      const bool last_attempt = attempt + 1 == attempts_left;
+      emitter.buffer().clear();
+      std::vector<MrValue> run;
+      for (std::size_t i = 0; i < incoming.size();) {
+        const std::int64_t key = incoming[i].first;
+        run.clear();
+        std::uint64_t run_bytes = 0;
+        while (i < incoming.size() && incoming[i].first == key) {
+          run_bytes += incoming[i].second.WireBytes();
+          if (last_attempt) {
+            run.push_back(std::move(incoming[i].second));
+          } else {
+            run.push_back(incoming[i].second);  // keep inputs durable
+          }
+          ++i;
+        }
+        // Streaming execution model: one key group resident at a time
+        // (sort/merge spills to external storage on a real deployment),
+        // which is the backend's low-memory selling point.
+        step[r].peak_resident_bytes =
+            std::max(step[r].peak_resident_bytes, run_bytes);
+        reduce_fn(key, run, &emitter);
+      }
+    }
+    next_dataflow[r] = std::move(emitter.buffer());
+    step[r].busy_seconds += timer.ElapsedSeconds();
+  });
+  failures_recovered_ += failures.load();
+
+  dataflow_ = std::move(next_dataflow);
+  for (std::int64_t i = 0; i < n; ++i) {
+    metrics_.workers[static_cast<std::size_t>(i)].steps.push_back(
+        step[static_cast<std::size_t>(i)]);
+  }
+}
+
+std::vector<MrKeyValue> MapReduceJob::TakeOutputs() {
+  std::vector<MrKeyValue> out;
+  std::size_t total = 0;
+  for (const auto& flow : dataflow_) total += flow.size();
+  out.reserve(total);
+  for (auto& flow : dataflow_) {
+    for (MrKeyValue& kv : flow) out.push_back(std::move(kv));
+    flow.clear();
+  }
+  return out;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,133 @@
+#ifndef INFERTURBO_MAPREDUCE_MAPREDUCE_ENGINE_H_
+#define INFERTURBO_MAPREDUCE_MAPREDUCE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/common/byte_size.h"
+#include "src/common/thread_pool.h"
+#include "src/graph/graph.h"
+#include "src/pregel/worker_metrics.h"
+
+namespace inferturbo {
+
+/// A value in the simulated MapReduce dataflow: a tagged record wide
+/// enough for everything the InferTurbo-on-MR pipeline ships between
+/// rounds — self state, in-edge messages, out-edge adjacency, partial
+/// aggregates (paper §IV-C2). The engine treats it as opaque bytes.
+struct MrValue {
+  /// Driver-defined discriminator (e.g. kSelfState / kInMessage /
+  /// kOutEdges).
+  std::int32_t tag = 0;
+  /// Auxiliary id (message source, mirror origin, ...).
+  NodeId src = -1;
+  std::vector<float> floats;
+  std::vector<std::int64_t> ids;
+
+  /// Serialized size on the simulated shuffle path. Unlike the Pregel
+  /// backend, *all* shuffle traffic is charged (MapReduce spills
+  /// through external storage even for local destinations).
+  std::uint64_t WireBytes() const {
+    return kMessageHeaderBytes + sizeof(tag) + sizeof(src) +
+           floats.size() * sizeof(float) + ids.size() * sizeof(std::int64_t);
+  }
+};
+
+using MrKeyValue = std::pair<std::int64_t, MrValue>;
+
+/// Collects emissions from map/reduce functions.
+class MrEmitter {
+ public:
+  void Emit(std::int64_t key, MrValue value) {
+    buffer_.emplace_back(key, std::move(value));
+  }
+  std::vector<MrKeyValue>& buffer() { return buffer_; }
+
+ private:
+  std::vector<MrKeyValue> buffer_;
+};
+
+/// A simulated elastic MapReduce job: I logical instances each act as
+/// mapper and reducer; rounds alternate shuffle (sort by key, values
+/// ordered by producing instance) and reduce. Combiners run on the
+/// producing side per destination instance — the hook partial-gather
+/// plugs into (paper §IV-D).
+class MapReduceJob {
+ public:
+  struct Options {
+    std::int64_t num_instances = 8;
+    ClusterCostModel cost_model;
+    ThreadPool* pool = nullptr;
+    /// Simulated task failure: returns true when `instance`'s reduce
+    /// task fails in stage `stage` (0 = the map stage, then one per
+    /// reduce round). Shuffle inputs are durable, so the engine
+    /// re-executes just that task — MapReduce's native fault-tolerance
+    /// model — charging the wasted attempt. Fires once per attempt; a
+    /// persistent true would retry forever (capped, then fatal).
+    std::function<bool(std::int64_t stage, std::int64_t instance)>
+        failure_injector;
+    /// When non-empty, shuffle blocks are actually serialized to files
+    /// under this directory between the producer and reducer halves of
+    /// each round — the external-storage dataflow the paper's MR
+    /// backend relies on for its low resident memory. Must exist and be
+    /// writable. Results are bit-identical to the in-memory path.
+    std::string spill_directory;
+  };
+
+  /// Called once per instance; the driver reads its own input split.
+  using MapFn = std::function<void(std::int64_t instance, MrEmitter*)>;
+  /// Called per key with all values for that key (producer order).
+  using ReduceFn =
+      std::function<void(std::int64_t key, std::span<MrValue> values,
+                         MrEmitter*)>;
+  /// In-place shrink of same-key values on the producing side.
+  using CombineFn =
+      std::function<void(std::int64_t key, std::vector<MrValue>* values)>;
+
+  explicit MapReduceJob(Options options);
+
+  /// Stage 1: populate the dataflow from input splits.
+  void RunMap(const MapFn& map_fn);
+
+  /// One shuffle+reduce round over the current dataflow; emitted pairs
+  /// become the next round's dataflow. `combiner` may be null.
+  void RunReduce(const ReduceFn& reduce_fn, const CombineFn* combiner);
+
+  /// Drains the final dataflow (concatenated in instance order).
+  std::vector<MrKeyValue> TakeOutputs();
+
+  /// Reduce-task re-executions triggered by the failure injector.
+  std::int64_t failures_recovered() const { return failures_recovered_; }
+
+  /// Bytes written to spill files so far (0 when spilling is off).
+  std::uint64_t spill_bytes_written() const { return spill_bytes_written_; }
+
+  const JobMetrics& metrics() const { return metrics_; }
+  /// Drivers that move data outside the shuffle (e.g. the broadcast
+  /// side channel, which models a Spark broadcast variable) account for
+  /// it by adjusting the current stage's counters here.
+  JobMetrics* mutable_metrics() { return &metrics_; }
+  std::int64_t num_instances() const { return options_.num_instances; }
+
+  /// The instance owning a key (stable across stages).
+  static std::int64_t InstanceForKey(std::int64_t key,
+                                     std::int64_t num_instances);
+
+ private:
+  std::string SpillPath(std::int64_t stage, std::int64_t producer,
+                        std::int64_t reducer) const;
+
+  Options options_;
+  /// dataflow_[i] = key/value pairs resident on instance i.
+  std::vector<std::vector<MrKeyValue>> dataflow_;
+  JobMetrics metrics_;
+  std::int64_t failures_recovered_ = 0;
+  std::uint64_t spill_bytes_written_ = 0;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_MAPREDUCE_MAPREDUCE_ENGINE_H_

@@ -1,0 +1,60 @@
+#ifndef INFERTURBO_NN_GAT_CONV_H_
+#define INFERTURBO_NN_GAT_CONV_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/gas/gas_conv.h"
+
+namespace inferturbo {
+
+/// Multi-head graph attention (GAT) in the GAS-like abstraction,
+/// following the paper's Fig. 3 GATConv: attention breaks the
+/// commutative/associative rule, so
+///
+///   aggregate  = union of raw messages       (@Gather(partial=False))
+///   apply_node = per-head segment softmax over in-edges, then a
+///                weighted sum, heads concatenated
+///   apply_edge = identity; the message a node scatters is
+///                [W h_src || a_src·(W h_src) per head], identical on
+///                every out-edge -> still broadcastable.
+class GatConv : public GasConv {
+ public:
+  /// Output dim is heads * head_dim (heads concatenated).
+  GatConv(std::int64_t input_dim, std::int64_t head_dim, std::int64_t heads,
+          bool activation, Rng* rng);
+
+  const LayerSignature& signature() const override { return signature_; }
+
+  Tensor ComputeMessage(const Tensor& node_states) const override;
+  Tensor ApplyNode(const Tensor& node_states,
+                   const GatherResult& gathered) const override;
+
+  ag::VarPtr ForwardAg(const ag::VarPtr& h,
+                       std::span<const std::int64_t> src_index,
+                       std::span<const std::int64_t> dst_index,
+                       std::int64_t num_nodes,
+                       const Tensor* edge_features) const override;
+  std::vector<ag::VarPtr> Parameters() const override;
+
+  std::int64_t heads() const { return heads_; }
+  std::int64_t head_dim() const { return head_dim_; }
+
+  /// LeakyReLU slope used on attention logits (0.2, as in the GAT
+  /// paper).
+  static constexpr float kAttnSlope = 0.2f;
+
+ private:
+  LayerSignature signature_;
+  bool activation_;
+  std::int64_t heads_;
+  std::int64_t head_dim_;
+  ag::VarPtr weight_;                  ///< (in × heads*head_dim)
+  std::vector<ag::VarPtr> attn_src_;   ///< per head: (head_dim × 1)
+  std::vector<ag::VarPtr> attn_dst_;   ///< per head: (head_dim × 1)
+  ag::VarPtr bias_;                    ///< (1 × heads*head_dim)
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_NN_GAT_CONV_H_

@@ -1,0 +1,40 @@
+#include "src/nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+
+double CrossEntropyValue(const Tensor& logits,
+                         std::span<const std::int64_t> labels) {
+  INFERTURBO_CHECK(static_cast<std::int64_t>(labels.size()) == logits.rows())
+      << "CrossEntropyValue label count mismatch";
+  if (logits.rows() == 0) return 0.0;
+  const Tensor log_probs = LogSoftmaxRows(logits);
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < log_probs.rows(); ++r) {
+    loss -= log_probs.At(r, labels[static_cast<std::size_t>(r)]);
+  }
+  return loss / static_cast<double>(log_probs.rows());
+}
+
+double BceValue(const Tensor& logits, const Tensor& targets) {
+  INFERTURBO_CHECK(logits.rows() == targets.rows() &&
+                   logits.cols() == targets.cols())
+      << "BceValue shape mismatch";
+  if (logits.size() == 0) return 0.0;
+  double loss = 0.0;
+  const float* px = logits.data();
+  const float* pt = targets.data();
+  for (std::int64_t i = 0; i < logits.size(); ++i) {
+    const float x = px[i];
+    loss += std::max(x, 0.0f) - x * pt[i] +
+            std::log1p(std::exp(-std::fabs(x)));
+  }
+  return loss / static_cast<double>(logits.size());
+}
+
+}  // namespace inferturbo

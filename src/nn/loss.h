@@ -1,0 +1,23 @@
+#ifndef INFERTURBO_NN_LOSS_H_
+#define INFERTURBO_NN_LOSS_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/tensor/tensor.h"
+
+namespace inferturbo {
+
+/// Forward-only loss values for evaluation (training uses the autograd
+/// losses in src/tensor/autograd.h, which these mirror numerically).
+
+/// Mean softmax cross-entropy of `logits` rows against integer labels.
+double CrossEntropyValue(const Tensor& logits,
+                         std::span<const std::int64_t> labels);
+
+/// Mean element-wise sigmoid BCE against 0/1 `targets`.
+double BceValue(const Tensor& logits, const Tensor& targets);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_NN_LOSS_H_

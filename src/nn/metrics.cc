@@ -1,0 +1,79 @@
+#include "src/nn/metrics.h"
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+
+double Accuracy(const Tensor& logits, std::span<const std::int64_t> labels) {
+  INFERTURBO_CHECK(static_cast<std::int64_t>(labels.size()) == logits.rows())
+      << "Accuracy label count mismatch";
+  if (logits.rows() == 0) return 0.0;
+  const std::vector<std::int64_t> preds = ArgmaxRows(logits);
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double AccuracyOn(const Tensor& logits, std::span<const std::int64_t> labels,
+                  std::span<const std::int64_t> nodes) {
+  if (nodes.empty()) return 0.0;
+  std::int64_t correct = 0;
+  for (std::int64_t v : nodes) {
+    const float* row = logits.RowPtr(v);
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < logits.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == labels[static_cast<std::size_t>(v)]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(nodes.size());
+}
+
+namespace {
+
+double MicroF1FromCounts(std::int64_t tp, std::int64_t fp, std::int64_t fn) {
+  const double denom = static_cast<double>(2 * tp + fp + fn);
+  if (denom == 0.0) return 0.0;
+  return 2.0 * static_cast<double>(tp) / denom;
+}
+
+}  // namespace
+
+double MicroF1(const Tensor& logits, const Tensor& targets) {
+  INFERTURBO_CHECK(logits.rows() == targets.rows() &&
+                   logits.cols() == targets.cols())
+      << "MicroF1 shape mismatch";
+  std::int64_t tp = 0, fp = 0, fn = 0;
+  const float* pl = logits.data();
+  const float* pt = targets.data();
+  for (std::int64_t i = 0; i < logits.size(); ++i) {
+    const bool pred = pl[i] > 0.0f;
+    const bool truth = pt[i] > 0.5f;
+    if (pred && truth) ++tp;
+    if (pred && !truth) ++fp;
+    if (!pred && truth) ++fn;
+  }
+  return MicroF1FromCounts(tp, fp, fn);
+}
+
+double MicroF1On(const Tensor& logits, const Tensor& targets,
+                 std::span<const std::int64_t> nodes) {
+  std::int64_t tp = 0, fp = 0, fn = 0;
+  for (std::int64_t v : nodes) {
+    const float* pl = logits.RowPtr(v);
+    const float* pt = targets.RowPtr(v);
+    for (std::int64_t j = 0; j < logits.cols(); ++j) {
+      const bool pred = pl[j] > 0.0f;
+      const bool truth = pt[j] > 0.5f;
+      if (pred && truth) ++tp;
+      if (pred && !truth) ++fp;
+      if (!pred && truth) ++fn;
+    }
+  }
+  return MicroF1FromCounts(tp, fp, fn);
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,29 @@
+#ifndef INFERTURBO_NN_METRICS_H_
+#define INFERTURBO_NN_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace inferturbo {
+
+/// Fraction of rows whose argmax matches the label.
+double Accuracy(const Tensor& logits, std::span<const std::int64_t> labels);
+
+/// Accuracy restricted to `nodes` (logits rows indexed by node id).
+double AccuracyOn(const Tensor& logits, std::span<const std::int64_t> labels,
+                  std::span<const std::int64_t> nodes);
+
+/// Micro-averaged F1 for multi-label outputs: a label is predicted
+/// when its logit is positive (sigmoid > 0.5). This is the PPI metric.
+double MicroF1(const Tensor& logits, const Tensor& targets);
+
+/// MicroF1 restricted to `nodes`.
+double MicroF1On(const Tensor& logits, const Tensor& targets,
+                 std::span<const std::int64_t> nodes);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_NN_METRICS_H_

@@ -1,0 +1,92 @@
+#ifndef INFERTURBO_NN_MODEL_H_
+#define INFERTURBO_NN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/gas/gas_conv.h"
+
+namespace inferturbo {
+
+/// A stack of GAS-expressed GNN layers plus a linear prediction head.
+///
+/// The head is the "prediction slice" the paper merges into the last
+/// superstep / reduce round of the inference job. For multi-label tasks
+/// logits feed a per-label sigmoid; for single-label, a softmax.
+class GnnModel {
+ public:
+  GnnModel(std::vector<std::unique_ptr<GasConv>> layers,
+           std::int64_t num_classes, Rng* rng);
+
+  GnnModel(const GnnModel&) = delete;
+  GnnModel& operator=(const GnnModel&) = delete;
+  GnnModel(GnnModel&&) = default;
+  GnnModel& operator=(GnnModel&&) = default;
+
+  std::int64_t num_layers() const {
+    return static_cast<std::int64_t>(layers_.size());
+  }
+  const GasConv& layer(std::int64_t i) const { return *layers_[i]; }
+  std::int64_t input_dim() const { return layers_.front()->signature().input_dim; }
+  std::int64_t embedding_dim() const {
+    return layers_.back()->signature().output_dim;
+  }
+  std::int64_t num_classes() const { return num_classes_; }
+
+  /// Head logits (n × num_classes) from final node states.
+  Tensor PredictLogits(const Tensor& final_states) const;
+  ag::VarPtr PredictLogitsAg(const ag::VarPtr& final_states) const;
+
+  /// All trainable parameters (layers + head).
+  std::vector<ag::VarPtr> Parameters() const;
+
+  /// Writes one signature line per layer plus the head shape — the
+  /// layer-wise signature files the paper saves beside a trained model
+  /// so the inference deployment needs no manual configuration.
+  Status SaveSignatures(const std::string& path) const;
+
+  /// Binary round-trip of all parameter tensors (shape-checked on
+  /// load). The receiving model must have the same architecture.
+  Status SaveParameters(const std::string& path) const;
+  Status LoadParameters(const std::string& path);
+
+ private:
+  std::vector<std::unique_ptr<GasConv>> layers_;
+  std::int64_t num_classes_;
+  ag::VarPtr head_weight_;
+  ag::VarPtr head_bias_;
+};
+
+/// Model architecture presets mirroring the paper's experiments.
+struct ModelConfig {
+  std::int64_t input_dim = 0;
+  std::int64_t hidden_dim = 64;
+  std::int64_t num_classes = 2;
+  std::int64_t num_layers = 2;
+  /// GAT only.
+  std::int64_t heads = 4;
+  /// edge_sage only: width of per-edge feature rows.
+  std::int64_t edge_feature_dim = 0;
+  std::uint64_t seed = 11;
+};
+
+std::unique_ptr<GnnModel> MakeSageModel(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeGcnModel(const ModelConfig& config);
+std::unique_ptr<GnnModel> MakeGatModel(const ModelConfig& config);
+/// GIN (sum aggregate) — exercises the kSum combiner path.
+std::unique_ptr<GnnModel> MakeGinModel(const ModelConfig& config);
+/// GraphSAGE max-pool variant (kMax aggregate).
+std::unique_ptr<GnnModel> MakePoolSageModel(const ModelConfig& config);
+/// SAGE with edge-feature messages (requires config.edge_feature_dim).
+std::unique_ptr<GnnModel> MakeEdgeSageModel(const ModelConfig& config);
+
+/// Dispatch by name:
+/// "sage" | "gcn" | "gat" | "gin" | "pool_sage" | "edge_sage".
+Result<std::unique_ptr<GnnModel>> MakeModel(const std::string& kind,
+                                            const ModelConfig& config);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_NN_MODEL_H_

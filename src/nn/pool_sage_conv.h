@@ -1,0 +1,50 @@
+#ifndef INFERTURBO_NN_POOL_SAGE_CONV_H_
+#define INFERTURBO_NN_POOL_SAGE_CONV_H_
+
+#include "src/common/rng.h"
+#include "src/gas/gas_conv.h"
+
+namespace inferturbo {
+
+/// GraphSAGE with the *max-pooling* aggregator (Hamilton et al. 2017,
+/// "pool" variant):
+///
+///   m_u   = ReLU(W_pool h_u + b_pool)        (apply_edge, per source)
+///   agg_v = max_{u->v} m_u                   (aggregate: kMax)
+///   h'_v  = act(W_self h_v + W_nbr agg_v + b)
+///
+/// Exercises the elementwise-max monoid through the engines'
+/// partial-gather path (max is commutative and associative, so the
+/// combiner optimization applies; empty gathers read the neutral zero,
+/// matching the reference semantics).
+class PoolSageConv : public GasConv {
+ public:
+  PoolSageConv(std::int64_t input_dim, std::int64_t output_dim,
+               bool activation, Rng* rng);
+
+  const LayerSignature& signature() const override { return signature_; }
+
+  Tensor ComputeMessage(const Tensor& node_states) const override;
+  Tensor ApplyNode(const Tensor& node_states,
+                   const GatherResult& gathered) const override;
+
+  ag::VarPtr ForwardAg(const ag::VarPtr& h,
+                       std::span<const std::int64_t> src_index,
+                       std::span<const std::int64_t> dst_index,
+                       std::int64_t num_nodes,
+                       const Tensor* edge_features) const override;
+  std::vector<ag::VarPtr> Parameters() const override;
+
+ private:
+  LayerSignature signature_;
+  bool activation_;
+  ag::VarPtr w_pool_;
+  ag::VarPtr b_pool_;
+  ag::VarPtr w_self_;
+  ag::VarPtr w_nbr_;
+  ag::VarPtr bias_;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_NN_POOL_SAGE_CONV_H_

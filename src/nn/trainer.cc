@@ -1,0 +1,120 @@
+#include "src/nn/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+#include "src/tensor/optimizer.h"
+
+namespace inferturbo {
+
+MiniBatchTrainer::MiniBatchTrainer(const Graph* graph, GnnModel* model,
+                                   TrainerOptions options)
+    : graph_(graph),
+      model_(model),
+      options_(options),
+      sampler_(graph) {}
+
+Result<TrainReport> MiniBatchTrainer::Train() {
+  if (graph_->train_nodes().empty() && options_.train_nodes.empty()) {
+    return Status::InvalidArgument("graph has no training split");
+  }
+  if (graph_->labels().empty() && !graph_->is_multi_label()) {
+    return Status::InvalidArgument("graph has no supervision");
+  }
+
+  AdamOptimizer::Options adam;
+  adam.learning_rate = options_.learning_rate;
+  adam.weight_decay = options_.weight_decay;
+  AdamOptimizer optimizer(model_->Parameters(), adam);
+
+  Rng rng(options_.seed);
+  std::vector<NodeId> order = options_.train_nodes.empty()
+                                  ? graph_->train_nodes()
+                                  : options_.train_nodes;
+  for (NodeId v : order) {
+    if (v < 0 || v >= graph_->num_nodes()) {
+      return Status::InvalidArgument("training node out of range");
+    }
+  }
+  TrainReport report;
+  for (std::int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    // Fisher-Yates reshuffle per epoch, seeded -> reproducible runs.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(
+          rng.NextBounded(static_cast<std::uint64_t>(i)));
+      std::swap(order[i - 1], order[j]);
+    }
+    double epoch_loss = 0.0;
+    std::int64_t batches = 0;
+    for (std::size_t begin = 0; begin < order.size();
+         begin += static_cast<std::size_t>(options_.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), begin + static_cast<std::size_t>(options_.batch_size));
+      // Deduplicate within the batch: the sampler requires distinct
+      // targets (the power-law split can draw repeats).
+      std::vector<NodeId> batch(order.begin() + static_cast<std::ptrdiff_t>(
+                                                    begin),
+                                order.begin() + static_cast<std::ptrdiff_t>(
+                                                    end));
+      std::sort(batch.begin(), batch.end());
+      batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+      const double loss = TrainStep(batch, &rng);
+      epoch_loss += loss;
+      ++batches;
+      ++report.steps;
+      optimizer.Step();
+    }
+    epoch_loss /= std::max<std::int64_t>(1, batches);
+    report.epoch_losses.push_back(epoch_loss);
+    report.final_loss = epoch_loss;
+    if (options_.verbose) {
+      INFERTURBO_LOG(Info) << "epoch " << epoch << " loss " << epoch_loss;
+    }
+  }
+  return report;
+}
+
+double MiniBatchTrainer::TrainStep(std::span<const NodeId> targets, Rng* rng) {
+  KHopOptions khop;
+  khop.hops = model_->num_layers();
+  khop.fanout = options_.fanout;
+  const Subgraph sub = sampler_.Sample(targets, khop, rng);
+
+  ag::VarPtr h = ag::Constant(sub.features);
+  for (std::int64_t l = 0; l < model_->num_layers(); ++l) {
+    h = model_->layer(l).ForwardAg(
+        h, sub.src_local, sub.dst_local, sub.num_nodes(),
+        sub.edge_features.empty() ? nullptr : &sub.edge_features);
+  }
+  // Head over the batch targets only (local indices [0, num_targets)).
+  std::vector<std::int64_t> target_rows(
+      static_cast<std::size_t>(sub.num_targets));
+  std::iota(target_rows.begin(), target_rows.end(), 0);
+  ag::VarPtr target_states = ag::GatherRows(h, target_rows);
+  ag::VarPtr logits = model_->PredictLogitsAg(target_states);
+
+  ag::VarPtr loss;
+  if (graph_->is_multi_label()) {
+    Tensor targets_rows(sub.num_targets, graph_->multi_labels().cols());
+    for (std::int64_t i = 0; i < sub.num_targets; ++i) {
+      targets_rows.SetRow(
+          i, graph_->multi_labels().RowPtr(sub.nodes[static_cast<std::size_t>(
+                 i)]));
+    }
+    loss = ag::SigmoidBceLoss(logits, targets_rows);
+  } else {
+    std::vector<std::int64_t> labels(static_cast<std::size_t>(
+        sub.num_targets));
+    for (std::int64_t i = 0; i < sub.num_targets; ++i) {
+      labels[static_cast<std::size_t>(i)] =
+          graph_->labels()[static_cast<std::size_t>(
+              sub.nodes[static_cast<std::size_t>(i)])];
+    }
+    loss = ag::SoftmaxCrossEntropyLoss(logits, labels);
+  }
+  ag::Backward(loss);
+  return loss->value.At(0, 0);
+}
+
+}  // namespace inferturbo

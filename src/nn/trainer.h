@@ -1,0 +1,62 @@
+#ifndef INFERTURBO_NN_TRAINER_H_
+#define INFERTURBO_NN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/graph/graph.h"
+#include "src/nn/model.h"
+#include "src/sampling/khop_sampler.h"
+
+namespace inferturbo {
+
+/// Mini-batch k-hop training — the *training* half of the paper's
+/// collaborative setting (mini-batch training + full-batch inference).
+/// Each step samples the batch targets' k-hop neighborhoods, runs the
+/// layers' training-side computation flow (the same parameters the
+/// inference engines read), and applies Adam.
+struct TrainerOptions {
+  std::int64_t epochs = 20;
+  std::int64_t batch_size = 64;
+  /// In-neighbor fan-out per hop during training (stochastic, like the
+  /// production pipelines the paper describes).
+  std::int64_t fanout = 10;
+  float learning_rate = 5e-3f;
+  float weight_decay = 0.0f;
+  std::uint64_t seed = 23;
+  bool verbose = false;
+  /// When non-empty, train on these nodes instead of the graph's
+  /// training split (e.g. graphs loaded from tables, which carry no
+  /// splits).
+  std::vector<NodeId> train_nodes;
+};
+
+struct TrainReport {
+  std::int64_t steps = 0;
+  double final_loss = 0.0;
+  std::vector<double> epoch_losses;
+};
+
+class MiniBatchTrainer {
+ public:
+  MiniBatchTrainer(const Graph* graph, GnnModel* model,
+                   TrainerOptions options);
+
+  /// Trains on graph->train_nodes(). Fails if the graph has no
+  /// supervision or no training split.
+  Result<TrainReport> Train();
+
+ private:
+  /// One forward/backward/step over `targets`; returns the batch loss.
+  double TrainStep(std::span<const NodeId> targets, Rng* rng);
+
+  const Graph* graph_;
+  GnnModel* model_;
+  TrainerOptions options_;
+  KHopSampler sampler_;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_NN_TRAINER_H_

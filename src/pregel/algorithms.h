@@ -1,0 +1,44 @@
+#ifndef INFERTURBO_PREGEL_ALGORITHMS_H_
+#define INFERTURBO_PREGEL_ALGORITHMS_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/pregel/worker_metrics.h"
+
+namespace inferturbo {
+
+/// Classic graph-processing algorithms expressed as vertex programs on
+/// the Pregel engine — the workloads the engine's lineage (Pregel,
+/// PowerGraph) was built for (paper §III-A). They double as engine
+/// conformance tests: each has an obvious single-machine reference.
+struct PregelAlgorithmOptions {
+  std::int64_t num_workers = 8;
+  std::int64_t max_iterations = 30;
+  ClusterCostModel cost_model;
+};
+
+/// Damped PageRank over out-edges; returns one score per node
+/// (sums to ~1). Uses the engine's sum combiner, so it also exercises
+/// the partial-gather machinery on a non-GNN workload.
+std::vector<double> PageRank(const Graph& graph,
+                             const PregelAlgorithmOptions& options,
+                             double damping = 0.85,
+                             JobMetrics* metrics = nullptr);
+
+/// Single-source shortest paths with unit edge weights (hop counts);
+/// unreachable nodes get -1.
+std::vector<std::int64_t> ShortestPaths(const Graph& graph, NodeId source,
+                                        const PregelAlgorithmOptions& options,
+                                        JobMetrics* metrics = nullptr);
+
+/// Weakly connected components via min-label propagation over both
+/// edge directions; returns the smallest node id in each node's
+/// component.
+std::vector<NodeId> ConnectedComponents(
+    const Graph& graph, const PregelAlgorithmOptions& options,
+    JobMetrics* metrics = nullptr);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_PREGEL_ALGORITHMS_H_

@@ -1,0 +1,159 @@
+#ifndef INFERTURBO_PREGEL_PREGEL_ENGINE_H_
+#define INFERTURBO_PREGEL_PREGEL_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+#include "src/gas/message.h"
+#include "src/graph/partition.h"
+#include "src/pregel/worker_metrics.h"
+
+namespace inferturbo {
+
+/// A Pregel-like bulk-synchronous graph-processing engine (paper
+/// §IV-C1), simulated in-process: N logical workers run a compute
+/// function superstep by superstep, exchanging vectorized message
+/// batches routed by destination node id through a shared partitioner.
+///
+/// The engine is model-agnostic — PageRank runs on it in the tests —
+/// and provides the three mechanisms InferTurbo builds its strategies
+/// on: message *combiners* (partial-gather), a keyed *broadcast board*
+/// (the "aggregator" used by the broadcast strategy), and per-worker
+/// byte/latency accounting (Figs. 9-13).
+class PregelEngine;
+
+/// Per-worker view handed to the compute function each superstep.
+class PregelContext {
+ public:
+  std::int64_t superstep() const { return superstep_; }
+  std::int64_t worker_id() const { return worker_id_; }
+  std::int64_t num_workers() const;
+
+  /// Message batches addressed to this worker's nodes, in deterministic
+  /// (source worker, emission) order. Batches may have different
+  /// payload widths (e.g. id-only broadcast references next to dense
+  /// rows).
+  const std::vector<MessageBatch>& inbox() const { return *inbox_; }
+
+  /// Queues a batch for delivery next superstep; rows are routed to the
+  /// workers owning their `dst` ids. Local deliveries are free;
+  /// cross-worker rows are charged to both ends' byte counters.
+  void SendBatch(MessageBatch batch);
+
+  /// Queues a pre-pooled partial batch (its payload carries a trailing
+  /// count column). Routed like SendBatch but flagged so receivers
+  /// merge instead of folding count-1 rows.
+  void SendPartialBatch(MessageBatch batch);
+
+  /// Publishes a row on the broadcast board under `key`; every worker
+  /// can look it up *next* superstep. Charged as one message to every
+  /// other worker (the strategy's whole point: cost scales with
+  /// #workers, not out-degree).
+  void PublishBroadcast(NodeId key, const float* row, std::int64_t width);
+
+  /// Row published under `key` in the previous superstep, or nullptr.
+  const std::vector<float>* LookupBroadcast(NodeId key) const;
+
+  /// True when `batch_index` in inbox() is a partial (pre-pooled)
+  /// batch.
+  bool IsPartialBatch(std::size_t batch_index) const;
+
+  /// Asks to end the job after this superstep; the job stops when every
+  /// worker voted in the same superstep.
+  void VoteToHalt();
+
+  /// Extra accounting hooks (e.g. reading node state from a local
+  /// store).
+  void ChargeBusySeconds(double seconds);
+  /// Reports memory the worker holds resident this superstep (node
+  /// states, vectorized gather buffers); folded as a max. The engine
+  /// itself already counts the inbox.
+  void ChargeResidentBytes(std::uint64_t bytes);
+
+ private:
+  friend class PregelEngine;
+  PregelEngine* engine_ = nullptr;
+  std::int64_t worker_id_ = 0;
+  std::int64_t superstep_ = 0;
+  const std::vector<MessageBatch>* inbox_ = nullptr;
+  std::vector<bool> inbox_partial_;
+  // Outgoing, grouped by destination worker.
+  struct Outgoing {
+    MessageBatch batch;
+    bool partial = false;
+  };
+  std::vector<std::vector<Outgoing>> outbox_;  // [dst_worker] -> batches
+  std::vector<std::pair<NodeId, std::vector<float>>> broadcast_out_;
+  bool halt_vote_ = false;
+  double extra_busy_seconds_ = 0.0;
+  std::uint64_t resident_bytes_ = 0;
+};
+
+class PregelEngine {
+ public:
+  struct Options {
+    std::int64_t num_workers = 8;
+    std::int64_t max_supersteps = 64;
+    ClusterCostModel cost_model;
+    /// Optional combiner applied to each (source worker, destination
+    /// worker) merged batch before it leaves the source — where
+    /// partial-gather's sender-side aggregation runs. Its runtime is
+    /// charged to the source worker. Returns {batch, is_partial}.
+    std::function<std::pair<MessageBatch, bool>(std::int64_t dst_worker,
+                                                MessageBatch batch)>
+        combiner;
+    /// Runs logical workers on this pool (DefaultThreadPool() if null).
+    ThreadPool* pool = nullptr;
+
+    // --- fault tolerance (paper §IV: inherited from the substrate) --
+    /// Snapshot the engine's in-flight state (plus the driver's, via
+    /// the two hooks below) every N supersteps; 0 disables
+    /// checkpointing.
+    std::int64_t checkpoint_interval = 0;
+    /// Captures the driver's mutable state at a checkpoint...
+    std::function<std::shared_ptr<const void>()> snapshot_state;
+    /// ...and restores it during recovery.
+    std::function<void(const std::shared_ptr<const void>&)> restore_state;
+    /// Simulated failure: returns true when `worker` crashes in `step`.
+    /// The job rolls back to the last checkpoint and replays. The
+    /// injector sees each (step, worker) once per execution attempt, so
+    /// it must stop firing for the job to finish.
+    std::function<bool(std::int64_t step, std::int64_t worker)>
+        failure_injector;
+  };
+
+  /// `compute` is invoked once per worker per superstep.
+  using ComputeFn = std::function<void(PregelContext*)>;
+
+  PregelEngine(Options options, HashPartitioner partitioner);
+
+  /// Runs supersteps until every worker votes to halt in the same step
+  /// or max_supersteps is reached. Returns the per-worker accounting.
+  /// Replayed supersteps (after an injected failure) appear as extra
+  /// metric steps — recovery work is real work.
+  JobMetrics Run(const ComputeFn& compute);
+
+  /// Failures recovered during the last Run().
+  std::int64_t failures_recovered() const { return failures_recovered_; }
+
+  const HashPartitioner& partitioner() const { return partitioner_; }
+  std::int64_t num_workers() const { return options_.num_workers; }
+
+ private:
+  friend class PregelContext;
+
+  Options options_;
+  HashPartitioner partitioner_;
+  // Board published last superstep (read side) and this superstep
+  // (write side, merged at the barrier).
+  std::unordered_map<NodeId, std::vector<float>> board_current_;
+  std::int64_t failures_recovered_ = 0;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_PREGEL_PREGEL_ENGINE_H_

@@ -1,0 +1,109 @@
+#include "src/pregel/vertex_api.h"
+
+#include <mutex>
+
+#include "src/common/logging.h"
+
+namespace inferturbo {
+
+/// Bridges per-vertex programs onto the per-partition engine: each
+/// partition walks its active vertices, runs Compute, and forwards the
+/// queued sends as one vectorized batch.
+struct VertexProgramDriver {
+  const Graph* graph;
+  VertexProgram* program;
+  const PartitionAssignment* assignment;
+  std::vector<std::vector<float>> values;        // per vertex
+  std::vector<bool> halted;                      // per vertex
+  std::vector<std::vector<std::vector<float>>> inbox;  // per vertex
+
+  void Compute(PregelContext* ctx) {
+    const auto& mine =
+        assignment->members[static_cast<std::size_t>(ctx->worker_id())];
+    // Deliver this superstep's messages; arrival reactivates.
+    for (const MessageBatch& b : ctx->inbox()) {
+      for (std::int64_t i = 0; i < b.size(); ++i) {
+        const NodeId v = b.dst[static_cast<std::size_t>(i)];
+        inbox[static_cast<std::size_t>(v)].push_back(
+            std::vector<float>(b.payload.RowPtr(i),
+                               b.payload.RowPtr(i) + b.payload.cols()));
+        halted[static_cast<std::size_t>(v)] = false;
+      }
+    }
+    // Two passes so the batch tensor is allocated once (MessageBatch::
+    // Push is O(rows) per call and would make this quadratic).
+    std::vector<std::pair<NodeId, std::vector<float>>> queued;
+    std::vector<NodeId> queued_src;
+    bool all_halted = true;
+    for (NodeId v : mine) {
+      if (halted[static_cast<std::size_t>(v)]) continue;
+      VertexContext vctx(v, ctx->superstep(), graph,
+                         &values[static_cast<std::size_t>(v)],
+                         &inbox[static_cast<std::size_t>(v)]);
+      program->Compute(&vctx);
+      inbox[static_cast<std::size_t>(v)].clear();
+      halted[static_cast<std::size_t>(v)] = vctx.halt_;
+      all_halted = all_halted && vctx.halt_;
+      for (auto& entry : vctx.outgoing_) {
+        queued.push_back(std::move(entry));
+        queued_src.push_back(v);
+      }
+    }
+    if (!queued.empty()) {
+      MessageBatch out;
+      const auto width =
+          static_cast<std::int64_t>(queued.front().second.size());
+      out.dst.reserve(queued.size());
+      out.src = std::move(queued_src);
+      out.payload = Tensor(static_cast<std::int64_t>(queued.size()), width);
+      for (std::size_t i = 0; i < queued.size(); ++i) {
+        INFERTURBO_CHECK(static_cast<std::int64_t>(queued[i].second.size()) ==
+                         width)
+            << "vertex programs must send fixed-width messages";
+        out.dst.push_back(queued[i].first);
+        out.payload.SetRow(static_cast<std::int64_t>(i),
+                           queued[i].second.data());
+      }
+      ctx->SendBatch(std::move(out));
+    }
+    if (all_halted) ctx->VoteToHalt();
+  }
+};
+
+VertexProgramResult RunVertexProgram(const Graph& graph,
+                                     VertexProgram* program,
+                                     const VertexProgramOptions& options) {
+  HashPartitioner partitioner(options.num_workers);
+  const PartitionAssignment assignment =
+      AssignPartitions(graph.num_nodes(), partitioner);
+
+  VertexProgramDriver driver;
+  driver.graph = &graph;
+  driver.program = program;
+  driver.assignment = &assignment;
+  driver.values.resize(static_cast<std::size_t>(graph.num_nodes()));
+  driver.halted.assign(static_cast<std::size_t>(graph.num_nodes()), false);
+  driver.inbox.resize(static_cast<std::size_t>(graph.num_nodes()));
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    driver.values[static_cast<std::size_t>(v)] =
+        program->InitialValue(v, graph);
+    INFERTURBO_CHECK(
+        static_cast<std::int64_t>(
+            driver.values[static_cast<std::size_t>(v)].size()) ==
+        program->value_width())
+        << "InitialValue width mismatch for vertex " << v;
+  }
+
+  PregelEngine::Options engine_options;
+  engine_options.num_workers = options.num_workers;
+  engine_options.max_supersteps = options.max_supersteps;
+  engine_options.cost_model = options.cost_model;
+  PregelEngine engine(engine_options, partitioner);
+  VertexProgramResult result;
+  result.metrics =
+      engine.Run([&driver](PregelContext* ctx) { driver.Compute(ctx); });
+  result.values = std::move(driver.values);
+  return result;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,113 @@
+#ifndef INFERTURBO_PREGEL_VERTEX_API_H_
+#define INFERTURBO_PREGEL_VERTEX_API_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/pregel/pregel_engine.h"
+
+namespace inferturbo {
+
+/// The classic Pregel "think like a vertex" programming model
+/// (Malewicz et al. 2010), layered on the vectorized per-partition
+/// engine. InferTurbo itself uses the per-partition API (it vectorizes
+/// whole partitions into tensors, §IV-C1); this adapter exists for
+/// plain graph-processing programs and as executable documentation of
+/// how the two models relate.
+///
+/// Usage:
+///   class MyProgram : public VertexProgram {
+///     void Compute(VertexContext* ctx) override {
+///       if (ctx->superstep() > 0) { ... fold ctx->messages() ... }
+///       ctx->SendToAllOutNeighbors(value);
+///       ctx->VoteToHalt();
+///     }
+///   };
+///   RunVertexProgram(graph, &program, options);
+///
+/// Vertex values are fixed-width float vectors (value_width()). A
+/// halted vertex is skipped until a message reactivates it — classic
+/// semantics, implemented on top of the engine's message-driven
+/// termination.
+class VertexContext {
+ public:
+  VertexContext(NodeId vertex, std::int64_t superstep, const Graph* graph,
+                std::vector<float>* value,
+                const std::vector<std::vector<float>>* messages)
+      : vertex_(vertex),
+        superstep_(superstep),
+        graph_(graph),
+        value_(value),
+        messages_(messages) {}
+
+  NodeId vertex() const { return vertex_; }
+  std::int64_t superstep() const { return superstep_; }
+  std::int64_t out_degree() const { return graph_->OutDegree(vertex_); }
+
+  /// Mutable vertex value.
+  std::vector<float>& value() { return *value_; }
+
+  /// Messages delivered this superstep (empty at superstep 0).
+  const std::vector<std::vector<float>>& messages() const {
+    return *messages_;
+  }
+
+  /// Queues `payload` for one destination / all out-neighbors.
+  void SendTo(NodeId dst, const std::vector<float>& payload) {
+    outgoing_.emplace_back(dst, payload);
+  }
+  void SendToAllOutNeighbors(const std::vector<float>& payload) {
+    for (EdgeId e : graph_->OutEdges(vertex_)) {
+      outgoing_.emplace_back(graph_->EdgeDst(e), payload);
+    }
+  }
+
+  /// Classic vote: the vertex becomes inactive until a message arrives.
+  void VoteToHalt() { halt_ = true; }
+
+ private:
+  friend struct VertexProgramDriver;
+  NodeId vertex_;
+  std::int64_t superstep_;
+  const Graph* graph_;
+  std::vector<float>* value_;
+  const std::vector<std::vector<float>>* messages_;
+  std::vector<std::pair<NodeId, std::vector<float>>> outgoing_;
+  bool halt_ = false;
+};
+
+class VertexProgram {
+ public:
+  virtual ~VertexProgram() = default;
+  /// Width of the per-vertex value vector.
+  virtual std::int64_t value_width() const = 0;
+  /// Initial value of a vertex (called once at superstep 0, before the
+  /// first Compute).
+  virtual std::vector<float> InitialValue(NodeId vertex,
+                                          const Graph& graph) const = 0;
+  /// The vertex kernel, invoked per active vertex per superstep.
+  virtual void Compute(VertexContext* ctx) = 0;
+};
+
+struct VertexProgramResult {
+  /// Final value per vertex.
+  std::vector<std::vector<float>> values;
+  JobMetrics metrics;
+};
+
+struct VertexProgramOptions {
+  std::int64_t num_workers = 8;
+  std::int64_t max_supersteps = 50;
+  ClusterCostModel cost_model;
+};
+
+/// Runs `program` to quiescence (all halted, no messages) or the
+/// superstep cap.
+VertexProgramResult RunVertexProgram(const Graph& graph,
+                                     VertexProgram* program,
+                                     const VertexProgramOptions& options);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_PREGEL_VERTEX_API_H_

@@ -1,0 +1,111 @@
+#ifndef INFERTURBO_PREGEL_WORKER_METRICS_H_
+#define INFERTURBO_PREGEL_WORKER_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace inferturbo {
+
+/// One worker's accounting for one superstep (or one MapReduce stage).
+/// These counters are what the paper's cluster dashboards report and
+/// what Figs. 9-13 plot: per-instance latency, input/output bytes and
+/// records.
+struct WorkerStepMetrics {
+  /// Wall time the worker spent inside its compute function.
+  double busy_seconds = 0.0;
+  /// Non-CPU stall time (e.g. graph-store round trips in the baseline
+  /// pipeline); contributes to latency but not to cpu·min.
+  double wait_seconds = 0.0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::int64_t records_in = 0;
+  std::int64_t records_out = 0;
+  /// Peak bytes this worker had to hold in memory during the step —
+  /// the axis on which the two backends trade off: Pregel keeps node
+  /// state and the full inbox resident, MapReduce streams key groups
+  /// from (simulated) external storage.
+  std::uint64_t peak_resident_bytes = 0;
+
+  void Accumulate(const WorkerStepMetrics& other) {
+    busy_seconds += other.busy_seconds;
+    wait_seconds += other.wait_seconds;
+    bytes_in += other.bytes_in;
+    bytes_out += other.bytes_out;
+    records_in += other.records_in;
+    records_out += other.records_out;
+    peak_resident_bytes =
+        std::max(peak_resident_bytes, other.peak_resident_bytes);
+  }
+};
+
+/// A worker's full history across supersteps/stages.
+struct WorkerMetrics {
+  std::vector<WorkerStepMetrics> steps;
+
+  WorkerStepMetrics Total() const {
+    WorkerStepMetrics total;
+    for (const WorkerStepMetrics& s : steps) total.Accumulate(s);
+    return total;
+  }
+};
+
+/// Cost model of the simulated cluster. Latency of a worker in a step
+/// is busy time plus the time its traffic occupies the NIC.
+struct ClusterCostModel {
+  /// Per-worker network bandwidth. The paper's cluster has ~20 Gb/s per
+  /// instance (2.5e9 B/s); the default assumes the same share.
+  double network_bytes_per_second = 2.5e9;
+  /// Fixed per-step overhead (barrier, scheduling).
+  double per_step_overhead_seconds = 0.0;
+
+  double StepLatencySeconds(const WorkerStepMetrics& m) const {
+    return m.busy_seconds + m.wait_seconds +
+           static_cast<double>(m.bytes_in + m.bytes_out) /
+               network_bytes_per_second +
+           per_step_overhead_seconds;
+  }
+};
+
+/// Whole-job accounting: one WorkerMetrics per logical worker.
+struct JobMetrics {
+  std::vector<WorkerMetrics> workers;
+  ClusterCostModel cost_model;
+
+  std::int64_t num_steps() const {
+    return workers.empty() ? 0
+                           : static_cast<std::int64_t>(workers[0].steps.size());
+  }
+
+  /// Simulated cluster makespan: per step, the slowest worker gates the
+  /// barrier; steps are sequential. This is the "time cost" the paper
+  /// reports (logical workers share physical cores here, so raw wall
+  /// time would undercount stragglers).
+  double SimulatedWallSeconds() const;
+
+  /// Sum of busy time over all workers — the paper's cpu·min metric
+  /// (divide by 60).
+  double TotalCpuSeconds() const;
+  double TotalCpuMinutes() const { return TotalCpuSeconds() / 60.0; }
+
+  /// Per-worker totals, index = worker id.
+  std::vector<WorkerStepMetrics> PerWorkerTotals() const;
+  /// Per-worker simulated latency (all steps).
+  std::vector<double> PerWorkerLatencySeconds() const;
+
+  std::uint64_t TotalBytesIn() const;
+  std::uint64_t TotalBytesOut() const;
+  /// Highest per-worker resident footprint seen anywhere in the job.
+  std::uint64_t PeakResidentBytes() const;
+
+  /// Appends `other`'s steps to this job's workers (stage chaining for
+  /// multi-round MapReduce jobs). Worker counts must match.
+  void AppendStages(const JobMetrics& other);
+};
+
+/// Population variance of per-worker latency — the y-axis of Fig. 10.
+double LatencyVariance(const JobMetrics& metrics);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_PREGEL_WORKER_METRICS_H_

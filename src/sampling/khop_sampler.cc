@@ -1,0 +1,82 @@
+#include "src/sampling/khop_sampler.h"
+
+#include <unordered_map>
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+
+std::size_t Subgraph::ApproxByteSize() const {
+  std::size_t bytes = nodes.size() * sizeof(NodeId);
+  bytes += (src_local.size() + dst_local.size()) * sizeof(std::int64_t);
+  // Features plus one activation tensor of the same width — the
+  // working set of a layer forward.
+  bytes += 2 * features.ByteSize();
+  return bytes;
+}
+
+Subgraph KHopSampler::Sample(std::span<const NodeId> targets,
+                             const KHopOptions& options, Rng* rng) const {
+  Subgraph sub;
+  sub.num_targets = static_cast<std::int64_t>(targets.size());
+  std::unordered_map<NodeId, std::int64_t> local_of;
+  local_of.reserve(targets.size() * 8);
+  for (NodeId t : targets) {
+    INFERTURBO_CHECK(local_of.emplace(t, sub.nodes.size()).second)
+        << "duplicate target node " << t;
+    sub.nodes.push_back(t);
+  }
+
+  std::vector<NodeId> frontier(targets.begin(), targets.end());
+  std::vector<EdgeId> kept;
+  std::vector<EdgeId> kept_global;  // retained edge ids, for features
+  for (std::int64_t hop = 0; hop < options.hops; ++hop) {
+    std::vector<NodeId> next_frontier;
+    for (NodeId v : frontier) {
+      const std::int64_t v_local = local_of.at(v);
+      const std::span<const EdgeId> in_edges = graph_->InEdges(v);
+      kept.clear();
+      if (options.fanout == KHopOptions::kNoSampling ||
+          static_cast<std::int64_t>(in_edges.size()) <= options.fanout) {
+        kept.assign(in_edges.begin(), in_edges.end());
+      } else {
+        // Uniform sample without replacement (partial Fisher-Yates on a
+        // scratch copy); this is the stochastic step Fig. 7 measures.
+        INFERTURBO_CHECK(rng != nullptr)
+            << "fan-out sampling requires an rng";
+        std::vector<EdgeId> pool(in_edges.begin(), in_edges.end());
+        for (std::int64_t i = 0; i < options.fanout; ++i) {
+          const std::size_t j =
+              static_cast<std::size_t>(i) +
+              static_cast<std::size_t>(rng->NextBounded(
+                  static_cast<std::uint64_t>(pool.size()) -
+                  static_cast<std::uint64_t>(i)));
+          std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+        }
+        kept.assign(pool.begin(), pool.begin() + options.fanout);
+      }
+      for (EdgeId e : kept) {
+        const NodeId u = graph_->EdgeSrc(e);
+        auto [it, inserted] =
+            local_of.emplace(u, static_cast<std::int64_t>(sub.nodes.size()));
+        if (inserted) {
+          sub.nodes.push_back(u);
+          next_frontier.push_back(u);
+        }
+        sub.src_local.push_back(it->second);
+        sub.dst_local.push_back(v_local);
+        kept_global.push_back(e);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+
+  sub.features = GatherRows(graph_->node_features(), sub.nodes);
+  if (graph_->has_edge_features()) {
+    sub.edge_features = GatherRows(graph_->edge_features(), kept_global);
+  }
+  return sub;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,72 @@
+#ifndef INFERTURBO_SAMPLING_KHOP_SAMPLER_H_
+#define INFERTURBO_SAMPLING_KHOP_SAMPLER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+#include "src/tensor/tensor.h"
+
+namespace inferturbo {
+
+/// An extracted k-hop neighborhood in local index space, ready for a
+/// layer-stack forward. The first `num_targets` local nodes are the
+/// batch's target nodes.
+struct Subgraph {
+  /// Global id of each local node; position = local index.
+  std::vector<NodeId> nodes;
+  std::int64_t num_targets = 0;
+  /// Edges as (src, dst) local indices; every non-frontier node's
+  /// retained in-edges appear exactly once.
+  std::vector<std::int64_t> src_local;
+  std::vector<std::int64_t> dst_local;
+  /// (nodes.size() × feature_dim) gathered raw features.
+  Tensor features;
+  /// (num_edges × edge_feature_dim) features of the retained edges,
+  /// aligned with src_local/dst_local; empty when the graph has none.
+  Tensor edge_features;
+
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(nodes.size());
+  }
+  std::int64_t num_edges() const {
+    return static_cast<std::int64_t>(src_local.size());
+  }
+  /// Bytes a worker must hold to process this subgraph (topology +
+  /// features + one layer of activations); drives the OOM budget in
+  /// the traditional-pipeline baseline.
+  std::size_t ApproxByteSize() const;
+};
+
+struct KHopOptions {
+  std::int64_t hops = 2;
+  /// In-neighbors kept per node per hop; kNoSampling keeps all (the
+  /// exact, consistent variant).
+  std::int64_t fanout = kNoSampling;
+  static constexpr std::int64_t kNoSampling = -1;
+};
+
+/// Extracts k-hop in-neighborhoods (paper §II-A): BFS over in-edges
+/// from the targets; a node seen at depth < hops contributes its
+/// (possibly fan-out-sampled) in-edges. With full fan-out the subgraph
+/// is information-complete for a k-layer GNN — targets' layer-k states
+/// match full-graph inference exactly, which is the property unifying
+/// the paper's training and inference modes.
+class KHopSampler {
+ public:
+  explicit KHopSampler(const Graph* graph) : graph_(graph) {}
+
+  /// `rng` is consumed only when options.fanout != kNoSampling; the
+  /// full-neighborhood extraction is deterministic.
+  Subgraph Sample(std::span<const NodeId> targets, const KHopOptions& options,
+                  Rng* rng) const;
+
+ private:
+  const Graph* graph_;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_SAMPLING_KHOP_SAMPLER_H_

@@ -1,0 +1,397 @@
+#include "src/tensor/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/common/logging.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/segment_ops.h"
+
+namespace inferturbo {
+namespace ag {
+
+void Variable::AccumulateGrad(const Tensor& g) {
+  if (grad.empty()) {
+    grad = g;
+  } else {
+    AddInPlace(&grad, g);
+  }
+}
+
+void Variable::ZeroGrad() { grad = Tensor(); }
+
+VarPtr Param(Tensor value) {
+  auto v = std::make_shared<Variable>(std::move(value));
+  v->requires_grad = true;
+  return v;
+}
+
+VarPtr Constant(Tensor value) {
+  return std::make_shared<Variable>(std::move(value));
+}
+
+namespace {
+
+/// Creates an interior node whose requires_grad is inherited from its
+/// parents, wiring up the given backward closure.
+VarPtr MakeNode(Tensor value, std::vector<VarPtr> parents,
+                std::function<void(Variable*)> backward_fn) {
+  auto v = std::make_shared<Variable>(std::move(value));
+  for (const VarPtr& p : parents) {
+    if (p->requires_grad) v->requires_grad = true;
+  }
+  if (v->requires_grad) {
+    v->parents = std::move(parents);
+    v->backward_fn = std::move(backward_fn);
+  }
+  return v;
+}
+
+}  // namespace
+
+VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
+  Tensor out = inferturbo::MatMul(a->value, b->value);
+  return MakeNode(std::move(out), {a, b}, [a, b](Variable* self) {
+    if (a->requires_grad) {
+      a->AccumulateGrad(MatMulTransposedB(self->grad, b->value));
+    }
+    if (b->requires_grad) {
+      b->AccumulateGrad(MatMulTransposedA(a->value, self->grad));
+    }
+  });
+}
+
+VarPtr Add(const VarPtr& a, const VarPtr& b) {
+  Tensor out = inferturbo::Add(a->value, b->value);
+  return MakeNode(std::move(out), {a, b}, [a, b](Variable* self) {
+    if (a->requires_grad) a->AccumulateGrad(self->grad);
+    if (b->requires_grad) b->AccumulateGrad(self->grad);
+  });
+}
+
+VarPtr AddRowBroadcast(const VarPtr& a, const VarPtr& bias) {
+  Tensor out = inferturbo::AddRowBroadcast(a->value, bias->value);
+  return MakeNode(std::move(out), {a, bias}, [a, bias](Variable* self) {
+    if (a->requires_grad) a->AccumulateGrad(self->grad);
+    if (bias->requires_grad) {
+      Tensor col_sum(1, self->grad.cols());
+      for (std::int64_t r = 0; r < self->grad.rows(); ++r) {
+        const float* pg = self->grad.RowPtr(r);
+        float* ps = col_sum.RowPtr(0);
+        for (std::int64_t j = 0; j < self->grad.cols(); ++j) ps[j] += pg[j];
+      }
+      bias->AccumulateGrad(col_sum);
+    }
+  });
+}
+
+VarPtr Mul(const VarPtr& a, const VarPtr& b) {
+  Tensor out = inferturbo::Mul(a->value, b->value);
+  return MakeNode(std::move(out), {a, b}, [a, b](Variable* self) {
+    if (a->requires_grad) {
+      a->AccumulateGrad(inferturbo::Mul(self->grad, b->value));
+    }
+    if (b->requires_grad) {
+      b->AccumulateGrad(inferturbo::Mul(self->grad, a->value));
+    }
+  });
+}
+
+VarPtr MulColBroadcast(const VarPtr& a, const VarPtr& scale) {
+  Tensor out = inferturbo::MulColBroadcast(a->value, scale->value);
+  return MakeNode(std::move(out), {a, scale}, [a, scale](Variable* self) {
+    if (a->requires_grad) {
+      a->AccumulateGrad(inferturbo::MulColBroadcast(self->grad, scale->value));
+    }
+    if (scale->requires_grad) {
+      Tensor ds(a->value.rows(), 1);
+      for (std::int64_t r = 0; r < a->value.rows(); ++r) {
+        const float* pg = self->grad.RowPtr(r);
+        const float* pa = a->value.RowPtr(r);
+        float acc = 0.0f;
+        for (std::int64_t j = 0; j < a->value.cols(); ++j) acc += pg[j] * pa[j];
+        ds.At(r, 0) = acc;
+      }
+      scale->AccumulateGrad(ds);
+    }
+  });
+}
+
+VarPtr Relu(const VarPtr& a) {
+  Tensor out = inferturbo::Relu(a->value);
+  return MakeNode(std::move(out), {a}, [a](Variable* self) {
+    if (!a->requires_grad) return;
+    Tensor da(a->value.rows(), a->value.cols());
+    const float* pv = a->value.data();
+    const float* pg = self->grad.data();
+    float* pd = da.data();
+    for (std::int64_t i = 0; i < da.size(); ++i) {
+      pd[i] = pv[i] > 0.0f ? pg[i] : 0.0f;
+    }
+    a->AccumulateGrad(da);
+  });
+}
+
+VarPtr LeakyRelu(const VarPtr& a, float slope) {
+  Tensor out = inferturbo::LeakyRelu(a->value, slope);
+  return MakeNode(std::move(out), {a}, [a, slope](Variable* self) {
+    if (!a->requires_grad) return;
+    Tensor da(a->value.rows(), a->value.cols());
+    const float* pv = a->value.data();
+    const float* pg = self->grad.data();
+    float* pd = da.data();
+    for (std::int64_t i = 0; i < da.size(); ++i) {
+      pd[i] = pv[i] > 0.0f ? pg[i] : slope * pg[i];
+    }
+    a->AccumulateGrad(da);
+  });
+}
+
+VarPtr ConcatCols(const VarPtr& a, const VarPtr& b) {
+  Tensor out = inferturbo::ConcatCols(a->value, b->value);
+  const std::int64_t split = a->value.cols();
+  return MakeNode(std::move(out), {a, b}, [a, b, split](Variable* self) {
+    if (a->requires_grad) {
+      a->AccumulateGrad(inferturbo::SliceCols(self->grad, 0, split));
+    }
+    if (b->requires_grad) {
+      b->AccumulateGrad(
+          inferturbo::SliceCols(self->grad, split, self->grad.cols()));
+    }
+  });
+}
+
+VarPtr SliceCols(const VarPtr& a, std::int64_t begin, std::int64_t end) {
+  Tensor out = inferturbo::SliceCols(a->value, begin, end);
+  return MakeNode(std::move(out), {a}, [a, begin, end](Variable* self) {
+    if (!a->requires_grad) return;
+    Tensor da(a->value.rows(), a->value.cols());
+    for (std::int64_t r = 0; r < da.rows(); ++r) {
+      const float* pg = self->grad.RowPtr(r);
+      float* pd = da.RowPtr(r) + begin;
+      for (std::int64_t j = 0; j < end - begin; ++j) pd[j] = pg[j];
+    }
+    a->AccumulateGrad(da);
+  });
+}
+
+VarPtr GatherRows(const VarPtr& a, std::vector<std::int64_t> indices) {
+  Tensor out = inferturbo::GatherRows(a->value, indices);
+  auto idx = std::make_shared<std::vector<std::int64_t>>(std::move(indices));
+  return MakeNode(std::move(out), {a}, [a, idx](Variable* self) {
+    if (!a->requires_grad) return;
+    Tensor da(a->value.rows(), a->value.cols());
+    ScatterAddRows(&da, *idx, self->grad);
+    a->AccumulateGrad(da);
+  });
+}
+
+VarPtr SegmentSum(const VarPtr& a, std::vector<std::int64_t> ids,
+                  std::int64_t num_segments) {
+  Tensor out = inferturbo::SegmentSum(a->value, ids, num_segments);
+  auto sid = std::make_shared<std::vector<std::int64_t>>(std::move(ids));
+  return MakeNode(std::move(out), {a}, [a, sid](Variable* self) {
+    if (!a->requires_grad) return;
+    a->AccumulateGrad(inferturbo::GatherRows(self->grad, *sid));
+  });
+}
+
+VarPtr SegmentMean(const VarPtr& a, std::vector<std::int64_t> ids,
+                   std::int64_t num_segments) {
+  Tensor out = inferturbo::SegmentMean(a->value, ids, num_segments);
+  auto sid = std::make_shared<std::vector<std::int64_t>>(std::move(ids));
+  auto counts = std::make_shared<std::vector<std::int64_t>>(
+      SegmentCounts(*sid, num_segments));
+  return MakeNode(std::move(out), {a}, [a, sid, counts](Variable* self) {
+    if (!a->requires_grad) return;
+    Tensor da = inferturbo::GatherRows(self->grad, *sid);
+    for (std::int64_t r = 0; r < da.rows(); ++r) {
+      const std::int64_t c =
+          (*counts)[static_cast<std::size_t>((*sid)[static_cast<std::size_t>(
+              r)])];
+      const float inv = c > 0 ? 1.0f / static_cast<float>(c) : 0.0f;
+      float* pd = da.RowPtr(r);
+      for (std::int64_t j = 0; j < da.cols(); ++j) pd[j] *= inv;
+    }
+    a->AccumulateGrad(da);
+  });
+}
+
+VarPtr SegmentMax(const VarPtr& a, std::vector<std::int64_t> ids,
+                  std::int64_t num_segments) {
+  Tensor out = inferturbo::SegmentMax(a->value, ids, num_segments);
+  auto sid = std::make_shared<std::vector<std::int64_t>>(std::move(ids));
+  // argmax[(segment, col)] = first input row attaining the segment max;
+  // -1 for empty segments.
+  auto argmax = std::make_shared<std::vector<std::int64_t>>(
+      static_cast<std::size_t>(num_segments * a->value.cols()), -1);
+  {
+    const std::int64_t cols = a->value.cols();
+    for (std::int64_t i = 0; i < a->value.rows(); ++i) {
+      const std::int64_t seg = (*sid)[static_cast<std::size_t>(i)];
+      for (std::int64_t j = 0; j < cols; ++j) {
+        std::int64_t& slot =
+            (*argmax)[static_cast<std::size_t>(seg * cols + j)];
+        if (slot == -1 || a->value.At(i, j) > a->value.At(slot, j)) {
+          slot = i;
+        }
+      }
+    }
+  }
+  return MakeNode(std::move(out), {a}, [a, argmax](Variable* self) {
+    if (!a->requires_grad) return;
+    Tensor da(a->value.rows(), a->value.cols());
+    const std::int64_t cols = a->value.cols();
+    for (std::int64_t seg = 0; seg < self->grad.rows(); ++seg) {
+      for (std::int64_t j = 0; j < cols; ++j) {
+        const std::int64_t row =
+            (*argmax)[static_cast<std::size_t>(seg * cols + j)];
+        if (row >= 0) da.At(row, j) += self->grad.At(seg, j);
+      }
+    }
+    a->AccumulateGrad(da);
+  });
+}
+
+VarPtr SegmentSoftmax(const VarPtr& logits, std::vector<std::int64_t> ids,
+                      std::int64_t num_segments) {
+  Tensor out = inferturbo::SegmentSoftmax(logits->value, ids, num_segments);
+  auto sid = std::make_shared<std::vector<std::int64_t>>(std::move(ids));
+  auto probs = std::make_shared<Tensor>(out);
+  const std::int64_t num_seg = num_segments;
+  return MakeNode(
+      std::move(out), {logits}, [logits, sid, probs, num_seg](Variable* self) {
+        if (!logits->requires_grad) return;
+        // d l_i = p_i * (g_i - sum_{j in seg} p_j g_j)
+        std::vector<double> seg_dot(static_cast<std::size_t>(num_seg), 0.0);
+        for (std::int64_t i = 0; i < probs->rows(); ++i) {
+          seg_dot[static_cast<std::size_t>(
+              (*sid)[static_cast<std::size_t>(i)])] +=
+              static_cast<double>(probs->At(i, 0)) * self->grad.At(i, 0);
+        }
+        Tensor dl(probs->rows(), 1);
+        for (std::int64_t i = 0; i < probs->rows(); ++i) {
+          const double dot = seg_dot[static_cast<std::size_t>(
+              (*sid)[static_cast<std::size_t>(i)])];
+          dl.At(i, 0) = probs->At(i, 0) *
+                        (self->grad.At(i, 0) - static_cast<float>(dot));
+        }
+        logits->AccumulateGrad(dl);
+      });
+}
+
+VarPtr SparseMatMul(CsrMatrix adjacency, const VarPtr& x) {
+  INFERTURBO_CHECK(adjacency.cols() == x->value.rows())
+      << "SparseMatMul shape mismatch: " << adjacency.cols() << " vs "
+      << x->value.rows();
+  Tensor out = adjacency.MatMulDense(x->value);
+  auto a = std::make_shared<CsrMatrix>(std::move(adjacency));
+  return MakeNode(std::move(out), {x}, [x, a](Variable* self) {
+    if (!x->requires_grad) return;
+    // Transposed on demand; cached across calls would need tape-level
+    // storage — backward runs once per step, so recompute is fine.
+    x->AccumulateGrad(a->Transpose().MatMulDense(self->grad));
+  });
+}
+
+VarPtr SoftmaxCrossEntropyLoss(const VarPtr& logits,
+                               std::span<const std::int64_t> labels) {
+  INFERTURBO_CHECK(static_cast<std::int64_t>(labels.size()) ==
+                   logits->value.rows())
+      << "labels size mismatch";
+  Tensor log_probs = LogSoftmaxRows(logits->value);
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < log_probs.rows(); ++r) {
+    const std::int64_t y = labels[static_cast<std::size_t>(r)];
+    INFERTURBO_CHECK(0 <= y && y < log_probs.cols())
+        << "label " << y << " out of " << log_probs.cols();
+    loss -= log_probs.At(r, y);
+  }
+  const std::int64_t n = log_probs.rows();
+  loss /= static_cast<double>(n);
+  Tensor out(1, 1);
+  out.At(0, 0) = static_cast<float>(loss);
+  auto y = std::make_shared<std::vector<std::int64_t>>(labels.begin(),
+                                                       labels.end());
+  auto probs = std::make_shared<Tensor>(SoftmaxRows(logits->value));
+  return MakeNode(std::move(out), {logits}, [logits, y, probs](Variable* self) {
+    if (!logits->requires_grad) return;
+    const float upstream = self->grad.At(0, 0);
+    const float inv_n = 1.0f / static_cast<float>(probs->rows());
+    Tensor dl = *probs;
+    for (std::int64_t r = 0; r < dl.rows(); ++r) {
+      dl.At(r, (*y)[static_cast<std::size_t>(r)]) -= 1.0f;
+      float* pd = dl.RowPtr(r);
+      for (std::int64_t j = 0; j < dl.cols(); ++j) {
+        pd[j] *= inv_n * upstream;
+      }
+    }
+    logits->AccumulateGrad(dl);
+  });
+}
+
+VarPtr SigmoidBceLoss(const VarPtr& logits, const Tensor& targets) {
+  INFERTURBO_CHECK(logits->value.rows() == targets.rows() &&
+                   logits->value.cols() == targets.cols())
+      << "SigmoidBceLoss shape mismatch";
+  // Numerically stable: bce = max(x,0) - x*t + log(1 + exp(-|x|)).
+  double loss = 0.0;
+  const float* px = logits->value.data();
+  const float* pt = targets.data();
+  const std::int64_t numel = logits->value.size();
+  for (std::int64_t i = 0; i < numel; ++i) {
+    const float x = px[i];
+    loss += std::max(x, 0.0f) - x * pt[i] + std::log1p(std::exp(-std::fabs(x)));
+  }
+  loss /= static_cast<double>(numel);
+  Tensor out(1, 1);
+  out.At(0, 0) = static_cast<float>(loss);
+  auto tgt = std::make_shared<Tensor>(targets);
+  return MakeNode(std::move(out), {logits}, [logits, tgt](Variable* self) {
+    if (!logits->requires_grad) return;
+    const float upstream = self->grad.At(0, 0);
+    Tensor dl = inferturbo::Sigmoid(logits->value);
+    const float inv = upstream / static_cast<float>(dl.size());
+    float* pd = dl.data();
+    const float* pt2 = tgt->data();
+    for (std::int64_t i = 0; i < dl.size(); ++i) {
+      pd[i] = (pd[i] - pt2[i]) * inv;
+    }
+    logits->AccumulateGrad(dl);
+  });
+}
+
+void Backward(const VarPtr& root) {
+  INFERTURBO_CHECK(root->requires_grad)
+      << "Backward from a node that requires no grad";
+  // Iterative post-order DFS to build a topological order.
+  std::vector<Variable*> topo;
+  std::unordered_set<Variable*> visited;
+  std::vector<std::pair<Variable*, std::size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (child < node->parents.size()) {
+      Variable* next = node->parents[child].get();
+      ++child;
+      if (next->requires_grad && !visited.count(next)) {
+        visited.insert(next);
+        stack.emplace_back(next, 0);
+      }
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+  root->AccumulateGrad(Tensor::Full(root->value.rows(), root->value.cols(),
+                                    1.0f));
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Variable* node = *it;
+    if (node->backward_fn && !node->grad.empty()) node->backward_fn(node);
+  }
+}
+
+}  // namespace ag
+}  // namespace inferturbo

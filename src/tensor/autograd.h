@@ -1,0 +1,96 @@
+#ifndef INFERTURBO_TENSOR_AUTOGRAD_H_
+#define INFERTURBO_TENSOR_AUTOGRAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/tensor/sparse.h"
+#include "src/tensor/tensor.h"
+
+namespace inferturbo {
+namespace ag {
+
+/// A tiny reverse-mode autodiff tape used only by the mini-batch
+/// training path. Inference (the paper's contribution) never touches
+/// it: the GAS computation flow runs on plain tensors. Keeping training
+/// differentiable lets Table II use genuinely trained weights, and the
+/// finite-difference property tests in tests/autograd_test.cc pin every
+/// operator's gradient.
+class Variable;
+using VarPtr = std::shared_ptr<Variable>;
+
+/// A node in the dynamically-built computation graph.
+class Variable {
+ public:
+  explicit Variable(Tensor v) : value(std::move(v)) {}
+
+  Tensor value;
+  /// Accumulated gradient; empty until first touched during Backward.
+  Tensor grad;
+  /// Parameters set this; intermediate nodes inherit it from parents.
+  bool requires_grad = false;
+  std::vector<VarPtr> parents;
+  /// Pushes this node's grad into its parents' grads.
+  std::function<void(Variable*)> backward_fn;
+
+  /// grad += g, allocating on first use.
+  void AccumulateGrad(const Tensor& g);
+  /// Drops the gradient (between optimizer steps).
+  void ZeroGrad();
+};
+
+/// A leaf that gradients flow into (layer weights).
+VarPtr Param(Tensor value);
+/// A leaf without gradient (features, adjacency-derived tensors).
+VarPtr Constant(Tensor value);
+
+VarPtr MatMul(const VarPtr& a, const VarPtr& b);
+VarPtr Add(const VarPtr& a, const VarPtr& b);
+/// a (n×d) + bias (1×d) broadcast over rows.
+VarPtr AddRowBroadcast(const VarPtr& a, const VarPtr& bias);
+VarPtr Mul(const VarPtr& a, const VarPtr& b);
+/// a (n×d) scaled per-row by scale (n×1).
+VarPtr MulColBroadcast(const VarPtr& a, const VarPtr& scale);
+VarPtr Relu(const VarPtr& a);
+VarPtr LeakyRelu(const VarPtr& a, float slope);
+VarPtr ConcatCols(const VarPtr& a, const VarPtr& b);
+VarPtr SliceCols(const VarPtr& a, std::int64_t begin, std::int64_t end);
+/// Row gather with repetition; the scatter in GNN message passing.
+VarPtr GatherRows(const VarPtr& a, std::vector<std::int64_t> indices);
+VarPtr SegmentSum(const VarPtr& a, std::vector<std::int64_t> ids,
+                  std::int64_t num_segments);
+VarPtr SegmentMean(const VarPtr& a, std::vector<std::int64_t> ids,
+                   std::int64_t num_segments);
+/// Elementwise max per segment; empty segments output the neutral 0
+/// (matching the inference-side SegmentMax). Gradients flow to the
+/// first row attaining each maximum.
+VarPtr SegmentMax(const VarPtr& a, std::vector<std::int64_t> ids,
+                  std::int64_t num_segments);
+/// Softmax of a column vector within segments (GAT attention weights).
+VarPtr SegmentSoftmax(const VarPtr& logits, std::vector<std::int64_t> ids,
+                      std::int64_t num_segments);
+/// out = A · x with a *constant* sparse adjacency A — the fused
+/// scatter_and_gather of the paper's Fig. 3 (one SpMM instead of a
+/// materialized per-edge message tensor). Backward: dx += Aᵀ · dout.
+VarPtr SparseMatMul(CsrMatrix adjacency, const VarPtr& x);
+
+/// Mean softmax cross-entropy over rows of `logits` against integer
+/// `labels`; returns a 1×1 scalar.
+VarPtr SoftmaxCrossEntropyLoss(const VarPtr& logits,
+                               std::span<const std::int64_t> labels);
+/// Mean element-wise sigmoid binary cross-entropy against a 0/1 target
+/// tensor of the same shape (multi-label tasks, e.g. PPI); 1×1 scalar.
+VarPtr SigmoidBceLoss(const VarPtr& logits, const Tensor& targets);
+
+/// Reverse-mode sweep from `root` (normally the scalar loss): seeds
+/// d(root)/d(root) = 1 and accumulates into every reachable Param's
+/// grad.
+void Backward(const VarPtr& root);
+
+}  // namespace ag
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TENSOR_AUTOGRAD_H_

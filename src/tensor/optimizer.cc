@@ -1,0 +1,49 @@
+#include "src/tensor/optimizer.h"
+
+#include <cmath>
+
+namespace inferturbo {
+
+AdamOptimizer::AdamOptimizer(std::vector<ag::VarPtr> params, Options options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ag::VarPtr& p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++step_count_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bias1 =
+      1.0f - std::pow(b1, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(b2, static_cast<float>(step_count_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = *params_[i];
+    if (p.grad.empty()) continue;
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    float* pw = p.value.data();
+    const float* pg = p.grad.data();
+    for (std::int64_t j = 0; j < p.value.size(); ++j) {
+      float g = pg[j] + options_.weight_decay * pw[j];
+      pm[j] = b1 * pm[j] + (1.0f - b1) * g;
+      pv[j] = b2 * pv[j] + (1.0f - b2) * g * g;
+      const float m_hat = pm[j] / bias1;
+      const float v_hat = pv[j] / bias2;
+      pw[j] -= options_.learning_rate * m_hat /
+               (std::sqrt(v_hat) + options_.epsilon);
+    }
+    p.ZeroGrad();
+  }
+}
+
+void AdamOptimizer::ZeroGrad() {
+  for (const ag::VarPtr& p : params_) p->ZeroGrad();
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,47 @@
+#ifndef INFERTURBO_TENSOR_OPTIMIZER_H_
+#define INFERTURBO_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/tensor/autograd.h"
+#include "src/tensor/tensor.h"
+
+namespace inferturbo {
+
+/// Adam (Kingma & Ba) over a fixed parameter list.
+///
+/// The mini-batch training half of the paper's pipeline relies on
+/// "mature optimization algorithms"; Adam is what the OGB baseline
+/// configs the paper follows use.
+class AdamOptimizer {
+ public:
+  struct Options {
+    float learning_rate = 1e-2f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  AdamOptimizer(std::vector<ag::VarPtr> params, Options options);
+
+  /// Applies one Adam update from the accumulated gradients, then
+  /// clears them. Parameters whose grad is empty are skipped.
+  void Step();
+
+  /// Clears gradients without updating (rarely needed; Step clears).
+  void ZeroGrad();
+
+  std::int64_t step_count() const { return step_count_; }
+
+ private:
+  std::vector<ag::VarPtr> params_;
+  Options options_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::int64_t step_count_ = 0;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TENSOR_OPTIMIZER_H_

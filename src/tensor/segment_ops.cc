@@ -1,0 +1,131 @@
+#include "src/tensor/segment_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace inferturbo {
+namespace {
+
+void CheckIds(const Tensor& values, std::span<const std::int64_t> ids,
+              std::int64_t num_segments) {
+  INFERTURBO_CHECK(static_cast<std::int64_t>(ids.size()) == values.rows())
+      << "segment ids size " << ids.size() << " vs rows " << values.rows();
+  for (std::int64_t id : ids) {
+    INFERTURBO_CHECK(0 <= id && id < num_segments)
+        << "segment id " << id << " out of [0," << num_segments << ")";
+  }
+}
+
+}  // namespace
+
+Tensor SegmentSum(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments) {
+  CheckIds(values, ids, num_segments);
+  Tensor out(num_segments, values.cols());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    float* po = out.RowPtr(ids[i]);
+    const float* pv = values.RowPtr(static_cast<std::int64_t>(i));
+    for (std::int64_t j = 0; j < values.cols(); ++j) po[j] += pv[j];
+  }
+  return out;
+}
+
+Tensor SegmentMean(const Tensor& values, std::span<const std::int64_t> ids,
+                   std::int64_t num_segments) {
+  Tensor out = SegmentSum(values, ids, num_segments);
+  const std::vector<std::int64_t> counts = SegmentCounts(ids, num_segments);
+  for (std::int64_t s = 0; s < num_segments; ++s) {
+    if (counts[static_cast<std::size_t>(s)] == 0) continue;
+    const float inv =
+        1.0f / static_cast<float>(counts[static_cast<std::size_t>(s)]);
+    float* po = out.RowPtr(s);
+    for (std::int64_t j = 0; j < out.cols(); ++j) po[j] *= inv;
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Cmp>
+Tensor SegmentExtremum(const Tensor& values, std::span<const std::int64_t> ids,
+                       std::int64_t num_segments, float init, Cmp better) {
+  CheckIds(values, ids, num_segments);
+  Tensor out = Tensor::Full(num_segments, values.cols(), init);
+  std::vector<bool> touched(static_cast<std::size_t>(num_segments), false);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    touched[static_cast<std::size_t>(ids[i])] = true;
+    float* po = out.RowPtr(ids[i]);
+    const float* pv = values.RowPtr(static_cast<std::int64_t>(i));
+    for (std::int64_t j = 0; j < values.cols(); ++j) {
+      if (better(pv[j], po[j])) po[j] = pv[j];
+    }
+  }
+  // Empty segments report zero rather than +-inf so downstream layers
+  // see a neutral "no messages" value.
+  for (std::int64_t s = 0; s < num_segments; ++s) {
+    if (!touched[static_cast<std::size_t>(s)]) {
+      float* po = out.RowPtr(s);
+      std::fill(po, po + out.cols(), 0.0f);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor SegmentMax(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments) {
+  return SegmentExtremum(values, ids, num_segments,
+                         -std::numeric_limits<float>::infinity(),
+                         [](float a, float b) { return a > b; });
+}
+
+Tensor SegmentMin(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments) {
+  return SegmentExtremum(values, ids, num_segments,
+                         std::numeric_limits<float>::infinity(),
+                         [](float a, float b) { return a < b; });
+}
+
+std::vector<std::int64_t> SegmentCounts(std::span<const std::int64_t> ids,
+                                        std::int64_t num_segments) {
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_segments), 0);
+  for (std::int64_t id : ids) {
+    INFERTURBO_CHECK(0 <= id && id < num_segments)
+        << "segment id " << id << " out of [0," << num_segments << ")";
+    ++counts[static_cast<std::size_t>(id)];
+  }
+  return counts;
+}
+
+Tensor SegmentSoftmax(const Tensor& logits, std::span<const std::int64_t> ids,
+                      std::int64_t num_segments) {
+  INFERTURBO_CHECK(logits.cols() == 1)
+      << "SegmentSoftmax expects a column vector, got " << logits.ToString();
+  CheckIds(logits, ids, num_segments);
+  std::vector<float> seg_max(static_cast<std::size_t>(num_segments),
+                             -std::numeric_limits<float>::infinity());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const float v = logits.At(static_cast<std::int64_t>(i), 0);
+    float& m = seg_max[static_cast<std::size_t>(ids[i])];
+    m = std::max(m, v);
+  }
+  std::vector<double> seg_sum(static_cast<std::size_t>(num_segments), 0.0);
+  Tensor out(logits.rows(), 1);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const float e = std::exp(logits.At(static_cast<std::int64_t>(i), 0) -
+                             seg_max[static_cast<std::size_t>(ids[i])]);
+    out.At(static_cast<std::int64_t>(i), 0) = e;
+    seg_sum[static_cast<std::size_t>(ids[i])] += e;
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    out.At(static_cast<std::int64_t>(i), 0) /=
+        static_cast<float>(seg_sum[static_cast<std::size_t>(ids[i])]);
+  }
+  return out;
+}
+
+}  // namespace inferturbo

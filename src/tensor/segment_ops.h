@@ -1,0 +1,47 @@
+#ifndef INFERTURBO_TENSOR_SEGMENT_OPS_H_
+#define INFERTURBO_TENSOR_SEGMENT_OPS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace inferturbo {
+
+/// Segment reductions: the heart of the Gather stage. Rows of `values`
+/// are reduced into `num_segments` output rows keyed by `segment_ids`
+/// (one id per input row; ids need not be sorted). Segments that receive
+/// no rows are left at the reduction's identity (0 for sum/mean,
+/// 0 for max/min as well — callers treat count==0 as "no messages").
+
+/// out[s] = Σ_{i: ids[i]==s} values[i].
+Tensor SegmentSum(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments);
+
+/// out[s] = mean over the segment; empty segments stay zero.
+Tensor SegmentMean(const Tensor& values, std::span<const std::int64_t> ids,
+                   std::int64_t num_segments);
+
+/// out[s] = elementwise max; empty segments stay zero.
+Tensor SegmentMax(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments);
+
+/// out[s] = elementwise min; empty segments stay zero.
+Tensor SegmentMin(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments);
+
+/// Number of rows per segment.
+std::vector<std::int64_t> SegmentCounts(std::span<const std::int64_t> ids,
+                                        std::int64_t num_segments);
+
+/// Softmax over each segment of a column vector of logits (n×1):
+/// out[i] = exp(l[i]) / Σ_{j in segment(i)} exp(l[j]). Numerically
+/// stabilized per segment. This is GAT's attention normalization over a
+/// node's in-edges.
+Tensor SegmentSoftmax(const Tensor& logits, std::span<const std::int64_t> ids,
+                      std::int64_t num_segments);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TENSOR_SEGMENT_OPS_H_

@@ -1,0 +1,129 @@
+#include "src/tensor/sparse.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/logging.h"
+
+namespace inferturbo {
+
+CsrMatrix CsrMatrix::FromCoo(std::int64_t rows, std::int64_t cols,
+                             std::span<const std::int64_t> row_ids,
+                             std::span<const std::int64_t> col_ids,
+                             std::span<const float> values) {
+  INFERTURBO_CHECK(row_ids.size() == col_ids.size() &&
+                   row_ids.size() == values.size())
+      << "COO arrays must be the same length";
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  // Counting sort by row keeps construction O(nnz + rows).
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(rows) + 1, 0);
+  for (std::int64_t r : row_ids) {
+    INFERTURBO_CHECK(0 <= r && r < rows) << "row id " << r << " out of range";
+    ++counts[static_cast<std::size_t>(r) + 1];
+  }
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+  m.row_offsets_ = counts;
+  std::vector<std::int64_t> cursor(counts.begin(), counts.end() - 1);
+  m.col_indices_.resize(row_ids.size());
+  m.values_.resize(row_ids.size());
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    INFERTURBO_CHECK(0 <= col_ids[i] && col_ids[i] < cols)
+        << "col id " << col_ids[i] << " out of range";
+    const std::int64_t pos = cursor[static_cast<std::size_t>(row_ids[i])]++;
+    m.col_indices_[static_cast<std::size_t>(pos)] = col_ids[i];
+    m.values_[static_cast<std::size_t>(pos)] = values[i];
+  }
+  // Merge duplicates within each row so FromCoo is set-like.
+  std::vector<std::int64_t> new_offsets(static_cast<std::size_t>(rows) + 1, 0);
+  std::size_t write = 0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t begin = m.row_offsets_[static_cast<std::size_t>(r)];
+    const std::int64_t end = m.row_offsets_[static_cast<std::size_t>(r) + 1];
+    // Sort the row's (col, value) pairs by column.
+    std::vector<std::pair<std::int64_t, float>> entries;
+    entries.reserve(static_cast<std::size_t>(end - begin));
+    for (std::int64_t i = begin; i < end; ++i) {
+      entries.emplace_back(m.col_indices_[static_cast<std::size_t>(i)],
+                           m.values_[static_cast<std::size_t>(i)]);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < entries.size();) {
+      std::int64_t col = entries[i].first;
+      float sum = 0.0f;
+      while (i < entries.size() && entries[i].first == col) {
+        sum += entries[i].second;
+        ++i;
+      }
+      m.col_indices_[write] = col;
+      m.values_[write] = sum;
+      ++write;
+    }
+    new_offsets[static_cast<std::size_t>(r) + 1] =
+        static_cast<std::int64_t>(write);
+  }
+  m.col_indices_.resize(write);
+  m.values_.resize(write);
+  m.row_offsets_ = std::move(new_offsets);
+  return m;
+}
+
+CsrMatrix CsrMatrix::FromEdges(std::int64_t num_nodes,
+                               std::span<const std::int64_t> dst_ids,
+                               std::span<const std::int64_t> src_ids) {
+  std::vector<float> ones(dst_ids.size(), 1.0f);
+  return FromCoo(num_nodes, num_nodes, dst_ids, src_ids, ones);
+}
+
+void CsrMatrix::NormalizeRows() {
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    const std::int64_t begin = row_offsets_[static_cast<std::size_t>(r)];
+    const std::int64_t end = row_offsets_[static_cast<std::size_t>(r) + 1];
+    float sum = 0.0f;
+    for (std::int64_t i = begin; i < end; ++i) {
+      sum += values_[static_cast<std::size_t>(i)];
+    }
+    if (sum == 0.0f) continue;
+    const float inv = 1.0f / sum;
+    for (std::int64_t i = begin; i < end; ++i) {
+      values_[static_cast<std::size_t>(i)] *= inv;
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  std::vector<std::int64_t> rows;
+  std::vector<std::int64_t> cols;
+  rows.reserve(values_.size());
+  cols.reserve(values_.size());
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    for (std::int64_t i = row_offsets_[static_cast<std::size_t>(r)];
+         i < row_offsets_[static_cast<std::size_t>(r) + 1]; ++i) {
+      rows.push_back(col_indices_[static_cast<std::size_t>(i)]);
+      cols.push_back(r);
+    }
+  }
+  return FromCoo(cols_, rows_, rows, cols, values_);
+}
+
+Tensor CsrMatrix::MatMulDense(const Tensor& dense) const {
+  INFERTURBO_CHECK(dense.rows() == cols_)
+      << "CsrMatrix::MatMulDense shape mismatch: " << cols_ << " vs "
+      << dense.rows();
+  Tensor out(rows_, dense.cols());
+  for (std::int64_t r = 0; r < rows_; ++r) {
+    float* po = out.RowPtr(r);
+    const std::int64_t begin = row_offsets_[static_cast<std::size_t>(r)];
+    const std::int64_t end = row_offsets_[static_cast<std::size_t>(r) + 1];
+    for (std::int64_t i = begin; i < end; ++i) {
+      const float v = values_[static_cast<std::size_t>(i)];
+      const float* pd = dense.RowPtr(col_indices_[static_cast<std::size_t>(i)]);
+      for (std::int64_t j = 0; j < dense.cols(); ++j) po[j] += v * pd[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace inferturbo

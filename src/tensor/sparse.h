@@ -1,0 +1,62 @@
+#ifndef INFERTURBO_TENSOR_SPARSE_H_
+#define INFERTURBO_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace inferturbo {
+
+/// A rows×cols sparse float32 matrix in CSR form.
+///
+/// The paper's fused scatter_and_gather for GraphSAGE is a generalized
+/// sparse-dense product `Dot(A, node_state)` where A is built from
+/// (dst_index, src_index) pairs; this type provides that path for the
+/// training side.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from COO triples. Duplicate (row, col) entries are summed.
+  static CsrMatrix FromCoo(std::int64_t rows, std::int64_t cols,
+                           std::span<const std::int64_t> row_ids,
+                           std::span<const std::int64_t> col_ids,
+                           std::span<const float> values);
+
+  /// Adjacency from edges with all-ones values:
+  /// A[dst, src] = multiplicity of the edge.
+  static CsrMatrix FromEdges(std::int64_t num_nodes,
+                             std::span<const std::int64_t> dst_ids,
+                             std::span<const std::int64_t> src_ids);
+
+  /// Rescales every row to sum to 1 (rows with zero sum are untouched),
+  /// turning a sum aggregation into a mean.
+  void NormalizeRows();
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t nnz() const { return static_cast<std::int64_t>(values_.size()); }
+
+  const std::vector<std::int64_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<std::int64_t>& col_indices() const { return col_indices_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Dense product: (rows×cols) · (cols×d) -> (rows×d).
+  Tensor MatMulDense(const Tensor& dense) const;
+
+  /// The transposed matrix (cols×rows); used for SpMM backward.
+  CsrMatrix Transpose() const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<std::int64_t> row_offsets_;  // size rows_+1
+  std::vector<std::int64_t> col_indices_;  // size nnz
+  std::vector<float> values_;              // size nnz
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TENSOR_SPARSE_H_

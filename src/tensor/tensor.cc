@@ -1,0 +1,98 @@
+#include "src/tensor/tensor.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace inferturbo {
+
+Tensor::Tensor(std::int64_t rows, std::int64_t cols)
+    : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols)) {
+  INFERTURBO_CHECK(rows >= 0 && cols >= 0)
+      << "negative tensor shape " << rows << "x" << cols;
+}
+
+Tensor Tensor::Zeros(std::int64_t rows, std::int64_t cols) {
+  return Tensor(rows, cols);
+}
+
+Tensor Tensor::Full(std::int64_t rows, std::int64_t cols, float value) {
+  Tensor t(rows, cols);
+  std::fill(t.data_.begin(), t.data_.end(), value);
+  return t;
+}
+
+Tensor Tensor::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Tensor();
+  Tensor t(static_cast<std::int64_t>(rows.size()),
+           static_cast<std::int64_t>(rows[0].size()));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    INFERTURBO_CHECK(rows[r].size() == rows[0].size())
+        << "ragged initializer at row " << r;
+    std::memcpy(t.RowPtr(static_cast<std::int64_t>(r)), rows[r].data(),
+                rows[r].size() * sizeof(float));
+  }
+  return t;
+}
+
+Tensor Tensor::GlorotUniform(std::int64_t rows, std::int64_t cols, Rng* rng) {
+  Tensor t(rows, cols);
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (float& v : t.data_) v = rng->NextFloat(-limit, limit);
+  return t;
+}
+
+Tensor Tensor::RandomNormal(std::int64_t rows, std::int64_t cols, float stddev,
+                            Rng* rng) {
+  Tensor t(rows, cols);
+  for (float& v : t.data_) {
+    v = stddev * static_cast<float>(rng->NextGaussian());
+  }
+  return t;
+}
+
+std::vector<float> Tensor::RowVector(std::int64_t r) const {
+  return std::vector<float>(RowPtr(r), RowPtr(r) + cols_);
+}
+
+void Tensor::SetRow(std::int64_t r, const std::vector<float>& values) {
+  INFERTURBO_CHECK(static_cast<std::int64_t>(values.size()) == cols_)
+      << "SetRow size mismatch: " << values.size() << " vs " << cols_;
+  SetRow(r, values.data());
+}
+
+void Tensor::SetRow(std::int64_t r, const float* values) {
+  std::memcpy(RowPtr(r), values, static_cast<std::size_t>(cols_) *
+                                     sizeof(float));
+}
+
+bool Tensor::ApproxEquals(const Tensor& other, float atol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream os;
+  os << "Tensor(" << rows_ << "x" << cols_ << ")";
+  if (size() <= 64) {
+    os << " [";
+    for (std::int64_t r = 0; r < rows_; ++r) {
+      os << (r == 0 ? "[" : ", [");
+      for (std::int64_t c = 0; c < cols_; ++c) {
+        if (c > 0) os << ", ";
+        os << At(r, c);
+      }
+      os << "]";
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,81 @@
+#ifndef INFERTURBO_TENSOR_TENSOR_H_
+#define INFERTURBO_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace inferturbo {
+
+/// A dense row-major float32 matrix.
+///
+/// Everything a GAS-style GNN layer computes is two-dimensional: node
+/// states are (num_nodes × dim), edge messages are (num_edges × dim),
+/// weights are (in × out). A single 2-D type keeps the kernel surface
+/// small; vectors are represented as 1×d or n×1 matrices.
+class Tensor {
+ public:
+  /// An empty 0×0 tensor.
+  Tensor() = default;
+
+  /// Uninitialized storage is never exposed: this zero-fills.
+  Tensor(std::int64_t rows, std::int64_t cols);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  static Tensor Zeros(std::int64_t rows, std::int64_t cols);
+  static Tensor Full(std::int64_t rows, std::int64_t cols, float value);
+  /// Builds from a row-major initializer, e.g. {{1,2},{3,4}}.
+  static Tensor FromRows(
+      const std::vector<std::vector<float>>& rows);
+  /// Glorot/Xavier-uniform initialization, deterministic under `rng`.
+  static Tensor GlorotUniform(std::int64_t rows, std::int64_t cols, Rng* rng);
+  /// I.i.d. N(0, stddev^2) entries, deterministic under `rng`.
+  static Tensor RandomNormal(std::int64_t rows, std::int64_t cols,
+                             float stddev, Rng* rng);
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  float At(std::int64_t r, std::int64_t c) const {
+    return data_[r * cols_ + c];
+  }
+  float& At(std::int64_t r, std::int64_t c) { return data_[r * cols_ + c]; }
+
+  const float* RowPtr(std::int64_t r) const { return data_.data() + r * cols_; }
+  float* RowPtr(std::int64_t r) { return data_.data() + r * cols_; }
+  const float* data() const { return data_.data(); }
+  float* data() { return data_.data(); }
+
+  /// Copies row `r` out as a vector (used when a single node's state is
+  /// packed into a message).
+  std::vector<float> RowVector(std::int64_t r) const;
+  /// Overwrites row `r` from `values` (size must equal cols()).
+  void SetRow(std::int64_t r, const std::vector<float>& values);
+  void SetRow(std::int64_t r, const float* values);
+
+  /// Serialized payload size of the whole tensor on the simulated wire.
+  std::size_t ByteSize() const { return data_.size() * sizeof(float); }
+
+  /// True when shapes match and all entries differ by at most `atol`.
+  bool ApproxEquals(const Tensor& other, float atol = 1e-5f) const;
+
+  /// Shape and (for small tensors) contents, for test failure messages.
+  std::string ToString() const;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TENSOR_TENSOR_H_

@@ -1,0 +1,256 @@
+#include "src/tensor/autograd.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+namespace ag {
+namespace {
+
+/// Finite-difference check: for scalar-valued builder(params...), the
+/// analytic gradient of every parameter entry must match the central
+/// difference within tolerance. This pins every operator's backward.
+void CheckGradients(const std::vector<VarPtr>& params,
+                    const std::function<VarPtr()>& build_loss,
+                    float epsilon = 1e-3f, float tolerance = 2e-2f) {
+  VarPtr loss = build_loss();
+  ASSERT_EQ(loss->value.rows(), 1);
+  ASSERT_EQ(loss->value.cols(), 1);
+  Backward(loss);
+
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    Tensor analytic = params[p]->grad;
+    ASSERT_FALSE(analytic.empty()) << "param " << p << " got no gradient";
+    for (std::int64_t i = 0; i < params[p]->value.size(); ++i) {
+      const float saved = params[p]->value.data()[i];
+      params[p]->value.data()[i] = saved + epsilon;
+      const float up = build_loss()->value.At(0, 0);
+      params[p]->value.data()[i] = saved - epsilon;
+      const float down = build_loss()->value.At(0, 0);
+      params[p]->value.data()[i] = saved;
+      const float numeric = (up - down) / (2.0f * epsilon);
+      EXPECT_NEAR(analytic.data()[i], numeric, tolerance)
+          << "param " << p << " entry " << i;
+    }
+    params[p]->ZeroGrad();
+  }
+}
+
+/// Reduce any tensor node to a scalar via a fixed random projection so
+/// each op can be grad-checked in isolation.
+VarPtr ProjectToScalar(const VarPtr& x, Rng* rng) {
+  Tensor proj = Tensor::RandomNormal(x->value.cols(), 1, 1.0f, rng);
+  Tensor ones = Tensor::Full(1, x->value.rows(), 1.0f);
+  // 1xN * (NxC * Cx1) -> 1x1
+  return MatMul(Constant(ones), MatMul(x, Constant(proj)));
+}
+
+TEST(AutogradTest, ConstantRequiresNoGrad) {
+  VarPtr c = Constant(Tensor::Full(2, 2, 1.0f));
+  EXPECT_FALSE(c->requires_grad);
+  VarPtr p = Param(Tensor::Full(2, 2, 1.0f));
+  EXPECT_TRUE(p->requires_grad);
+}
+
+TEST(AutogradTest, MatMulGradient) {
+  Rng rng(1);
+  VarPtr a = Param(Tensor::RandomNormal(3, 4, 1.0f, &rng));
+  VarPtr b = Param(Tensor::RandomNormal(4, 2, 1.0f, &rng));
+  Rng proj_rng(2);
+  Tensor proj = Tensor::RandomNormal(2, 1, 1.0f, &proj_rng);
+  Tensor ones = Tensor::Full(1, 3, 1.0f);
+  CheckGradients({a, b}, [&] {
+    return MatMul(Constant(ones), MatMul(MatMul(a, b), Constant(proj)));
+  });
+}
+
+TEST(AutogradTest, AddAndBiasGradient) {
+  Rng rng(3);
+  VarPtr a = Param(Tensor::RandomNormal(3, 4, 1.0f, &rng));
+  VarPtr bias = Param(Tensor::RandomNormal(1, 4, 1.0f, &rng));
+  CheckGradients({a, bias}, [&] {
+    Rng local(4);
+    return ProjectToScalar(AddRowBroadcast(a, bias), &local);
+  });
+}
+
+TEST(AutogradTest, MulGradient) {
+  Rng rng(5);
+  VarPtr a = Param(Tensor::RandomNormal(2, 3, 1.0f, &rng));
+  VarPtr b = Param(Tensor::RandomNormal(2, 3, 1.0f, &rng));
+  CheckGradients({a, b}, [&] {
+    Rng local(6);
+    return ProjectToScalar(Mul(a, b), &local);
+  });
+}
+
+TEST(AutogradTest, MulColBroadcastGradient) {
+  Rng rng(7);
+  VarPtr a = Param(Tensor::RandomNormal(4, 3, 1.0f, &rng));
+  VarPtr s = Param(Tensor::RandomNormal(4, 1, 1.0f, &rng));
+  CheckGradients({a, s}, [&] {
+    Rng local(8);
+    return ProjectToScalar(MulColBroadcast(a, s), &local);
+  });
+}
+
+TEST(AutogradTest, LeakyReluGradient) {
+  Rng rng(9);
+  VarPtr a = Param(Tensor::RandomNormal(3, 3, 1.0f, &rng));
+  CheckGradients({a}, [&] {
+    Rng local(10);
+    return ProjectToScalar(LeakyRelu(a, 0.2f), &local);
+  });
+}
+
+TEST(AutogradTest, ConcatSliceGradient) {
+  Rng rng(11);
+  VarPtr a = Param(Tensor::RandomNormal(2, 3, 1.0f, &rng));
+  VarPtr b = Param(Tensor::RandomNormal(2, 2, 1.0f, &rng));
+  CheckGradients({a, b}, [&] {
+    Rng local(12);
+    return ProjectToScalar(SliceCols(ConcatCols(a, b), 1, 4), &local);
+  });
+}
+
+TEST(AutogradTest, GatherRowsGradient) {
+  Rng rng(13);
+  VarPtr a = Param(Tensor::RandomNormal(4, 3, 1.0f, &rng));
+  const std::vector<std::int64_t> idx = {0, 2, 2, 3, 1};
+  CheckGradients({a}, [&] {
+    Rng local(14);
+    return ProjectToScalar(GatherRows(a, idx), &local);
+  });
+}
+
+TEST(AutogradTest, SegmentSumGradient) {
+  Rng rng(15);
+  VarPtr a = Param(Tensor::RandomNormal(6, 3, 1.0f, &rng));
+  const std::vector<std::int64_t> ids = {0, 1, 0, 2, 1, 0};
+  CheckGradients({a}, [&] {
+    Rng local(16);
+    return ProjectToScalar(SegmentSum(a, ids, 3), &local);
+  });
+}
+
+TEST(AutogradTest, SegmentMeanGradient) {
+  Rng rng(17);
+  VarPtr a = Param(Tensor::RandomNormal(6, 3, 1.0f, &rng));
+  const std::vector<std::int64_t> ids = {0, 1, 0, 2, 1, 0};
+  CheckGradients({a}, [&] {
+    Rng local(18);
+    return ProjectToScalar(SegmentMean(a, ids, 3), &local);
+  });
+}
+
+TEST(AutogradTest, SegmentMaxGradientRoutesToArgmax) {
+  // Hand-checkable case: rows {1, 5, 3} in one segment -> grad flows
+  // only to the row holding 5.
+  VarPtr a = Param(Tensor::FromRows({{1.0f}, {5.0f}, {3.0f}}));
+  const std::vector<std::int64_t> ids = {0, 0, 0};
+  VarPtr m = SegmentMax(a, ids, 1);
+  Backward(m);
+  EXPECT_EQ(a->grad.At(0, 0), 0.0f);
+  EXPECT_EQ(a->grad.At(1, 0), 1.0f);
+  EXPECT_EQ(a->grad.At(2, 0), 0.0f);
+}
+
+TEST(AutogradTest, SegmentMaxGradientNumeric) {
+  Rng rng(25);
+  VarPtr a = Param(Tensor::RandomNormal(6, 3, 1.0f, &rng));
+  const std::vector<std::int64_t> ids = {0, 1, 0, 2, 1, 0};
+  CheckGradients({a}, [&] {
+    Rng local(26);
+    return ProjectToScalar(SegmentMax(a, ids, 3), &local);
+  });
+}
+
+TEST(AutogradTest, SegmentSoftmaxGradient) {
+  Rng rng(19);
+  VarPtr logits = Param(Tensor::RandomNormal(6, 1, 1.0f, &rng));
+  const std::vector<std::int64_t> ids = {0, 1, 0, 1, 0, 1};
+  CheckGradients({logits}, [&] {
+    Rng local(20);
+    return ProjectToScalar(SegmentSoftmax(logits, ids, 2), &local);
+  });
+}
+
+TEST(AutogradTest, SparseMatMulGradient) {
+  Rng rng(27);
+  VarPtr x = Param(Tensor::RandomNormal(5, 3, 1.0f, &rng));
+  const std::vector<std::int64_t> dst = {0, 0, 1, 2, 3, 3};
+  const std::vector<std::int64_t> src = {1, 2, 0, 4, 3, 1};
+  CheckGradients({x}, [&] {
+    Rng local(28);
+    CsrMatrix a = inferturbo::CsrMatrix::FromEdges(5, dst, src);
+    a.NormalizeRows();
+    return ProjectToScalar(SparseMatMul(std::move(a), x), &local);
+  });
+}
+
+TEST(AutogradTest, SparseMatMulMatchesSegmentMean) {
+  Rng rng(29);
+  VarPtr x = Constant(Tensor::RandomNormal(6, 4, 1.0f, &rng));
+  const std::vector<std::int64_t> dst = {0, 0, 2, 5, 5, 5};
+  const std::vector<std::int64_t> src = {1, 3, 4, 0, 2, 2};
+  CsrMatrix a = inferturbo::CsrMatrix::FromEdges(6, dst, src);
+  a.NormalizeRows();
+  const VarPtr via_spmm = SparseMatMul(std::move(a), x);
+  const VarPtr via_segments =
+      SegmentMean(GatherRows(x, src), dst, 6);
+  EXPECT_TRUE(via_spmm->value.ApproxEquals(via_segments->value, 1e-5f));
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyGradient) {
+  Rng rng(21);
+  VarPtr logits = Param(Tensor::RandomNormal(5, 4, 1.0f, &rng));
+  const std::vector<std::int64_t> labels = {0, 3, 1, 2, 0};
+  CheckGradients({logits},
+                 [&] { return SoftmaxCrossEntropyLoss(logits, labels); });
+}
+
+TEST(AutogradTest, SigmoidBceGradient) {
+  Rng rng(23);
+  VarPtr logits = Param(Tensor::RandomNormal(4, 3, 1.0f, &rng));
+  Tensor targets(4, 3);
+  Rng trng(24);
+  for (std::int64_t i = 0; i < targets.size(); ++i) {
+    targets.data()[i] = trng.NextDouble() < 0.5 ? 0.0f : 1.0f;
+  }
+  CheckGradients({logits}, [&] { return SigmoidBceLoss(logits, targets); });
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossSharedUse) {
+  // y = sum(a) + sum(a) -> da = 2.
+  VarPtr a = Param(Tensor::Full(2, 2, 1.0f));
+  Tensor ones_row = Tensor::Full(1, 2, 1.0f);
+  Tensor ones_col = Tensor::Full(2, 1, 1.0f);
+  const auto sum = [&](const VarPtr& x) {
+    return MatMul(Constant(ones_row), MatMul(x, Constant(ones_col)));
+  };
+  VarPtr loss = Add(sum(a), sum(a));
+  Backward(loss);
+  EXPECT_TRUE(a->grad.ApproxEquals(Tensor::Full(2, 2, 2.0f), 1e-5f));
+}
+
+TEST(AutogradTest, BackwardOnDiamondGraphVisitsOnce) {
+  // b = a*a; loss = sum(b + b). Every node on the diamond must be
+  // processed exactly once or gradients double-count.
+  VarPtr a = Param(Tensor::Full(1, 2, 3.0f));
+  VarPtr b = Mul(a, a);
+  VarPtr c = Add(b, b);
+  Tensor ones_col = Tensor::Full(2, 1, 1.0f);
+  VarPtr loss = MatMul(c, Constant(ones_col));
+  Backward(loss);
+  // d/da sum(2*a^2) = 4a = 12.
+  EXPECT_TRUE(a->grad.ApproxEquals(Tensor::Full(1, 2, 12.0f), 1e-4f));
+}
+
+}  // namespace
+}  // namespace ag
+}  // namespace inferturbo

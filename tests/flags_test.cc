@@ -1,0 +1,69 @@
+#include "src/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace inferturbo {
+namespace {
+
+FlagParser MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "binary");
+  const Result<FlagParser> parsed =
+      FlagParser::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).ValueOrDie();
+}
+
+TEST(FlagParserTest, EqualsAndSpaceForms) {
+  const FlagParser flags =
+      MustParse({"--mode=train", "--workers", "16", "--lr=0.05"});
+  EXPECT_EQ(flags.GetString("mode", ""), "train");
+  EXPECT_EQ(flags.GetInt("workers", 0), 16);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lr", 0.0), 0.05);
+}
+
+TEST(FlagParserTest, BareFlagIsBooleanTrue) {
+  const FlagParser flags = MustParse({"--verbose", "--mode=x"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.Has("verbose"));
+}
+
+TEST(FlagParserTest, TrailingBareFlagIsBooleanTrue) {
+  const FlagParser flags = MustParse({"--mode=x", "--dry_run"});
+  EXPECT_TRUE(flags.GetBool("dry_run", false));
+}
+
+TEST(FlagParserTest, FallbacksApplyWhenMissing) {
+  const FlagParser flags = MustParse({});
+  EXPECT_EQ(flags.GetString("mode", "demo"), "demo");
+  EXPECT_EQ(flags.GetInt("workers", 8), 8);
+  EXPECT_FALSE(flags.GetBool("verbose", false));
+  EXPECT_FALSE(flags.Has("anything"));
+}
+
+TEST(FlagParserTest, BoolSpellings) {
+  const FlagParser flags =
+      MustParse({"--a=true", "--b=1", "--c=yes", "--d=false", "--e=0"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_FALSE(flags.GetBool("e", true));
+}
+
+TEST(FlagParserTest, RejectsPositionalArguments) {
+  const char* argv[] = {"binary", "positional"};
+  EXPECT_FALSE(FlagParser::Parse(2, argv).ok());
+}
+
+TEST(FlagParserTest, RejectsBareDoubleDash) {
+  const char* argv[] = {"binary", "--"};
+  EXPECT_FALSE(FlagParser::Parse(2, argv).ok());
+}
+
+TEST(FlagParserTest, KeysListsEverything) {
+  const FlagParser flags = MustParse({"--b=2", "--a=1"});
+  EXPECT_EQ(flags.Keys(), (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace inferturbo

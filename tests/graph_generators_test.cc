@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/graph/datasets.h"
+#include "src/graph/degree_stats.h"
+#include "src/graph/partition.h"
+#include "src/graph/power_law.h"
+
+namespace inferturbo {
+namespace {
+
+TEST(ZipfSamplerTest, HeavyHeadLightTail) {
+  ZipfSampler zipf(1000, 2.0);
+  Rng rng(3);
+  std::int64_t head = 0, tail = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t r = zipf.Sample(&rng);
+    if (r < 10) ++head;
+    if (r >= 500) ++tail;
+  }
+  EXPECT_GT(head, 8000);
+  EXPECT_LT(tail, 200);
+}
+
+TEST(ZipfSamplerTest, CoversRangeUnderLowAlpha) {
+  ZipfSampler zipf(50, 0.5);
+  Rng rng(5);
+  std::int64_t max_seen = 0;
+  for (int i = 0; i < 5000; ++i) {
+    max_seen = std::max(max_seen, zipf.Sample(&rng));
+  }
+  EXPECT_GT(max_seen, 40);
+}
+
+TEST(PowerLawTest, EdgeCountMatchesAvgDegree) {
+  PowerLawConfig config;
+  config.num_nodes = 1000;
+  config.avg_degree = 8.0;
+  const EdgeList edges = GeneratePowerLawEdges(config);
+  EXPECT_EQ(edges.src.size(), 8000u);
+  EXPECT_EQ(edges.dst.size(), 8000u);
+}
+
+TEST(PowerLawTest, InSkewConcentratesInDegree) {
+  PowerLawConfig config;
+  config.num_nodes = 2000;
+  config.avg_degree = 10.0;
+  config.alpha = 1.8;
+  config.skew = PowerLawSkew::kIn;
+  const Dataset d = MakePowerLawDataset(config);
+  const DegreeStats in = ComputeInDegreeStats(d.graph);
+  const DegreeStats out = ComputeOutDegreeStats(d.graph);
+  // Hubs exist on the in side, not the out side.
+  EXPECT_GT(in.max_degree, 20 * out.max_degree / 4);
+  EXPECT_GT(in.max_degree, 10 * static_cast<std::int64_t>(in.mean_degree));
+  EXPECT_LT(out.max_degree, 5 * static_cast<std::int64_t>(out.mean_degree) +
+                                 30);
+}
+
+TEST(PowerLawTest, OutSkewConcentratesOutDegree) {
+  PowerLawConfig config;
+  config.num_nodes = 2000;
+  config.avg_degree = 10.0;
+  config.alpha = 1.8;
+  config.skew = PowerLawSkew::kOut;
+  const Dataset d = MakePowerLawDataset(config);
+  const DegreeStats out = ComputeOutDegreeStats(d.graph);
+  EXPECT_GT(out.max_degree, 10 * static_cast<std::int64_t>(out.mean_degree));
+}
+
+TEST(PowerLawTest, DeterministicUnderSeed) {
+  PowerLawConfig config;
+  config.num_nodes = 500;
+  config.seed = 77;
+  const EdgeList a = GeneratePowerLawEdges(config);
+  const EdgeList b = GeneratePowerLawEdges(config);
+  EXPECT_EQ(a.src, b.src);
+  EXPECT_EQ(a.dst, b.dst);
+}
+
+TEST(PowerLawTest, NoSelfLoops) {
+  PowerLawConfig config;
+  config.num_nodes = 300;
+  const EdgeList edges = GeneratePowerLawEdges(config);
+  for (std::size_t i = 0; i < edges.src.size(); ++i) {
+    EXPECT_NE(edges.src[i], edges.dst[i]);
+  }
+}
+
+TEST(PowerLawDatasetTest, MillesimalTrainingSplit) {
+  PowerLawConfig config;
+  config.num_nodes = 5000;
+  const Dataset d = MakePowerLawDataset(config);
+  EXPECT_EQ(d.graph.train_nodes().size(), 5u);
+  EXPECT_EQ(d.graph.test_nodes().size(), 5000u);
+  EXPECT_EQ(d.graph.num_classes(), 2);
+}
+
+TEST(DatasetsTest, PpiLikeShape) {
+  const Dataset d = MakePpiLike(0.2);
+  EXPECT_EQ(d.graph.feature_dim(), 50);
+  EXPECT_EQ(d.graph.num_classes(), 121);
+  EXPECT_TRUE(d.graph.is_multi_label());
+  EXPECT_EQ(d.graph.multi_labels().rows(), d.graph.num_nodes());
+}
+
+TEST(DatasetsTest, ProductsLikeShape) {
+  const Dataset d = MakeProductsLike(0.1);
+  EXPECT_EQ(d.graph.feature_dim(), 100);
+  EXPECT_EQ(d.graph.num_classes(), 47);
+  EXPECT_FALSE(d.graph.is_multi_label());
+}
+
+TEST(DatasetsTest, Mag240mLikeShape) {
+  const Dataset d = MakeMag240mLike(0.02);
+  EXPECT_EQ(d.graph.feature_dim(), 128);
+  EXPECT_EQ(d.graph.num_classes(), 153);
+}
+
+TEST(DatasetsTest, SplitsPartitionTheNodeSet) {
+  const Dataset d = MakeProductsLike(0.1);
+  std::vector<NodeId> all;
+  for (const auto* split :
+       {&d.graph.train_nodes(), &d.graph.val_nodes(), &d.graph.test_nodes()}) {
+    all.insert(all.end(), split->begin(), split->end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(static_cast<std::int64_t>(all.size()), d.graph.num_nodes());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+}
+
+TEST(DatasetsTest, HomophilyBeatsUniformBaseline) {
+  PlantedGraphConfig config;
+  config.num_nodes = 2000;
+  config.num_classes = 4;
+  config.feature_dim = 8;
+  config.homophily = 0.8;
+  const Dataset d = MakePlantedDataset("homophily-check", config);
+  std::int64_t same = 0;
+  for (EdgeId e = 0; e < d.graph.num_edges(); ++e) {
+    same += d.graph.labels()[static_cast<std::size_t>(d.graph.EdgeSrc(e))] ==
+            d.graph.labels()[static_cast<std::size_t>(d.graph.EdgeDst(e))];
+  }
+  const double fraction =
+      static_cast<double>(same) / static_cast<double>(d.graph.num_edges());
+  // 0.8 + 0.2/4 = 0.85 expected; uniform would be 0.25.
+  EXPECT_GT(fraction, 0.7);
+}
+
+TEST(PartitionTest, AssignmentIsConsistent) {
+  HashPartitioner partitioner(7);
+  const PartitionAssignment a = AssignPartitions(1000, partitioner);
+  for (NodeId v = 0; v < 1000; ++v) {
+    const std::int64_t p = a.partition_of[static_cast<std::size_t>(v)];
+    EXPECT_EQ(p, partitioner.PartitionOf(v));
+    const std::int64_t local = a.local_index[static_cast<std::size_t>(v)];
+    EXPECT_EQ(a.members[static_cast<std::size_t>(p)][static_cast<std::size_t>(
+                  local)],
+              v);
+  }
+}
+
+TEST(PartitionTest, PartitionsAreBalanced) {
+  HashPartitioner partitioner(8);
+  const PartitionAssignment a = AssignPartitions(8000, partitioner);
+  for (const auto& members : a.members) {
+    EXPECT_GT(members.size(), 700u);
+    EXPECT_LT(members.size(), 1300u);
+  }
+}
+
+TEST(DegreeStatsTest, HubThresholdFormula) {
+  // threshold = lambda * edges / workers: the paper's 1e9 edges /
+  // 1000 workers at lambda 0.1 -> 100000.
+  EXPECT_EQ(HubDegreeThreshold(1'000'000'000, 1000, 0.1), 100000);
+  EXPECT_EQ(HubDegreeThreshold(100, 1000, 0.1), 1);  // floors at 1
+}
+
+TEST(DegreeStatsTest, FindsHubs) {
+  PowerLawConfig config;
+  config.num_nodes = 1000;
+  config.avg_degree = 10.0;
+  config.skew = PowerLawSkew::kOut;
+  config.alpha = 1.6;
+  const Dataset d = MakePowerLawDataset(config);
+  const std::vector<NodeId> hubs = FindOutDegreeHubs(d.graph, 100);
+  EXPECT_FALSE(hubs.empty());
+  for (NodeId v : hubs) EXPECT_GT(d.graph.OutDegree(v), 100);
+}
+
+TEST(DegreeStatsTest, HistogramCoversAllNodes) {
+  const Dataset d = MakeProductsLike(0.05);
+  const DegreeStats stats = ComputeInDegreeStats(d.graph);
+  std::int64_t total = 0;
+  for (std::int64_t c : stats.log2_histogram) total += c;
+  EXPECT_EQ(total, d.graph.num_nodes());
+  EXPECT_GE(stats.p90, stats.p50);
+  EXPECT_GE(stats.p99, stats.p90);
+  EXPECT_GE(stats.max_degree, stats.p99);
+}
+
+}  // namespace
+}  // namespace inferturbo

@@ -1,0 +1,130 @@
+#include "src/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/graph_builder.h"
+
+namespace inferturbo {
+namespace {
+
+Graph MakeTriangle() {
+  // 0 -> 1, 1 -> 2, 2 -> 0, 0 -> 2.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  builder.AddEdge(0, 2);
+  builder.SetNodeFeatures(Tensor::FromRows({{1, 0}, {0, 1}, {1, 1}}));
+  Result<Graph> g = std::move(builder).Finish();
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).ValueOrDie();
+}
+
+TEST(GraphBuilderTest, BuildsDegreesAndAdjacency) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.OutDegree(0), 2);
+  EXPECT_EQ(g.OutDegree(1), 1);
+  EXPECT_EQ(g.InDegree(2), 2);
+  EXPECT_EQ(g.InDegree(0), 1);
+}
+
+TEST(GraphBuilderTest, OutEdgesPointToRightDestinations) {
+  Graph g = MakeTriangle();
+  std::vector<NodeId> dsts;
+  for (EdgeId e : g.OutEdges(0)) dsts.push_back(g.EdgeDst(e));
+  std::sort(dsts.begin(), dsts.end());
+  EXPECT_EQ(dsts, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(GraphBuilderTest, InEdgesPointFromRightSources) {
+  Graph g = MakeTriangle();
+  std::vector<NodeId> srcs;
+  for (EdgeId e : g.InEdges(2)) srcs.push_back(g.EdgeSrc(e));
+  std::sort(srcs.begin(), srcs.end());
+  EXPECT_EQ(srcs, (std::vector<NodeId>{0, 1}));
+}
+
+TEST(GraphBuilderTest, CsrAndCscAgreeOnEveryEdge) {
+  Graph g = MakeTriangle();
+  // Every edge id reachable through OutEdges must round-trip through
+  // InEdges of its destination.
+  std::int64_t seen = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (EdgeId e : g.OutEdges(v)) {
+      EXPECT_EQ(g.EdgeSrc(e), v);
+      bool found = false;
+      for (EdgeId e2 : g.InEdges(g.EdgeDst(e))) found = found || e2 == e;
+      EXPECT_TRUE(found);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, g.num_edges());
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEdge) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 5);
+  builder.SetNodeFeatures(Tensor(2, 1));
+  Result<Graph> g = std::move(builder).Finish();
+  EXPECT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, RejectsFeatureRowMismatch) {
+  GraphBuilder builder(3);
+  builder.SetNodeFeatures(Tensor(2, 4));
+  Result<Graph> g = std::move(builder).Finish();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GraphBuilderTest, RejectsBadLabelRange) {
+  GraphBuilder builder(2);
+  builder.SetNodeFeatures(Tensor(2, 1));
+  builder.SetLabels({0, 7}, 3);
+  Result<Graph> g = std::move(builder).Finish();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GraphBuilderTest, RejectsSplitOutOfRange) {
+  GraphBuilder builder(2);
+  builder.SetNodeFeatures(Tensor(2, 1));
+  builder.SetSplits({0, 9}, {}, {});
+  Result<Graph> g = std::move(builder).Finish();
+  EXPECT_FALSE(g.ok());
+}
+
+TEST(GraphBuilderTest, EdgeFeaturesFollowEdgePermutation) {
+  GraphBuilder builder(3);
+  builder.AddEdge(2, 0);  // inserted first, but sorts after src-0 edges
+  builder.AddEdge(0, 1);
+  builder.SetNodeFeatures(Tensor(3, 1));
+  builder.SetEdgeFeatures(Tensor::FromRows({{20.0f}, {1.0f}}));
+  Result<Graph> g = std::move(builder).Finish();
+  ASSERT_TRUE(g.ok());
+  // Edge from node 0 must carry feature 1.0, edge from 2 carries 20.0.
+  for (EdgeId e = 0; e < g->num_edges(); ++e) {
+    const float expected = g->EdgeSrc(e) == 0 ? 1.0f : 20.0f;
+    EXPECT_EQ(g->edge_features().At(e, 0), expected);
+  }
+}
+
+TEST(GraphBuilderTest, MultiEdgesArePreserved) {
+  GraphBuilder builder(2);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);
+  builder.SetNodeFeatures(Tensor(2, 1));
+  Result<Graph> g = std::move(builder).Finish();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->OutDegree(0), 2);
+  EXPECT_EQ(g->InDegree(1), 2);
+}
+
+TEST(GraphTest, ApproxByteSizeCountsFeatureBytes) {
+  Graph g = MakeTriangle();
+  EXPECT_GE(g.ApproxByteSize(), g.node_features().ByteSize());
+}
+
+}  // namespace
+}  // namespace inferturbo

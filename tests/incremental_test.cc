@@ -1,0 +1,167 @@
+#include "src/inference/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/graph/datasets.h"
+#include "src/graph/graph_builder.h"
+#include "src/inference/reference_inference.h"
+#include "src/nn/model.h"
+
+namespace inferturbo {
+namespace {
+
+Dataset BaseDataset() {
+  PlantedGraphConfig config;
+  config.num_nodes = 500;
+  config.avg_degree = 6.0;
+  config.num_classes = 3;
+  config.feature_dim = 8;
+  config.seed = 77;
+  return MakePlantedDataset("incremental-base", config);
+}
+
+std::unique_ptr<GnnModel> SmallModel(const Graph& g,
+                                     const std::string& kind = "sage") {
+  ModelConfig config;
+  config.input_dim = g.feature_dim();
+  config.hidden_dim = 8;
+  config.num_classes = g.num_classes();
+  config.num_layers = 2;
+  config.heads = 2;
+  return MakeModel(kind, config).ValueOrDie();
+}
+
+/// Rebuilds `graph` with `feature_patch` rows replaced and
+/// `extra_edges` appended.
+Graph MutateGraph(const Graph& graph,
+                  const std::vector<std::pair<NodeId, float>>& feature_patch,
+                  const std::vector<std::pair<NodeId, NodeId>>& extra_edges) {
+  GraphBuilder builder(graph.num_nodes());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    builder.AddEdge(graph.EdgeSrc(e), graph.EdgeDst(e));
+  }
+  for (const auto& [src, dst] : extra_edges) builder.AddEdge(src, dst);
+  Tensor features = graph.node_features();
+  for (const auto& [v, value] : feature_patch) {
+    for (std::int64_t j = 0; j < features.cols(); ++j) {
+      features.At(v, j) = value + static_cast<float>(j);
+    }
+  }
+  builder.SetNodeFeatures(std::move(features));
+  builder.SetLabels(graph.labels(), graph.num_classes());
+  return std::move(builder).Finish().ValueOrDie();
+}
+
+TEST(IncrementalTest, LayerStatesMatchReferenceForward) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+  const LayerStates states = ComputeLayerStates(*model, d.graph);
+  ASSERT_EQ(states.num_layers(), 2);
+  const Tensor reference = LayerStackForward(
+      *model, d.graph.node_features(), d.graph.edge_src(),
+      d.graph.edge_dst());
+  EXPECT_TRUE(states.states.back().ApproxEquals(reference, 0.0f));
+}
+
+TEST(IncrementalTest, FeatureChangeMatchesFullRecompute) {
+  const Dataset d = BaseDataset();
+  for (const std::string kind : {"sage", "gcn", "gat", "gin"}) {
+    const std::unique_ptr<GnnModel> model = SmallModel(d.graph, kind);
+    const LayerStates old_states = ComputeLayerStates(*model, d.graph);
+
+    const Graph mutated = MutateGraph(d.graph, {{17, 0.5f}, {230, -1.25f}},
+                                      {});
+    GraphDelta delta;
+    delta.changed_nodes = {17, 230};
+    const Result<IncrementalResult> incremental =
+        IncrementalInference(*model, mutated, old_states, delta);
+    ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
+
+    const LayerStates fresh = ComputeLayerStates(*model, mutated);
+    for (std::size_t l = 0; l < fresh.states.size(); ++l) {
+      EXPECT_TRUE(incremental->states.states[l].ApproxEquals(
+          fresh.states[l], 0.0f))
+          << kind << " layer " << l << " diverged (must be bit-identical)";
+    }
+    EXPECT_TRUE(incremental->logits.ApproxEquals(
+        model->PredictLogits(fresh.states.back()), 0.0f));
+  }
+}
+
+TEST(IncrementalTest, EdgeAdditionMatchesFullRecompute) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+  const LayerStates old_states = ComputeLayerStates(*model, d.graph);
+
+  const std::vector<std::pair<NodeId, NodeId>> extra = {{3, 99}, {400, 99},
+                                                        {99, 7}};
+  const Graph mutated = MutateGraph(d.graph, {}, extra);
+  GraphDelta delta;
+  delta.changed_in_edges = {99, 7};  // destinations of the new edges
+  const Result<IncrementalResult> incremental =
+      IncrementalInference(*model, mutated, old_states, delta);
+  ASSERT_TRUE(incremental.ok());
+
+  const LayerStates fresh = ComputeLayerStates(*model, mutated);
+  for (std::size_t l = 0; l < fresh.states.size(); ++l) {
+    EXPECT_TRUE(incremental->states.states[l].ApproxEquals(fresh.states[l],
+                                                           0.0f))
+        << "layer " << l;
+  }
+}
+
+TEST(IncrementalTest, SmallDeltaRecomputesSmallCone) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+  const LayerStates old_states = ComputeLayerStates(*model, d.graph);
+  const Graph mutated = MutateGraph(d.graph, {{42, 2.0f}}, {});
+  GraphDelta delta;
+  delta.changed_nodes = {42};
+  const Result<IncrementalResult> incremental =
+      IncrementalInference(*model, mutated, old_states, delta);
+  ASSERT_TRUE(incremental.ok());
+  const std::int64_t total = std::accumulate(
+      incremental->recomputed_per_layer.begin(),
+      incremental->recomputed_per_layer.end(), std::int64_t{0});
+  // Full recompute would be layers * N = 1000; one changed node's
+  // 2-hop out-cone on an avg-degree-6 graph is tiny.
+  EXPECT_LT(total, d.graph.num_nodes() / 4);
+  EXPECT_GE(incremental->recomputed_per_layer[0], 1);
+  EXPECT_GE(incremental->recomputed_per_layer[1],
+            incremental->recomputed_per_layer[0]);
+}
+
+TEST(IncrementalTest, NoDeltaRecomputesNothing) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+  const LayerStates old_states = ComputeLayerStates(*model, d.graph);
+  const Result<IncrementalResult> incremental =
+      IncrementalInference(*model, d.graph, old_states, GraphDelta{});
+  ASSERT_TRUE(incremental.ok());
+  for (const std::int64_t count : incremental->recomputed_per_layer) {
+    EXPECT_EQ(count, 0);
+  }
+  EXPECT_TRUE(incremental->states.states.back().ApproxEquals(
+      old_states.states.back(), 0.0f));
+}
+
+TEST(IncrementalTest, RejectsMismatchedHistory) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> two_layers = SmallModel(d.graph);
+  ModelConfig config;
+  config.input_dim = d.graph.feature_dim();
+  config.hidden_dim = 8;
+  config.num_classes = d.graph.num_classes();
+  config.num_layers = 3;
+  const std::unique_ptr<GnnModel> three_layers = MakeSageModel(config);
+  const LayerStates states = ComputeLayerStates(*two_layers, d.graph);
+  const Result<IncrementalResult> r =
+      IncrementalInference(*three_layers, d.graph, states, GraphDelta{});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace inferturbo

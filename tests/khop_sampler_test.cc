@@ -1,0 +1,116 @@
+#include "src/sampling/khop_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/datasets.h"
+#include "src/graph/graph_builder.h"
+
+namespace inferturbo {
+namespace {
+
+Graph MakeLineGraph() {
+  // 0 <- 1 <- 2 <- 3 <- 4 (in-edges point "leftward": i+1 -> i).
+  GraphBuilder builder(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) builder.AddEdge(i + 1, i);
+  builder.SetNodeFeatures(Tensor::Full(5, 2, 1.0f));
+  return std::move(builder).Finish().ValueOrDie();
+}
+
+TEST(KHopSamplerTest, TwoHopsReachExactlyTwoLevels) {
+  const Graph g = MakeLineGraph();
+  KHopSampler sampler(&g);
+  KHopOptions options;
+  options.hops = 2;
+  const std::vector<NodeId> targets = {0};
+  const Subgraph sub = sampler.Sample(targets, options, nullptr);
+  std::set<NodeId> nodes(sub.nodes.begin(), sub.nodes.end());
+  EXPECT_EQ(nodes, (std::set<NodeId>{0, 1, 2}));
+  EXPECT_EQ(sub.num_edges(), 2);
+  EXPECT_EQ(sub.num_targets, 1);
+  EXPECT_EQ(sub.nodes[0], 0);  // targets first
+}
+
+TEST(KHopSamplerTest, EdgesUseLocalIndices) {
+  const Graph g = MakeLineGraph();
+  KHopSampler sampler(&g);
+  KHopOptions options;
+  options.hops = 1;
+  const std::vector<NodeId> targets = {2};
+  const Subgraph sub = sampler.Sample(targets, options, nullptr);
+  ASSERT_EQ(sub.num_edges(), 1);
+  EXPECT_EQ(sub.nodes[static_cast<std::size_t>(sub.src_local[0])], 3);
+  EXPECT_EQ(sub.nodes[static_cast<std::size_t>(sub.dst_local[0])], 2);
+}
+
+TEST(KHopSamplerTest, FeaturesAreGatheredPerLocalNode) {
+  const Dataset d = MakeProductsLike(0.02);
+  KHopSampler sampler(&d.graph);
+  KHopOptions options;
+  options.hops = 2;
+  const std::vector<NodeId> targets = {3, 14};
+  const Subgraph sub = sampler.Sample(targets, options, nullptr);
+  for (std::size_t i = 0; i < sub.nodes.size(); ++i) {
+    for (std::int64_t j = 0; j < d.graph.feature_dim(); ++j) {
+      ASSERT_EQ(sub.features.At(static_cast<std::int64_t>(i), j),
+                d.graph.node_features().At(sub.nodes[i], j));
+    }
+  }
+}
+
+TEST(KHopSamplerTest, FanoutCapsInEdgesPerNode) {
+  const Dataset d = MakeProductsLike(0.05);
+  KHopSampler sampler(&d.graph);
+  KHopOptions options;
+  options.hops = 1;
+  options.fanout = 3;
+  Rng rng(1);
+  const std::vector<NodeId> targets = {0, 1, 2, 3, 4};
+  const Subgraph sub = sampler.Sample(targets, options, &rng);
+  std::vector<std::int64_t> per_target(5, 0);
+  for (std::int64_t e = 0; e < sub.num_edges(); ++e) {
+    ASSERT_LT(sub.dst_local[static_cast<std::size_t>(e)], 5);
+    ++per_target[static_cast<std::size_t>(
+        sub.dst_local[static_cast<std::size_t>(e)])];
+  }
+  for (std::int64_t c : per_target) EXPECT_LE(c, 3);
+}
+
+TEST(KHopSamplerTest, FullFanoutKeepsEveryInEdge) {
+  const Dataset d = MakeProductsLike(0.02);
+  KHopSampler sampler(&d.graph);
+  KHopOptions options;
+  options.hops = 1;
+  const std::vector<NodeId> targets = {7};
+  const Subgraph sub = sampler.Sample(targets, options, nullptr);
+  EXPECT_EQ(sub.num_edges(), d.graph.InDegree(7));
+}
+
+TEST(KHopSamplerTest, SampledSubgraphsDifferAcrossSeeds) {
+  const Dataset d = MakeProductsLike(0.05);
+  KHopSampler sampler(&d.graph);
+  KHopOptions options;
+  options.hops = 2;
+  options.fanout = 2;
+  const std::vector<NodeId> targets = {11};
+  Rng rng1(1), rng2(2);
+  const Subgraph a = sampler.Sample(targets, options, &rng1);
+  const Subgraph b = sampler.Sample(targets, options, &rng2);
+  EXPECT_TRUE(a.nodes != b.nodes || a.src_local != b.src_local);
+}
+
+TEST(KHopSamplerTest, ByteSizeGrowsWithNeighborhood) {
+  const Dataset d = MakeProductsLike(0.05);
+  KHopSampler sampler(&d.graph);
+  const std::vector<NodeId> targets = {11};
+  KHopOptions one;
+  one.hops = 1;
+  KHopOptions two;
+  two.hops = 2;
+  EXPECT_LT(sampler.Sample(targets, one, nullptr).ApproxByteSize(),
+            sampler.Sample(targets, two, nullptr).ApproxByteSize());
+}
+
+}  // namespace
+}  // namespace inferturbo

@@ -1,0 +1,224 @@
+#include "src/mapreduce/mapreduce_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace inferturbo {
+namespace {
+
+TEST(MapReduceEngineTest, WordCountStyleAggregation) {
+  // Map emits (key % 5, 1); reduce sums. 100 records -> 5 keys of 20.
+  MapReduceJob::Options options;
+  options.num_instances = 4;
+  MapReduceJob job(options);
+  job.RunMap([](std::int64_t instance, MrEmitter* emitter) {
+    for (std::int64_t i = 0; i < 25; ++i) {
+      MrValue v;
+      v.floats = {1.0f};
+      emitter->Emit((instance * 25 + i) % 5, std::move(v));
+    }
+  });
+  job.RunReduce(
+      [](std::int64_t key, std::span<MrValue> values, MrEmitter* emitter) {
+        MrValue out;
+        float sum = 0.0f;
+        for (const MrValue& v : values) sum += v.floats[0];
+        out.floats = {sum};
+        emitter->Emit(key, std::move(out));
+      },
+      nullptr);
+  std::map<std::int64_t, float> result;
+  for (const MrKeyValue& kv : job.TakeOutputs()) {
+    result[kv.first] = kv.second.floats[0];
+  }
+  ASSERT_EQ(result.size(), 5u);
+  for (const auto& [key, sum] : result) EXPECT_EQ(sum, 20.0f);
+}
+
+TEST(MapReduceEngineTest, ValuesArriveInProducerOrder) {
+  MapReduceJob::Options options;
+  options.num_instances = 3;
+  MapReduceJob job(options);
+  job.RunMap([](std::int64_t instance, MrEmitter* emitter) {
+    for (int i = 0; i < 2; ++i) {
+      MrValue v;
+      v.src = instance * 10 + i;
+      emitter->Emit(0, std::move(v));
+    }
+  });
+  std::vector<NodeId> order;
+  job.RunReduce(
+      [&order](std::int64_t, std::span<MrValue> values, MrEmitter*) {
+        for (const MrValue& v : values) order.push_back(v.src);
+      },
+      nullptr);
+  EXPECT_EQ(order, (std::vector<NodeId>{0, 1, 10, 11, 20, 21}));
+}
+
+TEST(MapReduceEngineTest, CombinerShrinksShuffleBytes) {
+  const auto run = [](bool with_combiner) {
+    MapReduceJob::Options options;
+    options.num_instances = 2;
+    MapReduceJob job(options);
+    job.RunMap([](std::int64_t, MrEmitter* emitter) {
+      for (int i = 0; i < 50; ++i) {
+        MrValue v;
+        v.floats = {1.0f};
+        emitter->Emit(7, std::move(v));
+      }
+    });
+    MapReduceJob::CombineFn combiner = [](std::int64_t,
+                                          std::vector<MrValue>* values) {
+      MrValue folded;
+      folded.floats = {0.0f};
+      for (const MrValue& v : *values) folded.floats[0] += v.floats[0];
+      values->assign(1, std::move(folded));
+    };
+    float total = 0.0f;
+    job.RunReduce(
+        [&total](std::int64_t, std::span<MrValue> values, MrEmitter*) {
+          for (const MrValue& v : values) total += v.floats[0];
+        },
+        with_combiner ? &combiner : nullptr);
+    std::uint64_t shuffle_bytes = 0;
+    for (const auto& w : job.metrics().workers) {
+      shuffle_bytes += w.Total().bytes_out;
+    }
+    EXPECT_EQ(total, 100.0f);  // combining never changes the answer
+    return shuffle_bytes;
+  };
+  EXPECT_LT(run(true), run(false) / 10);
+}
+
+TEST(MapReduceEngineTest, AllShuffleTrafficIsCharged) {
+  // Unlike Pregel, local delivery also pays (external-storage model).
+  MapReduceJob::Options options;
+  options.num_instances = 2;
+  MapReduceJob job(options);
+  job.RunMap([](std::int64_t instance, MrEmitter* emitter) {
+    if (instance != 0) return;
+    MrValue v;
+    v.floats = {1.0f, 2.0f};
+    emitter->Emit(0, std::move(v));  // lands wherever key 0 hashes
+  });
+  job.RunReduce([](std::int64_t, std::span<MrValue>, MrEmitter*) {}, nullptr);
+  std::uint64_t out = 0, in = 0;
+  for (const auto& w : job.metrics().workers) {
+    out += w.Total().bytes_out;
+    in += w.Total().bytes_in;
+  }
+  EXPECT_GT(out, 0u);
+  EXPECT_EQ(out, in);
+}
+
+TEST(MapReduceEngineTest, MultiRoundChainingPreservesData) {
+  MapReduceJob::Options options;
+  options.num_instances = 3;
+  MapReduceJob job(options);
+  job.RunMap([](std::int64_t instance, MrEmitter* emitter) {
+    MrValue v;
+    v.floats = {static_cast<float>(instance)};
+    emitter->Emit(instance, std::move(v));
+  });
+  // Each round forwards key -> key+1 with value+10.
+  for (int round = 0; round < 3; ++round) {
+    job.RunReduce(
+        [](std::int64_t key, std::span<MrValue> values, MrEmitter* emitter) {
+          for (MrValue& v : values) {
+            v.floats[0] += 10.0f;
+            emitter->Emit(key + 1, std::move(v));
+          }
+        },
+        nullptr);
+  }
+  std::map<std::int64_t, float> result;
+  for (const MrKeyValue& kv : job.TakeOutputs()) {
+    result[kv.first] = kv.second.floats[0];
+  }
+  ASSERT_EQ(result.size(), 3u);
+  EXPECT_EQ(result[3], 30.0f);
+  EXPECT_EQ(result[4], 31.0f);
+  EXPECT_EQ(result[5], 32.0f);
+}
+
+TEST(MapReduceEngineTest, MetricsTrackOneStepPerStage) {
+  MapReduceJob::Options options;
+  options.num_instances = 2;
+  MapReduceJob job(options);
+  job.RunMap([](std::int64_t, MrEmitter*) {});
+  job.RunReduce([](std::int64_t, std::span<MrValue>, MrEmitter*) {}, nullptr);
+  job.RunReduce([](std::int64_t, std::span<MrValue>, MrEmitter*) {}, nullptr);
+  EXPECT_EQ(job.metrics().num_steps(), 3);
+}
+
+TEST(MapReduceEngineTest, CombinerSeesOnlySameKeyRuns) {
+  // The combiner contract: invoked per (producer, reducer, key) with
+  // exactly that key's values; emissions for other keys must never be
+  // folded together.
+  MapReduceJob::Options options;
+  options.num_instances = 2;
+  MapReduceJob job(options);
+  job.RunMap([](std::int64_t instance, MrEmitter* emitter) {
+    if (instance != 0) return;
+    for (int i = 0; i < 6; ++i) {
+      MrValue v;
+      v.floats = {static_cast<float>(1 << i)};
+      emitter->Emit(i % 2 == 0 ? 10 : 11, std::move(v));
+    }
+  });
+  std::map<std::int64_t, std::vector<float>> combined_per_key;
+  MapReduceJob::CombineFn combiner =
+      [&combined_per_key](std::int64_t key, std::vector<MrValue>* values) {
+        MrValue folded;
+        folded.floats = {0.0f};
+        for (const MrValue& v : *values) folded.floats[0] += v.floats[0];
+        combined_per_key[key].push_back(folded.floats[0]);
+        values->assign(1, std::move(folded));
+      };
+  std::map<std::int64_t, float> reduced;
+  job.RunReduce(
+      [&reduced](std::int64_t key, std::span<MrValue> values, MrEmitter*) {
+        for (const MrValue& v : values) reduced[key] += v.floats[0];
+      },
+      &combiner);
+  // Key 10 got 1+4+16 = 21; key 11 got 2+8+32 = 42; no cross-talk.
+  EXPECT_EQ(reduced[10], 21.0f);
+  EXPECT_EQ(reduced[11], 42.0f);
+  ASSERT_EQ(combined_per_key[10].size(), 1u);
+  ASSERT_EQ(combined_per_key[11].size(), 1u);
+  EXPECT_EQ(combined_per_key[10][0], 21.0f);
+  EXPECT_EQ(combined_per_key[11][0], 42.0f);
+}
+
+TEST(MapReduceEngineTest, PeakResidentTracksLargestKeyGroup) {
+  MapReduceJob::Options options;
+  options.num_instances = 1;
+  MapReduceJob job(options);
+  job.RunMap([](std::int64_t, MrEmitter* emitter) {
+    // Key 0: one record; key 1: ten records.
+    for (int i = 0; i < 11; ++i) {
+      MrValue v;
+      v.floats = {1.0f, 2.0f};
+      emitter->Emit(i == 0 ? 0 : 1, std::move(v));
+    }
+  });
+  job.RunReduce([](std::int64_t, std::span<MrValue>, MrEmitter*) {},
+                nullptr);
+  MrValue sample;
+  sample.floats = {1.0f, 2.0f};
+  EXPECT_EQ(job.metrics().PeakResidentBytes(), 10 * sample.WireBytes());
+}
+
+TEST(MrValueTest, WireBytesCountAllFields) {
+  MrValue v;
+  v.floats = {1.0f, 2.0f};
+  v.ids = {1, 2, 3};
+  EXPECT_EQ(v.WireBytes(),
+            kMessageHeaderBytes + sizeof(std::int32_t) + sizeof(NodeId) +
+                2 * sizeof(float) + 3 * sizeof(std::int64_t));
+}
+
+}  // namespace
+}  // namespace inferturbo

@@ -1,0 +1,139 @@
+#include "src/nn/model.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/gas/signature.h"
+#include "src/graph/datasets.h"
+#include "src/inference/reference_inference.h"
+
+namespace inferturbo {
+namespace {
+
+ModelConfig SmallConfig() {
+  ModelConfig config;
+  config.input_dim = 6;
+  config.hidden_dim = 8;
+  config.num_classes = 3;
+  config.num_layers = 2;
+  config.heads = 2;
+  return config;
+}
+
+TEST(ModelTest, FactoryDispatch) {
+  for (const std::string kind : {"sage", "gcn", "gat"}) {
+    const Result<std::unique_ptr<GnnModel>> model =
+        MakeModel(kind, SmallConfig());
+    ASSERT_TRUE(model.ok()) << kind;
+    EXPECT_EQ((*model)->num_layers(), 2);
+    EXPECT_EQ((*model)->num_classes(), 3);
+    EXPECT_EQ((*model)->input_dim(), 6);
+    EXPECT_EQ((*model)->embedding_dim(), 8);
+    EXPECT_EQ((*model)->layer(0).signature().layer_type, kind);
+  }
+  EXPECT_FALSE(MakeModel("transformer", SmallConfig()).ok());
+}
+
+TEST(ModelTest, ParameterCountBySpec) {
+  const std::unique_ptr<GnnModel> sage = MakeSageModel(SmallConfig());
+  // Each SAGE layer: w_self, w_nbr, bias -> 3; head: w, b -> 2.
+  EXPECT_EQ(sage->Parameters().size(), 2u * 3 + 2);
+  const std::unique_ptr<GnnModel> gat = MakeGatModel(SmallConfig());
+  // Each GAT layer: W, bias + per-head (a_src, a_dst) -> 2 + 2*2 = 6.
+  EXPECT_EQ(gat->Parameters().size(), 2u * 6 + 2);
+}
+
+TEST(ModelTest, SignatureFileHasOneLinePerLayerPlusHead) {
+  const std::unique_ptr<GnnModel> model = MakeGatModel(SmallConfig());
+  const std::string path = testing::TempDir() + "/signatures.txt";
+  ASSERT_TRUE(model->SaveSignatures(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  const Result<LayerSignature> sig0 = LayerSignature::Parse(lines[0]);
+  ASSERT_TRUE(sig0.ok());
+  EXPECT_EQ(sig0->layer_type, "gat");
+  EXPECT_EQ(sig0->agg_kind, AggKind::kUnion);
+  EXPECT_EQ(lines[2], "head in=8 out=3");
+  std::remove(path.c_str());
+}
+
+TEST(ModelTest, SaveLoadParametersRoundTripsPredictions) {
+  const Dataset d = MakeProductsLike(0.02, /*seed=*/9);
+  ModelConfig config = SmallConfig();
+  config.input_dim = d.graph.feature_dim();
+  config.num_classes = d.graph.num_classes();
+
+  config.seed = 1;
+  const std::unique_ptr<GnnModel> source = MakeSageModel(config);
+  const Tensor expected = FullGraphReferenceLogits(*source, d.graph);
+
+  const std::string path = testing::TempDir() + "/params.bin";
+  ASSERT_TRUE(source->SaveParameters(path).ok());
+
+  config.seed = 999;  // different init, then overwritten by Load
+  const std::unique_ptr<GnnModel> target = MakeSageModel(config);
+  EXPECT_FALSE(
+      FullGraphReferenceLogits(*target, d.graph).ApproxEquals(expected,
+                                                              1e-6f));
+  ASSERT_TRUE(target->LoadParameters(path).ok());
+  EXPECT_TRUE(
+      FullGraphReferenceLogits(*target, d.graph).ApproxEquals(expected,
+                                                              0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(ModelTest, LoadRejectsArchitectureMismatch) {
+  const std::unique_ptr<GnnModel> sage = MakeSageModel(SmallConfig());
+  const std::string path = testing::TempDir() + "/params_mismatch.bin";
+  ASSERT_TRUE(sage->SaveParameters(path).ok());
+  const std::unique_ptr<GnnModel> gat = MakeGatModel(SmallConfig());
+  EXPECT_FALSE(gat->LoadParameters(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelTest, LoadRejectsMissingFile) {
+  const std::unique_ptr<GnnModel> model = MakeSageModel(SmallConfig());
+  EXPECT_FALSE(model->LoadParameters("/nonexistent/params.bin").ok());
+}
+
+TEST(SignatureTest, SerializeParseRoundTrip) {
+  LayerSignature sig;
+  sig.layer_type = "sage";
+  sig.agg_kind = AggKind::kMean;
+  sig.input_dim = 64;
+  sig.output_dim = 32;
+  sig.message_dim = 64;
+  sig.partial_gather = true;
+  sig.broadcastable_messages = true;
+  const Result<LayerSignature> parsed =
+      LayerSignature::Parse(sig.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, sig);
+}
+
+TEST(SignatureTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(LayerSignature::Parse("not a signature").ok());
+  EXPECT_FALSE(LayerSignature::Parse("agg=mean in=4").ok());  // no type
+  EXPECT_FALSE(
+      LayerSignature::Parse("layer_type=sage agg=banana").ok());
+  EXPECT_FALSE(LayerSignature::Parse("layer_type=sage in=abc").ok());
+}
+
+TEST(SignatureTest, AggKindStringsRoundTrip) {
+  for (const AggKind kind : {AggKind::kSum, AggKind::kMean, AggKind::kMax,
+                             AggKind::kMin, AggKind::kUnion}) {
+    const Result<AggKind> parsed =
+        AggKindFromString(AggKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(AggKindFromString("median").ok());
+}
+
+}  // namespace
+}  // namespace inferturbo

@@ -1,0 +1,91 @@
+// Randomized trials of the central exactness claim: over a family of
+// random graphs (varying skew, density, seeds) and random strategy
+// subsets, distributed inference must match the single-machine
+// reference and stay deterministic. This is the shotgun behind the
+// hand-picked cases in inference_equivalence_test.cc.
+#include <gtest/gtest.h>
+
+#include "src/graph/datasets.h"
+#include "src/inference/inferturbo_mapreduce.h"
+#include "src/inference/inferturbo_pregel.h"
+#include "src/inference/reference_inference.h"
+#include "src/nn/model.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+namespace {
+
+TEST(RandomizedExactnessTest, ManyRandomConfigurations) {
+  Rng trial_rng(2026);
+  const std::vector<std::string> kinds = {"sage", "gcn", "gat", "gin",
+                                          "pool_sage"};
+  int hub_trials = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    PowerLawConfig graph_config;
+    graph_config.num_nodes =
+        100 + static_cast<std::int64_t>(trial_rng.NextBounded(300));
+    graph_config.avg_degree =
+        3.0 + static_cast<double>(trial_rng.NextBounded(6));
+    graph_config.alpha = 1.4 + 0.2 * static_cast<double>(
+                                          trial_rng.NextBounded(4));
+    graph_config.skew = static_cast<PowerLawSkew>(trial_rng.NextBounded(4));
+    graph_config.seed = trial_rng.NextUint64();
+    const Dataset dataset =
+        MakePowerLawDataset(graph_config, /*feature_dim=*/6 +
+                                              static_cast<std::int64_t>(
+                                                  trial_rng.NextBounded(6)));
+
+    ModelConfig model_config;
+    model_config.input_dim = dataset.graph.feature_dim();
+    model_config.hidden_dim = 8;
+    model_config.num_classes = dataset.graph.num_classes();
+    model_config.num_layers =
+        1 + static_cast<std::int64_t>(trial_rng.NextBounded(3));
+    model_config.heads = 2;
+    model_config.seed = trial_rng.NextUint64();
+    const std::string kind =
+        kinds[static_cast<std::size_t>(trial_rng.NextBounded(kinds.size()))];
+    const std::unique_ptr<GnnModel> model =
+        MakeModel(kind, model_config).ValueOrDie();
+
+    const Tensor reference = FullGraphReferenceLogits(*model, dataset.graph);
+
+    InferTurboOptions options;
+    options.num_workers =
+        1 + static_cast<std::int64_t>(trial_rng.NextBounded(12));
+    options.strategies.partial_gather = trial_rng.NextBounded(2) == 0;
+    options.strategies.broadcast = trial_rng.NextBounded(2) == 0;
+    options.strategies.shadow_nodes = trial_rng.NextBounded(2) == 0;
+    options.strategies.threshold_override =
+        5 + static_cast<std::int64_t>(trial_rng.NextBounded(40));
+    if (options.strategies.broadcast || options.strategies.shadow_nodes) {
+      ++hub_trials;
+    }
+
+    SCOPED_TRACE("trial " + std::to_string(trial) + " kind=" + kind +
+                 " nodes=" + std::to_string(graph_config.num_nodes) +
+                 " layers=" + std::to_string(model_config.num_layers) +
+                 " workers=" + std::to_string(options.num_workers));
+
+    const Result<InferenceResult> pregel =
+        RunInferTurboPregel(dataset.graph, *model, options);
+    ASSERT_TRUE(pregel.ok()) << pregel.status().ToString();
+    EXPECT_TRUE(pregel->logits.ApproxEquals(reference, 3e-3f));
+
+    const Result<InferenceResult> mapreduce =
+        RunInferTurboMapReduce(dataset.graph, *model, options);
+    ASSERT_TRUE(mapreduce.ok()) << mapreduce.status().ToString();
+    EXPECT_TRUE(mapreduce->logits.ApproxEquals(reference, 3e-3f));
+
+    // Determinism inside the trial.
+    const Result<InferenceResult> again =
+        RunInferTurboPregel(dataset.graph, *model, options);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again->logits.ApproxEquals(pregel->logits, 0.0f));
+  }
+  // The random draw must actually have exercised hub strategies.
+  EXPECT_GT(hub_trials, 2);
+}
+
+}  // namespace
+}  // namespace inferturbo

@@ -1,0 +1,114 @@
+#include "src/tensor/segment_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+namespace {
+
+TEST(SegmentOpsTest, SegmentSumBasic) {
+  Tensor v = Tensor::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  const std::vector<std::int64_t> ids = {0, 1, 0};
+  Tensor out = SegmentSum(v, ids, 2);
+  EXPECT_TRUE(out.ApproxEquals(Tensor::FromRows({{4, 4}, {2, 2}})));
+}
+
+TEST(SegmentOpsTest, SegmentSumLeavesEmptySegmentsZero) {
+  Tensor v = Tensor::FromRows({{1, 1}});
+  const std::vector<std::int64_t> ids = {2};
+  Tensor out = SegmentSum(v, ids, 4);
+  EXPECT_EQ(out.At(0, 0), 0.0f);
+  EXPECT_EQ(out.At(2, 0), 1.0f);
+  EXPECT_EQ(out.At(3, 0), 0.0f);
+}
+
+TEST(SegmentOpsTest, SegmentMeanDividesByCount) {
+  Tensor v = Tensor::FromRows({{2, 4}, {4, 8}, {9, 9}});
+  const std::vector<std::int64_t> ids = {0, 0, 1};
+  Tensor out = SegmentMean(v, ids, 2);
+  EXPECT_TRUE(out.ApproxEquals(Tensor::FromRows({{3, 6}, {9, 9}})));
+}
+
+TEST(SegmentOpsTest, SegmentMaxAndMin) {
+  Tensor v = Tensor::FromRows({{1, -5}, {3, -1}, {-2, 0}});
+  const std::vector<std::int64_t> ids = {0, 0, 0};
+  EXPECT_TRUE(SegmentMax(v, ids, 1).ApproxEquals(Tensor::FromRows({{3, 0}})));
+  EXPECT_TRUE(
+      SegmentMin(v, ids, 1).ApproxEquals(Tensor::FromRows({{-2, -5}})));
+}
+
+TEST(SegmentOpsTest, SegmentMaxEmptySegmentIsZeroNotInf) {
+  Tensor v = Tensor::FromRows({{5, 5}});
+  const std::vector<std::int64_t> ids = {0};
+  Tensor out = SegmentMax(v, ids, 2);
+  EXPECT_EQ(out.At(1, 0), 0.0f);
+  EXPECT_EQ(out.At(1, 1), 0.0f);
+}
+
+TEST(SegmentOpsTest, SegmentCounts) {
+  const std::vector<std::int64_t> ids = {0, 2, 2, 2};
+  const std::vector<std::int64_t> counts = SegmentCounts(ids, 3);
+  EXPECT_EQ(counts, (std::vector<std::int64_t>{1, 0, 3}));
+}
+
+TEST(SegmentOpsTest, SegmentSoftmaxSumsToOnePerSegment) {
+  Rng rng(9);
+  Tensor logits = Tensor::RandomNormal(10, 1, 2.0f, &rng);
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(i % 3);
+  Tensor alpha = SegmentSoftmax(logits, ids, 3);
+  std::vector<double> sums(3, 0.0);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    sums[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])] +=
+        alpha.At(i, 0);
+    EXPECT_GT(alpha.At(i, 0), 0.0f);
+  }
+  for (double s : sums) EXPECT_NEAR(s, 1.0, 1e-5);
+}
+
+TEST(SegmentOpsTest, SegmentSoftmaxSingletonSegmentIsOne) {
+  Tensor logits = Tensor::FromRows({{-40.0f}});
+  const std::vector<std::int64_t> ids = {0};
+  Tensor alpha = SegmentSoftmax(logits, ids, 1);
+  EXPECT_NEAR(alpha.At(0, 0), 1.0f, 1e-6f);
+}
+
+TEST(SegmentOpsTest, SegmentSoftmaxIsShiftInvariant) {
+  Tensor a = Tensor::FromRows({{1.0f}, {2.0f}, {3.0f}});
+  Tensor b = Tensor::FromRows({{1001.0f}, {1002.0f}, {1003.0f}});
+  const std::vector<std::int64_t> ids = {0, 0, 0};
+  EXPECT_TRUE(
+      SegmentSoftmax(a, ids, 1).ApproxEquals(SegmentSoftmax(b, ids, 1),
+                                             1e-5f));
+}
+
+// Property: a segment reduction over a random permutation of rows gives
+// the same result — the commutativity the paper's aggregate stage
+// requires.
+TEST(SegmentOpsTest, SegmentSumIsPermutationInvariant) {
+  Rng rng(21);
+  Tensor v = Tensor::RandomNormal(50, 4, 1.0f, &rng);
+  std::vector<std::int64_t> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(static_cast<std::int64_t>(rng.NextBounded(7)));
+  }
+  Tensor base = SegmentSum(v, ids, 7);
+
+  std::vector<std::int64_t> perm(50);
+  for (int i = 0; i < 50; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (std::size_t i = 50; i > 1; --i) {
+    std::swap(perm[i - 1],
+              perm[static_cast<std::size_t>(rng.NextBounded(i))]);
+  }
+  Tensor pv = GatherRows(v, perm);
+  std::vector<std::int64_t> pids;
+  for (std::int64_t p : perm) {
+    pids.push_back(ids[static_cast<std::size_t>(p)]);
+  }
+  EXPECT_TRUE(SegmentSum(pv, pids, 7).ApproxEquals(base, 1e-4f));
+}
+
+}  // namespace
+}  // namespace inferturbo

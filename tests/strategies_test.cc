@@ -1,0 +1,119 @@
+#include "src/inference/strategies.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/graph/datasets.h"
+#include "src/graph/graph_builder.h"
+
+namespace inferturbo {
+namespace {
+
+TEST(StrategyConfigTest, ThresholdUsesHeuristicOrOverride) {
+  StrategyConfig config;
+  EXPECT_EQ(config.HubThreshold(1'000'000, 100), 1000);
+  config.lambda = 0.2;
+  EXPECT_EQ(config.HubThreshold(1'000'000, 100), 2000);
+  config.threshold_override = 37;
+  EXPECT_EQ(config.HubThreshold(1'000'000, 100), 37);
+}
+
+Graph MakeStarGraph(std::int64_t spokes) {
+  // Node 0 has an out-edge to every spoke; spokes point back at node 1.
+  GraphBuilder builder(spokes + 2);
+  for (std::int64_t i = 0; i < spokes; ++i) {
+    builder.AddEdge(0, i + 2);
+    builder.AddEdge(i + 2, 1);
+  }
+  builder.SetNodeFeatures(Tensor::Full(spokes + 2, 3, 1.0f));
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(spokes + 2), 0);
+  labels[0] = 1;
+  builder.SetLabels(std::move(labels), 2);
+  return std::move(builder).Finish().ValueOrDie();
+}
+
+TEST(ShadowNodesTest, SplitsHubIntoMirrors) {
+  const Graph g = MakeStarGraph(10);
+  const Result<ShadowGraph> shadow = ApplyShadowNodes(g, 4);
+  ASSERT_TRUE(shadow.ok());
+  // Out-degree 10 with threshold 4 -> ceil(10/4) = 3 groups -> 2 new
+  // mirrors.
+  EXPECT_EQ(shadow->num_mirrors, 2);
+  EXPECT_EQ(shadow->graph.num_nodes(), g.num_nodes() + 2);
+  // Original keeps id 0 and its origin maps to itself; mirrors map
+  // back.
+  EXPECT_EQ(shadow->origin[0], 0);
+  EXPECT_EQ(shadow->origin[static_cast<std::size_t>(g.num_nodes())], 0);
+  EXPECT_EQ(shadow->origin[static_cast<std::size_t>(g.num_nodes()) + 1], 0);
+}
+
+TEST(ShadowNodesTest, OutEdgesAreEvenlySplitAndPreserved) {
+  const Graph g = MakeStarGraph(10);
+  const ShadowGraph shadow = ApplyShadowNodes(g, 4).ValueOrDie();
+  // Union of the hub mirrors' out-destinations == original's.
+  std::map<NodeId, int> dst_count;
+  std::int64_t max_group = 0;
+  for (NodeId v = 0; v < shadow.graph.num_nodes(); ++v) {
+    if (shadow.origin[static_cast<std::size_t>(v)] != 0) continue;
+    max_group = std::max(max_group, shadow.graph.OutDegree(v));
+    for (EdgeId e : shadow.graph.OutEdges(v)) {
+      ++dst_count[shadow.origin[static_cast<std::size_t>(
+          shadow.graph.EdgeDst(e))]];
+    }
+  }
+  EXPECT_EQ(dst_count.size(), 10u);
+  for (const auto& [dst, count] : dst_count) EXPECT_EQ(count, 1);
+  EXPECT_LE(max_group, 4);
+}
+
+TEST(ShadowNodesTest, MirrorsReceiveAllInEdges) {
+  // Make node 1 a hub *receiver*: node 1 also has high out-degree so it
+  // gets mirrored, and every mirror must keep the full in-edge set.
+  GraphBuilder builder(12);
+  for (std::int64_t i = 2; i < 12; ++i) {
+    builder.AddEdge(1, i);  // node 1 out-hub
+    builder.AddEdge(i, 1);  // node 1 also receives from everyone
+  }
+  builder.SetNodeFeatures(Tensor::Full(12, 2, 1.0f));
+  const Graph g = std::move(builder).Finish().ValueOrDie();
+  const ShadowGraph shadow = ApplyShadowNodes(g, 3).ValueOrDie();
+  ASSERT_GT(shadow.num_mirrors, 0);
+  for (NodeId v = 0; v < shadow.graph.num_nodes(); ++v) {
+    if (shadow.origin[static_cast<std::size_t>(v)] != 1) continue;
+    EXPECT_EQ(shadow.graph.InDegree(v), g.InDegree(1))
+        << "mirror " << v << " lost in-edges";
+  }
+}
+
+TEST(ShadowNodesTest, NoHubsMeansNoMirrors) {
+  const Dataset d = MakeProductsLike(0.02);
+  const std::int64_t huge_threshold = d.graph.num_edges();
+  const ShadowGraph shadow =
+      ApplyShadowNodes(d.graph, huge_threshold).ValueOrDie();
+  EXPECT_EQ(shadow.num_mirrors, 0);
+  EXPECT_EQ(shadow.graph.num_nodes(), d.graph.num_nodes());
+  EXPECT_EQ(shadow.graph.num_edges(), d.graph.num_edges());
+}
+
+TEST(ShadowNodesTest, MirrorsCopyFeaturesAndLabels) {
+  const Graph g = MakeStarGraph(10);
+  const ShadowGraph shadow = ApplyShadowNodes(g, 4).ValueOrDie();
+  for (NodeId v = g.num_nodes(); v < shadow.graph.num_nodes(); ++v) {
+    const NodeId o = shadow.origin[static_cast<std::size_t>(v)];
+    for (std::int64_t j = 0; j < g.feature_dim(); ++j) {
+      EXPECT_EQ(shadow.graph.node_features().At(v, j),
+                g.node_features().At(o, j));
+    }
+    EXPECT_EQ(shadow.graph.labels()[static_cast<std::size_t>(v)],
+              g.labels()[static_cast<std::size_t>(o)]);
+  }
+}
+
+TEST(ShadowNodesTest, RejectsNonPositiveThreshold) {
+  const Graph g = MakeStarGraph(4);
+  EXPECT_FALSE(ApplyShadowNodes(g, 0).ok());
+}
+
+}  // namespace
+}  // namespace inferturbo

@@ -1,0 +1,136 @@
+#include "src/inference/traditional_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/datasets.h"
+#include "src/nn/model.h"
+
+namespace inferturbo {
+namespace {
+
+Dataset SmallSkewed() {
+  PowerLawConfig config;
+  config.num_nodes = 300;
+  config.avg_degree = 8.0;
+  config.alpha = 1.7;
+  config.seed = 13;
+  return MakePowerLawDataset(config, /*feature_dim=*/8);
+}
+
+std::unique_ptr<GnnModel> SmallSage(const Graph& g) {
+  ModelConfig config;
+  config.input_dim = g.feature_dim();
+  config.hidden_dim = 8;
+  config.num_classes = g.num_classes();
+  config.num_layers = 2;
+  return MakeSageModel(config);
+}
+
+TEST(TraditionalPipelineTest, SamplingChangesLogitsAcrossSeeds) {
+  // The root of the Fig. 7 effect: with a small fan-out, different runs
+  // see different neighborhoods, so scores move. (Whether the *argmax*
+  // flips depends on the trained model and class count; the Fig. 7
+  // bench measures that on a trained many-class model.)
+  const Dataset d = SmallSkewed();
+  const std::unique_ptr<GnnModel> model = SmallSage(d.graph);
+  TraditionalPipelineOptions options;
+  options.num_workers = 4;
+  options.fanout = 2;
+
+  options.seed = 1;
+  const Result<InferenceResult> a =
+      RunTraditionalPipeline(d.graph, *model, options);
+  options.seed = 2;
+  const Result<InferenceResult> b =
+      RunTraditionalPipeline(d.graph, *model, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_FALSE(a->logits.ApproxEquals(b->logits, 1e-6f));
+}
+
+TEST(TraditionalPipelineTest, SameSeedIsReproducible) {
+  const Dataset d = SmallSkewed();
+  const std::unique_ptr<GnnModel> model = SmallSage(d.graph);
+  TraditionalPipelineOptions options;
+  options.num_workers = 4;
+  options.fanout = 3;
+  options.seed = 9;
+  const Result<InferenceResult> a =
+      RunTraditionalPipeline(d.graph, *model, options);
+  const Result<InferenceResult> b =
+      RunTraditionalPipeline(d.graph, *model, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->logits.ApproxEquals(b->logits, 0.0f));
+}
+
+TEST(TraditionalPipelineTest, TinyMemoryBudgetTriggersOom) {
+  const Dataset d = SmallSkewed();
+  const std::unique_ptr<GnnModel> model = SmallSage(d.graph);
+  TraditionalPipelineOptions options;
+  options.num_workers = 2;
+  options.memory_budget_bytes = 1024;  // absurd on purpose
+  const Result<InferenceResult> r =
+      RunTraditionalPipeline(d.graph, *model, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfMemory());
+}
+
+TEST(TraditionalPipelineTest, ChargesStoreTraffic) {
+  const Dataset d = SmallSkewed();
+  const std::unique_ptr<GnnModel> model = SmallSage(d.graph);
+  TraditionalPipelineOptions options;
+  options.num_workers = 3;
+  const Result<InferenceResult> r =
+      RunTraditionalPipeline(d.graph, *model, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->metrics.TotalBytesIn(), 0u);
+  EXPECT_GT(r->metrics.SimulatedWallSeconds(), 0.0);
+  // Redundancy: the pipeline refetches overlapping neighborhoods, so
+  // store traffic far exceeds one copy of the feature table.
+  EXPECT_GT(r->metrics.TotalBytesIn(),
+            2 * d.graph.node_features().ByteSize());
+}
+
+TEST(TraditionalPipelineTest, TargetSubsetOnlyScoresTargets) {
+  const Dataset d = SmallSkewed();
+  const std::unique_ptr<GnnModel> model = SmallSage(d.graph);
+  TraditionalPipelineOptions options;
+  options.num_workers = 2;
+  options.targets = {5, 10, 20};
+  const Result<InferenceResult> r =
+      RunTraditionalPipeline(d.graph, *model, options);
+  ASSERT_TRUE(r.ok());
+  std::int64_t scored = 0;
+  for (NodeId v = 0; v < d.graph.num_nodes(); ++v) {
+    bool nonzero = false;
+    for (std::int64_t j = 0; j < r->logits.cols(); ++j) {
+      nonzero = nonzero || r->logits.At(v, j) != 0.0f;
+    }
+    scored += nonzero;
+  }
+  EXPECT_EQ(scored, 3);
+}
+
+TEST(TraditionalPipelineTest, HopCountGrowsFetchedBytesSuperlinearly) {
+  // The Tab. IV effect: each extra hop multiplies neighborhood size.
+  const Dataset d = SmallSkewed();
+  const std::unique_ptr<GnnModel> model = SmallSage(d.graph);
+  std::vector<std::uint64_t> fetched;
+  for (std::int64_t hops = 1; hops <= 3; ++hops) {
+    TraditionalPipelineOptions options;
+    options.num_workers = 2;
+    options.hops = hops;
+    const Result<InferenceResult> r =
+        RunTraditionalPipeline(d.graph, *model, options);
+    ASSERT_TRUE(r.ok());
+    fetched.push_back(r->metrics.TotalBytesIn());
+  }
+  EXPECT_GT(fetched[1], fetched[0]);
+  EXPECT_GT(fetched[2], fetched[1]);
+  // Growth factor itself grows (super-linear blow-up).
+  EXPECT_GT(static_cast<double>(fetched[2]) / fetched[1], 1.2);
+}
+
+}  // namespace
+}  // namespace inferturbo

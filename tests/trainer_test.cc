@@ -1,0 +1,134 @@
+#include "src/nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/datasets.h"
+#include "src/graph/graph_builder.h"
+#include "src/inference/reference_inference.h"
+#include "src/nn/metrics.h"
+
+namespace inferturbo {
+namespace {
+
+TrainerOptions FastOptions() {
+  TrainerOptions options;
+  options.epochs = 12;
+  options.batch_size = 32;
+  options.fanout = 8;
+  options.learning_rate = 1e-2f;
+  options.seed = 3;
+  return options;
+}
+
+TEST(TrainerTest, LossDecreasesOnPlantedData) {
+  PlantedGraphConfig config;
+  config.num_nodes = 600;
+  config.num_classes = 5;
+  config.feature_dim = 10;
+  config.homophily = 0.8;
+  config.noise = 0.8;
+  const Dataset d = MakePlantedDataset("trainer-loss", config);
+
+  ModelConfig mc;
+  mc.input_dim = 10;
+  mc.hidden_dim = 16;
+  mc.num_classes = 5;
+  mc.num_layers = 2;
+  std::unique_ptr<GnnModel> model = MakeSageModel(mc);
+  MiniBatchTrainer trainer(&d.graph, model.get(), FastOptions());
+  const Result<TrainReport> report = trainer.Train();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->steps, 0);
+  EXPECT_LT(report->final_loss, report->epoch_losses.front() * 0.7);
+}
+
+TEST(TrainerTest, TrainedModelBeatsChanceOnTestSplit) {
+  PlantedGraphConfig config;
+  config.num_nodes = 800;
+  config.num_classes = 4;
+  config.feature_dim = 12;
+  config.homophily = 0.8;
+  config.noise = 1.0;
+  const Dataset d = MakePlantedDataset("trainer-acc", config);
+
+  ModelConfig mc;
+  mc.input_dim = 12;
+  mc.hidden_dim = 16;
+  mc.num_classes = 4;
+  mc.num_layers = 2;
+  std::unique_ptr<GnnModel> model = MakeSageModel(mc);
+  MiniBatchTrainer trainer(&d.graph, model.get(), FastOptions());
+  ASSERT_TRUE(trainer.Train().ok());
+
+  const Tensor logits = FullGraphReferenceLogits(*model, d.graph);
+  const double acc =
+      AccuracyOn(logits, d.graph.labels(), d.graph.test_nodes());
+  EXPECT_GT(acc, 0.6) << "chance would be 0.25";
+}
+
+TEST(TrainerTest, MultiLabelTrainingImprovesF1) {
+  const Dataset d = MakePpiLike(0.25, /*seed=*/5);
+  ModelConfig mc;
+  mc.input_dim = d.graph.feature_dim();
+  mc.hidden_dim = 24;
+  mc.num_classes = d.graph.num_classes();
+  mc.num_layers = 2;
+  std::unique_ptr<GnnModel> model = MakeSageModel(mc);
+
+  const Tensor before = FullGraphReferenceLogits(*model, d.graph);
+  const double f1_before =
+      MicroF1On(before, d.graph.multi_labels(), d.graph.test_nodes());
+
+  TrainerOptions options = FastOptions();
+  options.epochs = 10;
+  MiniBatchTrainer trainer(&d.graph, model.get(), options);
+  ASSERT_TRUE(trainer.Train().ok());
+
+  const Tensor after = FullGraphReferenceLogits(*model, d.graph);
+  const double f1_after =
+      MicroF1On(after, d.graph.multi_labels(), d.graph.test_nodes());
+  EXPECT_GT(f1_after, f1_before + 0.1);
+  EXPECT_GT(f1_after, 0.5);
+}
+
+TEST(TrainerTest, FailsWithoutTrainingSplit) {
+  ModelConfig mc;
+  mc.input_dim = 4;
+  mc.hidden_dim = 8;
+  mc.num_classes = 2;
+  std::unique_ptr<GnnModel> model = MakeSageModel(mc);
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.SetNodeFeatures(Tensor(4, 4));
+  builder.SetLabels({0, 1, 0, 1}, 2);
+  Graph g = std::move(builder).Finish().ValueOrDie();
+  MiniBatchTrainer trainer(&g, model.get(), FastOptions());
+  const Result<TrainReport> report = trainer.Train();
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsInvalidArgument());
+}
+
+TEST(TrainerTest, TrainingIsDeterministicUnderSeed) {
+  PlantedGraphConfig config;
+  config.num_nodes = 300;
+  config.num_classes = 3;
+  config.feature_dim = 6;
+  const Dataset d = MakePlantedDataset("trainer-det", config);
+  const auto train_once = [&] {
+    ModelConfig mc;
+    mc.input_dim = 6;
+    mc.hidden_dim = 8;
+    mc.num_classes = 3;
+    mc.seed = 21;
+    std::unique_ptr<GnnModel> model = MakeSageModel(mc);
+    TrainerOptions options = FastOptions();
+    options.epochs = 3;
+    MiniBatchTrainer trainer(&d.graph, model.get(), options);
+    EXPECT_TRUE(trainer.Train().ok());
+    return FullGraphReferenceLogits(*model, d.graph);
+  };
+  EXPECT_TRUE(train_once().ApproxEquals(train_once(), 0.0f));
+}
+
+}  // namespace
+}  // namespace inferturbo

@@ -1,0 +1,78 @@
+// Cluster-size invariance: the logical worker count is a deployment
+// knob, never a semantic one. Results must be identical (to float
+// reassociation) from 1 worker to many more workers than the graph has
+// hot nodes, on both backends, with the heavy strategies on.
+#include <gtest/gtest.h>
+
+#include "src/graph/datasets.h"
+#include "src/inference/inferturbo_mapreduce.h"
+#include "src/inference/inferturbo_pregel.h"
+#include "src/inference/reference_inference.h"
+#include "src/nn/model.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+namespace {
+
+class WorkerSweepTest : public testing::TestWithParam<std::int64_t> {};
+
+Dataset SweepDataset() {
+  PowerLawConfig config;
+  config.num_nodes = 300;
+  config.avg_degree = 6.0;
+  config.alpha = 1.6;
+  config.seed = 55;
+  return MakePowerLawDataset(config, /*feature_dim=*/10);
+}
+
+std::unique_ptr<GnnModel> SweepModel(const Graph& g) {
+  ModelConfig config;
+  config.input_dim = g.feature_dim();
+  config.hidden_dim = 12;
+  config.num_classes = g.num_classes();
+  config.num_layers = 2;
+  return MakeSageModel(config);
+}
+
+TEST_P(WorkerSweepTest, PregelInvariantToWorkerCount) {
+  const std::int64_t workers = GetParam();
+  const Dataset d = SweepDataset();
+  const std::unique_ptr<GnnModel> model = SweepModel(d.graph);
+  const Tensor reference = FullGraphReferenceLogits(*model, d.graph);
+
+  InferTurboOptions options;
+  options.num_workers = workers;
+  options.strategies = StrategyConfig::All();
+  options.strategies.threshold_override = 10;
+  const Result<InferenceResult> r =
+      RunInferTurboPregel(d.graph, *model, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->logits.ApproxEquals(reference, 2e-3f))
+      << "workers=" << workers;
+  EXPECT_EQ(r->predictions, ArgmaxRows(reference));
+}
+
+TEST_P(WorkerSweepTest, MapReduceInvariantToWorkerCount) {
+  const std::int64_t workers = GetParam();
+  const Dataset d = SweepDataset();
+  const std::unique_ptr<GnnModel> model = SweepModel(d.graph);
+  const Tensor reference = FullGraphReferenceLogits(*model, d.graph);
+
+  InferTurboOptions options;
+  options.num_workers = workers;
+  options.strategies = StrategyConfig::All();
+  options.strategies.threshold_override = 10;
+  const Result<InferenceResult> r =
+      RunInferTurboMapReduce(d.graph, *model, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->logits.ApproxEquals(reference, 2e-3f))
+      << "workers=" << workers;
+  EXPECT_EQ(r->predictions, ArgmaxRows(reference));
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToManyWorkers, WorkerSweepTest,
+                         testing::Values(1, 2, 3, 8, 32, 128),
+                         testing::PrintToStringParamName());
+
+}  // namespace
+}  // namespace inferturbo
