@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_combiner.dir/bench_ablation_combiner.cc.o"
+  "CMakeFiles/bench_ablation_combiner.dir/bench_ablation_combiner.cc.o.d"
+  "bench_ablation_combiner"
+  "bench_ablation_combiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_combiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

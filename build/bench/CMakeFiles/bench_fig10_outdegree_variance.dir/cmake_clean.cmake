@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_outdegree_variance.dir/bench_fig10_outdegree_variance.cc.o"
+  "CMakeFiles/bench_fig10_outdegree_variance.dir/bench_fig10_outdegree_variance.cc.o.d"
+  "bench_fig10_outdegree_variance"
+  "bench_fig10_outdegree_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_outdegree_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

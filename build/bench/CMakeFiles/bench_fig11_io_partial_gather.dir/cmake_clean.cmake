@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_io_partial_gather.dir/bench_fig11_io_partial_gather.cc.o"
+  "CMakeFiles/bench_fig11_io_partial_gather.dir/bench_fig11_io_partial_gather.cc.o.d"
+  "bench_fig11_io_partial_gather"
+  "bench_fig11_io_partial_gather.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_io_partial_gather.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_consistency.dir/bench_fig7_consistency.cc.o"
+  "CMakeFiles/bench_fig7_consistency.dir/bench_fig7_consistency.cc.o.d"
+  "bench_fig7_consistency"
+  "bench_fig7_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_hops.dir/bench_table4_hops.cc.o"
+  "CMakeFiles/bench_table4_hops.dir/bench_table4_hops.cc.o.d"
+  "bench_table4_hops"
+  "bench_table4_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_daily_batch_pipeline.dir/daily_batch_pipeline.cc.o"
+  "CMakeFiles/example_daily_batch_pipeline.dir/daily_batch_pipeline.cc.o.d"
+  "example_daily_batch_pipeline"
+  "example_daily_batch_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_daily_batch_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

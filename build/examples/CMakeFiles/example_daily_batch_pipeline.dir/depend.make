@@ -1,0 +1,2 @@
+# Empty dependencies file for example_daily_batch_pipeline.
+# This may be replaced when dependencies are built.

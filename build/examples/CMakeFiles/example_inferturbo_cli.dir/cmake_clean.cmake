@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_inferturbo_cli.dir/inferturbo_cli.cc.o"
+  "CMakeFiles/example_inferturbo_cli.dir/inferturbo_cli.cc.o.d"
+  "example_inferturbo_cli"
+  "example_inferturbo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_inferturbo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

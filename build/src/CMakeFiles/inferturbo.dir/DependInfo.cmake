@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/byte_size.cc" "src/CMakeFiles/inferturbo.dir/common/byte_size.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/byte_size.cc.o.d"
+  "/root/repo/src/common/flags.cc" "src/CMakeFiles/inferturbo.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/inferturbo.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/inferturbo.dir/common/status.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/inferturbo.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/gas/gas_conv.cc" "src/CMakeFiles/inferturbo.dir/gas/gas_conv.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/gas/gas_conv.cc.o.d"
+  "/root/repo/src/gas/message.cc" "src/CMakeFiles/inferturbo.dir/gas/message.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/gas/message.cc.o.d"
+  "/root/repo/src/gas/signature.cc" "src/CMakeFiles/inferturbo.dir/gas/signature.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/gas/signature.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/CMakeFiles/inferturbo.dir/graph/datasets.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/degree_stats.cc" "src/CMakeFiles/inferturbo.dir/graph/degree_stats.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/graph/degree_stats.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/inferturbo.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/graph_builder.cc" "src/CMakeFiles/inferturbo.dir/graph/graph_builder.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/graph/graph_builder.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/inferturbo.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/CMakeFiles/inferturbo.dir/graph/partition.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/graph/partition.cc.o.d"
+  "/root/repo/src/graph/power_law.cc" "src/CMakeFiles/inferturbo.dir/graph/power_law.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/graph/power_law.cc.o.d"
+  "/root/repo/src/inference/incremental.cc" "src/CMakeFiles/inferturbo.dir/inference/incremental.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/inference/incremental.cc.o.d"
+  "/root/repo/src/inference/inferturbo_mapreduce.cc" "src/CMakeFiles/inferturbo.dir/inference/inferturbo_mapreduce.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/inference/inferturbo_mapreduce.cc.o.d"
+  "/root/repo/src/inference/inferturbo_pregel.cc" "src/CMakeFiles/inferturbo.dir/inference/inferturbo_pregel.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/inference/inferturbo_pregel.cc.o.d"
+  "/root/repo/src/inference/output_writer.cc" "src/CMakeFiles/inferturbo.dir/inference/output_writer.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/inference/output_writer.cc.o.d"
+  "/root/repo/src/inference/reference_inference.cc" "src/CMakeFiles/inferturbo.dir/inference/reference_inference.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/inference/reference_inference.cc.o.d"
+  "/root/repo/src/inference/strategies.cc" "src/CMakeFiles/inferturbo.dir/inference/strategies.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/inference/strategies.cc.o.d"
+  "/root/repo/src/inference/traditional_pipeline.cc" "src/CMakeFiles/inferturbo.dir/inference/traditional_pipeline.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/inference/traditional_pipeline.cc.o.d"
+  "/root/repo/src/mapreduce/mapreduce_engine.cc" "src/CMakeFiles/inferturbo.dir/mapreduce/mapreduce_engine.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/mapreduce/mapreduce_engine.cc.o.d"
+  "/root/repo/src/nn/edge_sage_conv.cc" "src/CMakeFiles/inferturbo.dir/nn/edge_sage_conv.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/nn/edge_sage_conv.cc.o.d"
+  "/root/repo/src/nn/gat_conv.cc" "src/CMakeFiles/inferturbo.dir/nn/gat_conv.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/nn/gat_conv.cc.o.d"
+  "/root/repo/src/nn/gcn_conv.cc" "src/CMakeFiles/inferturbo.dir/nn/gcn_conv.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/nn/gcn_conv.cc.o.d"
+  "/root/repo/src/nn/gin_conv.cc" "src/CMakeFiles/inferturbo.dir/nn/gin_conv.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/nn/gin_conv.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/inferturbo.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/metrics.cc" "src/CMakeFiles/inferturbo.dir/nn/metrics.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/nn/metrics.cc.o.d"
+  "/root/repo/src/nn/model.cc" "src/CMakeFiles/inferturbo.dir/nn/model.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/nn/model.cc.o.d"
+  "/root/repo/src/nn/pool_sage_conv.cc" "src/CMakeFiles/inferturbo.dir/nn/pool_sage_conv.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/nn/pool_sage_conv.cc.o.d"
+  "/root/repo/src/nn/sage_conv.cc" "src/CMakeFiles/inferturbo.dir/nn/sage_conv.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/nn/sage_conv.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/CMakeFiles/inferturbo.dir/nn/trainer.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/nn/trainer.cc.o.d"
+  "/root/repo/src/pregel/algorithms.cc" "src/CMakeFiles/inferturbo.dir/pregel/algorithms.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/pregel/algorithms.cc.o.d"
+  "/root/repo/src/pregel/pregel_engine.cc" "src/CMakeFiles/inferturbo.dir/pregel/pregel_engine.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/pregel/pregel_engine.cc.o.d"
+  "/root/repo/src/pregel/vertex_api.cc" "src/CMakeFiles/inferturbo.dir/pregel/vertex_api.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/pregel/vertex_api.cc.o.d"
+  "/root/repo/src/pregel/worker_metrics.cc" "src/CMakeFiles/inferturbo.dir/pregel/worker_metrics.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/pregel/worker_metrics.cc.o.d"
+  "/root/repo/src/sampling/khop_sampler.cc" "src/CMakeFiles/inferturbo.dir/sampling/khop_sampler.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/sampling/khop_sampler.cc.o.d"
+  "/root/repo/src/tensor/autograd.cc" "src/CMakeFiles/inferturbo.dir/tensor/autograd.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/tensor/autograd.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/inferturbo.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/optimizer.cc" "src/CMakeFiles/inferturbo.dir/tensor/optimizer.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/tensor/optimizer.cc.o.d"
+  "/root/repo/src/tensor/segment_ops.cc" "src/CMakeFiles/inferturbo.dir/tensor/segment_ops.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/tensor/segment_ops.cc.o.d"
+  "/root/repo/src/tensor/sparse.cc" "src/CMakeFiles/inferturbo.dir/tensor/sparse.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/tensor/sparse.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/inferturbo.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/tensor/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

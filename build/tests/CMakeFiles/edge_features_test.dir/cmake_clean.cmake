@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_features_test.dir/edge_features_test.cc.o"
+  "CMakeFiles/edge_features_test.dir/edge_features_test.cc.o.d"
+  "edge_features_test"
+  "edge_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

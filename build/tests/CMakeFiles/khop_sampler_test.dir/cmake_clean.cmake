@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/khop_sampler_test.dir/khop_sampler_test.cc.o"
+  "CMakeFiles/khop_sampler_test.dir/khop_sampler_test.cc.o.d"
+  "khop_sampler_test"
+  "khop_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/khop_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

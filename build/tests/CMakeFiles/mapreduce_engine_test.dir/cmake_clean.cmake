@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_engine_test.dir/mapreduce_engine_test.cc.o"
+  "CMakeFiles/mapreduce_engine_test.dir/mapreduce_engine_test.cc.o.d"
+  "mapreduce_engine_test"
+  "mapreduce_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

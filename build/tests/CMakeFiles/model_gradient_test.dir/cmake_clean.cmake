@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_gradient_test.dir/model_gradient_test.cc.o"
+  "CMakeFiles/model_gradient_test.dir/model_gradient_test.cc.o.d"
+  "model_gradient_test"
+  "model_gradient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_gradient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

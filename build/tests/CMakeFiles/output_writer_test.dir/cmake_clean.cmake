@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/output_writer_test.dir/output_writer_test.cc.o"
+  "CMakeFiles/output_writer_test.dir/output_writer_test.cc.o.d"
+  "output_writer_test"
+  "output_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/output_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pregel_algorithms_test.dir/pregel_algorithms_test.cc.o"
+  "CMakeFiles/pregel_algorithms_test.dir/pregel_algorithms_test.cc.o.d"
+  "pregel_algorithms_test"
+  "pregel_algorithms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pregel_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_exactness_test.dir/randomized_exactness_test.cc.o"
+  "CMakeFiles/randomized_exactness_test.dir/randomized_exactness_test.cc.o.d"
+  "randomized_exactness_test"
+  "randomized_exactness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_exactness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

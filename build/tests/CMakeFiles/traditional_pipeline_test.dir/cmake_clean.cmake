@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traditional_pipeline_test.dir/traditional_pipeline_test.cc.o"
+  "CMakeFiles/traditional_pipeline_test.dir/traditional_pipeline_test.cc.o.d"
+  "traditional_pipeline_test"
+  "traditional_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traditional_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertex_api_test.dir/vertex_api_test.cc.o"
+  "CMakeFiles/vertex_api_test.dir/vertex_api_test.cc.o.d"
+  "vertex_api_test"
+  "vertex_api_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertex_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worker_sweep_test.dir/worker_sweep_test.cc.o"
+  "CMakeFiles/worker_sweep_test.dir/worker_sweep_test.cc.o.d"
+  "worker_sweep_test"
+  "worker_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worker_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
