@@ -235,10 +235,11 @@ examples/CMakeFiles/example_inferturbo_cli.dir/inferturbo_cli.cc.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/common/thread_pool.h \
- /usr/include/c++/12/condition_variable \
+ /root/repo/src/common/io_fault.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/std_mutex.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/common/thread_pool.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/atomic_base.h \
  /usr/include/c++/12/bits/atomic_lockfree_defines.h \
  /usr/include/c++/12/bits/atomic_wait.h /usr/include/c++/12/climits \
@@ -268,8 +269,8 @@ examples/CMakeFiles/example_inferturbo_cli.dir/inferturbo_cli.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/inference/result.h /root/repo/src/pregel/worker_metrics.h \
+ /usr/include/c++/12/thread /root/repo/src/inference/result.h \
+ /root/repo/src/pregel/worker_metrics.h \
  /root/repo/src/inference/strategies.h /root/repo/src/nn/model.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \

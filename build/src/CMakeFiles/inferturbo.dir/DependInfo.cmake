@@ -8,8 +8,13 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checkpoint/checkpoint_store.cc" "src/CMakeFiles/inferturbo.dir/checkpoint/checkpoint_store.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/checkpoint/checkpoint_store.cc.o.d"
+  "/root/repo/src/common/atomic_file.cc" "src/CMakeFiles/inferturbo.dir/common/atomic_file.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/atomic_file.cc.o.d"
+  "/root/repo/src/common/binary_io.cc" "src/CMakeFiles/inferturbo.dir/common/binary_io.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/binary_io.cc.o.d"
   "/root/repo/src/common/byte_size.cc" "src/CMakeFiles/inferturbo.dir/common/byte_size.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/byte_size.cc.o.d"
+  "/root/repo/src/common/crc32.cc" "src/CMakeFiles/inferturbo.dir/common/crc32.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/crc32.cc.o.d"
   "/root/repo/src/common/flags.cc" "src/CMakeFiles/inferturbo.dir/common/flags.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/flags.cc.o.d"
+  "/root/repo/src/common/io_fault.cc" "src/CMakeFiles/inferturbo.dir/common/io_fault.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/io_fault.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/CMakeFiles/inferturbo.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/logging.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/inferturbo.dir/common/status.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/status.cc.o.d"
   "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/inferturbo.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/inferturbo.dir/common/thread_pool.cc.o.d"

@@ -187,6 +187,7 @@ src/CMakeFiles/inferturbo.dir/pregel/algorithms.cc.o: \
  /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
  /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/ios \
  /usr/include/c++/12/bits/ios_base.h \
@@ -248,6 +249,10 @@ src/CMakeFiles/inferturbo.dir/pregel/algorithms.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/checkpoint/checkpoint_store.h \
+ /root/repo/src/common/io_fault.h /root/repo/src/common/status.h \
+ /root/repo/src/common/result.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/variant \
  /root/repo/src/common/thread_pool.h \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
@@ -259,7 +264,4 @@ src/CMakeFiles/inferturbo.dir/pregel/algorithms.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /root/repo/src/gas/message.h \
  /root/repo/src/common/byte_size.h /root/repo/src/gas/signature.h \
- /root/repo/src/common/result.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
- /root/repo/src/common/status.h /root/repo/src/graph/partition.h
+ /root/repo/src/graph/partition.h

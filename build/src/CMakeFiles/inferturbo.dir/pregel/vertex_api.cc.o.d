@@ -235,11 +235,16 @@ src/CMakeFiles/inferturbo.dir/pregel/vertex_api.cc.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/checkpoint/checkpoint_store.h \
+ /root/repo/src/common/io_fault.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/common/result.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/variant \
  /root/repo/src/common/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -247,12 +252,8 @@ src/CMakeFiles/inferturbo.dir/pregel/vertex_api.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/gas/message.h /root/repo/src/common/byte_size.h \
- /root/repo/src/gas/signature.h /root/repo/src/common/result.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /root/repo/src/common/status.h \
+ /usr/include/c++/12/thread /root/repo/src/gas/message.h \
+ /root/repo/src/common/byte_size.h /root/repo/src/gas/signature.h \
  /root/repo/src/graph/partition.h /root/repo/src/pregel/worker_metrics.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_store_test.dir/checkpoint_store_test.cc.o"
+  "CMakeFiles/checkpoint_store_test.dir/checkpoint_store_test.cc.o.d"
+  "checkpoint_store_test"
+  "checkpoint_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

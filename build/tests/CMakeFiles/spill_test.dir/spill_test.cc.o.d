@@ -297,6 +297,8 @@ tests/CMakeFiles/spill_test.dir/spill_test.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
+ /root/repo/src/common/io_fault.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/status.h \
  /root/repo/src/graph/datasets.h /root/repo/src/graph/graph.h \
  /usr/include/c++/12/span /root/repo/src/tensor/tensor.h \
  /root/repo/src/common/rng.h /usr/include/c++/12/cmath \
@@ -323,11 +325,10 @@ tests/CMakeFiles/spill_test.dir/spill_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/graph/power_law.h \
  /root/repo/src/inference/inferturbo_mapreduce.h \
- /root/repo/src/common/result.h /root/repo/src/common/status.h \
+ /root/repo/src/common/result.h \
  /root/repo/src/inference/inferturbo_pregel.h \
  /root/repo/src/common/thread_pool.h \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -335,9 +336,9 @@ tests/CMakeFiles/spill_test.dir/spill_test.cc.o: \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/mutex /usr/include/c++/12/thread \
- /root/repo/src/inference/result.h /root/repo/src/pregel/worker_metrics.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/thread /root/repo/src/inference/result.h \
+ /root/repo/src/pregel/worker_metrics.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/inference/strategies.h /root/repo/src/nn/model.h \

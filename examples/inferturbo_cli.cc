@@ -142,6 +142,22 @@ int Infer(const FlagParser& flags, const std::string& dir) {
   options.strategies.shadow_nodes = flags.GetBool("shadow_nodes", false);
   options.strategies.lambda = flags.GetDouble("lambda", 0.1);
   options.export_embeddings = flags.GetBool("embeddings", false);
+  // Durable checkpoints: --checkpoint_dir enables them; --resume picks
+  // up a previously killed job from its newest valid checkpoint.
+  options.checkpoint_directory = flags.GetString("checkpoint_dir", "");
+  options.checkpoint_interval = flags.GetInt("checkpoint_interval", 0);
+  options.checkpoint_keep_last = flags.GetInt("keep_last", 2);
+  options.resume_from = flags.GetBool("resume", false);
+  if (!options.checkpoint_directory.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.checkpoint_directory, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create checkpoint directory %s: %s\n",
+                   options.checkpoint_directory.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+  }
   const std::string backend = flags.GetString("backend", "pregel");
 
   Result<InferenceResult> result =

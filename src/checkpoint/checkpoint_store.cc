@@ -1,0 +1,219 @@
+#include "src/checkpoint/checkpoint_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "src/common/atomic_file.h"
+#include "src/common/binary_io.h"
+#include "src/common/crc32.h"
+#include "src/common/logging.h"
+
+namespace inferturbo {
+namespace {
+
+constexpr std::uint32_t kCheckpointMagic = 0x49544B31;  // "ITK1"
+constexpr std::uint32_t kManifestMagic = 0x49544D31;    // "ITM1"
+constexpr std::uint32_t kFormatVersion = 1;
+
+/// Body + trailing CRC32 over the body — the framing every store file
+/// uses. Returns the verified body slice, or IoError on mismatch.
+std::string SealFrame(std::string body) {
+  const std::uint32_t crc = Crc32(body);
+  BinaryWriter trailer;
+  trailer.PutU32(crc);
+  body += trailer.buffer();
+  return body;
+}
+
+Result<std::string_view> OpenFrame(const std::string& file,
+                                   const std::string& path) {
+  if (file.size() < sizeof(std::uint32_t)) {
+    return Status::IoError("file too short for CRC trailer: " + path);
+  }
+  const std::string_view body(file.data(),
+                              file.size() - sizeof(std::uint32_t));
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, file.data() + body.size(), sizeof(stored));
+  const std::uint32_t actual = Crc32(body);
+  if (stored != actual) {
+    return Status::IoError("checksum mismatch for " + path + " (stored " +
+                           std::to_string(stored) + ", computed " +
+                           std::to_string(actual) + ")");
+  }
+  return body;
+}
+
+std::string EncodeCheckpoint(const CheckpointData& data) {
+  BinaryWriter out;
+  out.PutU32(kCheckpointMagic);
+  out.PutU32(kFormatVersion);
+  out.PutI64(data.step);
+  out.PutString(data.engine_state);
+  out.PutString(data.driver_state);
+  return SealFrame(out.Take());
+}
+
+Status DecodeCheckpoint(std::string_view body, const std::string& path,
+                        CheckpointData* data) {
+  BinaryReader in(body);
+  std::uint32_t magic = 0, version = 0;
+  INFERTURBO_RETURN_NOT_OK(in.GetU32(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::IoError("bad checkpoint magic in " + path);
+  }
+  INFERTURBO_RETURN_NOT_OK(in.GetU32(&version));
+  if (version != kFormatVersion) {
+    return Status::IoError("unsupported checkpoint format version " +
+                           std::to_string(version) + " in " + path);
+  }
+  INFERTURBO_RETURN_NOT_OK(in.GetI64(&data->step));
+  INFERTURBO_RETURN_NOT_OK(in.GetString(&data->engine_state));
+  INFERTURBO_RETURN_NOT_OK(in.GetString(&data->driver_state));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string CheckpointStore::CheckpointPath(std::int64_t version) const {
+  char name[64];
+  std::snprintf(name, sizeof(name), "ckpt_%08lld.bin",
+                static_cast<long long>(version));
+  return options_.directory + "/" + name;
+}
+
+std::string CheckpointStore::ManifestPath() const {
+  return options_.directory + "/MANIFEST";
+}
+
+std::vector<std::int64_t> CheckpointStore::ScanVersions() const {
+  std::vector<std::int64_t> found;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.directory, ec)) {
+    const std::string name = entry.path().filename().string();
+    long long version = 0;
+    if (std::sscanf(name.c_str(), "ckpt_%08lld.bin", &version) == 1) {
+      found.push_back(version);
+    }
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+Result<CheckpointStore> CheckpointStore::Open(
+    CheckpointStoreOptions options) {
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("checkpoint directory must be set");
+  }
+  if (!std::filesystem::is_directory(options.directory)) {
+    return Status::InvalidArgument("checkpoint directory does not exist: " +
+                                   options.directory);
+  }
+  if (options.keep_last < 1) {
+    return Status::InvalidArgument("keep_last must be at least 1");
+  }
+  CheckpointStore store(std::move(options));
+
+  // Recover the version list from the manifest; a missing or corrupted
+  // manifest degrades to a directory scan.
+  bool manifest_ok = false;
+  Result<std::string> file = ReadFileToString(
+      store.ManifestPath(), store.options_.fault_injector);
+  if (file.ok()) {
+    const Result<std::string_view> body =
+        OpenFrame(*file, store.ManifestPath());
+    if (body.ok()) {
+      BinaryReader in(*body);
+      std::uint32_t magic = 0;
+      std::vector<std::int64_t> versions;
+      if (in.GetU32(&magic).ok() && magic == kManifestMagic &&
+          in.GetI64s(&versions).ok()) {
+        store.versions_ = std::move(versions);
+        manifest_ok = true;
+      }
+    }
+    if (!manifest_ok) {
+      INFERTURBO_LOG(Warning)
+          << "checkpoint manifest unreadable under "
+          << store.options_.directory << "; falling back to directory scan";
+    }
+  }
+  if (!manifest_ok) {
+    store.versions_ = store.ScanVersions();
+  }
+  store.next_version_ =
+      store.versions_.empty() ? 1 : store.versions_.back() + 1;
+  return store;
+}
+
+Status CheckpointStore::WriteManifest() const {
+  BinaryWriter out;
+  out.PutU32(kManifestMagic);
+  out.PutI64s(versions_);
+  return WriteFileAtomic(ManifestPath(), SealFrame(out.Take()),
+                         options_.fault_injector, options_.retry);
+}
+
+Status CheckpointStore::Save(const CheckpointData& data) {
+  const std::int64_t version = next_version_;
+  const std::string encoded = EncodeCheckpoint(data);
+  INFERTURBO_RETURN_NOT_OK(WriteFileAtomic(CheckpointPath(version), encoded,
+                                           options_.fault_injector,
+                                           options_.retry));
+  versions_.push_back(version);
+  next_version_ = version + 1;
+  // The checkpoint file is durable before the manifest references it,
+  // so a crash between the two writes loses only the index entry (the
+  // scan fallback still finds the file).
+  const Status manifest = WriteManifest();
+  if (!manifest.ok()) {
+    // Roll the index back so the in-memory view matches the durable
+    // manifest; the orphaned file is reclaimed by a later prune/scan.
+    versions_.pop_back();
+    return manifest;
+  }
+  // Retention: drop everything beyond the newest keep_last versions.
+  while (static_cast<std::int64_t>(versions_.size()) > options_.keep_last) {
+    const std::int64_t victim = versions_.front();
+    versions_.erase(versions_.begin());
+    std::remove(CheckpointPath(victim).c_str());
+  }
+  // Manifest reflects the pruned list; failure here is non-fatal (the
+  // stale manifest still lists only files that exist or are skipped).
+  const Status pruned = WriteManifest();
+  if (!pruned.ok()) {
+    INFERTURBO_LOG(Warning) << "manifest rewrite after pruning failed: "
+                            << pruned.ToString();
+  }
+  return Status::OK();
+}
+
+Result<CheckpointData> CheckpointStore::LoadLatest() const {
+  std::vector<std::int64_t> candidates = versions_;
+  if (candidates.empty()) candidates = ScanVersions();
+  for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {
+    const std::string path = CheckpointPath(*it);
+    CheckpointData data;
+    // Read + verify + decode as one retried unit: a transient short
+    // read or bit flip fails checksum validation and the retry re-reads
+    // healthy bytes; persistent corruption falls through to the
+    // previous version.
+    const Status status = RetryWithBackoff(options_.retry, [&] {
+      INFERTURBO_ASSIGN_OR_RETURN(
+          const std::string file,
+          ReadFileToString(path, options_.fault_injector));
+      INFERTURBO_ASSIGN_OR_RETURN(const std::string_view body,
+                                  OpenFrame(file, path));
+      return DecodeCheckpoint(body, path, &data);
+    });
+    if (status.ok()) return data;
+    ++corrupted_skipped_;
+    INFERTURBO_LOG(Warning) << "skipping unloadable checkpoint " << path
+                            << ": " << status.ToString();
+  }
+  return Status::NotFound("no loadable checkpoint under " +
+                          options_.directory);
+}
+
+}  // namespace inferturbo

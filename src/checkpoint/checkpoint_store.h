@@ -1,0 +1,99 @@
+#ifndef INFERTURBO_CHECKPOINT_CHECKPOINT_STORE_H_
+#define INFERTURBO_CHECKPOINT_CHECKPOINT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/io_fault.h"
+#include "src/common/result.h"
+
+namespace inferturbo {
+
+/// One durable snapshot of a running job. The store treats both blobs
+/// as opaque: the Pregel backend packs its in-flight inboxes, partial
+/// flags, and broadcast board into `engine_state` while the MapReduce
+/// backend packs its between-round dataflow; `driver_state` carries the
+/// inference driver's mutable tensors (worker embeddings, partial
+/// logits / broadcast table). `step` is the superstep (Pregel) or
+/// completed-round count (MapReduce) the checkpoint resumes *at*.
+struct CheckpointData {
+  std::int64_t step = 0;
+  std::string engine_state;
+  std::string driver_state;
+};
+
+struct CheckpointStoreOptions {
+  /// Directory holding checkpoint files + MANIFEST; must exist.
+  std::string directory;
+  /// Retention: number of most-recent checkpoint versions kept on disk.
+  /// At least 2 is recommended so a corrupted newest version can fall
+  /// back to its predecessor.
+  std::int64_t keep_last = 2;
+  /// Optional fault injection on every physical read/write.
+  IoFaultInjector* fault_injector = nullptr;
+  /// Bounded retry + backoff for transient faults.
+  IoRetryPolicy retry;
+};
+
+/// Durable checkpoint store (the half of the paper's §I "fault
+/// tolerance inherited from mature infrastructures" that survives the
+/// driver process): versioned, CRC32-checksummed checkpoint files
+/// written atomically (temp + flush + rename) under a manifest, with
+/// keep-last-K retention.
+///
+/// Integrity model:
+///   - every file (checkpoints and the manifest) carries a trailing
+///     CRC32 over its entire body, verified on load;
+///   - files are only ever replaced whole via atomic rename, so a
+///     reader never observes a torn write;
+///   - `LoadLatest` walks versions newest-first and silently skips
+///     corrupted ones (logging a warning), so recovery falls back to
+///     the previous valid checkpoint;
+///   - a corrupted or missing manifest degrades to a directory scan,
+///     so the manifest is an index, not a single point of failure.
+class CheckpointStore {
+ public:
+  /// Validates the directory and recovers the next version number from
+  /// the manifest (or a directory scan when the manifest is unusable).
+  static Result<CheckpointStore> Open(CheckpointStoreOptions options);
+
+  /// Durably persists `data` as the next version: checkpoint file
+  /// first, manifest second (both atomic), then prunes versions beyond
+  /// keep_last. Transient I/O faults are retried with backoff; a
+  /// persistent fault returns IoError and leaves the previous
+  /// checkpoint intact.
+  Status Save(const CheckpointData& data);
+
+  /// Newest checksum-valid checkpoint. Corrupted versions are skipped
+  /// with a warning; NotFound when no loadable checkpoint exists.
+  Result<CheckpointData> LoadLatest() const;
+
+  /// Versions currently tracked, ascending.
+  const std::vector<std::int64_t>& versions() const { return versions_; }
+
+  /// Checkpoints skipped due to checksum/decode failures across all
+  /// LoadLatest calls on this store instance.
+  std::int64_t corrupted_skipped() const { return corrupted_skipped_; }
+
+  const std::string& directory() const { return options_.directory; }
+
+ private:
+  explicit CheckpointStore(CheckpointStoreOptions options)
+      : options_(std::move(options)) {}
+
+  std::string CheckpointPath(std::int64_t version) const;
+  std::string ManifestPath() const;
+  Status WriteManifest() const;
+  /// Versions found by scanning the directory for checkpoint files.
+  std::vector<std::int64_t> ScanVersions() const;
+
+  CheckpointStoreOptions options_;
+  std::vector<std::int64_t> versions_;  // ascending
+  std::int64_t next_version_ = 1;
+  mutable std::int64_t corrupted_skipped_ = 0;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_CHECKPOINT_CHECKPOINT_STORE_H_

@@ -1,0 +1,44 @@
+#ifndef INFERTURBO_COMMON_ATOMIC_FILE_H_
+#define INFERTURBO_COMMON_ATOMIC_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/io_fault.h"
+#include "src/common/result.h"
+
+namespace inferturbo {
+
+/// Durably replaces `path` with `data`: the bytes land in a sibling
+/// temp file first, are flushed and fsync'd, and the temp file is then
+/// renamed over `path` — readers see either the old complete file or
+/// the new complete file, never a torn mix. The temp file is removed on
+/// any failure.
+///
+/// `injector` (optional) is consulted once per physical attempt;
+/// injected kWriteFail/kNoSpace fail the attempt with IoError, while
+/// kBitFlip/kShortRead silently corrupt the written bytes (which is the
+/// point: only a checksum on the read side can catch them). Transient
+/// faults are retried per `retry` with exponential backoff; a
+/// persistent fault surfaces as the last attempt's Status.
+/// `retries_performed` (optional) is incremented once per retried
+/// attempt so callers can account recovery work (e.g. spill metrics).
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       IoFaultInjector* injector = nullptr,
+                       const IoRetryPolicy& retry = IoRetryPolicy(),
+                       std::int64_t* retries_performed = nullptr);
+
+/// Reads the whole file into a string. Injected read faults apply:
+/// kShortRead truncates the returned data and kBitFlip flips one bit —
+/// both are *silent* here and must be caught by the caller's
+/// length/checksum validation; kWriteFail/kNoSpace fail the call with
+/// IoError. No internal retry: corruption is only detectable after
+/// validation, so the retry loop belongs to the validating caller (see
+/// RetryWithBackoff).
+Result<std::string> ReadFileToString(const std::string& path,
+                                     IoFaultInjector* injector = nullptr);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_COMMON_ATOMIC_FILE_H_

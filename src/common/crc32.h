@@ -1,0 +1,25 @@
+#ifndef INFERTURBO_COMMON_CRC32_H_
+#define INFERTURBO_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace inferturbo {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over `size` bytes.
+/// Chainable: pass a previous value as `seed` to extend a running
+/// checksum. This is the integrity check stamped on every byte the
+/// system persists — checkpoint files, shuffle spill blocks, and
+/// output shards — so torn writes and bit rot are detected on read
+/// instead of silently corrupting results.
+std::uint32_t Crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32(std::string_view data, std::uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_COMMON_CRC32_H_

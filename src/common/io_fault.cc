@@ -1,0 +1,69 @@
+#include "src/common/io_fault.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace inferturbo {
+
+std::string_view IoFaultKindToString(IoFaultKind kind) {
+  switch (kind) {
+    case IoFaultKind::kNone:
+      return "None";
+    case IoFaultKind::kWriteFail:
+      return "WriteFail";
+    case IoFaultKind::kNoSpace:
+      return "NoSpace";
+    case IoFaultKind::kShortRead:
+      return "ShortRead";
+    case IoFaultKind::kBitFlip:
+      return "BitFlip";
+  }
+  return "Unknown";
+}
+
+void ScriptedIoFaultInjector::Arm(IoOp op, std::string path_substring,
+                                  IoFaultKind kind, std::int64_t times) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back({op, std::move(path_substring), kind, times});
+}
+
+IoFaultKind ScriptedIoFaultInjector::Tick(IoOp op, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Rule& rule : rules_) {
+    if (rule.op != op || rule.remaining == 0) continue;
+    if (path.find(rule.substring) == std::string::npos) continue;
+    if (rule.remaining > 0) --rule.remaining;
+    ++fired_;
+    return rule.kind;
+  }
+  return IoFaultKind::kNone;
+}
+
+std::int64_t ScriptedIoFaultInjector::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+Status RetryWithBackoff(const IoRetryPolicy& retry,
+                        const std::function<Status()>& attempt,
+                        std::int64_t* retries_performed) {
+  const int attempts = retry.max_attempts > 0 ? retry.max_attempts : 1;
+  double backoff = retry.initial_backoff_seconds;
+  Status last = Status::OK();
+  for (int i = 0; i < attempts; ++i) {
+    if (i > 0) {
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      backoff = std::min(backoff * retry.backoff_multiplier,
+                         retry.max_backoff_seconds);
+      if (retries_performed != nullptr) ++*retries_performed;
+    }
+    last = attempt();
+    if (last.ok()) return last;
+  }
+  return last;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,95 @@
+#ifndef INFERTURBO_COMMON_IO_FAULT_H_
+#define INFERTURBO_COMMON_IO_FAULT_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace inferturbo {
+
+/// The failure modes the persistence layer is hardened against. Every
+/// component that touches disk (checkpoint store, MapReduce spill path,
+/// output writer) consults an injector before each physical attempt, so
+/// tests can script real-world I/O failures deterministically.
+enum class IoFaultKind {
+  kNone = 0,
+  /// The write syscall fails outright; nothing becomes durable. The
+  /// attempt surfaces as an IoError Status (retryable).
+  kWriteFail,
+  /// ENOSPC: the filesystem is full; open/rename fails. Surfaces as an
+  /// IoError Status (retryable — space may be reclaimed).
+  kNoSpace,
+  /// A read returns fewer bytes than the file holds (truncated read or
+  /// torn file). On the read path the helper truncates the returned
+  /// data; length/checksum validation catches it downstream. On the
+  /// write path the file is silently truncated — a torn write.
+  kShortRead,
+  /// One bit in the payload flips — silent corruption that only a
+  /// checksum can catch. The operation itself "succeeds".
+  kBitFlip,
+};
+
+std::string_view IoFaultKindToString(IoFaultKind kind);
+
+/// Which side of the filesystem an operation is on, for scoping faults.
+enum class IoOp { kWrite, kRead };
+
+/// Injection point consulted once per physical I/O attempt. Thread-safe
+/// implementations required: engines call this from pool workers.
+class IoFaultInjector {
+ public:
+  virtual ~IoFaultInjector() = default;
+  /// Fault to apply to this attempt on `path` (kNone = healthy).
+  virtual IoFaultKind Tick(IoOp op, const std::string& path) = 0;
+};
+
+/// Scripted injector for tests: arm rules matching a path substring and
+/// an op, each firing a bounded number of times (so transient faults
+/// stop and retries can succeed) or forever (`times` < 0, persistent).
+class ScriptedIoFaultInjector : public IoFaultInjector {
+ public:
+  void Arm(IoOp op, std::string path_substring, IoFaultKind kind,
+           std::int64_t times = 1);
+  IoFaultKind Tick(IoOp op, const std::string& path) override;
+  /// Total faults injected so far (all rules).
+  std::int64_t faults_fired() const;
+
+ private:
+  struct Rule {
+    IoOp op;
+    std::string substring;
+    IoFaultKind kind;
+    std::int64_t remaining;  // < 0 = unbounded
+  };
+  mutable std::mutex mu_;
+  std::vector<Rule> rules_;
+  std::int64_t fired_ = 0;
+};
+
+/// Bounded retry with exponential backoff for transient persisted-state
+/// faults. Defaults keep test latency negligible while still exercising
+/// the backoff arithmetic.
+struct IoRetryPolicy {
+  int max_attempts = 4;
+  double initial_backoff_seconds = 0.0002;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.02;
+};
+
+/// Runs `attempt` up to `retry.max_attempts` times, sleeping with
+/// exponential backoff between failures. Returns the first OK status,
+/// or the last error once attempts are exhausted (a persistent fault).
+/// When `retries_performed` is non-null it is incremented once per
+/// retried attempt (not the first try) — the counter JobMetrics exposes
+/// for the spill path.
+Status RetryWithBackoff(const IoRetryPolicy& retry,
+                        const std::function<Status()>& attempt,
+                        std::int64_t* retries_performed = nullptr);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_COMMON_IO_FAULT_H_

@@ -1,10 +1,14 @@
 #include "src/inference/inferturbo_mapreduce.h"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
+#include "src/checkpoint/checkpoint_store.h"
+#include "src/common/binary_io.h"
 #include "src/common/logging.h"
 #include "src/gas/gas_conv.h"
 #include "src/graph/partition.h"
@@ -13,6 +17,50 @@
 
 namespace inferturbo {
 namespace {
+
+/// The MR driver's only cross-round mutable state outside the dataflow
+/// is the broadcast table. Keys are written sorted so the bytes are
+/// deterministic (bit-identical resume contract).
+std::string EncodeBroadcastTable(
+    const std::unordered_map<NodeId, std::vector<float>>& table) {
+  std::vector<NodeId> keys;
+  keys.reserve(table.size());
+  for (const auto& [key, row] : table) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  BinaryWriter out;
+  out.PutU64(keys.size());
+  for (const NodeId key : keys) {
+    out.PutI64(key);
+    out.PutFloats(table.at(key));
+  }
+  return out.Take();
+}
+
+Status DecodeBroadcastTable(
+    std::string_view bytes,
+    std::unordered_map<NodeId, std::vector<float>>* table) {
+  BinaryReader in(bytes);
+  std::uint64_t count = 0;
+  INFERTURBO_RETURN_NOT_OK(in.GetU64(&count));
+  constexpr std::uint64_t kMinEntryBytes =
+      sizeof(NodeId) + sizeof(std::uint64_t);
+  if (count > bytes.size() / kMinEntryBytes + 1) {
+    return Status::IoError("corrupt broadcast table count " +
+                           std::to_string(count));
+  }
+  table->clear();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    NodeId key = 0;
+    std::vector<float> row;
+    INFERTURBO_RETURN_NOT_OK(in.GetI64(&key));
+    INFERTURBO_RETURN_NOT_OK(in.GetFloats(&row));
+    (*table)[key] = std::move(row);
+  }
+  if (!in.AtEnd()) {
+    return Status::IoError("trailing bytes after broadcast table");
+  }
+  return Status::OK();
+}
 
 /// Record tags on the MapReduce dataflow.
 enum RecordTag : std::int32_t {
@@ -54,15 +102,71 @@ class MrInferenceDriver {
     job_options.pool = options_.pool;
     job_options.failure_injector = options_.failure_injector;
     job_options.spill_directory = options_.mr_spill_directory;
+    job_options.fault_injector = options_.io_fault_injector;
+    job_options.retry = options_.io_retry;
     MapReduceJob job(job_options);
 
-    job.RunMap([this](std::int64_t instance, MrEmitter* emitter) {
-      MapStage(instance, emitter);
-    });
-    FlushBroadcastStaging(&job);
+    // Durable round checkpoints: stage 0 is the map, stage l+1 is
+    // reduce round l; a checkpoint at stage s means stages <= s are
+    // durable and a resumed process re-enters at stage s+1.
+    std::optional<CheckpointStore> store;
+    if (!options_.checkpoint_directory.empty()) {
+      CheckpointStoreOptions store_options;
+      store_options.directory = options_.checkpoint_directory;
+      store_options.keep_last = options_.checkpoint_keep_last;
+      store_options.fault_injector = options_.io_fault_injector;
+      store_options.retry = options_.io_retry;
+      Result<CheckpointStore> opened =
+          CheckpointStore::Open(std::move(store_options));
+      if (!opened.ok()) return opened.status();
+      store.emplace(std::move(opened).ValueOrDie());
+    }
+    std::int64_t completed_stage = -1;  // nothing durable yet
+    if (store && options_.resume_from) {
+      Result<CheckpointData> latest = store->LoadLatest();
+      if (latest.ok()) {
+        INFERTURBO_RETURN_NOT_OK(job.RestoreDataflow(latest->engine_state));
+        // The table is restored directly — not via FlushBroadcastStaging,
+        // which would charge the side channel a second time (and touch
+        // metrics steps a resumed job does not have yet).
+        INFERTURBO_RETURN_NOT_OK(
+            DecodeBroadcastTable(latest->driver_state, &broadcast_table_));
+        completed_stage = latest->step;
+      } else if (!latest.status().IsNotFound()) {
+        return latest.status();
+      }
+      // NotFound: the job died before its first checkpoint — fresh run.
+    }
+    const auto save_checkpoint = [&](std::int64_t stage) {
+      if (!store) return Status::OK();
+      CheckpointData data;
+      data.step = stage;
+      data.engine_state = job.SerializeDataflow();
+      data.driver_state = EncodeBroadcastTable(broadcast_table_);
+      return store->Save(data);
+    };
+    const auto killed = [this](std::int64_t stage) {
+      return options_.kill_switch && options_.kill_switch(stage)
+                 ? Status::Aborted("job killed before stage " +
+                                   std::to_string(stage) +
+                                   " (simulated process death)")
+                 : Status::OK();
+    };
+
+    if (completed_stage < 0) {
+      INFERTURBO_RETURN_NOT_OK(killed(0));
+      job.RunMap([this](std::int64_t instance, MrEmitter* emitter) {
+        MapStage(instance, emitter);
+      });
+      FlushBroadcastStaging(&job);
+      INFERTURBO_RETURN_NOT_OK(save_checkpoint(0));
+    }
 
     const std::int64_t num_layers = model_.num_layers();
     for (std::int64_t l = 0; l < num_layers; ++l) {
+      const std::int64_t stage = l + 1;
+      if (stage <= completed_stage) continue;  // already durable
+      INFERTURBO_RETURN_NOT_OK(killed(stage));
       MapReduceJob::CombineFn combiner;
       const LayerSignature& sig = model_.layer(l).signature();
       const bool use_partial = options_.strategies.partial_gather &&
@@ -76,12 +180,13 @@ class MrInferenceDriver {
           CombineInMessages(kind, msg_dim, key, values);
         };
       }
-      job.RunReduce(
+      INFERTURBO_RETURN_NOT_OK(job.RunReduce(
           [this, l](std::int64_t key, std::span<MrValue> values,
                     MrEmitter* emitter) { ReduceStage(l, key, values,
                                                       emitter); },
-          combiner ? &combiner : nullptr);
+          combiner ? &combiner : nullptr));
       FlushBroadcastStaging(&job);
+      INFERTURBO_RETURN_NOT_OK(save_checkpoint(stage));
     }
 
     // Collect kPrediction (and optional kEmbedding) rows.

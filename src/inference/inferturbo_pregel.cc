@@ -1,8 +1,11 @@
 #include "src/inference/inferturbo_pregel.h"
 
 #include <memory>
+#include <optional>
 #include <utility>
 
+#include "src/checkpoint/checkpoint_store.h"
+#include "src/common/binary_io.h"
 #include "src/common/logging.h"
 #include "src/gas/gas_conv.h"
 #include "src/pregel/pregel_engine.h"
@@ -10,6 +13,33 @@
 
 namespace inferturbo {
 namespace {
+
+/// Bit-exact tensor framing for durable checkpoints: shape + raw IEEE
+/// float bytes.
+void PutTensor(BinaryWriter* out, const Tensor& t) {
+  out->PutI64(t.rows());
+  out->PutI64(t.cols());
+  out->PutBytes(t.data(), static_cast<std::size_t>(t.size()) * sizeof(float));
+}
+
+Status GetTensor(BinaryReader* in, Tensor* t) {
+  std::int64_t rows = 0, cols = 0;
+  INFERTURBO_RETURN_NOT_OK(in->GetI64(&rows));
+  INFERTURBO_RETURN_NOT_OK(in->GetI64(&cols));
+  if (rows < 0 || cols < 0 ||
+      (rows > 0 && cols > 0 &&
+       static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols) *
+               sizeof(float) >
+           in->remaining())) {
+    return Status::IoError("corrupt tensor shape in checkpoint: " +
+                           std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  Tensor loaded(rows, cols);
+  INFERTURBO_RETURN_NOT_OK(in->GetBytes(
+      loaded.data(), static_cast<std::size_t>(loaded.size()) * sizeof(float)));
+  *t = std::move(loaded);
+  return Status::OK();
+}
 
 /// Per-worker resident state: the partition's node ids, their current
 /// embeddings, and scratch for the gather stage.
@@ -109,6 +139,40 @@ class PregelInferenceDriver {
     workers_ = snap->workers;
     logits_ = snap->logits;
     embeddings_ = snap->embeddings;
+  }
+
+  /// Durable variants of the hooks above: the same mutable state,
+  /// serialized bit-exactly for the checkpoint store.
+  std::string SerializeState() const {
+    BinaryWriter out;
+    out.PutI64(static_cast<std::int64_t>(workers_.size()));
+    for (const WorkerState& w : workers_) {
+      out.PutI64s(w.nodes);
+      PutTensor(&out, w.states);
+    }
+    PutTensor(&out, logits_);
+    PutTensor(&out, embeddings_);
+    return out.Take();
+  }
+  Status DeserializeState(const std::string& bytes) {
+    BinaryReader in(bytes);
+    std::int64_t num_workers = 0;
+    INFERTURBO_RETURN_NOT_OK(in.GetI64(&num_workers));
+    if (num_workers != static_cast<std::int64_t>(workers_.size())) {
+      return Status::IoError(
+          "checkpointed driver state has " + std::to_string(num_workers) +
+          " workers, job has " + std::to_string(workers_.size()));
+    }
+    for (WorkerState& w : workers_) {
+      INFERTURBO_RETURN_NOT_OK(in.GetI64s(&w.nodes));
+      INFERTURBO_RETURN_NOT_OK(GetTensor(&in, &w.states));
+    }
+    INFERTURBO_RETURN_NOT_OK(GetTensor(&in, &logits_));
+    INFERTURBO_RETURN_NOT_OK(GetTensor(&in, &embeddings_));
+    if (!in.AtEnd()) {
+      return Status::IoError("trailing bytes after driver checkpoint state");
+    }
+    return Status::OK();
   }
 
  private:
@@ -439,7 +503,35 @@ Result<InferenceResult> RunInferTurboPregel(const Graph& graph,
   engine_options.pool = options.pool;
   engine_options.checkpoint_interval = options.checkpoint_interval;
   engine_options.failure_injector = options.failure_injector;
-  if (options.checkpoint_interval > 0) {
+
+  // Durable store: opened when a checkpoint directory is configured.
+  // Durable mode implies checkpointing, so an unset interval means
+  // "every superstep".
+  std::optional<CheckpointStore> store;
+  if (!options.checkpoint_directory.empty()) {
+    if (engine_options.checkpoint_interval <= 0) {
+      engine_options.checkpoint_interval = 1;
+    }
+    CheckpointStoreOptions store_options;
+    store_options.directory = options.checkpoint_directory;
+    store_options.keep_last = options.checkpoint_keep_last;
+    store_options.fault_injector = options.io_fault_injector;
+    store_options.retry = options.io_retry;
+    Result<CheckpointStore> opened =
+        CheckpointStore::Open(std::move(store_options));
+    if (!opened.ok()) return opened.status();
+    store.emplace(std::move(opened).ValueOrDie());
+    engine_options.checkpoint_store = &*store;
+    engine_options.serialize_driver = [&driver] {
+      return driver.SerializeState();
+    };
+    engine_options.deserialize_driver = [&driver](const std::string& bytes) {
+      return driver.DeserializeState(bytes);
+    };
+    engine_options.resume = options.resume_from;
+    engine_options.kill_switch = options.kill_switch;
+  }
+  if (engine_options.checkpoint_interval > 0) {
     engine_options.snapshot_state = [&driver] {
       return driver.SnapshotState();
     };
@@ -451,8 +543,9 @@ Result<InferenceResult> RunInferTurboPregel(const Graph& graph,
   PregelEngine engine(engine_options, partitioner);
   driver.engine_partitioner_ = &engine.partitioner();
 
-  JobMetrics metrics =
-      engine.Run([&driver](PregelContext* ctx) { driver.Compute(ctx); });
+  INFERTURBO_ASSIGN_OR_RETURN(
+      JobMetrics metrics,
+      engine.Run([&driver](PregelContext* ctx) { driver.Compute(ctx); }));
   options.failures_recovered = engine.failures_recovered();
 
   InferenceResult result;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 
+#include "src/common/io_fault.h"
 #include "src/common/result.h"
 #include "src/common/thread_pool.h"
 #include "src/graph/graph.h"
@@ -41,6 +42,31 @@ struct InferTurboOptions {
   /// through files under this directory (must exist) instead of
   /// staying in memory — the backend's external-storage dataflow.
   std::string mr_spill_directory;
+
+  // --- durable checkpoints (cross-process resume) ------------------
+  /// When non-empty, job state is also serialized to versioned,
+  /// CRC-checksummed files under this directory (must exist), so a
+  /// killed *process* can resume. Pregel: every checkpoint_interval
+  /// supersteps (interval defaults to 1 when left at 0); MapReduce:
+  /// after the map stage and after each reduce round.
+  std::string checkpoint_directory;
+  /// Retention: only the newest K durable checkpoints are kept.
+  std::int64_t checkpoint_keep_last = 2;
+  /// Start from the newest valid checkpoint under
+  /// checkpoint_directory instead of superstep/round 0 (falls back to
+  /// a fresh start when the store holds none). Resumed jobs produce
+  /// logits bit-identical to an uninterrupted run.
+  bool resume_from = false;
+  /// Simulated whole-process death for tests: when it returns true for
+  /// a superstep (Pregel) or stage index (MapReduce; 0 = map, l+1 =
+  /// reduce round l), the job aborts with Status::Aborted before that
+  /// unit's compute runs — after prior units' durable checkpoints.
+  std::function<bool(std::int64_t)> kill_switch;
+  /// Optional fault injection on every durable I/O path (checkpoint
+  /// store, MR spill blocks, output writer), plus the bounded
+  /// retry/backoff policy for transient faults.
+  IoFaultInjector* io_fault_injector = nullptr;
+  IoRetryPolicy io_retry;
 
   /// Also return final-layer node embeddings (InferenceResult::
   /// embeddings) — the output mode embedding-production jobs use.

@@ -3,8 +3,11 @@
 #include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <vector>
 
+#include "src/common/atomic_file.h"
+#include "src/common/crc32.h"
 #include "src/graph/partition.h"
 
 namespace inferturbo {
@@ -26,6 +29,12 @@ void AppendFloats(const float* values, std::int64_t n, std::string* line) {
   }
 }
 
+std::string CrcHex(std::uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
 }  // namespace
 
 Status WriteInferenceOutput(const InferenceResult& result,
@@ -38,23 +47,15 @@ Status WriteInferenceOutput(const InferenceResult& result,
   const bool with_embeddings = !result.embeddings.empty();
   HashPartitioner partitioner(options.num_shards);
 
-  std::vector<std::ofstream> scores;
-  std::vector<std::ofstream> embeddings;
-  for (std::int64_t s = 0; s < options.num_shards; ++s) {
-    scores.emplace_back(directory + "/" + ShardName("scores", s));
-    if (!scores.back()) {
-      return Status::IoError("cannot open score shard " +
-                             std::to_string(s) + " under " + directory);
-    }
-    if (with_embeddings) {
-      embeddings.emplace_back(directory + "/" + ShardName("embeddings", s));
-      if (!embeddings.back()) {
-        return Status::IoError("cannot open embedding shard " +
-                               std::to_string(s));
-      }
-    }
-  }
-
+  // Shard contents are built in memory first, then each file lands
+  // atomically (temp + rename) and the manifest — which downstream
+  // consumers treat as the commit record — is written only after every
+  // shard is durable. A crash mid-export leaves either a complete,
+  // readable export or no manifest at all, never a torn one.
+  std::vector<std::string> scores(
+      static_cast<std::size_t>(options.num_shards));
+  std::vector<std::string> embeddings(
+      static_cast<std::size_t>(with_embeddings ? options.num_shards : 0));
   std::vector<std::int64_t> rows_per_shard(
       static_cast<std::size_t>(options.num_shards), 0);
   std::string line;
@@ -69,47 +70,91 @@ Status WriteInferenceOutput(const InferenceResult& result,
       AppendFloats(result.logits.RowPtr(v), result.logits.cols(), &line);
     }
     line.push_back('\n');
-    scores[static_cast<std::size_t>(shard)] << line;
+    scores[static_cast<std::size_t>(shard)] += line;
     if (with_embeddings) {
       line.clear();
       line += std::to_string(v);
       AppendFloats(result.embeddings.RowPtr(v), result.embeddings.cols(),
                    &line);
       line.push_back('\n');
-      embeddings[static_cast<std::size_t>(shard)] << line;
+      embeddings[static_cast<std::size_t>(shard)] += line;
     }
   }
 
-  std::ofstream manifest(directory + "/MANIFEST.tsv");
-  if (!manifest) return Status::IoError("cannot open manifest");
+  for (std::int64_t s = 0; s < options.num_shards; ++s) {
+    INFERTURBO_RETURN_NOT_OK(WriteFileAtomic(
+        directory + "/" + ShardName("scores", s),
+        scores[static_cast<std::size_t>(s)], options.fault_injector,
+        options.retry));
+    if (with_embeddings) {
+      INFERTURBO_RETURN_NOT_OK(WriteFileAtomic(
+          directory + "/" + ShardName("embeddings", s),
+          embeddings[static_cast<std::size_t>(s)], options.fault_injector,
+          options.retry));
+    }
+  }
+
+  // Manifest rows carry each score shard's row count and CRC32 so
+  // readers can verify shard integrity end to end.
+  std::ostringstream manifest;
   manifest << "num_nodes\t" << num_nodes << "\n";
   manifest << "num_shards\t" << options.num_shards << "\n";
   manifest << "embeddings\t" << (with_embeddings ? 1 : 0) << "\n";
   for (std::int64_t s = 0; s < options.num_shards; ++s) {
     manifest << ShardName("scores", s) << "\t"
-             << rows_per_shard[static_cast<std::size_t>(s)] << "\n";
+             << rows_per_shard[static_cast<std::size_t>(s)] << "\t"
+             << CrcHex(Crc32(scores[static_cast<std::size_t>(s)])) << "\n";
   }
-  for (auto& out : scores) {
-    if (!out) return Status::IoError("score shard write failed");
-  }
-  return Status::OK();
+  return WriteFileAtomic(directory + "/MANIFEST.tsv", manifest.str(),
+                         options.fault_injector, options.retry);
 }
 
 Result<std::vector<std::int64_t>> ReadPredictions(
-    const std::string& directory) {
-  std::ifstream manifest(directory + "/MANIFEST.tsv");
-  if (!manifest) return Status::IoError("cannot open manifest");
+    const std::string& directory, IoFaultInjector* injector,
+    const IoRetryPolicy& retry) {
+  std::ifstream manifest_in(directory + "/MANIFEST.tsv");
+  if (!manifest_in) return Status::IoError("cannot open manifest");
   std::string key;
   std::int64_t num_nodes = 0, num_shards = 0, has_embeddings = 0;
-  manifest >> key >> num_nodes >> key >> num_shards >> key >> has_embeddings;
-  if (!manifest || num_nodes <= 0 || num_shards <= 0) {
+  manifest_in >> key >> num_nodes >> key >> num_shards >> key >>
+      has_embeddings;
+  if (!manifest_in || num_nodes <= 0 || num_shards <= 0) {
     return Status::IoError("malformed manifest");
   }
+  // Per-shard rows: name, row count, crc32 hex.
+  std::vector<std::int64_t> shard_rows(static_cast<std::size_t>(num_shards));
+  std::vector<std::string> shard_crc(static_cast<std::size_t>(num_shards));
+  for (std::int64_t s = 0; s < num_shards; ++s) {
+    std::string name;
+    manifest_in >> name >> shard_rows[static_cast<std::size_t>(s)] >>
+        shard_crc[static_cast<std::size_t>(s)];
+    if (!manifest_in || name != ShardName("scores", s)) {
+      return Status::IoError("malformed manifest shard row for shard " +
+                             std::to_string(s));
+    }
+  }
+
   std::vector<std::int64_t> predictions(
       static_cast<std::size_t>(num_nodes), -1);
   for (std::int64_t s = 0; s < num_shards; ++s) {
-    std::ifstream shard(directory + "/" + ShardName("scores", s));
-    if (!shard) return Status::IoError("missing score shard");
+    const std::string path = directory + "/" + ShardName("scores", s);
+    // Read + CRC verify as one retried unit: a transient short read or
+    // bit flip fails the checksum and the retry re-reads healthy bytes;
+    // persistent corruption surfaces as a descriptive IoError.
+    std::string content;
+    INFERTURBO_RETURN_NOT_OK(RetryWithBackoff(retry, [&] {
+      INFERTURBO_ASSIGN_OR_RETURN(content, ReadFileToString(path, injector));
+      const std::string actual = CrcHex(Crc32(content));
+      if (actual != shard_crc[static_cast<std::size_t>(s)]) {
+        return Status::IoError(
+            "score shard checksum mismatch for " + path + " (manifest " +
+            shard_crc[static_cast<std::size_t>(s)] + ", computed " + actual +
+            ")");
+      }
+      return Status::OK();
+    }));
+    std::istringstream shard(content);
+    std::int64_t rows_seen = 0;
     std::string line;
     while (std::getline(shard, line)) {
       if (line.empty()) continue;
@@ -128,6 +173,13 @@ Result<std::vector<std::int64_t>> ReadPredictions(
         return Status::IoError("score row for unknown node");
       }
       predictions[static_cast<std::size_t>(node)] = pred;
+      ++rows_seen;
+    }
+    if (rows_seen != shard_rows[static_cast<std::size_t>(s)]) {
+      return Status::IoError(
+          "score shard " + std::to_string(s) + " holds " +
+          std::to_string(rows_seen) + " rows, manifest promised " +
+          std::to_string(shard_rows[static_cast<std::size_t>(s)]));
     }
   }
   for (std::int64_t pred : predictions) {

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "src/common/io_fault.h"
 #include "src/common/result.h"
 #include "src/inference/result.h"
 
@@ -19,20 +20,33 @@ struct OutputWriterOptions {
   std::int64_t num_shards = 4;
   /// Include the full logits row after the prediction column.
   bool write_logits = true;
+  /// Optional fault injection on the export path, plus the bounded
+  /// retry/backoff policy for transient faults.
+  IoFaultInjector* fault_injector = nullptr;
+  IoRetryPolicy retry;
 };
 
 /// Writes `result` under `directory` (which must exist). Score rows:
 /// `node_id \t prediction [\t logit0,logit1,...]`; embedding rows:
 /// `node_id \t e0,e1,...`. Deterministic: same result -> same files.
+///
+/// Crash-safe: every shard lands via temp-file + rename, and the
+/// manifest — the export's commit record, carrying each score shard's
+/// row count and CRC32 — is written last. An interrupted export leaves
+/// either a complete readable directory or no manifest, never a torn
+/// mix; no temp files are left behind.
 Status WriteInferenceOutput(const InferenceResult& result,
                             const std::string& directory,
                             const OutputWriterOptions& options);
 
 /// Reads back every score shard listed in the manifest and returns the
 /// predictions indexed by node id (round-trip used by tests and
-/// downstream loaders).
+/// downstream loaders). Each shard's bytes are verified against the
+/// manifest's CRC32 and row count; mismatches are retried per `retry`
+/// (transient read faults) and then surface as IoError.
 Result<std::vector<std::int64_t>> ReadPredictions(
-    const std::string& directory);
+    const std::string& directory, IoFaultInjector* injector = nullptr,
+    const IoRetryPolicy& retry = IoRetryPolicy());
 
 }  // namespace inferturbo
 

@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
+#include "src/common/atomic_file.h"
+#include "src/common/binary_io.h"
+#include "src/common/crc32.h"
 #include "src/common/logging.h"
 #include "src/common/timer.h"
 
@@ -24,60 +30,89 @@ std::int64_t InstanceOfKey(std::int64_t key, std::int64_t num_instances) {
 
 namespace {
 
-/// Binary (de)serialization of one shuffle block. Format per record:
+constexpr std::uint32_t kSpillMagic = 0x49545331;  // "ITS1"
+
+/// Binary serialization of a key/value sequence. Format per record:
 /// key, tag, src, #floats, floats..., #ids, ids... — little-endian,
 /// no alignment padding (read back the same way it was written).
-void WriteBlock(const std::string& path,
-                const std::vector<MrKeyValue>& block,
-                std::uint64_t* bytes_written) {
-  std::ofstream out(path, std::ios::binary);
-  INFERTURBO_CHECK(out.good()) << "cannot open spill file " << path;
-  const auto put = [&out](const void* data, std::size_t size) {
-    out.write(reinterpret_cast<const char*>(data),
-              static_cast<std::streamsize>(size));
-  };
-  const std::uint64_t count = block.size();
-  put(&count, sizeof(count));
+void EncodeRecords(const std::vector<MrKeyValue>& block, BinaryWriter* out) {
+  out->PutU64(block.size());
   for (const MrKeyValue& kv : block) {
-    put(&kv.first, sizeof(kv.first));
-    put(&kv.second.tag, sizeof(kv.second.tag));
-    put(&kv.second.src, sizeof(kv.second.src));
-    const std::uint64_t nf = kv.second.floats.size();
-    put(&nf, sizeof(nf));
-    put(kv.second.floats.data(), nf * sizeof(float));
-    const std::uint64_t ni = kv.second.ids.size();
-    put(&ni, sizeof(ni));
-    put(kv.second.ids.data(), ni * sizeof(std::int64_t));
+    out->PutI64(kv.first);
+    out->PutI32(kv.second.tag);
+    out->PutI64(kv.second.src);
+    out->PutFloats(kv.second.floats);
+    out->PutI64s(kv.second.ids);
   }
-  INFERTURBO_CHECK(out.good()) << "spill write failed for " << path;
-  *bytes_written += static_cast<std::uint64_t>(out.tellp());
 }
 
-std::vector<MrKeyValue> ReadBlock(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  INFERTURBO_CHECK(in.good()) << "cannot open spill file " << path;
-  const auto get = [&in, &path](void* data, std::size_t size) {
-    in.read(reinterpret_cast<char*>(data),
-            static_cast<std::streamsize>(size));
-    INFERTURBO_CHECK(in.good()) << "truncated spill file " << path;
-  };
+/// Inverse of EncodeRecords. Every length prefix is bounds-checked, so
+/// a truncated or bit-flipped buffer becomes an IoError, never UB.
+Status DecodeRecords(BinaryReader* in, std::vector<MrKeyValue>* block) {
   std::uint64_t count = 0;
-  get(&count, sizeof(count));
-  std::vector<MrKeyValue> block(count);
-  for (MrKeyValue& kv : block) {
-    get(&kv.first, sizeof(kv.first));
-    get(&kv.second.tag, sizeof(kv.second.tag));
-    get(&kv.second.src, sizeof(kv.second.src));
-    std::uint64_t nf = 0;
-    get(&nf, sizeof(nf));
-    kv.second.floats.resize(nf);
-    if (nf > 0) get(kv.second.floats.data(), nf * sizeof(float));
-    std::uint64_t ni = 0;
-    get(&ni, sizeof(ni));
-    kv.second.ids.resize(ni);
-    if (ni > 0) get(kv.second.ids.data(), ni * sizeof(std::int64_t));
+  INFERTURBO_RETURN_NOT_OK(in->GetU64(&count));
+  // A record is at least key + tag + src + two empty length prefixes.
+  constexpr std::uint64_t kMinRecordBytes =
+      sizeof(std::int64_t) * 2 + sizeof(std::int32_t) +
+      sizeof(std::uint64_t) * 2;
+  if (count > in->remaining() / kMinRecordBytes + 1) {
+    return Status::IoError("corrupt record count " + std::to_string(count) +
+                           " exceeds remaining " +
+                           std::to_string(in->remaining()) + " bytes");
   }
-  return block;
+  block->clear();
+  block->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    MrKeyValue kv;
+    INFERTURBO_RETURN_NOT_OK(in->GetI64(&kv.first));
+    INFERTURBO_RETURN_NOT_OK(in->GetI32(&kv.second.tag));
+    INFERTURBO_RETURN_NOT_OK(in->GetI64(&kv.second.src));
+    INFERTURBO_RETURN_NOT_OK(in->GetFloats(&kv.second.floats));
+    INFERTURBO_RETURN_NOT_OK(in->GetI64s(&kv.second.ids));
+    block->push_back(std::move(kv));
+  }
+  return Status::OK();
+}
+
+/// One spill block on disk: magic, records, trailing CRC32 over
+/// everything before it — the end-to-end integrity check that turns
+/// torn writes, short reads, and bit flips into detectable errors.
+std::string EncodeBlock(const std::vector<MrKeyValue>& block) {
+  BinaryWriter out;
+  out.PutU32(kSpillMagic);
+  EncodeRecords(block, &out);
+  const std::uint32_t crc = Crc32(out.buffer());
+  out.PutU32(crc);
+  return out.Take();
+}
+
+Status DecodeBlock(const std::string& file, const std::string& path,
+                   std::vector<MrKeyValue>* block) {
+  if (file.size() < sizeof(std::uint32_t) * 2) {
+    return Status::IoError("spill block too short (" +
+                           std::to_string(file.size()) + " bytes): " + path);
+  }
+  const std::string_view body(file.data(),
+                              file.size() - sizeof(std::uint32_t));
+  std::uint32_t stored = 0;
+  std::memcpy(&stored, file.data() + body.size(), sizeof(stored));
+  const std::uint32_t actual = Crc32(body);
+  if (stored != actual) {
+    return Status::IoError("spill block checksum mismatch for " + path +
+                           " (stored " + std::to_string(stored) +
+                           ", computed " + std::to_string(actual) + ")");
+  }
+  BinaryReader in(body);
+  std::uint32_t magic = 0;
+  INFERTURBO_RETURN_NOT_OK(in.GetU32(&magic));
+  if (magic != kSpillMagic) {
+    return Status::IoError("bad spill block magic in " + path);
+  }
+  INFERTURBO_RETURN_NOT_OK(DecodeRecords(&in, block));
+  if (!in.AtEnd()) {
+    return Status::IoError("trailing bytes after spill records in " + path);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -122,8 +157,16 @@ void MapReduceJob::RunMap(const MapFn& map_fn) {
   }
 }
 
-void MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
-                             const CombineFn* combiner) {
+Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
+                               const CombineFn* combiner) {
+  // First error wins; the other tasks finish their current work and
+  // the round is abandoned (ParallelFor has no cancellation).
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+  const auto record_error = [&error_mu, &first_error](const Status& s) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.ok()) first_error = s;
+  };
   ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : DefaultThreadPool();
   const std::int64_t n = options_.num_instances;
@@ -184,26 +227,39 @@ void MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
   if (spill) {
     // Producers write their blocks out and release the memory; the
     // reducer half reads them back — the dataflow never lives fully in
-    // RAM, which is the MR backend's §IV-C2 selling point.
+    // RAM, which is the MR backend's §IV-C2 selling point. Each block
+    // is CRC-framed and lands atomically (temp + rename); transient
+    // injected faults are retried with backoff and counted.
     std::atomic<std::uint64_t> written{0};
+    std::atomic<std::int64_t> write_retries{0};
     pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t p) {
       for (std::int64_t r = 0; r < n; ++r) {
         auto& block = outgoing[p][static_cast<std::size_t>(r)];
         if (block.empty()) continue;
-        std::uint64_t bytes = 0;
-        WriteBlock(SpillPath(spill_stage, static_cast<std::int64_t>(p), r),
-                   block, &bytes);
-        written.fetch_add(bytes);
+        const std::string encoded = EncodeBlock(block);
+        std::int64_t retries = 0;
+        const Status status = WriteFileAtomic(
+            SpillPath(spill_stage, static_cast<std::int64_t>(p), r), encoded,
+            options_.fault_injector, options_.retry, &retries);
+        write_retries.fetch_add(retries);
+        if (!status.ok()) {
+          record_error(status);
+          return;
+        }
+        written.fetch_add(encoded.size());
         block.clear();
         block.shrink_to_fit();
       }
     });
     spill_bytes_written_ += written.load();
+    metrics_.spill_write_retries += write_retries.load();
+    if (!first_error.ok()) return first_error;
   }
 
   // --- reducer side: read, sort, reduce ------------------------------
   const std::int64_t stage = metrics_.num_steps();
   std::atomic<std::int64_t> failures{0};
+  std::atomic<std::int64_t> read_retries{0};
   std::vector<std::vector<MrKeyValue>> next_dataflow(
       static_cast<std::size_t>(n));
   pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t r) {
@@ -225,7 +281,26 @@ void MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
         const std::string path =
             SpillPath(spill_stage, p, static_cast<std::int64_t>(r));
         if (std::ifstream(path).good()) {
-          from_disk = ReadBlock(path);
+          // Read + length/checksum verify + decode as one retried unit:
+          // a transient short read or bit flip fails validation and the
+          // retry re-reads healthy bytes; a persistent fault surfaces
+          // as a descriptive Status, never a crash or silent
+          // corruption.
+          std::int64_t retries = 0;
+          const Status status = RetryWithBackoff(
+              options_.retry,
+              [&] {
+                INFERTURBO_ASSIGN_OR_RETURN(
+                    const std::string file,
+                    ReadFileToString(path, options_.fault_injector));
+                return DecodeBlock(file, path, &from_disk);
+              },
+              &retries);
+          read_retries.fetch_add(retries);
+          if (!status.ok()) {
+            record_error(status);
+            return;
+          }
           std::remove(path.c_str());
           block = &from_disk;
         }
@@ -249,8 +324,13 @@ void MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
            options_.failure_injector(stage, static_cast<std::int64_t>(r))) {
       ++attempts_left;
       failures.fetch_add(1);
-      INFERTURBO_CHECK(attempts_left <= 10)
-          << "failure injector never stopped firing";
+      if (attempts_left > 10) {
+        record_error(Status::Aborted(
+            "failure injector never stopped firing for reduce task " +
+            std::to_string(r) + " in stage " + std::to_string(stage) +
+            " (gave up after 10 attempts)"));
+        return;
+      }
     }
     MrEmitter emitter;
     for (std::int64_t attempt = 0; attempt < attempts_left; ++attempt) {
@@ -282,12 +362,43 @@ void MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
     step[r].busy_seconds += timer.ElapsedSeconds();
   });
   failures_recovered_ += failures.load();
+  metrics_.spill_read_retries += read_retries.load();
+  if (!first_error.ok()) return first_error;
 
   dataflow_ = std::move(next_dataflow);
   for (std::int64_t i = 0; i < n; ++i) {
     metrics_.workers[static_cast<std::size_t>(i)].steps.push_back(
         step[static_cast<std::size_t>(i)]);
   }
+  return Status::OK();
+}
+
+std::string MapReduceJob::SerializeDataflow() const {
+  BinaryWriter out;
+  out.PutI64(options_.num_instances);
+  for (const auto& flow : dataflow_) EncodeRecords(flow, &out);
+  return out.Take();
+}
+
+Status MapReduceJob::RestoreDataflow(std::string_view bytes) {
+  BinaryReader in(bytes);
+  std::int64_t instances = 0;
+  INFERTURBO_RETURN_NOT_OK(in.GetI64(&instances));
+  if (instances != options_.num_instances) {
+    return Status::IoError(
+        "checkpointed dataflow has " + std::to_string(instances) +
+        " instances, job has " + std::to_string(options_.num_instances));
+  }
+  std::vector<std::vector<MrKeyValue>> restored(
+      static_cast<std::size_t>(instances));
+  for (auto& flow : restored) {
+    INFERTURBO_RETURN_NOT_OK(DecodeRecords(&in, &flow));
+  }
+  if (!in.AtEnd()) {
+    return Status::IoError("trailing bytes after checkpointed dataflow");
+  }
+  dataflow_ = std::move(restored);
+  return Status::OK();
 }
 
 std::vector<MrKeyValue> MapReduceJob::TakeOutputs() {

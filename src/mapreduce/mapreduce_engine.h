@@ -4,10 +4,13 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "src/common/byte_size.h"
+#include "src/common/io_fault.h"
+#include "src/common/result.h"
 #include "src/common/thread_pool.h"
 #include "src/graph/graph.h"
 #include "src/pregel/worker_metrics.h"
@@ -75,6 +78,14 @@ class MapReduceJob {
     /// backend relies on for its low resident memory. Must exist and be
     /// writable. Results are bit-identical to the in-memory path.
     std::string spill_directory;
+    /// Optional fault injection on the spill path (and checkpoint
+    /// serialization); consulted once per physical attempt.
+    IoFaultInjector* fault_injector = nullptr;
+    /// Bounded retry + backoff for transient spill I/O faults. Retried
+    /// reads/writes are counted in JobMetrics::spill_read_retries /
+    /// spill_write_retries; a persistent fault surfaces as an IoError
+    /// Status from RunReduce, never a crash or silent corruption.
+    IoRetryPolicy retry;
   };
 
   /// Called once per instance; the driver reads its own input split.
@@ -93,8 +104,13 @@ class MapReduceJob {
   void RunMap(const MapFn& map_fn);
 
   /// One shuffle+reduce round over the current dataflow; emitted pairs
-  /// become the next round's dataflow. `combiner` may be null.
-  void RunReduce(const ReduceFn& reduce_fn, const CombineFn* combiner);
+  /// become the next round's dataflow. `combiner` may be null. Returns
+  /// non-OK — never crashes — when a spill block cannot be written or
+  /// read back intact after bounded retries (IoError), or when the
+  /// failure injector never stops firing (Aborted). On error the
+  /// dataflow is left unspecified; the job must be abandoned or resumed
+  /// from a durable checkpoint.
+  Status RunReduce(const ReduceFn& reduce_fn, const CombineFn* combiner);
 
   /// Drains the final dataflow (concatenated in instance order).
   std::vector<MrKeyValue> TakeOutputs();
@@ -115,6 +131,13 @@ class MapReduceJob {
   /// The instance owning a key (stable across stages).
   static std::int64_t InstanceForKey(std::int64_t key,
                                      std::int64_t num_instances);
+
+  /// Bit-exact serialization of the resident dataflow (the key/value
+  /// pairs between rounds) for durable round checkpoints.
+  std::string SerializeDataflow() const;
+  /// Inverse of SerializeDataflow; every length is bounds-checked so
+  /// truncated or corrupted bytes surface as IoError, never UB.
+  Status RestoreDataflow(std::string_view bytes);
 
  private:
   std::string SpillPath(std::int64_t stage, std::int64_t producer,

@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <mutex>
+#include <utility>
 
 #include "src/common/logging.h"
 #include "src/pregel/pregel_engine.h"
@@ -47,7 +48,8 @@ std::vector<double> PageRank(const Graph& graph,
   };
   PregelEngine engine(run.engine_options, run.partitioner);
 
-  const JobMetrics job = engine.Run([&](PregelContext* ctx) {
+  // No failure injection on the algorithm paths, so Run cannot fail.
+  const JobMetrics job = std::move(engine.Run([&](PregelContext* ctx) {
     const auto& mine =
         run.assignment.members[static_cast<std::size_t>(ctx->worker_id())];
     if (ctx->superstep() > 0) {
@@ -84,7 +86,7 @@ std::vector<double> PageRank(const Graph& graph,
       }
     }
     ctx->SendBatch(std::move(out));
-  });
+  })).ValueOrDie();
   if (metrics != nullptr) *metrics = job;
   return rank;
 }
@@ -101,7 +103,8 @@ std::vector<std::int64_t> ShortestPaths(const Graph& graph, NodeId source,
   std::mutex mu;
 
   PregelEngine engine(run.engine_options, run.partitioner);
-  const JobMetrics job = engine.Run([&](PregelContext* ctx) {
+  // No failure injection on the algorithm paths, so Run cannot fail.
+  const JobMetrics job = std::move(engine.Run([&](PregelContext* ctx) {
     const auto& mine =
         run.assignment.members[static_cast<std::size_t>(ctx->worker_id())];
     // Nodes whose distance improved this superstep re-scatter.
@@ -137,7 +140,7 @@ std::vector<std::int64_t> ShortestPaths(const Graph& graph, NodeId source,
     }
     ctx->SendBatch(std::move(out));
     ctx->VoteToHalt();  // reactivated by messages: classic SSSP halting
-  });
+  })).ValueOrDie();
   if (metrics != nullptr) *metrics = job;
   std::vector<std::int64_t> result(distance.size());
   for (std::size_t i = 0; i < distance.size(); ++i) {
@@ -157,7 +160,8 @@ std::vector<NodeId> ConnectedComponents(
   std::mutex mu;
 
   PregelEngine engine(run.engine_options, run.partitioner);
-  const JobMetrics job = engine.Run([&](PregelContext* ctx) {
+  // No failure injection on the algorithm paths, so Run cannot fail.
+  const JobMetrics job = std::move(engine.Run([&](PregelContext* ctx) {
     const auto& mine =
         run.assignment.members[static_cast<std::size_t>(ctx->worker_id())];
     std::vector<NodeId> improved;
@@ -190,7 +194,7 @@ std::vector<NodeId> ConnectedComponents(
     }
     ctx->SendBatch(std::move(out));
     ctx->VoteToHalt();
-  });
+  })).ValueOrDie();
   if (metrics != nullptr) *metrics = job;
   return label;
 }

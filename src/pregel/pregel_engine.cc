@@ -1,7 +1,9 @@
 #include "src/pregel/pregel_engine.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "src/common/binary_io.h"
 #include "src/common/logging.h"
 #include "src/common/timer.h"
 
@@ -106,13 +108,115 @@ void PregelContext::ChargeResidentBytes(std::uint64_t bytes) {
   resident_bytes_ = std::max(resident_bytes_, bytes);
 }
 
+namespace {
+
+void EncodeBatch(const MessageBatch& batch, BinaryWriter* out) {
+  out->PutI64s(batch.dst);
+  out->PutI64s(batch.src);
+  out->PutI64(batch.payload.rows());
+  out->PutI64(batch.payload.cols());
+  out->PutBytes(batch.payload.data(),
+                static_cast<std::size_t>(batch.payload.size()) *
+                    sizeof(float));
+}
+
+Status DecodeBatch(BinaryReader* in, MessageBatch* batch) {
+  INFERTURBO_RETURN_NOT_OK(in->GetI64s(&batch->dst));
+  INFERTURBO_RETURN_NOT_OK(in->GetI64s(&batch->src));
+  std::int64_t rows = 0, cols = 0;
+  INFERTURBO_RETURN_NOT_OK(in->GetI64(&rows));
+  INFERTURBO_RETURN_NOT_OK(in->GetI64(&cols));
+  if (rows < 0 || cols < 0 ||
+      static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols) *
+              sizeof(float) >
+          in->remaining()) {
+    return Status::IoError("corrupt message batch shape in checkpoint");
+  }
+  batch->payload = Tensor(rows, cols);
+  return in->GetBytes(batch->payload.data(),
+                      static_cast<std::size_t>(rows * cols) * sizeof(float));
+}
+
+}  // namespace
+
+std::string EncodePregelEngineState(
+    const std::vector<std::vector<MessageBatch>>& inboxes,
+    const std::vector<std::vector<bool>>& inbox_partial,
+    const std::unordered_map<NodeId, std::vector<float>>& board) {
+  BinaryWriter out;
+  out.PutU64(inboxes.size());
+  for (std::size_t w = 0; w < inboxes.size(); ++w) {
+    out.PutU64(inboxes[w].size());
+    for (std::size_t b = 0; b < inboxes[w].size(); ++b) {
+      out.PutU32(inbox_partial[w][b] ? 1 : 0);
+      EncodeBatch(inboxes[w][b], &out);
+    }
+  }
+  // Board entries sorted by key: a deterministic byte stream regardless
+  // of hash-map iteration order.
+  std::vector<NodeId> keys;
+  keys.reserve(board.size());
+  for (const auto& [key, row] : board) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  out.PutU64(keys.size());
+  for (NodeId key : keys) {
+    out.PutI64(key);
+    out.PutFloats(board.at(key));
+  }
+  return out.Take();
+}
+
+Status DecodePregelEngineState(
+    std::string_view bytes, std::int64_t num_workers,
+    std::vector<std::vector<MessageBatch>>* inboxes,
+    std::vector<std::vector<bool>>* inbox_partial,
+    std::unordered_map<NodeId, std::vector<float>>* board) {
+  BinaryReader in(bytes);
+  std::uint64_t workers = 0;
+  INFERTURBO_RETURN_NOT_OK(in.GetU64(&workers));
+  if (workers != static_cast<std::uint64_t>(num_workers)) {
+    return Status::IoError(
+        "checkpoint worker count " + std::to_string(workers) +
+        " does not match engine worker count " +
+        std::to_string(num_workers));
+  }
+  inboxes->assign(static_cast<std::size_t>(num_workers), {});
+  inbox_partial->assign(static_cast<std::size_t>(num_workers), {});
+  for (std::size_t w = 0; w < workers; ++w) {
+    std::uint64_t batches = 0;
+    INFERTURBO_RETURN_NOT_OK(in.GetU64(&batches));
+    for (std::uint64_t b = 0; b < batches; ++b) {
+      std::uint32_t partial = 0;
+      INFERTURBO_RETURN_NOT_OK(in.GetU32(&partial));
+      MessageBatch batch;
+      INFERTURBO_RETURN_NOT_OK(DecodeBatch(&in, &batch));
+      (*inboxes)[w].push_back(std::move(batch));
+      (*inbox_partial)[w].push_back(partial != 0);
+    }
+  }
+  board->clear();
+  std::uint64_t entries = 0;
+  INFERTURBO_RETURN_NOT_OK(in.GetU64(&entries));
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    NodeId key = 0;
+    std::vector<float> row;
+    INFERTURBO_RETURN_NOT_OK(in.GetI64(&key));
+    INFERTURBO_RETURN_NOT_OK(in.GetFloats(&row));
+    (*board)[key] = std::move(row);
+  }
+  if (!in.AtEnd()) {
+    return Status::IoError("trailing bytes after engine checkpoint state");
+  }
+  return Status::OK();
+}
+
 PregelEngine::PregelEngine(Options options, HashPartitioner partitioner)
     : options_(options), partitioner_(partitioner) {
   INFERTURBO_CHECK(options_.num_workers == partitioner_.num_partitions())
       << "worker count must match partitioner";
 }
 
-JobMetrics PregelEngine::Run(const ComputeFn& compute) {
+Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
   ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : DefaultThreadPool();
   const std::int64_t num_workers = options_.num_workers;
@@ -129,9 +233,31 @@ JobMetrics PregelEngine::Run(const ComputeFn& compute) {
       static_cast<std::size_t>(num_workers));
   board_current_.clear();
 
+  // Cross-process resume: rebuild in-flight state from the newest valid
+  // durable checkpoint and continue at its superstep. A store with no
+  // loadable checkpoint means the job died before its first one — start
+  // fresh.
+  std::int64_t start_step = 0;
+  if (options_.resume && options_.checkpoint_store != nullptr) {
+    Result<CheckpointData> latest = options_.checkpoint_store->LoadLatest();
+    if (latest.ok()) {
+      INFERTURBO_RETURN_NOT_OK(DecodePregelEngineState(
+          latest->engine_state, num_workers, &inboxes, &inbox_partial,
+          &board_current_));
+      if (options_.deserialize_driver) {
+        INFERTURBO_RETURN_NOT_OK(
+            options_.deserialize_driver(latest->driver_state));
+      }
+      start_step = latest->step;
+    } else if (!latest.status().IsNotFound()) {
+      return latest.status();
+    }
+  }
+
   // Checkpointing: in-flight messages + board + (via hooks) driver
   // state, every checkpoint_interval supersteps. A failed superstep
-  // rolls back here and replays.
+  // rolls back here and replays; the same state is serialized to the
+  // durable store when one is configured.
   struct Checkpoint {
     std::int64_t step = 0;
     std::vector<std::vector<MessageBatch>> inboxes;
@@ -144,9 +270,13 @@ JobMetrics PregelEngine::Run(const ComputeFn& compute) {
   std::int64_t attempts = 0;
   const std::int64_t max_attempts = options_.max_supersteps * 10 + 10;
 
-  for (std::int64_t step = 0; step < options_.max_supersteps; ++step) {
-    INFERTURBO_CHECK(++attempts <= max_attempts)
-        << "failure injector never stopped firing";
+  for (std::int64_t step = start_step; step < options_.max_supersteps;
+       ++step) {
+    if (++attempts > max_attempts) {
+      return Status::Aborted(
+          "failure injector never stopped firing (gave up after " +
+          std::to_string(max_attempts) + " superstep attempts)");
+    }
     if (options_.checkpoint_interval > 0 &&
         step % options_.checkpoint_interval == 0) {
       checkpoint.step = step;
@@ -156,6 +286,21 @@ JobMetrics PregelEngine::Run(const ComputeFn& compute) {
       checkpoint.driver_state =
           options_.snapshot_state ? options_.snapshot_state() : nullptr;
       has_checkpoint = true;
+      if (options_.checkpoint_store != nullptr) {
+        CheckpointData durable;
+        durable.step = step;
+        durable.engine_state = EncodePregelEngineState(
+            inboxes, inbox_partial, board_current_);
+        if (options_.serialize_driver) {
+          durable.driver_state = options_.serialize_driver();
+        }
+        INFERTURBO_RETURN_NOT_OK(options_.checkpoint_store->Save(durable));
+      }
+    }
+    if (options_.kill_switch && options_.kill_switch(step)) {
+      return Status::Aborted("job killed at superstep " +
+                             std::to_string(step) +
+                             " (simulated process death)");
     }
     std::vector<PregelContext> contexts(
         static_cast<std::size_t>(num_workers));
@@ -195,9 +340,11 @@ JobMetrics PregelEngine::Run(const ComputeFn& compute) {
         failed = options_.failure_injector(step, w) || failed;
       }
       if (failed) {
-        INFERTURBO_CHECK(has_checkpoint)
-            << "worker failed but checkpointing is disabled "
-               "(set checkpoint_interval)";
+        if (!has_checkpoint) {
+          return Status::Aborted(
+              "worker failed in superstep " + std::to_string(step) +
+              " but checkpointing is disabled (set checkpoint_interval)");
+        }
         ++failures_recovered_;
         // The aborted attempt's work is still real cost.
         for (std::int64_t w = 0; w < num_workers; ++w) {

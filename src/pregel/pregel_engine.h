@@ -4,9 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/checkpoint/checkpoint_store.h"
+#include "src/common/result.h"
 #include "src/common/thread_pool.h"
 #include "src/gas/message.h"
 #include "src/graph/partition.h"
@@ -124,6 +127,27 @@ class PregelEngine {
     /// it must stop firing for the job to finish.
     std::function<bool(std::int64_t step, std::int64_t worker)>
         failure_injector;
+
+    // --- durable checkpoints (cross-process resume) -----------------
+    /// When set (with checkpoint_interval > 0), every checkpoint is
+    /// also serialized to this store, so a killed *process* — not just
+    /// a simulated worker — can resume. Not owned.
+    CheckpointStore* checkpoint_store = nullptr;
+    /// Serializes the driver's mutable state to bytes for durable
+    /// checkpoints...
+    std::function<std::string()> serialize_driver;
+    /// ...and rebuilds it from bytes during a cross-process resume.
+    std::function<Status(const std::string&)> deserialize_driver;
+    /// Start Run from the store's newest valid checkpoint instead of
+    /// superstep 0 (falls back to a fresh start when the store holds no
+    /// loadable checkpoint — the job died before its first one).
+    bool resume = false;
+    /// Simulated whole-process death for tests: when it returns true
+    /// for a superstep, Run aborts with Status::Aborted *after* the
+    /// step's durable checkpoint (if due) was written and before its
+    /// compute runs — in-memory state is discarded, exactly like a
+    /// killed driver.
+    std::function<bool(std::int64_t step)> kill_switch;
   };
 
   /// `compute` is invoked once per worker per superstep.
@@ -134,8 +158,12 @@ class PregelEngine {
   /// Runs supersteps until every worker votes to halt in the same step
   /// or max_supersteps is reached. Returns the per-worker accounting.
   /// Replayed supersteps (after an injected failure) appear as extra
-  /// metric steps — recovery work is real work.
-  JobMetrics Run(const ComputeFn& compute);
+  /// metric steps — recovery work is real work. Returns a non-OK
+  /// Status — never crashes — when a worker fails with checkpointing
+  /// disabled, when the failure injector never stops firing, when a
+  /// durable checkpoint cannot be persisted, or when the kill switch
+  /// fires (Aborted).
+  Result<JobMetrics> Run(const ComputeFn& compute);
 
   /// Failures recovered during the last Run().
   std::int64_t failures_recovered() const { return failures_recovered_; }
@@ -153,6 +181,22 @@ class PregelEngine {
   std::unordered_map<NodeId, std::vector<float>> board_current_;
   std::int64_t failures_recovered_ = 0;
 };
+
+/// Bit-exact serialization of the engine's in-flight state (inboxes,
+/// partial flags, broadcast board) for durable checkpoints. The board
+/// is written in sorted key order so the bytes are deterministic.
+std::string EncodePregelEngineState(
+    const std::vector<std::vector<MessageBatch>>& inboxes,
+    const std::vector<std::vector<bool>>& inbox_partial,
+    const std::unordered_map<NodeId, std::vector<float>>& board);
+
+/// Inverse of EncodePregelEngineState; every length is bounds-checked
+/// so truncated or corrupted bytes surface as IoError, never UB.
+Status DecodePregelEngineState(
+    std::string_view bytes, std::int64_t num_workers,
+    std::vector<std::vector<MessageBatch>>* inboxes,
+    std::vector<std::vector<bool>>* inbox_partial,
+    std::unordered_map<NodeId, std::vector<float>>* board);
 
 }  // namespace inferturbo
 

@@ -100,8 +100,10 @@ VertexProgramResult RunVertexProgram(const Graph& graph,
   engine_options.cost_model = options.cost_model;
   PregelEngine engine(engine_options, partitioner);
   VertexProgramResult result;
+  // No failure injection on the vertex-API path, so Run cannot fail.
   result.metrics =
-      engine.Run([&driver](PregelContext* ctx) { driver.Compute(ctx); });
+      engine.Run([&driver](PregelContext* ctx) { driver.Compute(ctx); })
+          .ValueOrDie();
   result.values = std::move(driver.values);
   return result;
 }

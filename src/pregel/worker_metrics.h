@@ -71,6 +71,11 @@ struct ClusterCostModel {
 struct JobMetrics {
   std::vector<WorkerMetrics> workers;
   ClusterCostModel cost_model;
+  /// Spill-path I/O attempts that failed transiently and were retried
+  /// to success (MapReduce external-storage dataflow). Nonzero only
+  /// when an I/O fault injector fired on the spill path.
+  std::int64_t spill_read_retries = 0;
+  std::int64_t spill_write_retries = 0;
 
   std::int64_t num_steps() const {
     return workers.empty() ? 0

@@ -1,0 +1,219 @@
+// Durable checkpoint store: versioned CRC-framed files written
+// atomically under a manifest, keep-last-K retention, and corruption
+// falling back to the previous valid checkpoint — exercised against
+// the scripted I/O fault injector.
+#include "src/checkpoint/checkpoint_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/atomic_file.h"
+
+namespace inferturbo {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+CheckpointData MakeData(std::int64_t step) {
+  CheckpointData data;
+  data.step = step;
+  data.engine_state = "engine-" + std::to_string(step);
+  data.driver_state = "driver-" + std::to_string(step);
+  return data;
+}
+
+TEST(CheckpointStoreTest, SaveLoadRoundTrip) {
+  CheckpointStoreOptions options;
+  options.directory = FreshDir("ckpt_roundtrip");
+  Result<CheckpointStore> store = CheckpointStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  ASSERT_TRUE(store->Save(MakeData(0)).ok());
+  ASSERT_TRUE(store->Save(MakeData(3)).ok());
+  const Result<CheckpointData> latest = store->LoadLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest->step, 3);
+  EXPECT_EQ(latest->engine_state, "engine-3");
+  EXPECT_EQ(latest->driver_state, "driver-3");
+}
+
+TEST(CheckpointStoreTest, LoadLatestOnEmptyStoreIsNotFound) {
+  CheckpointStoreOptions options;
+  options.directory = FreshDir("ckpt_empty");
+  Result<CheckpointStore> store = CheckpointStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE(store->LoadLatest().status().IsNotFound());
+}
+
+TEST(CheckpointStoreTest, OpenRejectsMissingDirectory) {
+  CheckpointStoreOptions options;
+  options.directory = testing::TempDir() + "/ckpt_no_such_dir";
+  std::filesystem::remove_all(options.directory);
+  EXPECT_TRUE(CheckpointStore::Open(options).status().IsInvalidArgument());
+}
+
+TEST(CheckpointStoreTest, RetentionKeepsOnlyNewestK) {
+  CheckpointStoreOptions options;
+  options.directory = FreshDir("ckpt_retention");
+  options.keep_last = 2;
+  Result<CheckpointStore> store = CheckpointStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  for (std::int64_t step = 0; step < 5; ++step) {
+    ASSERT_TRUE(store->Save(MakeData(step)).ok());
+  }
+  EXPECT_EQ(store->versions().size(), 2u);
+  std::int64_t files = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.directory)) {
+    if (entry.path().filename().string().rfind("ckpt_", 0) == 0) ++files;
+  }
+  EXPECT_EQ(files, 2);
+  const Result<CheckpointData> latest = store->LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->step, 4);
+}
+
+TEST(CheckpointStoreTest, CorruptedLatestFallsBackToPreviousValid) {
+  CheckpointStoreOptions options;
+  options.directory = FreshDir("ckpt_fallback");
+  options.keep_last = 3;
+  Result<CheckpointStore> store = CheckpointStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Save(MakeData(1)).ok());
+  ASSERT_TRUE(store->Save(MakeData(2)).ok());
+
+  // Scribble over the newest file on disk (a torn write a checksum
+  // must catch).
+  const std::vector<std::int64_t> versions = store->versions();
+  ASSERT_EQ(versions.size(), 2u);
+  char name[64];
+  std::snprintf(name, sizeof(name), "ckpt_%08lld.bin",
+                static_cast<long long>(versions.back()));
+  {
+    std::ofstream out(options.directory + "/" + name,
+                      std::ios::binary | std::ios::trunc);
+    out << "garbage that is definitely not a checkpoint";
+  }
+
+  const Result<CheckpointData> latest = store->LoadLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest->step, 1);
+  EXPECT_GE(store->corrupted_skipped(), 1);
+}
+
+TEST(CheckpointStoreTest, TransientWriteFaultIsRetried) {
+  ScriptedIoFaultInjector injector;
+  injector.Arm(IoOp::kWrite, "ckpt_0", IoFaultKind::kWriteFail, /*times=*/2);
+  CheckpointStoreOptions options;
+  options.directory = FreshDir("ckpt_transient");
+  options.fault_injector = &injector;
+  Result<CheckpointStore> store = CheckpointStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Save(MakeData(7)).ok());
+  EXPECT_EQ(injector.faults_fired(), 2);
+  const Result<CheckpointData> latest = store->LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->step, 7);
+}
+
+TEST(CheckpointStoreTest, PersistentWriteFaultSurfacesAsIoError) {
+  ScriptedIoFaultInjector injector;
+  injector.Arm(IoOp::kWrite, "ckpt_0", IoFaultKind::kNoSpace, /*times=*/-1);
+  CheckpointStoreOptions options;
+  options.directory = FreshDir("ckpt_enospc");
+  options.fault_injector = &injector;
+  Result<CheckpointStore> store = CheckpointStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  const Status status = store->Save(MakeData(1));
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  // Nothing half-written became visible.
+  EXPECT_TRUE(store->versions().empty());
+  EXPECT_TRUE(store->LoadLatest().status().IsNotFound());
+}
+
+TEST(CheckpointStoreTest, BitFlippedWriteIsDetectedAtLoad) {
+  ScriptedIoFaultInjector injector;
+  CheckpointStoreOptions options;
+  options.directory = FreshDir("ckpt_bitflip");
+  options.fault_injector = &injector;
+  Result<CheckpointStore> store = CheckpointStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  // The flip "succeeds" silently at write time; only the CRC check on
+  // the read side can catch it.
+  injector.Arm(IoOp::kWrite, "ckpt_0", IoFaultKind::kBitFlip, /*times=*/1);
+  ASSERT_TRUE(store->Save(MakeData(1)).ok());
+  EXPECT_TRUE(store->LoadLatest().status().IsNotFound());
+  EXPECT_GE(store->corrupted_skipped(), 1);
+}
+
+TEST(CheckpointStoreTest, TransientShortReadIsRetried) {
+  ScriptedIoFaultInjector injector;
+  CheckpointStoreOptions options;
+  options.directory = FreshDir("ckpt_shortread");
+  options.fault_injector = &injector;
+  Result<CheckpointStore> store = CheckpointStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->Save(MakeData(5)).ok());
+  injector.Arm(IoOp::kRead, "ckpt_0", IoFaultKind::kShortRead, /*times=*/1);
+  injector.Arm(IoOp::kRead, "ckpt_0", IoFaultKind::kBitFlip, /*times=*/1);
+  const Result<CheckpointData> latest = store->LoadLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+  EXPECT_EQ(latest->step, 5);
+  EXPECT_EQ(injector.faults_fired(), 2);
+}
+
+TEST(CheckpointStoreTest, TornManifestFallsBackToDirectoryScan) {
+  const std::string dir = FreshDir("ckpt_torn_manifest");
+  {
+    CheckpointStoreOptions options;
+    options.directory = dir;
+    Result<CheckpointStore> store = CheckpointStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Save(MakeData(1)).ok());
+    ASSERT_TRUE(store->Save(MakeData(2)).ok());
+  }
+  {
+    std::ofstream out(dir + "/MANIFEST", std::ios::binary | std::ios::trunc);
+    out << "torn";
+  }
+  CheckpointStoreOptions options;
+  options.directory = dir;
+  Result<CheckpointStore> reopened = CheckpointStore::Open(options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened->versions().size(), 2u);
+  const Result<CheckpointData> latest = reopened->LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->step, 2);
+}
+
+TEST(CheckpointStoreTest, ReopenedStoreResumesVersionNumbering) {
+  const std::string dir = FreshDir("ckpt_reopen");
+  {
+    CheckpointStoreOptions options;
+    options.directory = dir;
+    Result<CheckpointStore> store = CheckpointStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->Save(MakeData(1)).ok());
+  }
+  CheckpointStoreOptions options;
+  options.directory = dir;
+  Result<CheckpointStore> reopened = CheckpointStore::Open(options);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_TRUE(reopened->Save(MakeData(9)).ok());
+  EXPECT_EQ(reopened->versions().size(), 2u);
+  EXPECT_LT(reopened->versions()[0], reopened->versions()[1]);
+  const Result<CheckpointData> latest = reopened->LoadLatest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(latest->step, 9);
+}
+
+}  // namespace
+}  // namespace inferturbo

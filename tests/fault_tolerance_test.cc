@@ -223,10 +223,33 @@ TEST(PregelFaultToleranceTest, RecoveryReplaysBroadcastBoard) {
   EXPECT_TRUE(recovered->logits.ApproxEquals(reference->logits, 0.0f));
 }
 
-// Note: "failure injected with checkpointing disabled" is a fatal
-// programmer error (INFERTURBO_CHECK) by design; it is not death-tested
-// here because gtest death tests fork, and the forked child cannot
-// inherit the shared thread pool's workers.
+TEST(PregelFaultToleranceTest, FailureWithoutCheckpointingIsCleanError) {
+  // A worker failure with checkpointing disabled is unrecoverable, but
+  // it must surface as a Status the caller can handle — not a process
+  // abort.
+  const Dataset d = SmallGraph();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+
+  InferTurboOptions faulty;
+  faulty.num_workers = 4;
+  faulty.checkpoint_interval = 0;  // explicitly off
+  auto fired = std::make_shared<bool>(false);
+  faulty.failure_injector = [fired](std::int64_t step, std::int64_t worker) {
+    if (step == 1 && worker == 0 && !*fired) {
+      *fired = true;
+      return true;
+    }
+    return false;
+  };
+  const Result<InferenceResult> result =
+      RunInferTurboPregel(d.graph, *model, faulty);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_NE(result.status().message().find("checkpointing is disabled"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_EQ(faulty.failures_recovered, 0);
+}
 
 }  // namespace
 }  // namespace inferturbo

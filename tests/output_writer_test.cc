@@ -109,5 +109,86 @@ TEST(OutputWriterTest, RejectsZeroShards) {
                   .IsInvalidArgument());
 }
 
+TEST(OutputWriterTest, ExportLeavesNoTempFilesBehind) {
+  const InferenceResult result = ScoreSomething(true);
+  const std::string dir = FreshDir("writer_no_temp");
+  OutputWriterOptions options;
+  options.num_shards = 3;
+  // Even with transient write faults forcing retries, every file lands
+  // via rename and no .tmp. leftovers survive the export.
+  ScriptedIoFaultInjector injector;
+  injector.Arm(IoOp::kWrite, "scores_", IoFaultKind::kWriteFail,
+               /*times=*/2);
+  options.fault_injector = &injector;
+  ASSERT_TRUE(WriteInferenceOutput(result, dir, options).ok());
+  EXPECT_EQ(injector.faults_fired(), 2);
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << "leftover temp file: " << entry.path();
+  }
+  const Result<std::vector<std::int64_t>> read = ReadPredictions(dir);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, result.predictions);
+}
+
+TEST(OutputWriterTest, FailedManifestWriteLeavesNoCommitRecord) {
+  const InferenceResult result = ScoreSomething(false);
+  const std::string dir = FreshDir("writer_manifest_fail");
+  OutputWriterOptions options;
+  ScriptedIoFaultInjector injector;
+  injector.Arm(IoOp::kWrite, "MANIFEST", IoFaultKind::kNoSpace,
+               /*times=*/-1);
+  options.fault_injector = &injector;
+  const Status status = WriteInferenceOutput(result, dir, options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  // The manifest is the commit record: without it the export directory
+  // reads as "no export", never as a torn one.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/MANIFEST.tsv"));
+  EXPECT_FALSE(ReadPredictions(dir).ok());
+}
+
+TEST(OutputWriterTest, ShardCorruptionOnDiskIsDetected) {
+  const InferenceResult result = ScoreSomething(false);
+  const std::string dir = FreshDir("writer_shard_corrupt");
+  OutputWriterOptions options;
+  ASSERT_TRUE(WriteInferenceOutput(result, dir, options).ok());
+  // Flip a byte in one score shard after the export committed.
+  const std::string victim = dir + "/scores_00001.tsv";
+  std::string content;
+  {
+    std::ifstream in(victim, std::ios::binary);
+    content.assign((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(content.empty());
+  content[content.size() / 2] ^= 0x10;
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  const Result<std::vector<std::int64_t>> read = ReadPredictions(dir);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+  EXPECT_NE(read.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << read.status().ToString();
+}
+
+TEST(OutputWriterTest, TransientReadFaultIsRetried) {
+  const InferenceResult result = ScoreSomething(false);
+  const std::string dir = FreshDir("writer_read_retry");
+  OutputWriterOptions options;
+  ASSERT_TRUE(WriteInferenceOutput(result, dir, options).ok());
+  ScriptedIoFaultInjector injector;
+  injector.Arm(IoOp::kRead, "scores_", IoFaultKind::kBitFlip, /*times=*/1);
+  const Result<std::vector<std::int64_t>> read =
+      ReadPredictions(dir, &injector);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(injector.faults_fired(), 1);
+  EXPECT_EQ(*read, result.predictions);
+}
+
 }  // namespace
 }  // namespace inferturbo

@@ -153,7 +153,7 @@ TEST(PregelEngineTest, MessagesReactivateHaltedWorkers) {
       b.Push(0, 0, &zero, 1);
       ctx->SendBatch(std::move(b));
     }
-  });
+  }).ValueOrDie();
   EXPECT_EQ(steps.load(), 4);  // supersteps 0, 1, 2, 3
   EXPECT_EQ(metrics.num_steps(), 4);
 }
@@ -164,7 +164,8 @@ TEST(PregelEngineTest, StopsWhenNoMessages) {
   options.num_workers = 2;
   options.max_supersteps = 100;
   PregelEngine engine(options, partitioner);
-  const JobMetrics metrics = engine.Run([](PregelContext*) {});
+  const JobMetrics metrics =
+      engine.Run([](PregelContext*) {}).ValueOrDie();
   EXPECT_EQ(metrics.num_steps(), 1);
 }
 
@@ -189,7 +190,7 @@ TEST(PregelEngineTest, CrossWorkerBytesAreCharged) {
       local.Push(on_zero, on_zero, payload, 4);  // local: free
       ctx->SendBatch(std::move(local));
     }
-  });
+  }).ValueOrDie();
   const WorkerStepMetrics w0 = metrics.workers[0].Total();
   const WorkerStepMetrics w1 = metrics.workers[1].Total();
   EXPECT_EQ(w0.bytes_out, MessageBytes(4));
@@ -215,7 +216,7 @@ TEST(PregelEngineTest, BroadcastBoardIsReadableNextStep) {
     const std::vector<float>* row = ctx->LookupBroadcast(123);
     if (row != nullptr && (*row)[1] == 4.5f) found.fetch_add(1);
     ctx->VoteToHalt();
-  });
+  }).ValueOrDie();
   EXPECT_EQ(found.load(), 3);  // visible on every worker
   // Publisher paid num_workers-1 copies.
   EXPECT_EQ(metrics.workers[0].Total().bytes_out, 2 * MessageBytes(2));
@@ -262,7 +263,7 @@ TEST(PregelEngineTest, CombinerShrinksTrafficWithoutChangingDelivery) {
       }
     }
     ctx->VoteToHalt();
-  });
+  }).ValueOrDie();
   EXPECT_EQ(delivered.load(), 10.0f);       // sum preserved
   EXPECT_EQ(delivered_count.load(), 10);    // count column preserved
   // One combined record crossed instead of ten.

@@ -5,6 +5,7 @@
 
 #include <filesystem>
 
+#include "src/common/io_fault.h"
 #include "src/graph/datasets.h"
 #include "src/inference/inferturbo_mapreduce.h"
 #include "src/mapreduce/mapreduce_engine.h"
@@ -83,6 +84,111 @@ TEST(SpillTest, InferenceWithSpillMatchesInMemory) {
       RunInferTurboMapReduce(d.graph, *model, spilled);
   ASSERT_TRUE(via_disk.ok()) << via_disk.status().ToString();
   EXPECT_TRUE(via_disk->logits.ApproxEquals(reference->logits, 0.0f));
+}
+
+// Shared fixture-style setup for the fault-injection tests below.
+struct SpillFaultRig {
+  Dataset d;
+  std::unique_ptr<GnnModel> model;
+  Result<InferenceResult> reference = Status::Internal("not run");
+  InferTurboOptions spilled;
+
+  explicit SpillFaultRig(const std::string& dir_name) {
+    const std::string dir = testing::TempDir() + "/" + dir_name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    PowerLawConfig config;
+    config.num_nodes = 300;
+    config.avg_degree = 6.0;
+    config.seed = 7;
+    d = MakePowerLawDataset(config, /*feature_dim=*/10);
+    ModelConfig mc;
+    mc.input_dim = 10;
+    mc.hidden_dim = 8;
+    mc.num_classes = 2;
+    mc.num_layers = 2;
+    model = MakeSageModel(mc);
+    InferTurboOptions in_memory;
+    in_memory.num_workers = 4;
+    in_memory.strategies.partial_gather = true;
+    reference = RunInferTurboMapReduce(d.graph, *model, in_memory);
+    spilled = in_memory;
+    spilled.mr_spill_directory = dir;
+  }
+};
+
+TEST(SpillTest, TransientReadFaultIsRetriedAndCounted) {
+  SpillFaultRig rig("spill_read_fault");
+  ASSERT_TRUE(rig.reference.ok());
+  // One spill block comes back bit-flipped; the block checksum catches
+  // it and the retry re-reads healthy bytes from disk.
+  ScriptedIoFaultInjector injector;
+  injector.Arm(IoOp::kRead, ".blk", IoFaultKind::kBitFlip, /*times=*/1);
+  rig.spilled.io_fault_injector = &injector;
+  const Result<InferenceResult> result =
+      RunInferTurboMapReduce(rig.d.graph, *rig.model, rig.spilled);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(injector.faults_fired(), 1);
+  EXPECT_GT(result->metrics.spill_read_retries, 0);
+  EXPECT_TRUE(result->logits.ApproxEquals(rig.reference->logits, 0.0f));
+}
+
+TEST(SpillTest, TransientShortReadIsRetriedAndCounted) {
+  SpillFaultRig rig("spill_short_read");
+  ASSERT_TRUE(rig.reference.ok());
+  ScriptedIoFaultInjector injector;
+  injector.Arm(IoOp::kRead, ".blk", IoFaultKind::kShortRead, /*times=*/1);
+  rig.spilled.io_fault_injector = &injector;
+  const Result<InferenceResult> result =
+      RunInferTurboMapReduce(rig.d.graph, *rig.model, rig.spilled);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->metrics.spill_read_retries, 0);
+  EXPECT_TRUE(result->logits.ApproxEquals(rig.reference->logits, 0.0f));
+}
+
+TEST(SpillTest, TransientWriteFaultIsRetriedAndCounted) {
+  SpillFaultRig rig("spill_write_fault");
+  ASSERT_TRUE(rig.reference.ok());
+  ScriptedIoFaultInjector injector;
+  injector.Arm(IoOp::kWrite, ".blk", IoFaultKind::kWriteFail, /*times=*/1);
+  rig.spilled.io_fault_injector = &injector;
+  const Result<InferenceResult> result =
+      RunInferTurboMapReduce(rig.d.graph, *rig.model, rig.spilled);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(injector.faults_fired(), 1);
+  EXPECT_GT(result->metrics.spill_write_retries, 0);
+  EXPECT_TRUE(result->logits.ApproxEquals(rig.reference->logits, 0.0f));
+}
+
+TEST(SpillTest, PersistentReadCorruptionSurfacesAsIoError) {
+  SpillFaultRig rig("spill_persistent_fault");
+  ASSERT_TRUE(rig.reference.ok());
+  // Every read of one block stays corrupt: retries exhaust and the job
+  // fails with a descriptive IoError instead of producing wrong logits.
+  ScriptedIoFaultInjector injector;
+  injector.Arm(IoOp::kRead, ".blk", IoFaultKind::kBitFlip, /*times=*/-1);
+  rig.spilled.io_fault_injector = &injector;
+  const Result<InferenceResult> result =
+      RunInferTurboMapReduce(rig.d.graph, *rig.model, rig.spilled);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(SpillTest, PersistentWriteFaultSurfacesAsIoError) {
+  SpillFaultRig rig("spill_enospc");
+  ASSERT_TRUE(rig.reference.ok());
+  ScriptedIoFaultInjector injector;
+  injector.Arm(IoOp::kWrite, ".blk", IoFaultKind::kNoSpace, /*times=*/-1);
+  rig.spilled.io_fault_injector = &injector;
+  const Result<InferenceResult> result =
+      RunInferTurboMapReduce(rig.d.graph, *rig.model, rig.spilled);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  EXPECT_NE(result.status().message().find("no space"), std::string::npos)
+      << result.status().ToString();
 }
 
 }  // namespace
