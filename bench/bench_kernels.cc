@@ -1,116 +1,358 @@
-// Kernel microbenchmarks (google-benchmark): the inner loops every
-// experiment above is built from. Useful for tracking regressions in
-// the substrate independent of the end-to-end harnesses.
-#include <benchmark/benchmark.h>
+// Kernel microbenchmarks and regression harness: times every fast
+// kernel against its scalar reference and writes BENCH_kernels.json —
+// one record per (op, shape, threads) with GFLOP/s, ns/elem, and the
+// measured speedup. Self-contained timing (no external benchmark
+// framework) so it builds everywhere the library does.
+//
+// Usage:
+//   bench_kernels                      full sweep, writes BENCH_kernels.json
+//   bench_kernels --quick              CI smoke: smaller shapes, shorter timing
+//   bench_kernels --out=PATH           write the JSON elsewhere
+//   bench_kernels --check=PATH         diff against a baseline JSON; exits 1
+//                                      when any op regresses past --check-tolerance
+//   bench_kernels --threads=N          parallel sweep thread count (default:
+//                                      the default pool's size)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "src/common/flags.h"
 #include "src/common/rng.h"
-#include "src/gas/message.h"
-#include "src/graph/partition.h"
-#include "src/graph/power_law.h"
-#include "src/tensor/ops.h"
-#include "src/tensor/segment_ops.h"
-#include "src/tensor/sparse.h"
+#include "src/common/thread_pool.h"
+#include "src/common/timer.h"
+#include "src/tensor/kernels/kernel_config.h"
+#include "src/tensor/kernels/kernels.h"
+#include "src/tensor/kernels/reference.h"
 
 namespace inferturbo {
 namespace {
 
-void BM_MatMul(benchmark::State& state) {
-  const std::int64_t n = state.range(0);
-  Rng rng(1);
-  const Tensor a = Tensor::RandomNormal(n, n, 1.0f, &rng);
-  const Tensor b = Tensor::RandomNormal(n, n, 1.0f, &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(MatMul(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * n * n * n);
+// Keeps results observable so the optimizer cannot delete a timed call.
+volatile float g_sink = 0.0f;
+void Sink(const Tensor& t) {
+  if (t.size() > 0) g_sink = g_sink + t.data()[0];
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
 
-void BM_SegmentSum(benchmark::State& state) {
-  const std::int64_t rows = state.range(0);
-  Rng rng(2);
-  const Tensor values = Tensor::RandomNormal(rows, 32, 1.0f, &rng);
-  std::vector<std::int64_t> ids;
-  for (std::int64_t i = 0; i < rows; ++i) {
-    ids.push_back(static_cast<std::int64_t>(rng.NextBounded(64)));
+struct BenchRecord {
+  std::string op;
+  std::string shape;
+  int threads = 1;
+  double seconds_per_iter = 0.0;
+  double gflops = 0.0;       // 0 for pure-bandwidth ops
+  double ns_per_elem = 0.0;  // per "element" as defined by the op below
+  double speedup_vs_reference = 0.0;
+};
+
+struct TimingOptions {
+  double min_seconds = 0.3;
+  std::int64_t max_iters = 200;
+};
+
+// Times `fn` by whole iterations until the budget is spent. Returns
+// seconds per iteration. One untimed warmup iteration absorbs cold
+// caches and lazy ISA dispatch.
+template <typename Fn>
+double TimeIt(const TimingOptions& options, Fn&& fn) {
+  fn();
+  WallTimer timer;
+  std::int64_t iters = 0;
+  double elapsed = 0.0;
+  while (elapsed < options.min_seconds && iters < options.max_iters) {
+    fn();
+    ++iters;
+    elapsed = timer.ElapsedSeconds();
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SegmentSum(values, ids, 64));
-  }
-  state.SetItemsProcessed(state.iterations() * rows);
+  return elapsed / static_cast<double>(iters);
 }
-BENCHMARK(BM_SegmentSum)->Arg(1024)->Arg(16384);
 
-void BM_SegmentSoftmax(benchmark::State& state) {
-  const std::int64_t rows = state.range(0);
-  Rng rng(3);
-  const Tensor logits = Tensor::RandomNormal(rows, 1, 1.0f, &rng);
-  std::vector<std::int64_t> ids;
-  for (std::int64_t i = 0; i < rows; ++i) {
-    ids.push_back(static_cast<std::int64_t>(rng.NextBounded(64)));
-  }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SegmentSoftmax(logits, ids, 64));
-  }
-  state.SetItemsProcessed(state.iterations() * rows);
+void SetThreads(int max_threads) {
+  kernels::KernelConfig config = kernels::GetKernelConfig();
+  config.max_threads = max_threads;
+  // The sweep decides when to parallelize; don't let the work
+  // threshold silently serialize the "parallel" rows.
+  config.min_parallel_work = max_threads > 1 ? 1 : (std::int64_t{1} << 62);
+  kernels::SetKernelConfig(config);
 }
-BENCHMARK(BM_SegmentSoftmax)->Arg(16384);
 
-void BM_PooledAccumulatorFold(benchmark::State& state) {
-  const std::int64_t rows = state.range(0);
-  Rng rng(4);
-  const Tensor values = Tensor::RandomNormal(rows, 32, 1.0f, &rng);
-  std::vector<NodeId> dst;
-  for (std::int64_t i = 0; i < rows; ++i) {
-    dst.push_back(static_cast<NodeId>(rng.NextBounded(512)));
-  }
-  for (auto _ : state) {
-    PooledAccumulator acc(AggKind::kMean, 32);
-    for (std::int64_t i = 0; i < rows; ++i) {
-      acc.Add(dst[static_cast<std::size_t>(i)], values.RowPtr(i));
+struct Harness {
+  TimingOptions timing;
+  int parallel_threads = 2;
+  std::vector<BenchRecord> records;
+
+  // Benches one op at serial and parallel settings against a serial
+  // reference run. `flops`/`elems` describe ONE iteration; gflops uses
+  // flops, ns_per_elem uses elems.
+  template <typename RefFn, typename FastFn>
+  void Bench(const std::string& op, const std::string& shape, double flops,
+             double elems, RefFn&& ref, FastFn&& fast) {
+    SetThreads(1);
+    const double ref_seconds = TimeIt(timing, ref);
+    for (const int threads : {1, parallel_threads}) {
+      SetThreads(threads);
+      const double seconds = TimeIt(timing, fast);
+      BenchRecord record;
+      record.op = op;
+      record.shape = shape;
+      record.threads = threads;
+      record.seconds_per_iter = seconds;
+      record.gflops = flops > 0 ? flops / seconds * 1e-9 : 0.0;
+      record.ns_per_elem = elems > 0 ? seconds * 1e9 / elems : 0.0;
+      record.speedup_vs_reference = ref_seconds / seconds;
+      records.push_back(record);
+      std::printf("%-14s %-14s threads=%d  %10.3f ms/iter  %7.2f GFLOP/s"
+                  "  %8.3f ns/elem  %5.2fx vs reference\n",
+                  op.c_str(), shape.c_str(), threads, seconds * 1e3,
+                  record.gflops, record.ns_per_elem,
+                  record.speedup_vs_reference);
+      if (threads == parallel_threads) break;  // when parallel_threads == 1
     }
-    benchmark::DoNotOptimize(acc.Finalize());
   }
-  state.SetItemsProcessed(state.iterations() * rows);
-}
-BENCHMARK(BM_PooledAccumulatorFold)->Arg(16384);
+};
 
-void BM_SpMM(benchmark::State& state) {
-  const std::int64_t n = 4096, e = 32768;
-  Rng rng(5);
-  std::vector<std::int64_t> src, dst;
-  for (std::int64_t i = 0; i < e; ++i) {
-    src.push_back(static_cast<std::int64_t>(
-        rng.NextBounded(static_cast<std::uint64_t>(n))));
-    dst.push_back(static_cast<std::int64_t>(
-        rng.NextBounded(static_cast<std::uint64_t>(n))));
-  }
-  const CsrMatrix a = CsrMatrix::FromEdges(n, dst, src);
-  const Tensor x = Tensor::RandomNormal(n, 32, 1.0f, &rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a.MatMulDense(x));
-  }
-  state.SetItemsProcessed(state.iterations() * e);
+std::string MatMulShapeLabel(std::int64_t m, std::int64_t k, std::int64_t n) {
+  std::ostringstream out;
+  out << m << "x" << k << "x" << n;
+  return out.str();
 }
-BENCHMARK(BM_SpMM);
 
-void BM_ZipfSample(benchmark::State& state) {
-  ZipfSampler zipf(1'000'000, 2.0);
-  Rng rng(6);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(zipf.Sample(&rng));
+void BenchMatMuls(Harness* harness, bool quick) {
+  std::vector<std::int64_t> sizes = quick
+                                        ? std::vector<std::int64_t>{128}
+                                        : std::vector<std::int64_t>{128, 256,
+                                                                    512};
+  Rng rng(11);
+  for (const std::int64_t n : sizes) {
+    const Tensor a = Tensor::RandomNormal(n, n, 1.0f, &rng);
+    const Tensor b = Tensor::RandomNormal(n, n, 1.0f, &rng);
+    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    const double elems = static_cast<double>(n) * n;  // output elements
+    const std::string shape = MatMulShapeLabel(n, n, n);
+    harness->Bench(
+        "matmul", shape, flops, elems,
+        [&] { Sink(kernels::reference::MatMul(a, b)); },
+        [&] { Sink(kernels::MatMul(a, b)); });
+    harness->Bench(
+        "matmul_tb", shape, flops, elems,
+        [&] { Sink(kernels::reference::MatMulTransposedB(a, b)); },
+        [&] { Sink(kernels::MatMulTransposedB(a, b)); });
+    harness->Bench(
+        "matmul_ta", shape, flops, elems,
+        [&] { Sink(kernels::reference::MatMulTransposedA(a, b)); },
+        [&] { Sink(kernels::MatMulTransposedA(a, b)); });
   }
 }
-BENCHMARK(BM_ZipfSample);
 
-void BM_PartitionAssign(benchmark::State& state) {
-  HashPartitioner partitioner(1000);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(AssignPartitions(100000, partitioner));
+void BenchSegmentOps(Harness* harness, bool quick) {
+  const std::int64_t rows = quick ? 16384 : 131072;
+  const std::int64_t cols = 64;
+  const std::int64_t segments = quick ? 512 : 4096;
+  Rng rng(12);
+  const Tensor values = Tensor::RandomNormal(rows, cols, 1.0f, &rng);
+  std::vector<std::int64_t> ids(static_cast<std::size_t>(rows));
+  for (auto& id : ids) {
+    id = static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(segments)));
   }
-  state.SetItemsProcessed(state.iterations() * 100000);
+  std::ostringstream label;
+  label << rows << "x" << cols << "s" << segments;
+  const std::string shape = label.str();
+  const double elems = static_cast<double>(rows) * cols;  // folded floats
+  harness->Bench(
+      "segment_sum", shape, elems, elems,
+      [&] { Sink(kernels::reference::SegmentSum(values, ids, segments)); },
+      [&] { Sink(kernels::SegmentSum(values, ids, segments)); });
+  harness->Bench(
+      "segment_mean", shape, elems, elems,
+      [&] { Sink(kernels::reference::SegmentMean(values, ids, segments)); },
+      [&] { Sink(kernels::SegmentMean(values, ids, segments)); });
 }
-BENCHMARK(BM_PartitionAssign);
+
+void BenchRowOps(Harness* harness, bool quick) {
+  const std::int64_t source_rows = quick ? 16384 : 131072;
+  const std::int64_t cols = 64;
+  Rng rng(13);
+  const Tensor source = Tensor::RandomNormal(source_rows, cols, 1.0f, &rng);
+  std::vector<std::int64_t> indices(static_cast<std::size_t>(source_rows));
+  for (auto& idx : indices) {
+    idx = static_cast<std::int64_t>(
+        rng.NextBounded(static_cast<std::uint64_t>(source_rows)));
+  }
+  std::ostringstream label;
+  label << source_rows << "x" << cols;
+  const std::string shape = label.str();
+  const double elems = static_cast<double>(source_rows) * cols;
+  harness->Bench(
+      "gather_rows", shape, 0.0, elems,
+      [&] { Sink(kernels::reference::GatherRows(source, indices)); },
+      [&] { Sink(kernels::GatherRows(source, indices)); });
+  // Scatter reuses the gather indices; the accumulator is rebuilt per
+  // iteration so every run adds into identical memory.
+  harness->Bench(
+      "scatter_add", shape, elems, elems,
+      [&] {
+        Tensor acc(source_rows, cols);
+        kernels::reference::ScatterAddRows(&acc, indices, source);
+        Sink(acc);
+      },
+      [&] {
+        Tensor acc(source_rows, cols);
+        kernels::ScatterAddRows(&acc, indices, source);
+        Sink(acc);
+      });
+}
+
+void WriteJson(const std::string& path, const std::vector<BenchRecord>& records,
+               bool quick, int parallel_threads) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_kernels: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  out << "{\n";
+  out << "  \"bench\": \"bench_kernels\",\n";
+  out << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
+  out << "  \"avx2\": " << (kernels::UsingAvx2() ? "true" : "false") << ",\n";
+  out << "  \"parallel_threads\": " << parallel_threads << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "    {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %d, "
+                  "\"seconds_per_iter\": %.6e, \"gflops\": %.4f, "
+                  "\"ns_per_elem\": %.4f, \"speedup_vs_reference\": %.3f}%s",
+                  r.op.c_str(), r.shape.c_str(), r.threads,
+                  r.seconds_per_iter, r.gflops, r.ns_per_elem,
+                  r.speedup_vs_reference,
+                  i + 1 < records.size() ? "," : "");
+    out << line << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %zu records to %s\n", records.size(), path.c_str());
+}
+
+// Minimal field extraction for the exact format WriteJson emits (one
+// record per line) — enough for --check without a JSON dependency.
+struct BaselineRecord {
+  std::string op, shape;
+  int threads = 0;
+  double gflops = 0.0;
+  double seconds_per_iter = 0.0;
+};
+
+std::string ExtractString(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  return end == std::string::npos ? "" : line.substr(begin, end - begin);
+}
+
+double ExtractNumber(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+std::vector<BaselineRecord> LoadBaseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_kernels: cannot read baseline %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::vector<BaselineRecord> baseline;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"op\"") == std::string::npos) continue;
+    BaselineRecord record;
+    record.op = ExtractString(line, "op");
+    record.shape = ExtractString(line, "shape");
+    record.threads = static_cast<int>(ExtractNumber(line, "threads"));
+    record.gflops = ExtractNumber(line, "gflops");
+    record.seconds_per_iter = ExtractNumber(line, "seconds_per_iter");
+    baseline.push_back(record);
+  }
+  return baseline;
+}
+
+// Compares against a baseline run; a kernel counts as regressed when
+// its time per iteration grew past (1 + tolerance) on a matching
+// (op, shape, threads) row. Shapes present on only one side are
+// skipped (quick vs full runs share only some rows).
+int CheckAgainstBaseline(const std::vector<BenchRecord>& records,
+                         const std::string& path, double tolerance) {
+  const std::vector<BaselineRecord> baseline = LoadBaseline(path);
+  int regressions = 0, compared = 0;
+  for (const BenchRecord& r : records) {
+    for (const BaselineRecord& b : baseline) {
+      if (b.op != r.op || b.shape != r.shape || b.threads != r.threads) {
+        continue;
+      }
+      ++compared;
+      if (b.seconds_per_iter > 0.0 &&
+          r.seconds_per_iter > b.seconds_per_iter * (1.0 + tolerance)) {
+        ++regressions;
+        std::printf("REGRESSION %s %s threads=%d: %.3f ms/iter vs baseline "
+                    "%.3f ms/iter (tolerance %.0f%%)\n",
+                    r.op.c_str(), r.shape.c_str(), r.threads,
+                    r.seconds_per_iter * 1e3, b.seconds_per_iter * 1e3,
+                    tolerance * 100.0);
+      }
+      break;
+    }
+  }
+  std::printf("baseline check: %d rows compared, %d regressions\n", compared,
+              regressions);
+  return regressions == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  Result<FlagParser> flags = FlagParser::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  const bool quick = flags->GetBool("quick", false);
+  const std::string out_path = flags->GetString("out", "BENCH_kernels.json");
+  const std::string check_path = flags->GetString("check", "");
+  const double tolerance = flags->GetDouble("check-tolerance", 0.5);
+
+  Harness harness;
+  harness.parallel_threads = static_cast<int>(flags->GetInt(
+      "threads",
+      static_cast<std::int64_t>(DefaultThreadPool().num_threads())));
+  harness.parallel_threads = std::max(harness.parallel_threads, 1);
+  harness.timing.min_seconds = quick ? 0.02 : 0.3;
+  harness.timing.max_iters = quick ? 20 : 200;
+
+  std::printf("bench_kernels (%s mode, avx2=%s, parallel sweep at %d "
+              "threads)\n\n",
+              quick ? "quick" : "full", kernels::UsingAvx2() ? "on" : "off",
+              harness.parallel_threads);
+
+  const kernels::KernelConfig saved = kernels::GetKernelConfig();
+  BenchMatMuls(&harness, quick);
+  BenchSegmentOps(&harness, quick);
+  BenchRowOps(&harness, quick);
+  kernels::SetKernelConfig(saved);
+
+  WriteJson(out_path, harness.records, quick, harness.parallel_threads);
+
+  if (!check_path.empty()) {
+    return CheckAgainstBaseline(harness.records, check_path, tolerance);
+  }
+  return 0;
+}
 
 }  // namespace
 }  // namespace inferturbo
+
+int main(int argc, char** argv) { return inferturbo::Main(argc, argv); }

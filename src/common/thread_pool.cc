@@ -5,6 +5,13 @@
 #include "src/common/logging.h"
 
 namespace inferturbo {
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+bool ThreadPool::InPoolWorker() { return t_in_pool_worker; }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -39,6 +46,7 @@ void ThreadPool::Wait() {
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {

@@ -38,6 +38,13 @@ class ThreadPool {
   /// `fn` must be safe to invoke concurrently.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// True when the calling thread is a worker of *any* ThreadPool.
+  /// Nested ParallelFor/Wait from inside a pool task would deadlock
+  /// (the task itself counts as in-flight), so layered parallelism —
+  /// e.g. a tensor kernel invoked from a Pregel worker — checks this
+  /// and runs serially instead.
+  static bool InPoolWorker();
+
  private:
   void WorkerLoop();
 

@@ -76,6 +76,64 @@ MessageBatch MessageBatch::Merge(std::span<const MessageBatch> batches) {
   return out;
 }
 
+std::vector<MessageBatch> SplitByWorker(MessageBatch batch,
+                                        const HashPartitioner& partitioner,
+                                        std::int64_t num_workers) {
+  std::vector<MessageBatch> slices(static_cast<std::size_t>(num_workers));
+  if (batch.empty()) return slices;
+  const std::int64_t n = batch.size();
+  // One counting pass that also memoizes each row's owner, so the
+  // partition hash runs once per row instead of once per pass.
+  std::vector<std::int32_t> owner(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_workers), 0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t w =
+        partitioner.PartitionOf(batch.dst[static_cast<std::size_t>(i)]);
+    owner[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(w);
+    ++counts[static_cast<std::size_t>(w)];
+  }
+  // Single-owner fast path — the common case when callers already emit
+  // per-destination-worker batches: zero copies, the batch moves whole.
+  const std::size_t first_owner = static_cast<std::size_t>(owner[0]);
+  if (counts[first_owner] == n) {
+    slices[first_owner] = std::move(batch);
+    return slices;
+  }
+  const std::int64_t width = batch.payload.cols();
+  for (std::int64_t w = 0; w < num_workers; ++w) {
+    const std::int64_t count = counts[static_cast<std::size_t>(w)];
+    if (count == 0) continue;
+    MessageBatch& slice = slices[static_cast<std::size_t>(w)];
+    slice.dst.reserve(static_cast<std::size_t>(count));
+    slice.src.reserve(static_cast<std::size_t>(count));
+    slice.payload = Tensor(count, width);
+  }
+  std::vector<std::int64_t> cursor(static_cast<std::size_t>(num_workers), 0);
+  std::int64_t i = 0;
+  while (i < n) {
+    // Maximal same-owner run [i, e): ids append as a range and payload
+    // rows move with one block memcpy.
+    const std::int32_t w = owner[static_cast<std::size_t>(i)];
+    std::int64_t e = i + 1;
+    while (e < n && owner[static_cast<std::size_t>(e)] == w) ++e;
+    MessageBatch& slice = slices[static_cast<std::size_t>(w)];
+    slice.dst.insert(slice.dst.end(),
+                     batch.dst.begin() + static_cast<std::ptrdiff_t>(i),
+                     batch.dst.begin() + static_cast<std::ptrdiff_t>(e));
+    slice.src.insert(slice.src.end(),
+                     batch.src.begin() + static_cast<std::ptrdiff_t>(i),
+                     batch.src.begin() + static_cast<std::ptrdiff_t>(e));
+    if (width > 0) {
+      std::memcpy(slice.payload.RowPtr(cursor[static_cast<std::size_t>(w)]),
+                  batch.payload.RowPtr(i),
+                  static_cast<std::size_t>((e - i) * width) * sizeof(float));
+    }
+    cursor[static_cast<std::size_t>(w)] += e - i;
+    i = e;
+  }
+  return slices;
+}
+
 PooledAccumulator::PooledAccumulator(AggKind kind, std::int64_t width)
     : kind_(kind), width_(width) {
   INFERTURBO_CHECK(kind != AggKind::kUnion)

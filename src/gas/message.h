@@ -9,6 +9,7 @@
 #include "src/common/byte_size.h"
 #include "src/gas/signature.h"
 #include "src/graph/graph.h"
+#include "src/graph/partition.h"
 #include "src/tensor/tensor.h"
 
 namespace inferturbo {
@@ -55,6 +56,18 @@ struct MessageBatch {
   /// Concatenates `batches` with a single allocation.
   static MessageBatch Merge(std::span<const MessageBatch> batches);
 };
+
+/// Buckets `batch`'s rows by the worker owning each `dst` id. Slot w of
+/// the result holds all of w's rows in their original relative order
+/// (the deterministic-routing contract both engines rely on); workers
+/// receiving nothing get an empty batch. Low-copy: owners are computed
+/// in one counting pass, each slice's payload is allocated exactly
+/// once, contiguous same-owner runs move with one block memcpy, and a
+/// batch whose rows all land on one worker is std::moved through
+/// untouched.
+std::vector<MessageBatch> SplitByWorker(MessageBatch batch,
+                                        const HashPartitioner& partitioner,
+                                        std::int64_t num_workers);
 
 /// Accumulates pooled (sum/mean/max/min) aggregates keyed by
 /// destination node, supporting both receiver-side gather and

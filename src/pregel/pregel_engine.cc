@@ -15,37 +15,8 @@ std::int64_t PregelContext::num_workers() const {
 
 void PregelContext::SendBatch(MessageBatch batch) {
   if (batch.empty()) return;
-  // Split rows by owning worker. Count first so each slice allocates
-  // once.
-  const HashPartitioner& part = engine_->partitioner();
-  std::vector<std::int64_t> counts(
-      static_cast<std::size_t>(num_workers()), 0);
-  for (NodeId d : batch.dst) {
-    ++counts[static_cast<std::size_t>(part.PartitionOf(d))];
-  }
-  const std::int64_t width = batch.payload.cols();
-  std::vector<MessageBatch> slices(static_cast<std::size_t>(num_workers()));
-  for (std::int64_t w = 0; w < num_workers(); ++w) {
-    if (counts[static_cast<std::size_t>(w)] == 0) continue;
-    slices[static_cast<std::size_t>(w)].Reserve(
-        static_cast<std::size_t>(counts[static_cast<std::size_t>(w)]), width);
-    slices[static_cast<std::size_t>(w)].payload =
-        Tensor(counts[static_cast<std::size_t>(w)], width);
-  }
-  std::vector<std::int64_t> cursor(static_cast<std::size_t>(num_workers()),
-                                   0);
-  for (std::int64_t i = 0; i < batch.size(); ++i) {
-    const std::int64_t w =
-        part.PartitionOf(batch.dst[static_cast<std::size_t>(i)]);
-    MessageBatch& slice = slices[static_cast<std::size_t>(w)];
-    slice.dst.push_back(batch.dst[static_cast<std::size_t>(i)]);
-    slice.src.push_back(batch.src[static_cast<std::size_t>(i)]);
-    if (width > 0) {
-      slice.payload.SetRow(cursor[static_cast<std::size_t>(w)],
-                           batch.payload.RowPtr(i));
-    }
-    ++cursor[static_cast<std::size_t>(w)];
-  }
+  std::vector<MessageBatch> slices = SplitByWorker(
+      std::move(batch), engine_->partitioner(), num_workers());
   for (std::int64_t w = 0; w < num_workers(); ++w) {
     if (!slices[static_cast<std::size_t>(w)].empty()) {
       outbox_[static_cast<std::size_t>(w)].push_back(
@@ -56,31 +27,15 @@ void PregelContext::SendBatch(MessageBatch batch) {
 
 void PregelContext::SendPartialBatch(MessageBatch batch) {
   if (batch.empty()) return;
-  const HashPartitioner& part = engine_->partitioner();
   // Partial batches are produced per destination worker by the caller,
-  // but route defensively anyway.
-  std::vector<std::vector<std::int64_t>> rows_by_worker(
-      static_cast<std::size_t>(num_workers()));
-  for (std::int64_t i = 0; i < batch.size(); ++i) {
-    rows_by_worker[static_cast<std::size_t>(
-        part.PartitionOf(batch.dst[static_cast<std::size_t>(i)]))]
-        .push_back(i);
-  }
+  // so this usually takes SplitByWorker's whole-batch move fast path.
+  std::vector<MessageBatch> slices = SplitByWorker(
+      std::move(batch), engine_->partitioner(), num_workers());
   for (std::int64_t w = 0; w < num_workers(); ++w) {
-    const auto& rows = rows_by_worker[static_cast<std::size_t>(w)];
-    if (rows.empty()) continue;
-    MessageBatch slice;
-    slice.payload = Tensor(static_cast<std::int64_t>(rows.size()),
-                           batch.payload.cols());
-    slice.dst.reserve(rows.size());
-    slice.src.reserve(rows.size());
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      slice.dst.push_back(batch.dst[static_cast<std::size_t>(rows[i])]);
-      slice.src.push_back(batch.src[static_cast<std::size_t>(rows[i])]);
-      slice.payload.SetRow(static_cast<std::int64_t>(i),
-                           batch.payload.RowPtr(rows[i]));
+    if (!slices[static_cast<std::size_t>(w)].empty()) {
+      outbox_[static_cast<std::size_t>(w)].push_back(
+          {std::move(slices[static_cast<std::size_t>(w)]), true});
     }
-    outbox_[static_cast<std::size_t>(w)].push_back({std::move(slice), true});
   }
 }
 
@@ -256,14 +211,22 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
 
   // Checkpointing: in-flight messages + board + (via hooks) driver
   // state, every checkpoint_interval supersteps. A failed superstep
-  // rolls back here and replays; the same state is serialized to the
-  // durable store when one is configured.
+  // rolls back here and replays. With a durable store configured the
+  // state is serialized exactly once and those encoded bytes back both
+  // the durable write and the in-memory rollback — no deep copy of
+  // inboxes/board, no second encoding pass. Without a store the deep
+  // copy is kept (cheaper than encode+decode for a purely local
+  // rollback).
   struct Checkpoint {
     std::int64_t step = 0;
+    // Deep-copy form (no durable store).
     std::vector<std::vector<MessageBatch>> inboxes;
     std::vector<std::vector<bool>> inbox_partial;
     std::unordered_map<NodeId, std::vector<float>> board;
     std::shared_ptr<const void> driver_state;
+    // Encoded form (durable store): shared with the store's write.
+    std::shared_ptr<const std::string> engine_bytes;
+    std::shared_ptr<const std::string> driver_bytes;
   };
   Checkpoint checkpoint;
   bool has_checkpoint = false;
@@ -279,23 +242,38 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
     }
     if (options_.checkpoint_interval > 0 &&
         step % options_.checkpoint_interval == 0) {
+      checkpoint = Checkpoint();
       checkpoint.step = step;
-      checkpoint.inboxes = inboxes;
-      checkpoint.inbox_partial = inbox_partial;
-      checkpoint.board = board_current_;
-      checkpoint.driver_state =
-          options_.snapshot_state ? options_.snapshot_state() : nullptr;
-      has_checkpoint = true;
       if (options_.checkpoint_store != nullptr) {
+        checkpoint.engine_bytes = std::make_shared<const std::string>(
+            EncodePregelEngineState(inboxes, inbox_partial, board_current_));
+        // The driver state rolls back through the encoded bytes only
+        // when the driver can decode them again; otherwise fall back to
+        // its in-memory snapshot hooks.
+        const bool encoded_driver =
+            options_.serialize_driver && options_.deserialize_driver;
+        if (options_.serialize_driver) {
+          checkpoint.driver_bytes = std::make_shared<const std::string>(
+              options_.serialize_driver());
+        }
+        if (!encoded_driver && options_.snapshot_state) {
+          checkpoint.driver_state = options_.snapshot_state();
+        }
         CheckpointData durable;
         durable.step = step;
-        durable.engine_state = EncodePregelEngineState(
-            inboxes, inbox_partial, board_current_);
-        if (options_.serialize_driver) {
-          durable.driver_state = options_.serialize_driver();
+        durable.engine_state = *checkpoint.engine_bytes;
+        if (checkpoint.driver_bytes != nullptr) {
+          durable.driver_state = *checkpoint.driver_bytes;
         }
         INFERTURBO_RETURN_NOT_OK(options_.checkpoint_store->Save(durable));
+      } else {
+        checkpoint.inboxes = inboxes;
+        checkpoint.inbox_partial = inbox_partial;
+        checkpoint.board = board_current_;
+        checkpoint.driver_state =
+            options_.snapshot_state ? options_.snapshot_state() : nullptr;
       }
+      has_checkpoint = true;
     }
     if (options_.kill_switch && options_.kill_switch(step)) {
       return Status::Aborted("job killed at superstep " +
@@ -351,10 +329,20 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
           metrics.workers[static_cast<std::size_t>(w)].steps.push_back(
               step_metrics[static_cast<std::size_t>(w)]);
         }
-        inboxes = checkpoint.inboxes;
-        inbox_partial = checkpoint.inbox_partial;
-        board_current_ = checkpoint.board;
-        if (options_.restore_state) {
+        if (checkpoint.engine_bytes != nullptr) {
+          INFERTURBO_RETURN_NOT_OK(DecodePregelEngineState(
+              *checkpoint.engine_bytes, num_workers, &inboxes,
+              &inbox_partial, &board_current_));
+        } else {
+          inboxes = checkpoint.inboxes;
+          inbox_partial = checkpoint.inbox_partial;
+          board_current_ = checkpoint.board;
+        }
+        if (checkpoint.driver_bytes != nullptr &&
+            options_.deserialize_driver) {
+          INFERTURBO_RETURN_NOT_OK(
+              options_.deserialize_driver(*checkpoint.driver_bytes));
+        } else if (options_.restore_state) {
           options_.restore_state(checkpoint.driver_state);
         }
         step = checkpoint.step - 1;  // loop increment replays it

@@ -1,0 +1,62 @@
+#include "src/tensor/kernels/kernel_config.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/thread_pool.h"
+
+namespace inferturbo {
+namespace kernels {
+namespace {
+
+std::atomic<int> g_max_threads{0};
+std::atomic<std::int64_t> g_min_parallel_work{1 << 18};
+
+}  // namespace
+
+KernelConfig GetKernelConfig() {
+  KernelConfig config;
+  config.max_threads = g_max_threads.load(std::memory_order_relaxed);
+  config.min_parallel_work =
+      g_min_parallel_work.load(std::memory_order_relaxed);
+  return config;
+}
+
+void SetKernelConfig(const KernelConfig& config) {
+  g_max_threads.store(config.max_threads, std::memory_order_relaxed);
+  g_min_parallel_work.store(std::max<std::int64_t>(1,
+                                                   config.min_parallel_work),
+                            std::memory_order_relaxed);
+}
+
+void ParallelForRanges(
+    std::int64_t n, std::int64_t work_per_item,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (n <= 0) return;
+  std::int64_t tasks = 1;
+  if (!ThreadPool::InPoolWorker()) {
+    const KernelConfig config = GetKernelConfig();
+    const std::int64_t thread_cap =
+        config.max_threads > 0
+            ? config.max_threads
+            : static_cast<std::int64_t>(DefaultThreadPool().num_threads());
+    const std::int64_t total_work =
+        n * std::max<std::int64_t>(1, work_per_item);
+    tasks = std::min({thread_cap, n, total_work / config.min_parallel_work});
+  }
+  if (tasks <= 1) {
+    fn(0, n);
+    return;
+  }
+  DefaultThreadPool().ParallelFor(
+      static_cast<std::size_t>(tasks), [&](std::size_t t) {
+        const std::int64_t begin =
+            n * static_cast<std::int64_t>(t) / tasks;
+        const std::int64_t end =
+            n * (static_cast<std::int64_t>(t) + 1) / tasks;
+        if (begin < end) fn(begin, end);
+      });
+}
+
+}  // namespace kernels
+}  // namespace inferturbo

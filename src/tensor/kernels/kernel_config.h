@@ -1,0 +1,40 @@
+#ifndef INFERTURBO_TENSOR_KERNELS_KERNEL_CONFIG_H_
+#define INFERTURBO_TENSOR_KERNELS_KERNEL_CONFIG_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace inferturbo {
+namespace kernels {
+
+/// Process-wide tuning knobs for the fast kernel layer. Thread fan-out
+/// never changes results — every output row is owned by exactly one
+/// task in a fixed contiguous partition — so these only trade latency
+/// against scheduling overhead.
+struct KernelConfig {
+  /// Upper bound on tasks per kernel launch; 0 means the default
+  /// pool's thread count.
+  int max_threads = 0;
+  /// Minimum work (multiply-adds or copied floats) a task must carry
+  /// before a kernel fans out to the pool; below this everything runs
+  /// on the calling thread.
+  std::int64_t min_parallel_work = 1 << 18;
+};
+
+KernelConfig GetKernelConfig();
+void SetKernelConfig(const KernelConfig& config);
+
+/// Runs `fn(begin, end)` over a fixed contiguous partition of [0, n).
+/// Partition boundaries depend only on (n, task count), never on
+/// scheduling, and each index belongs to exactly one call — the
+/// determinism contract every parallel kernel builds on. Runs serially
+/// when the work is too small or the caller is already a pool worker
+/// (nested waits on the pool would deadlock).
+void ParallelForRanges(
+    std::int64_t n, std::int64_t work_per_item,
+    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+}  // namespace kernels
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TENSOR_KERNELS_KERNEL_CONFIG_H_

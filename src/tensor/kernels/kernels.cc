@@ -1,0 +1,226 @@
+#include "src/tensor/kernels/kernels.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/tensor/kernels/matmul_tiles.h"
+#include "src/tensor/kernels/reference.h"
+
+namespace inferturbo {
+namespace kernels {
+namespace {
+
+using RowKernel = void (*)(const float*, const float*, float*, std::int64_t,
+                           std::int64_t, std::int64_t, std::int64_t);
+
+RowKernel MatMulRowsKernel() {
+  static const RowKernel kernel = detail::Avx2KernelsAvailable()
+                                      ? detail::MatMulRowsAvx2
+                                      : detail::MatMulRowsPortable;
+  return kernel;
+}
+
+RowKernel MatMulTBRowsKernel() {
+  static const RowKernel kernel = detail::Avx2KernelsAvailable()
+                                      ? detail::MatMulTBRowsAvx2
+                                      : detail::MatMulTBRowsPortable;
+  return kernel;
+}
+
+// Below this many multiply-adds the transpose-and-tile path for
+// MatMulTransposedA costs more in allocation than it saves.
+constexpr std::int64_t kTransposeAMinMulAdds = 1 << 15;
+
+// Cache-blocked out-of-place transpose: (rows×cols) -> (cols×rows).
+void TransposeInto(const float* __restrict__ src, std::int64_t rows,
+                   std::int64_t cols, float* __restrict__ dst) {
+  constexpr std::int64_t kBlock = 32;
+  for (std::int64_t r0 = 0; r0 < rows; r0 += kBlock) {
+    const std::int64_t r1 = std::min(rows, r0 + kBlock);
+    for (std::int64_t c0 = 0; c0 < cols; c0 += kBlock) {
+      const std::int64_t c1 = std::min(cols, c0 + kBlock);
+      for (std::int64_t r = r0; r < r1; ++r) {
+        for (std::int64_t c = c0; c < c1; ++c) {
+          dst[c * rows + r] = src[r * cols + c];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool UsingAvx2() { return detail::Avx2KernelsAvailable(); }
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor c(m, n);
+  if (c.empty()) return c;
+  const RowKernel kernel = MatMulRowsKernel();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  ParallelForRanges(m, k * n, [&](std::int64_t r0, std::int64_t r1) {
+    kernel(pa, pb, pc, r0, r1, k, n);
+  });
+  return c;
+}
+
+Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
+  const std::int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor c(m, n);
+  if (c.empty()) return c;
+  const RowKernel kernel = MatMulTBRowsKernel();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  ParallelForRanges(m, k * n, [&](std::int64_t r0, std::int64_t r1) {
+    kernel(pa, pb, pc, r0, r1, k, n);
+  });
+  return c;
+}
+
+Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
+  const std::int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (m * k * n < kTransposeAMinMulAdds) {
+    return reference::MatMulTransposedA(a, b);
+  }
+  // A^T·B = MatMul over a transposed copy of A. The tiled kernel skips
+  // the same zero entries in the same ascending-k order the reference's
+  // k-i-j loop does, so results stay bit-identical while the hot loop
+  // gets the register-tiled treatment.
+  std::vector<float> at(static_cast<std::size_t>(m * k));
+  TransposeInto(a.data(), k, m, at.data());
+  Tensor c(m, n);
+  if (c.empty()) return c;
+  const RowKernel kernel = MatMulRowsKernel();
+  const float* pb = b.data();
+  float* pc = c.data();
+  const float* pat = at.data();
+  ParallelForRanges(m, k * n, [&](std::int64_t r0, std::int64_t r1) {
+    kernel(pat, pb, pc, r0, r1, k, n);
+  });
+  return c;
+}
+
+Tensor SegmentSum(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments) {
+  const std::int64_t cols = values.cols();
+  Tensor out(num_segments, cols);
+  if (ids.empty() || cols == 0) return out;
+  const float* pv = values.data();
+  float* po = out.data();
+  const std::int64_t* pid = ids.data();
+  const std::int64_t rows = static_cast<std::int64_t>(ids.size());
+  const std::int64_t work_per_segment =
+      rows * cols / std::max<std::int64_t>(1, num_segments);
+  ParallelForRanges(
+      num_segments, work_per_segment, [&](std::int64_t s0, std::int64_t s1) {
+        if (s1 - s0 == num_segments) {
+          // Whole range on one task: the reference loop, unfiltered.
+          for (std::int64_t i = 0; i < rows; ++i) {
+            float* dst = po + pid[i] * cols;
+            const float* src = pv + i * cols;
+            for (std::int64_t j = 0; j < cols; ++j) dst[j] += src[j];
+          }
+          return;
+        }
+        // Each task owns segments [s0, s1) and scans all rows in input
+        // order, so per-segment accumulation order matches the serial
+        // reference exactly.
+        for (std::int64_t i = 0; i < rows; ++i) {
+          const std::int64_t s = pid[i];
+          if (s < s0 || s >= s1) continue;
+          float* dst = po + s * cols;
+          const float* src = pv + i * cols;
+          for (std::int64_t j = 0; j < cols; ++j) dst[j] += src[j];
+        }
+      });
+  return out;
+}
+
+Tensor SegmentMean(const Tensor& values, std::span<const std::int64_t> ids,
+                   std::int64_t num_segments) {
+  Tensor out = SegmentSum(values, ids, num_segments);
+  if (num_segments == 0) return out;
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_segments), 0);
+  for (std::int64_t id : ids) ++counts[static_cast<std::size_t>(id)];
+  const std::int64_t cols = out.cols();
+  float* po = out.data();
+  ParallelForRanges(num_segments, cols,
+                    [&](std::int64_t s0, std::int64_t s1) {
+                      for (std::int64_t s = s0; s < s1; ++s) {
+                        const std::int64_t count =
+                            counts[static_cast<std::size_t>(s)];
+                        if (count == 0) continue;
+                        const float inv = 1.0f / static_cast<float>(count);
+                        float* row = po + s * cols;
+                        for (std::int64_t j = 0; j < cols; ++j) row[j] *= inv;
+                      }
+                    });
+  return out;
+}
+
+Tensor GatherRows(const Tensor& a, std::span<const std::int64_t> indices) {
+  const std::int64_t out_rows = static_cast<std::int64_t>(indices.size());
+  const std::int64_t cols = a.cols();
+  for (std::int64_t idx : indices) {
+    INFERTURBO_CHECK(0 <= idx && idx < a.rows())
+        << "GatherRows index " << idx << " out of " << a.rows();
+  }
+  Tensor c(out_rows, cols);
+  if (c.empty()) return c;
+  const float* pa = a.data();
+  float* pc = c.data();
+  const std::int64_t* pid = indices.data();
+  const std::size_t row_bytes = static_cast<std::size_t>(cols) * sizeof(float);
+  ParallelForRanges(out_rows, cols, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t i = r0; i < r1; ++i) {
+      std::memcpy(pc + i * cols, pa + pid[i] * cols, row_bytes);
+    }
+  });
+  return c;
+}
+
+void ScatterAddRows(Tensor* acc, std::span<const std::int64_t> indices,
+                    const Tensor& rows) {
+  for (std::int64_t idx : indices) {
+    INFERTURBO_CHECK(0 <= idx && idx < acc->rows())
+        << "ScatterAddRows index " << idx << " out of " << acc->rows();
+  }
+  const std::int64_t num_rows = static_cast<std::int64_t>(indices.size());
+  const std::int64_t cols = rows.cols();
+  const std::int64_t acc_rows = acc->rows();
+  if (num_rows == 0 || cols == 0) return;
+  float* pa = acc->data();
+  const float* pr = rows.data();
+  const std::int64_t* pid = indices.data();
+  const std::int64_t work_per_acc_row =
+      num_rows * cols / std::max<std::int64_t>(1, acc_rows);
+  ParallelForRanges(
+      acc_rows, work_per_acc_row, [&](std::int64_t d0, std::int64_t d1) {
+        if (d1 - d0 == acc_rows) {
+          for (std::int64_t i = 0; i < num_rows; ++i) {
+            float* dst = pa + pid[i] * cols;
+            const float* src = pr + i * cols;
+            for (std::int64_t j = 0; j < cols; ++j) dst[j] += src[j];
+          }
+          return;
+        }
+        // Destination-range ownership: every task scans all rows in
+        // input order and folds only its own destinations, matching
+        // the serial accumulation order per destination row.
+        for (std::int64_t i = 0; i < num_rows; ++i) {
+          const std::int64_t d = pid[i];
+          if (d < d0 || d >= d1) continue;
+          float* dst = pa + d * cols;
+          const float* src = pr + i * cols;
+          for (std::int64_t j = 0; j < cols; ++j) dst[j] += src[j];
+        }
+      });
+}
+
+}  // namespace kernels
+}  // namespace inferturbo

@@ -5,63 +5,31 @@
 #include <cstring>
 
 #include "src/common/logging.h"
+#include "src/tensor/kernels/kernels.h"
 
 namespace inferturbo {
+
+// The dense hot paths (matmuls, gather/scatter) validate shapes here
+// and run on the fast kernel layer; kernels_test pins the kernels
+// bit-identical to the retained scalar references in
+// src/tensor/kernels/reference.cc.
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   INFERTURBO_CHECK(a.cols() == b.rows())
       << "MatMul shape mismatch: " << a.ToString() << " x " << b.ToString();
-  Tensor c(a.rows(), b.cols());
-  const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows
-  // of B and C.
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* ci = c.RowPtr(i);
-    const float* ai = a.RowPtr(i);
-    for (std::int64_t kk = 0; kk < k; ++kk) {
-      const float aik = ai[kk];
-      if (aik == 0.0f) continue;
-      const float* bk = b.RowPtr(kk);
-      for (std::int64_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
-    }
-  }
-  return c;
+  return kernels::MatMul(a, b);
 }
 
 Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   INFERTURBO_CHECK(a.cols() == b.cols())
       << "MatMulTransposedB shape mismatch";
-  Tensor c(a.rows(), b.rows());
-  const std::int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* ai = a.RowPtr(i);
-    float* ci = c.RowPtr(i);
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* bj = b.RowPtr(j);
-      float acc = 0.0f;
-      for (std::int64_t kk = 0; kk < k; ++kk) acc += ai[kk] * bj[kk];
-      ci[j] = acc;
-    }
-  }
-  return c;
+  return kernels::MatMulTransposedB(a, b);
 }
 
 Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   INFERTURBO_CHECK(a.rows() == b.rows())
       << "MatMulTransposedA shape mismatch";
-  Tensor c(a.cols(), b.cols());
-  const std::int64_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* ak = a.RowPtr(kk);
-    const float* bk = b.RowPtr(kk);
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aki = ak[i];
-      if (aki == 0.0f) continue;
-      float* ci = c.RowPtr(i);
-      for (std::int64_t j = 0; j < n; ++j) ci[j] += aki * bk[j];
-    }
-  }
-  return c;
+  return kernels::MatMulTransposedA(a, b);
 }
 
 namespace {
@@ -249,15 +217,7 @@ Tensor Transpose(const Tensor& a) {
 }
 
 Tensor GatherRows(const Tensor& a, std::span<const std::int64_t> indices) {
-  Tensor c(static_cast<std::int64_t>(indices.size()), a.cols());
-  for (std::size_t i = 0; i < indices.size(); ++i) {
-    const std::int64_t idx = indices[i];
-    INFERTURBO_CHECK(0 <= idx && idx < a.rows())
-        << "GatherRows index " << idx << " out of " << a.rows();
-    std::memcpy(c.RowPtr(static_cast<std::int64_t>(i)), a.RowPtr(idx),
-                static_cast<std::size_t>(a.cols()) * sizeof(float));
-  }
-  return c;
+  return kernels::GatherRows(a, indices);
 }
 
 void ScatterAddRows(Tensor* acc, std::span<const std::int64_t> indices,
@@ -266,14 +226,7 @@ void ScatterAddRows(Tensor* acc, std::span<const std::int64_t> indices,
       << "ScatterAddRows index/rows mismatch";
   INFERTURBO_CHECK(acc->cols() == rows.cols())
       << "ScatterAddRows col mismatch";
-  for (std::size_t i = 0; i < indices.size(); ++i) {
-    const std::int64_t idx = indices[i];
-    INFERTURBO_CHECK(0 <= idx && idx < acc->rows())
-        << "ScatterAddRows index " << idx << " out of " << acc->rows();
-    float* pa = acc->RowPtr(idx);
-    const float* pr = rows.RowPtr(static_cast<std::int64_t>(i));
-    for (std::int64_t j = 0; j < rows.cols(); ++j) pa[j] += pr[j];
-  }
+  kernels::ScatterAddRows(acc, indices, rows);
 }
 
 double SumAll(const Tensor& a) {

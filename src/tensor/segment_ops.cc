@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/logging.h"
+#include "src/tensor/kernels/kernels.h"
 
 namespace inferturbo {
 namespace {
@@ -24,27 +25,13 @@ void CheckIds(const Tensor& values, std::span<const std::int64_t> ids,
 Tensor SegmentSum(const Tensor& values, std::span<const std::int64_t> ids,
                   std::int64_t num_segments) {
   CheckIds(values, ids, num_segments);
-  Tensor out(num_segments, values.cols());
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    float* po = out.RowPtr(ids[i]);
-    const float* pv = values.RowPtr(static_cast<std::int64_t>(i));
-    for (std::int64_t j = 0; j < values.cols(); ++j) po[j] += pv[j];
-  }
-  return out;
+  return kernels::SegmentSum(values, ids, num_segments);
 }
 
 Tensor SegmentMean(const Tensor& values, std::span<const std::int64_t> ids,
                    std::int64_t num_segments) {
-  Tensor out = SegmentSum(values, ids, num_segments);
-  const std::vector<std::int64_t> counts = SegmentCounts(ids, num_segments);
-  for (std::int64_t s = 0; s < num_segments; ++s) {
-    if (counts[static_cast<std::size_t>(s)] == 0) continue;
-    const float inv =
-        1.0f / static_cast<float>(counts[static_cast<std::size_t>(s)]);
-    float* po = out.RowPtr(s);
-    for (std::int64_t j = 0; j < out.cols(); ++j) po[j] *= inv;
-  }
-  return out;
+  CheckIds(values, ids, num_segments);
+  return kernels::SegmentMean(values, ids, num_segments);
 }
 
 namespace {
