@@ -1,0 +1,491 @@
+// Superstep data-plane benchmarks and regression harness: times the
+// kernel-backed gather / combine / route path against the retained
+// scalar oracles on power-law (zipf) inboxes and writes
+// BENCH_superstep.json — one record per (op, shape, threads) with
+// throughput, ns/message, and the measured speedup. Self-contained
+// timing (no external benchmark framework), same JSON and flag shape
+// as bench_kernels so the CI baseline check is shared tooling.
+//
+// Usage:
+//   bench_superstep                    full sweep, writes BENCH_superstep.json
+//   bench_superstep --quick            CI smoke: smaller inbox, shorter timing
+//   bench_superstep --out=PATH         write the JSON elsewhere
+//   bench_superstep --check=PATH       diff against a baseline JSON; exits 1
+//                                      when any op's speedup-vs-scalar falls
+//                                      below baseline/(1 + --check-tolerance).
+//                                      Ratios, not absolute seconds: the
+//                                      interleaved oracle cancels host speed.
+//   bench_superstep --threads=N        parallel sweep thread count (default 8,
+//                                      the acceptance configuration)
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/flags.h"
+#include "src/common/rng.h"
+#include "src/common/timer.h"
+#include "src/gas/message.h"
+#include "src/gas/superstep_gather.h"
+#include "src/graph/partition.h"
+#include "src/tensor/kernels/kernel_config.h"
+#include "src/tensor/kernels/kernels.h"
+
+namespace inferturbo {
+namespace {
+
+// Keeps results observable so the optimizer cannot delete a timed call.
+volatile float g_sink = 0.0f;
+void Sink(const Tensor& t) {
+  if (t.size() > 0) g_sink = g_sink + t.data()[0];
+}
+void Sink(const GatherResult& r) {
+  Sink(r.pooled);
+  Sink(r.messages);
+}
+
+struct BenchRecord {
+  std::string op;
+  std::string shape;
+  int threads = 1;
+  double seconds_per_iter = 0.0;
+  double gflops = 0.0;       // folded floats per second, 1e-9
+  double ns_per_elem = 0.0;  // per message
+  double speedup_vs_reference = 0.0;
+};
+
+struct TimingOptions {
+  double min_seconds = 0.3;
+  std::int64_t max_iters = 200;
+};
+
+void SetThreads(int max_threads) {
+  kernels::KernelConfig config = kernels::GetKernelConfig();
+  config.max_threads = max_threads;
+  config.min_parallel_work = max_threads > 1 ? 1 : (std::int64_t{1} << 62);
+  kernels::SetKernelConfig(config);
+}
+
+struct Harness {
+  TimingOptions timing;
+  int parallel_threads = 8;
+  std::vector<BenchRecord> records;
+
+  template <typename RefFn, typename FastFn>
+  void Bench(const std::string& op, const std::string& shape, double flops,
+             double elems, RefFn&& ref, FastFn&& fast) {
+    for (const int threads : {1, parallel_threads}) {
+      // The scalar side is re-timed inside every row, interleaved
+      // iteration by iteration with the fast side: on shared hardware
+      // the effective memory bandwidth drifts minute to minute, and a
+      // ratio of measurements taken a minute apart is mostly noise.
+      // The reference always runs with the serial kernel config (the
+      // always-serial oracle convention the kernel benches share).
+      double ref_seconds = std::numeric_limits<double>::infinity();
+      double seconds = std::numeric_limits<double>::infinity();
+      double elapsed = 0.0;
+      std::int64_t iters = 0;
+      SetThreads(1);
+      ref();
+      SetThreads(threads);
+      fast();
+      while (elapsed < 2.0 * timing.min_seconds && iters < timing.max_iters) {
+        SetThreads(1);
+        {
+          WallTimer timer;
+          ref();
+          const double s = timer.ElapsedSeconds();
+          ref_seconds = std::min(ref_seconds, s);
+          elapsed += s;
+        }
+        SetThreads(threads);
+        {
+          WallTimer timer;
+          fast();
+          const double s = timer.ElapsedSeconds();
+          seconds = std::min(seconds, s);
+          elapsed += s;
+        }
+        ++iters;
+      }
+      BenchRecord record;
+      record.op = op;
+      record.shape = shape;
+      record.threads = threads;
+      record.seconds_per_iter = seconds;
+      record.gflops = flops > 0 ? flops / seconds * 1e-9 : 0.0;
+      record.ns_per_elem = elems > 0 ? seconds * 1e9 / elems : 0.0;
+      record.speedup_vs_reference = ref_seconds / seconds;
+      records.push_back(record);
+      std::printf("%-15s %-16s threads=%d  %10.3f ms/iter  %7.2f Gfold/s"
+                  "  %8.3f ns/msg  %5.2fx vs scalar\n",
+                  op.c_str(), shape.c_str(), threads, seconds * 1e3,
+                  record.gflops, record.ns_per_elem,
+                  record.speedup_vs_reference);
+      if (threads == parallel_threads) break;  // when parallel_threads == 1
+    }
+  }
+};
+
+// Zipf(alpha) destinations over [0, num_nodes): the hub-heavy inbox a
+// power-law graph delivers. Sampled from an explicit CDF so the skew
+// is exact and deterministic.
+std::vector<NodeId> ZipfDsts(Rng* rng, std::int64_t num_msgs,
+                             std::int64_t num_nodes, double alpha) {
+  std::vector<double> cdf(static_cast<std::size_t>(num_nodes));
+  double total = 0.0;
+  for (std::int64_t i = 0; i < num_nodes; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cdf[static_cast<std::size_t>(i)] = total;
+  }
+  std::vector<NodeId> dsts(static_cast<std::size_t>(num_msgs));
+  for (auto& d : dsts) {
+    const double u = rng->NextDouble() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    d = static_cast<NodeId>(it - cdf.begin());
+  }
+  return dsts;
+}
+
+// One superstep's worth of traffic: `senders` dense batches (as the
+// engine's routing delivers them) plus the same messages as one flat
+// batch for the combine/route ops.
+struct Workload {
+  std::vector<MessageBatch> batches;
+  std::vector<bool> partial;
+  MessageBatch flat;
+  std::vector<std::int64_t> local_index;  // identity
+  std::int64_t num_nodes = 0;
+  std::int64_t num_msgs = 0;
+  std::int64_t msg_dim = 0;
+  std::string shape;
+};
+
+Workload MakeWorkload(std::int64_t num_msgs, std::int64_t msg_dim,
+                      std::int64_t num_nodes, double alpha, int senders) {
+  Rng rng(17);
+  Workload w;
+  w.num_nodes = num_nodes;
+  w.num_msgs = num_msgs;
+  w.msg_dim = msg_dim;
+  w.local_index.resize(static_cast<std::size_t>(num_nodes));
+  for (std::int64_t i = 0; i < num_nodes; ++i) {
+    w.local_index[static_cast<std::size_t>(i)] = i;
+  }
+  const std::vector<NodeId> dsts = ZipfDsts(&rng, num_msgs, num_nodes, alpha);
+  w.flat.payload = Tensor::RandomNormal(num_msgs, msg_dim, 1.0f, &rng);
+  w.flat.dst = dsts;
+  w.flat.src.assign(static_cast<std::size_t>(num_msgs), 0);
+  const std::int64_t per = num_msgs / senders;
+  for (int s = 0; s < senders; ++s) {
+    const std::int64_t begin = s * per;
+    const std::int64_t end = s + 1 == senders ? num_msgs : begin + per;
+    MessageBatch b;
+    b.payload = Tensor(end - begin, msg_dim);
+    std::copy(w.flat.payload.RowPtr(begin), w.flat.payload.RowPtr(begin) +
+                                                (end - begin) * msg_dim,
+              b.payload.data());
+    b.dst.assign(dsts.begin() + begin, dsts.begin() + end);
+    b.src.assign(static_cast<std::size_t>(end - begin),
+                 static_cast<NodeId>(s));
+    w.batches.push_back(std::move(b));
+    w.partial.push_back(false);
+  }
+  std::ostringstream label;
+  label << num_msgs << "x" << msg_dim << "z" << alpha;
+  w.shape = label.str();
+  return w;
+}
+
+// Receiver-side gather: the full inbox → GatherResult fold, fast
+// kernels vs the pinned scalar oracle.
+void BenchGather(Harness* harness, const Workload& w) {
+  const double elems = static_cast<double>(w.num_msgs);
+  const double flops = elems * static_cast<double>(w.msg_dim);
+  harness->Bench(
+      "gather", w.shape, flops, elems,
+      [&] {
+        Sink(GatherSuperstepInboxScalar(AggKind::kSum, w.msg_dim, w.batches,
+                                        w.partial, w.local_index, w.num_nodes,
+                                        BroadcastLookupFn{}));
+      },
+      [&] {
+        Sink(GatherSuperstepInbox(AggKind::kSum, w.msg_dim, w.batches,
+                                  w.partial, w.local_index, w.num_nodes,
+                                  BroadcastLookupFn{}));
+      });
+}
+
+// Sender-side combine: folding one outgoing batch into a
+// PooledAccumulator and emitting the partial wire batch, AddBatch vs
+// the per-row Add loop.
+void BenchCombine(Harness* harness, const Workload& w) {
+  const double elems = static_cast<double>(w.num_msgs);
+  const double flops = elems * static_cast<double>(w.msg_dim);
+  harness->Bench(
+      "combine", w.shape, flops, elems,
+      [&] {
+        PooledAccumulator acc(AggKind::kSum, w.msg_dim);
+        for (std::int64_t i = 0; i < w.flat.size(); ++i) {
+          acc.Add(w.flat.dst[static_cast<std::size_t>(i)],
+                  w.flat.payload.RowPtr(i));
+        }
+        Sink(acc.ToPartialBatch(0).payload);
+      },
+      [&] {
+        PooledAccumulator acc(AggKind::kSum, w.msg_dim);
+        acc.AddBatch(w.flat, /*partial=*/false);
+        Sink(acc.ToPartialBatch(0).payload);
+      });
+}
+
+// The whole partial-gather data plane: every sender combines its
+// outgoing batch, the receiver gathers the partial aggregates. This is
+// the acceptance row — the per-superstep message path end to end.
+void BenchGatherCombine(Harness* harness, const Workload& w) {
+  const double elems = static_cast<double>(w.num_msgs);
+  const double flops = elems * static_cast<double>(w.msg_dim);
+  const std::vector<bool> all_partial(w.batches.size(), true);
+  harness->Bench(
+      "gather_combine", w.shape, flops, elems,
+      [&] {
+        std::vector<MessageBatch> partials;
+        for (std::size_t s = 0; s < w.batches.size(); ++s) {
+          const MessageBatch& b = w.batches[s];
+          PooledAccumulator acc(AggKind::kSum, w.msg_dim);
+          for (std::int64_t i = 0; i < b.size(); ++i) {
+            acc.Add(b.dst[static_cast<std::size_t>(i)], b.payload.RowPtr(i));
+          }
+          partials.push_back(acc.ToPartialBatch(static_cast<NodeId>(s)));
+        }
+        Sink(GatherSuperstepInboxScalar(AggKind::kSum, w.msg_dim, partials,
+                                        all_partial, w.local_index,
+                                        w.num_nodes, BroadcastLookupFn{}));
+      },
+      [&] {
+        // Senders combine concurrently — the engine shape: each sending
+        // worker runs its combiner on its own pool thread, and every
+        // accumulator is private to its sender. Only the baseline is
+        // serial (the always-serial reference convention the kernel
+        // benches share).
+        const auto num_senders =
+            static_cast<std::int64_t>(w.batches.size());
+        std::vector<MessageBatch> partials(w.batches.size());
+        kernels::ParallelForRanges(
+            num_senders, (w.num_msgs / num_senders) * w.msg_dim,
+            [&](std::int64_t s0, std::int64_t s1) {
+              for (std::int64_t s = s0; s < s1; ++s) {
+                PooledAccumulator acc(AggKind::kSum, w.msg_dim);
+                acc.AddBatch(w.batches[static_cast<std::size_t>(s)],
+                             /*partial=*/false);
+                partials[static_cast<std::size_t>(s)] =
+                    acc.ToPartialBatch(static_cast<NodeId>(s));
+              }
+            });
+        Sink(GatherSuperstepInbox(AggKind::kSum, w.msg_dim, partials,
+                                  all_partial, w.local_index, w.num_nodes,
+                                  BroadcastLookupFn{}));
+      });
+}
+
+// Routing: bucketing one outgoing batch by destination worker, the
+// low-copy SplitByWorker vs a per-row Push loop.
+void BenchRoute(Harness* harness, const Workload& w) {
+  const std::int64_t num_workers = 8;
+  const HashPartitioner partitioner(num_workers);
+  const double elems = static_cast<double>(w.num_msgs);
+  harness->Bench(
+      "route", w.shape, 0.0, elems,
+      [&] {
+        // Both sides start from their own copy of the outgoing batch —
+        // the engine hands routing a batch it owns — so the comparison
+        // is split strategy, not copy avoidance.
+        MessageBatch outgoing(w.flat);
+        std::vector<MessageBatch> slices(static_cast<std::size_t>(num_workers));
+        for (std::int64_t i = 0; i < outgoing.size(); ++i) {
+          const auto owner = static_cast<std::size_t>(partitioner.PartitionOf(
+              outgoing.dst[static_cast<std::size_t>(i)]));
+          slices[owner].Push(outgoing.dst[static_cast<std::size_t>(i)],
+                             outgoing.src[static_cast<std::size_t>(i)],
+                             outgoing.payload.RowPtr(i), w.msg_dim);
+        }
+        Sink(slices[0].payload);
+      },
+      [&] {
+        MessageBatch outgoing(w.flat);
+        std::vector<MessageBatch> slices =
+            SplitByWorker(std::move(outgoing), partitioner, num_workers);
+        Sink(slices[0].payload);
+      });
+}
+
+void WriteJson(const std::string& path, const std::vector<BenchRecord>& records,
+               bool quick, int parallel_threads) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_superstep: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  out << "{\n";
+  out << "  \"bench\": \"bench_superstep\",\n";
+  out << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
+  out << "  \"avx2\": " << (kernels::UsingAvx2() ? "true" : "false") << ",\n";
+  out << "  \"parallel_threads\": " << parallel_threads << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "    {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %d, "
+                  "\"seconds_per_iter\": %.6e, \"gflops\": %.4f, "
+                  "\"ns_per_elem\": %.4f, \"speedup_vs_reference\": %.3f}%s",
+                  r.op.c_str(), r.shape.c_str(), r.threads,
+                  r.seconds_per_iter, r.gflops, r.ns_per_elem,
+                  r.speedup_vs_reference,
+                  i + 1 < records.size() ? "," : "");
+    out << line << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %zu records to %s\n", records.size(), path.c_str());
+}
+
+// Minimal field extraction for the exact format WriteJson emits (one
+// record per line) — enough for --check without a JSON dependency.
+struct BaselineRecord {
+  std::string op, shape;
+  int threads = 0;
+  double seconds_per_iter = 0.0;
+  double speedup_vs_reference = 0.0;
+};
+
+std::string ExtractString(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  return end == std::string::npos ? "" : line.substr(begin, end - begin);
+}
+
+double ExtractNumber(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+std::vector<BaselineRecord> LoadBaseline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_superstep: cannot read baseline %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  std::vector<BaselineRecord> baseline;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"op\"") == std::string::npos) continue;
+    BaselineRecord record;
+    record.op = ExtractString(line, "op");
+    record.shape = ExtractString(line, "shape");
+    record.threads = static_cast<int>(ExtractNumber(line, "threads"));
+    record.seconds_per_iter = ExtractNumber(line, "seconds_per_iter");
+    record.speedup_vs_reference = ExtractNumber(line, "speedup_vs_reference");
+    baseline.push_back(record);
+  }
+  return baseline;
+}
+
+int CheckAgainstBaseline(const std::vector<BenchRecord>& records,
+                         const std::string& path, double tolerance) {
+  const std::vector<BaselineRecord> baseline = LoadBaseline(path);
+  int regressions = 0, compared = 0;
+  for (const BenchRecord& r : records) {
+    for (const BaselineRecord& b : baseline) {
+      if (b.op != r.op || b.shape != r.shape || b.threads != r.threads) {
+        continue;
+      }
+      ++compared;
+      // The gate compares speedup-vs-scalar, not absolute seconds: the
+      // oracle is re-timed interleaved with the fast path inside every
+      // row, so the ratio cancels out host speed and bandwidth drift.
+      // A scalar fallback sneaking back in drives the ratio to ~1.0,
+      // which a tolerance well under the baseline ratio still catches.
+      if (b.speedup_vs_reference > 0.0 &&
+          r.speedup_vs_reference <
+              b.speedup_vs_reference / (1.0 + tolerance)) {
+        ++regressions;
+        std::printf("REGRESSION %s %s threads=%d: %.2fx vs scalar, baseline "
+                    "%.2fx (tolerance %.0f%%)\n",
+                    r.op.c_str(), r.shape.c_str(), r.threads,
+                    r.speedup_vs_reference, b.speedup_vs_reference,
+                    tolerance * 100.0);
+      }
+      break;
+    }
+  }
+  std::printf("baseline check: %d rows compared, %d regressions\n", compared,
+              regressions);
+  return regressions == 0 ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  Result<FlagParser> flags = FlagParser::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  const bool quick = flags->GetBool("quick", false);
+  const std::string out_path = flags->GetString("out", "BENCH_superstep.json");
+  const std::string check_path = flags->GetString("check", "");
+  const double tolerance = flags->GetDouble("check-tolerance", 0.25);
+
+  Harness harness;
+  // Default 8: the acceptance configuration for the gather_combine row.
+  harness.parallel_threads =
+      static_cast<int>(flags->GetInt("threads", 8));
+  harness.parallel_threads = std::max(harness.parallel_threads, 1);
+  harness.timing.min_seconds = quick ? 0.1 : 0.3;
+  harness.timing.max_iters = quick ? 30 : 50;
+
+  std::printf("bench_superstep (%s mode, avx2=%s, parallel sweep at %d "
+              "threads)\n\n",
+              quick ? "quick" : "full", kernels::UsingAvx2() ? "on" : "off",
+              harness.parallel_threads);
+
+  // The quick sweep reuses the smaller full-sweep inbox so CI --check
+  // compares real rows against the checked-in Release baseline.
+  const std::vector<std::int64_t> sizes =
+      quick ? std::vector<std::int64_t>{262144}
+            : std::vector<std::int64_t>{262144, 1048576};
+  const kernels::KernelConfig saved = kernels::GetKernelConfig();
+  for (const std::int64_t num_msgs : sizes) {
+    const Workload w = MakeWorkload(num_msgs, /*msg_dim=*/64,
+                                    /*num_nodes=*/65536, /*alpha=*/2.0,
+                                    /*senders=*/8);
+    BenchGather(&harness, w);
+    BenchCombine(&harness, w);
+    BenchGatherCombine(&harness, w);
+    BenchRoute(&harness, w);
+  }
+  kernels::SetKernelConfig(saved);
+
+  WriteJson(out_path, harness.records, quick, harness.parallel_threads);
+
+  if (!check_path.empty()) {
+    return CheckAgainstBaseline(harness.records, check_path, tolerance);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace inferturbo
+
+int main(int argc, char** argv) { return inferturbo::Main(argc, argv); }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/common/logging.h"
+#include "src/tensor/kernels/row_fold.h"
 
 namespace inferturbo {
 
@@ -32,14 +33,8 @@ void MessageBatch::Push(NodeId dst_id, NodeId src_id, const float* row,
   }
   INFERTURBO_CHECK(payload.cols() == width || payload.rows() == 0)
       << "MessageBatch width mismatch on Push";
-  // Amortized growth: double the row capacity through a staging tensor.
-  Tensor grown(payload.rows() + 1, width);
-  if (!payload.empty()) {
-    std::memcpy(grown.data(), payload.data(), payload.ByteSize());
-  }
-  std::memcpy(grown.RowPtr(payload.rows()), row,
-              static_cast<std::size_t>(width) * sizeof(float));
-  payload = std::move(grown);
+  if (payload.cols() != width) payload = Tensor(0, width);
+  payload.AppendRow(row);
   dst.push_back(dst_id);
   src.push_back(src_id);
 }
@@ -48,6 +43,7 @@ void MessageBatch::Reserve(std::size_t n, std::int64_t width) {
   dst.reserve(n);
   src.reserve(n);
   if (payload.empty()) payload = Tensor(0, width);
+  payload.ReserveRows(static_cast<std::int64_t>(n));
 }
 
 MessageBatch MessageBatch::Merge(std::span<const MessageBatch> batches) {
@@ -140,49 +136,106 @@ PooledAccumulator::PooledAccumulator(AggKind kind, std::int64_t width)
       << "PooledAccumulator cannot pool a union aggregate";
 }
 
-float* PooledAccumulator::RowFor(NodeId dst, std::int64_t count_delta) {
+namespace {
+
+float PooledInitValue(AggKind kind) {
+  return (kind == AggKind::kMax) ? -std::numeric_limits<float>::infinity()
+         : (kind == AggKind::kMin) ? std::numeric_limits<float>::infinity()
+                                   : 0.0f;
+}
+
+kernels::detail::FoldOp PooledFoldOp(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+    case AggKind::kMean:  // carried as running sum until Finalize
+      return kernels::detail::FoldOp::kAdd;
+    case AggKind::kMax:
+      return kernels::detail::FoldOp::kMax;
+    case AggKind::kMin:
+      return kernels::detail::FoldOp::kMin;
+    case AggKind::kUnion:
+      break;
+  }
+  INFERTURBO_CHECK(false) << "unreachable";
+  return kernels::detail::FoldOp::kAdd;
+}
+
+}  // namespace
+
+std::int64_t PooledAccumulator::SlotFor(NodeId dst) {
   auto [it, inserted] =
       index_.try_emplace(dst, static_cast<std::int64_t>(dst_order_.size()));
   if (inserted) {
     dst_order_.push_back(dst);
     counts_.push_back(0);
-    const float init = (kind_ == AggKind::kMax)
-                           ? -std::numeric_limits<float>::infinity()
-                       : (kind_ == AggKind::kMin)
-                           ? std::numeric_limits<float>::infinity()
-                           : 0.0f;
-    rows_.insert(rows_.end(), static_cast<std::size_t>(width_), init);
+    rows_.resize(rows_.size() + static_cast<std::size_t>(width_),
+                 PooledInitValue(kind_));
   }
-  counts_[static_cast<std::size_t>(it->second)] += count_delta;
-  return rows_.data() + it->second * width_;
+  return it->second;
 }
 
-void PooledAccumulator::Add(NodeId dst, const float* row) {
-  AddPartial(dst, row, 1);
+float* PooledAccumulator::RowFor(NodeId dst, std::int64_t count_delta) {
+  const std::int64_t s = SlotFor(dst);
+  counts_[static_cast<std::size_t>(s)] += count_delta;
+  return rows_.data() + s * width_;
 }
 
-void PooledAccumulator::AddPartial(NodeId dst, const float* row,
-                                   std::int64_t count) {
-  float* acc = RowFor(dst, count);
-  switch (kind_) {
-    case AggKind::kSum:
-    case AggKind::kMean:  // carried as running sum until Finalize
-      for (std::int64_t j = 0; j < width_; ++j) acc[j] += row[j];
-      break;
-    case AggKind::kMax:
-      for (std::int64_t j = 0; j < width_; ++j) {
-        acc[j] = std::max(acc[j], row[j]);
-      }
-      break;
-    case AggKind::kMin:
-      for (std::int64_t j = 0; j < width_; ++j) {
-        acc[j] = std::min(acc[j], row[j]);
-      }
-      break;
-    case AggKind::kUnion:
-      INFERTURBO_CHECK(false) << "unreachable";
+void PooledAccumulator::AddBatch(const MessageBatch& batch, bool partial) {
+  if (batch.empty()) return;
+  const std::int64_t expected = partial ? width_ + 1 : width_;
+  INFERTURBO_CHECK(batch.payload.cols() == expected)
+      << "AddBatch payload width " << batch.payload.cols() << " vs expected "
+      << expected << (partial ? " (partial)" : "");
+  const std::int64_t n = batch.size();
+
+  // Pass 1 — slot resolution, ids only (the payload stays untouched so
+  // its stream is read exactly once, by the fold kernel). When the
+  // destination id range is modest relative to the batch (hub-heavy
+  // power-law traffic), a dense scratch table turns the per-row hash
+  // probe into one array load — the hash index is consulted only the
+  // first time a destination appears this call. A sparse gigantic id
+  // space skips the table rather than allocate it.
+  NodeId max_dst = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    max_dst = std::max(max_dst, batch.dst[static_cast<std::size_t>(i)]);
   }
+  const bool dense = static_cast<std::int64_t>(max_dst) < 4 * n + 1024;
+  if (dense) {
+    dense_slots_.assign(static_cast<std::size_t>(max_dst) + 1, -1);
+  }
+  slot_scratch_.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const NodeId d = batch.dst[static_cast<std::size_t>(i)];
+    std::int64_t s;
+    if (dense) {
+      const std::int32_t cached = dense_slots_[static_cast<std::size_t>(d)];
+      if (cached >= 0) {
+        s = cached;
+      } else {
+        s = SlotFor(d);
+        dense_slots_[static_cast<std::size_t>(d)] =
+            static_cast<std::int32_t>(s);
+      }
+    } else {
+      s = SlotFor(d);
+    }
+    slot_scratch_[static_cast<std::size_t>(i)] = static_cast<std::int32_t>(s);
+  }
+
+  // Pass 2 — counts and value folds, one batch kernel call with the
+  // SIMD row fold inlined, in row order: the same per-destination
+  // accumulation order (and first-seen emission order) as the per-row
+  // path. rows_ stopped growing after pass 1, so the base pointer is
+  // stable.
+  kernels::detail::SlotFold(PooledFoldOp(kind_))(
+      rows_.data(), width_, slot_scratch_.data(), counts_.data(),
+      batch.payload.data(), batch.payload.cols(), n, partial);
 }
+
+// PooledAccumulator::Add / ::AddPartial — the retained per-row scalar
+// folds — live in message_scalar.cc, a TU pinned against
+// autovectorization, because they double as the oracle bench_superstep
+// measures the batch path against.
 
 MessageBatch PooledAccumulator::ToPartialBatch(NodeId from) const {
   MessageBatch batch;

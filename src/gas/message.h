@@ -45,12 +45,13 @@ struct MessageBatch {
   /// one side is empty). O(size + other.size); for merging many
   /// batches use Merge, which allocates once.
   void Append(const MessageBatch& other);
-  /// Appends a single message row of `width` floats. O(size) per call —
-  /// convenience for tests and tiny batches; hot paths size `payload`
-  /// up front and fill rows in place.
+  /// Appends a single message row of `width` floats. Amortized O(width)
+  /// per call — the payload grows geometrically underneath, so
+  /// incremental builders cost the same as sizing up front.
   void Push(NodeId dst_id, NodeId src_id, const float* row,
             std::int64_t width);
 
+  /// Pre-reserves ids and payload storage for `n` messages of `width`.
   void Reserve(std::size_t n, std::int64_t width);
 
   /// Concatenates `batches` with a single allocation.
@@ -88,6 +89,16 @@ class PooledAccumulator {
   /// Folds a partial aggregate row for `dst` carrying `count` original
   /// messages.
   void AddPartial(NodeId dst, const float* row, std::int64_t count);
+  /// Folds a whole batch in row order — bit-identical to calling Add
+  /// (or AddPartial, when `partial` and the payload carries a trailing
+  /// count column) per row, including first-seen destination order.
+  /// When the batch's destination id range is modest relative to its
+  /// size (the power-law common case) slot resolution runs through a
+  /// dense scratch table — one array load per row, a hash probe only on
+  /// first sight of each destination — and the value fold runs through
+  /// the dispatched SIMD row kernels instead of a scalar loop per
+  /// message.
+  void AddBatch(const MessageBatch& batch, bool partial);
 
   /// Emits one message per destination: payload = aggregate row with
   /// the count appended as a final column so downstream merges stay
@@ -110,6 +121,9 @@ class PooledAccumulator {
   }
 
  private:
+  /// Slot of `dst` in rows_/dst_order_/counts_, inserting (and
+  /// extending storage by one initialized row) on first sight.
+  std::int64_t SlotFor(NodeId dst);
   float* RowFor(NodeId dst, std::int64_t count_delta);
 
   AggKind kind_;
@@ -119,6 +133,12 @@ class PooledAccumulator {
   std::vector<NodeId> dst_order_;
   std::vector<std::int64_t> counts_;
   std::unordered_map<NodeId, std::int64_t> index_;
+  /// AddBatch scratch: dst id -> slot (-1 unseen this call), kept as a
+  /// member so repeated batches reuse the allocation.
+  std::vector<std::int32_t> dense_slots_;
+  /// AddBatch scratch: per-row resolved slots, handed to the batch fold
+  /// kernel so the payload stream is read exactly once.
+  std::vector<std::int32_t> slot_scratch_;
 };
 
 }  // namespace inferturbo

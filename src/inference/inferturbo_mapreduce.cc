@@ -11,6 +11,7 @@
 #include "src/common/binary_io.h"
 #include "src/common/logging.h"
 #include "src/gas/gas_conv.h"
+#include "src/gas/superstep_gather.h"
 #include "src/graph/partition.h"
 #include "src/mapreduce/mapreduce_engine.h"
 #include "src/tensor/ops.h"
@@ -320,27 +321,29 @@ class MrInferenceDriver {
     Tensor state;
     std::vector<std::int64_t> out_neighbors;
     std::vector<float> out_edge_feats;
-    GatherResult gathered;
-    gathered.kind = kind;
-    gathered.counts.assign(1, 0);
 
     // First pass: locate state/out-edges, count message rows.
-    std::int64_t union_rows = 0;
+    std::int64_t msg_rows = 0;
+    bool any_partial = false;
     for (const MrValue& v : values) {
-      if (v.tag == kInMessage || v.tag == kRef) ++union_rows;
-    }
-    if (kind == AggKind::kUnion) {
-      gathered.messages = Tensor(union_rows, msg_dim);
-    } else {
-      gathered.pooled = Tensor(1, msg_dim);
-      if (kind == AggKind::kMax || kind == AggKind::kMin) {
-        gathered.pooled = Tensor::Full(
-            1, msg_dim,
-            kind == AggKind::kMax ? -std::numeric_limits<float>::infinity()
-                                  : std::numeric_limits<float>::infinity());
+      if (v.tag == kInMessage || v.tag == kRef || v.tag == kPartialAgg) {
+        ++msg_rows;
+        any_partial = any_partial || v.tag == kPartialAgg;
       }
     }
+    INFERTURBO_CHECK(kind != AggKind::kUnion || !any_partial)
+        << "union layer received a partial aggregate";
 
+    // Flatten this key group into the shared bucketed form (all rows in
+    // segment 0) in MrValue ARRIVAL order — the fold order both
+    // backends' bit-identity contract pins — then reduce through the
+    // same kernel path the Pregel gather uses.
+    BucketedInbox inbox;
+    inbox.rows = Tensor(msg_rows, msg_dim);
+    inbox.dst.assign(static_cast<std::size_t>(msg_rows), 0);
+    if (any_partial) {
+      inbox.counts.assign(static_cast<std::size_t>(msg_rows), 1);
+    }
     std::int64_t row_cursor = 0;
     for (MrValue& v : values) {
       switch (v.tag) {
@@ -357,7 +360,6 @@ class MrInferenceDriver {
         case kRef:
         case kPartialAgg: {
           const float* row = nullptr;
-          std::int64_t count = 1;
           if (v.tag == kRef) {
             const std::vector<float>* value = LookupBroadcast(v.src);
             INFERTURBO_CHECK(value != nullptr)
@@ -365,37 +367,12 @@ class MrInferenceDriver {
             row = value->data();
           } else {
             row = v.floats.data();
-            if (v.tag == kPartialAgg) count = v.ids[0];
-          }
-          if (kind == AggKind::kUnion) {
-            INFERTURBO_CHECK(v.tag != kPartialAgg)
-                << "union layer received a partial aggregate";
-            gathered.messages.SetRow(row_cursor, row);
-            gathered.dst_index.push_back(0);
-            ++row_cursor;
-            gathered.counts[0] += 1;
-          } else {
-            float* acc = gathered.pooled.RowPtr(0);
-            switch (kind) {
-              case AggKind::kSum:
-              case AggKind::kMean:
-                for (std::int64_t j = 0; j < msg_dim; ++j) acc[j] += row[j];
-                break;
-              case AggKind::kMax:
-                for (std::int64_t j = 0; j < msg_dim; ++j) {
-                  acc[j] = std::max(acc[j], row[j]);
-                }
-                break;
-              case AggKind::kMin:
-                for (std::int64_t j = 0; j < msg_dim; ++j) {
-                  acc[j] = std::min(acc[j], row[j]);
-                }
-                break;
-              case AggKind::kUnion:
-                break;
+            if (v.tag == kPartialAgg) {
+              inbox.counts[static_cast<std::size_t>(row_cursor)] = v.ids[0];
             }
-            gathered.counts[0] += count;
           }
+          inbox.rows.SetRow(row_cursor, row);
+          ++row_cursor;
           break;
         }
         case kPrediction:
@@ -405,16 +382,8 @@ class MrInferenceDriver {
     INFERTURBO_CHECK(!state.empty())
         << "node " << key << " lost its self-state record";
 
-    // Finalize pooled aggregates for this single node.
-    if (kind != AggKind::kUnion) {
-      float* acc = gathered.pooled.RowPtr(0);
-      if (gathered.counts[0] == 0) {
-        std::fill(acc, acc + msg_dim, 0.0f);
-      } else if (kind == AggKind::kMean) {
-        const float inv = 1.0f / static_cast<float>(gathered.counts[0]);
-        for (std::int64_t j = 0; j < msg_dim; ++j) acc[j] *= inv;
-      }
-    }
+    const GatherResult gathered =
+        ReduceBucketedInbox(kind, std::move(inbox), /*num_nodes=*/1);
 
     const Tensor new_state = layer.ApplyNode(state, gathered);
 

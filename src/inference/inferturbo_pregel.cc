@@ -8,7 +8,9 @@
 #include "src/common/binary_io.h"
 #include "src/common/logging.h"
 #include "src/gas/gas_conv.h"
+#include "src/gas/superstep_gather.h"
 #include "src/pregel/pregel_engine.h"
+#include "src/tensor/kernels/kernels.h"
 #include "src/tensor/ops.h"
 
 namespace inferturbo {
@@ -182,115 +184,23 @@ class PregelInferenceDriver {
   }
 
   /// gather_nbrs + aggregate: vectorize the inbox into a GatherResult
-  /// in this worker's local index space. Id-only rows (broadcast
-  /// references) are resolved against the board first.
+  /// in this worker's local index space via the shared kernel-backed
+  /// data plane (bucket into dst-segmented flat arrays, then segment-
+  /// reduce). Id-only rows (broadcast references) are resolved against
+  /// the board during bucketing. Bit-identical to the retained scalar
+  /// oracle (GatherSuperstepInboxScalar) at any thread count.
   GatherResult GatherInbox(PregelContext* ctx, const WorkerState& worker,
                            const GasConv& layer) const {
-    const AggKind kind = layer.signature().agg_kind;
-    const std::int64_t msg_dim = layer.signature().message_dim;
     const std::int64_t local_n =
         static_cast<std::int64_t>(worker.nodes.size());
-
-    if (kind == AggKind::kUnion) {
-      // Materialize all rows with local dst indices.
-      std::int64_t total = 0;
-      for (const MessageBatch& b : ctx->inbox()) total += b.size();
-      GatherResult result;
-      result.kind = kind;
-      result.messages = Tensor(total, msg_dim);
-      result.dst_index.reserve(static_cast<std::size_t>(total));
-      result.counts.assign(static_cast<std::size_t>(local_n), 0);
-      std::int64_t row = 0;
-      for (const MessageBatch& b : ctx->inbox()) {
-        const bool id_only = b.payload.cols() == 0;
-        for (std::int64_t i = 0; i < b.size(); ++i) {
-          const std::int64_t local =
-              LocalIndex(b.dst[static_cast<std::size_t>(i)]);
-          if (id_only) {
-            const std::vector<float>* value =
-                ctx->LookupBroadcast(b.src[static_cast<std::size_t>(i)]);
-            INFERTURBO_CHECK(value != nullptr)
-                << "missing broadcast value for node "
-                << b.src[static_cast<std::size_t>(i)];
-            result.messages.SetRow(row, value->data());
-          } else {
-            result.messages.SetRow(row, b.payload.RowPtr(i));
-          }
-          result.dst_index.push_back(local);
-          ++result.counts[static_cast<std::size_t>(local)];
-          ++row;
-        }
-      }
-      return result;
+    std::vector<bool> partial(ctx->inbox().size());
+    for (std::size_t bi = 0; bi < partial.size(); ++bi) {
+      partial[bi] = ctx->IsPartialBatch(bi);
     }
-
-    // Pooled path: fold rows (and pre-pooled partial rows) directly.
-    GatherResult result;
-    result.kind = kind;
-    result.pooled = Tensor(local_n, msg_dim);
-    result.counts.assign(static_cast<std::size_t>(local_n), 0);
-    if (kind == AggKind::kMax || kind == AggKind::kMin) {
-      result.pooled = Tensor::Full(
-          local_n, msg_dim,
-          kind == AggKind::kMax ? -std::numeric_limits<float>::infinity()
-                                : std::numeric_limits<float>::infinity());
-    }
-    for (std::size_t bi = 0; bi < ctx->inbox().size(); ++bi) {
-      const MessageBatch& b = ctx->inbox()[bi];
-      const bool partial = ctx->IsPartialBatch(bi);
-      const bool id_only = b.payload.cols() == 0;
-      for (std::int64_t i = 0; i < b.size(); ++i) {
-        const std::int64_t local =
-            LocalIndex(b.dst[static_cast<std::size_t>(i)]);
-        const float* row_data;
-        std::int64_t count = 1;
-        if (id_only) {
-          const std::vector<float>* value =
-              ctx->LookupBroadcast(b.src[static_cast<std::size_t>(i)]);
-          INFERTURBO_CHECK(value != nullptr)
-              << "missing broadcast value for node "
-              << b.src[static_cast<std::size_t>(i)];
-          row_data = value->data();
-        } else {
-          row_data = b.payload.RowPtr(i);
-          if (partial) {
-            count = static_cast<std::int64_t>(row_data[msg_dim]);
-          }
-        }
-        float* acc = result.pooled.RowPtr(local);
-        switch (kind) {
-          case AggKind::kSum:
-          case AggKind::kMean:
-            for (std::int64_t j = 0; j < msg_dim; ++j) acc[j] += row_data[j];
-            break;
-          case AggKind::kMax:
-            for (std::int64_t j = 0; j < msg_dim; ++j) {
-              acc[j] = std::max(acc[j], row_data[j]);
-            }
-            break;
-          case AggKind::kMin:
-            for (std::int64_t j = 0; j < msg_dim; ++j) {
-              acc[j] = std::min(acc[j], row_data[j]);
-            }
-            break;
-          case AggKind::kUnion:
-            INFERTURBO_CHECK(false) << "unreachable";
-        }
-        result.counts[static_cast<std::size_t>(local)] += count;
-      }
-    }
-    // Finalize: mean division, neutral zero for isolated nodes.
-    for (std::int64_t v = 0; v < local_n; ++v) {
-      float* acc = result.pooled.RowPtr(v);
-      const std::int64_t count = result.counts[static_cast<std::size_t>(v)];
-      if (count == 0) {
-        std::fill(acc, acc + msg_dim, 0.0f);
-      } else if (kind == AggKind::kMean) {
-        const float inv = 1.0f / static_cast<float>(count);
-        for (std::int64_t j = 0; j < msg_dim; ++j) acc[j] *= inv;
-      }
-    }
-    return result;
+    return GatherSuperstepInbox(
+        layer.signature().agg_kind, layer.signature().message_dim,
+        ctx->inbox(), partial, assignment_.local_index, local_n,
+        [ctx](NodeId key) { return ctx->LookupBroadcast(key); });
   }
 
   /// apply_edge + scatter_nbrs for `layer_index`, from the worker's
@@ -320,13 +230,14 @@ class PregelInferenceDriver {
       return;
     }
 
-    // Partial accumulators, one per destination worker.
-    std::vector<PooledAccumulator> accumulators;
+    // Partial path: per destination worker, the edges' destination ids
+    // and the message-row index each edge carries, collected in (node,
+    // edge) order; batched into the accumulators below.
+    std::vector<std::vector<NodeId>> part_dst;
+    std::vector<std::vector<std::int64_t>> part_row;
     if (use_partial) {
-      accumulators.reserve(static_cast<std::size_t>(num_workers));
-      for (std::int64_t w = 0; w < num_workers; ++w) {
-        accumulators.emplace_back(sig.agg_kind, msg_dim);
-      }
+      part_dst.resize(static_cast<std::size_t>(num_workers));
+      part_row.resize(static_cast<std::size_t>(num_workers));
     }
     // Dense per-edge rows (non-partial path), sized in a first pass.
     MessageBatch dense;
@@ -365,9 +276,10 @@ class PregelInferenceDriver {
       if (use_partial) {
         for (EdgeId e : graph_.OutEdges(v)) {
           const NodeId d = graph_.EdgeDst(e);
-          accumulators[static_cast<std::size_t>(
-                           engine_partitioner_->PartitionOf(d))]
-              .Add(d, row);
+          const auto pw = static_cast<std::size_t>(
+              engine_partitioner_->PartitionOf(d));
+          part_dst[pw].push_back(d);
+          part_row[pw].push_back(static_cast<std::int64_t>(i));
         }
       } else {
         for (EdgeId e : graph_.OutEdges(v)) {
@@ -381,12 +293,22 @@ class PregelInferenceDriver {
     if (!dense.empty()) ctx->SendBatch(std::move(dense));
     if (!refs.dst.empty()) ctx->SendBatch(std::move(refs));
     if (use_partial) {
+      // Sender-side combine, one accumulator per destination worker:
+      // materialize each worker's per-edge rows with one batched row
+      // gather, then fold the whole batch through the SIMD combine —
+      // same first-seen destination order as per-edge Add calls, so the
+      // partial batch's wire bytes are unchanged.
       for (std::int64_t w = 0; w < num_workers; ++w) {
-        PooledAccumulator& acc =
-            accumulators[static_cast<std::size_t>(w)];
-        if (!acc.empty()) {
-          ctx->SendPartialBatch(acc.ToPartialBatch(ctx->worker_id()));
-        }
+        auto& dst_ids = part_dst[static_cast<std::size_t>(w)];
+        if (dst_ids.empty()) continue;
+        MessageBatch carrier;
+        carrier.payload = kernels::GatherRows(
+            messages, part_row[static_cast<std::size_t>(w)]);
+        carrier.src.assign(dst_ids.size(), ctx->worker_id());
+        carrier.dst = std::move(dst_ids);
+        PooledAccumulator acc(sig.agg_kind, msg_dim);
+        acc.AddBatch(carrier, /*partial=*/false);
+        ctx->SendPartialBatch(acc.ToPartialBatch(ctx->worker_id()));
       }
     }
   }
@@ -422,31 +344,27 @@ class PregelInferenceDriver {
     }
     Tensor final_rows = layer.ApplyEdge(base_rows, &edge_feats);
 
-    if (use_partial) {
-      std::vector<PooledAccumulator> accumulators;
-      accumulators.reserve(static_cast<std::size_t>(ctx->num_workers()));
-      for (std::int64_t w = 0; w < ctx->num_workers(); ++w) {
-        accumulators.emplace_back(layer.signature().agg_kind,
-                                  final_rows.cols());
-      }
-      for (std::int64_t i = 0; i < total; ++i) {
-        const NodeId d = dst[static_cast<std::size_t>(i)];
-        accumulators[static_cast<std::size_t>(
-                         engine_partitioner_->PartitionOf(d))]
-            .Add(d, final_rows.RowPtr(i));
-      }
-      for (std::int64_t w = 0; w < ctx->num_workers(); ++w) {
-        if (!accumulators[static_cast<std::size_t>(w)].empty()) {
-          ctx->SendPartialBatch(accumulators[static_cast<std::size_t>(w)]
-                                    .ToPartialBatch(ctx->worker_id()));
-        }
-      }
-      return;
-    }
     MessageBatch batch;
     batch.dst = std::move(dst);
     batch.src = std::move(src);
     batch.payload = std::move(final_rows);
+    if (use_partial) {
+      // Route once (low-copy), then fold each destination worker's
+      // slice through the SIMD batch combine. Slices preserve row
+      // order, so first-seen destination order — and the partial
+      // batch's wire bytes — match the old per-row Add loop.
+      const std::int64_t width = batch.payload.cols();
+      std::vector<MessageBatch> slices = SplitByWorker(
+          std::move(batch), *engine_partitioner_, ctx->num_workers());
+      for (std::int64_t w = 0; w < ctx->num_workers(); ++w) {
+        const MessageBatch& slice = slices[static_cast<std::size_t>(w)];
+        if (slice.empty()) continue;
+        PooledAccumulator acc(layer.signature().agg_kind, width);
+        acc.AddBatch(slice, /*partial=*/false);
+        ctx->SendPartialBatch(acc.ToPartialBatch(ctx->worker_id()));
+      }
+      return;
+    }
     ctx->SendBatch(std::move(batch));
   }
 

@@ -40,10 +40,7 @@ std::vector<double> PageRank(const Graph& graph,
   // Sum-combine contributions headed to the same destination.
   run.engine_options.combiner = [](std::int64_t, MessageBatch batch) {
     PooledAccumulator acc(AggKind::kSum, batch.payload.cols());
-    for (std::int64_t i = 0; i < batch.size(); ++i) {
-      acc.Add(batch.dst[static_cast<std::size_t>(i)],
-              batch.payload.RowPtr(i));
-    }
+    acc.AddBatch(batch, /*partial=*/false);
     return std::make_pair(acc.ToPartialBatch(-1), true);
   };
   PregelEngine engine(run.engine_options, run.partitioner);

@@ -369,52 +369,67 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
       });
     }
 
-    // --- routing + accounting barrier -------------------------------
-    std::vector<std::vector<MessageBatch>> next_inboxes(
-        static_cast<std::size_t>(num_workers));
-    std::vector<std::vector<bool>> next_partial(
-        static_cast<std::size_t>(num_workers));
-    bool any_messages = false;
-    for (std::int64_t w = 0; w < num_workers; ++w) {
-      for (std::int64_t d = 0; d < num_workers; ++d) {
-        auto& outgoing =
-            contexts[static_cast<std::size_t>(w)].outbox_[static_cast<
-                std::size_t>(d)];
-        for (auto& out : outgoing) {
+    // --- routing + accounting barrier (parallel over destinations) --
+    // Each destination worker exclusively owns its next inbox, its
+    // bytes_in/records_in counters, and one column of the sender-side
+    // scratch, so the fan-out is data-race-free. A task scans source
+    // workers in ascending order, preserving the deterministic (source
+    // worker, emission) inbox order of the old serial loop; sender-side
+    // totals are folded from the scratch afterwards (integer sums, so
+    // the fold order cannot change them).
+    const auto W = static_cast<std::size_t>(num_workers);
+    std::vector<std::vector<MessageBatch>> next_inboxes(W);
+    std::vector<std::vector<bool>> next_partial(W);
+    std::vector<std::uint64_t> route_bytes_out(W * W, 0);
+    std::vector<std::int64_t> route_records_out(W * W, 0);
+    std::vector<std::uint8_t> dest_any(W, 0);
+    pool.ParallelFor(W, [&](std::size_t d) {
+      WallTimer route_timer;
+      WorkerStepMetrics& dm = step_metrics[d];
+      for (std::size_t w = 0; w < W; ++w) {
+        for (auto& out : contexts[w].outbox_[d]) {
           if (out.batch.empty()) continue;
-          any_messages = true;
+          dest_any[d] = 1;
           const std::uint64_t wire = out.batch.WireBytes();
-          step_metrics[static_cast<std::size_t>(w)].records_out +=
-              out.batch.size();
+          route_records_out[d * W + w] += out.batch.size();
           if (w != d) {
             // Only cross-worker traffic pays network bytes.
-            step_metrics[static_cast<std::size_t>(w)].bytes_out += wire;
-            step_metrics[static_cast<std::size_t>(d)].bytes_in += wire;
+            route_bytes_out[d * W + w] += wire;
+            dm.bytes_in += wire;
           }
-          next_partial[static_cast<std::size_t>(d)].push_back(out.partial);
-          next_inboxes[static_cast<std::size_t>(d)].push_back(
-              std::move(out.batch));
+          next_partial[d].push_back(out.partial);
+          next_inboxes[d].push_back(std::move(out.batch));
         }
+      }
+      // Receive side of the broadcast board: one copy of every other
+      // worker's published rows arrives here.
+      for (std::size_t w = 0; w < W; ++w) {
+        if (w == d) continue;
+        for (const auto& entry : contexts[w].broadcast_out_) {
+          dm.bytes_in += MessageBytes(entry.second.size());
+          ++dm.records_in;
+        }
+      }
+      dm.route_seconds += route_timer.ElapsedSeconds();
+    });
+    bool any_messages = false;
+    for (std::size_t d = 0; d < W; ++d) {
+      any_messages = any_messages || dest_any[d] != 0;
+      for (std::size_t w = 0; w < W; ++w) {
+        step_metrics[w].records_out += route_records_out[d * W + w];
+        step_metrics[w].bytes_out += route_bytes_out[d * W + w];
       }
     }
 
-    // --- broadcast board ---------------------------------------------
+    // --- broadcast board: sender accounting + last-writer merge ------
     std::unordered_map<NodeId, std::vector<float>> board_next;
-    for (std::int64_t w = 0; w < num_workers; ++w) {
-      for (auto& [key, row] :
-           contexts[static_cast<std::size_t>(w)].broadcast_out_) {
-        const std::uint64_t wire =
-            MessageBytes(row.size());
+    for (std::size_t w = 0; w < W; ++w) {
+      for (auto& [key, row] : contexts[w].broadcast_out_) {
+        const std::uint64_t wire = MessageBytes(row.size());
         // One copy to every other machine.
-        step_metrics[static_cast<std::size_t>(w)].bytes_out +=
+        step_metrics[w].bytes_out +=
             wire * static_cast<std::uint64_t>(num_workers - 1);
-        step_metrics[static_cast<std::size_t>(w)].records_out +=
-            num_workers - 1;
-        for (std::int64_t d = 0; d < num_workers; ++d) {
-          if (d == w) continue;
-          step_metrics[static_cast<std::size_t>(d)].bytes_in += wire;
-          ++step_metrics[static_cast<std::size_t>(d)].records_in;
-        }
+        step_metrics[w].records_out += num_workers - 1;
         any_messages = true;
         board_next[key] = std::move(row);
       }

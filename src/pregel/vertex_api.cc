@@ -30,10 +30,8 @@ struct VertexProgramDriver {
         halted[static_cast<std::size_t>(v)] = false;
       }
     }
-    // Two passes so the batch tensor is allocated once (MessageBatch::
-    // Push is O(rows) per call and would make this quadratic).
-    std::vector<std::pair<NodeId, std::vector<float>>> queued;
-    std::vector<NodeId> queued_src;
+    MessageBatch out;
+    std::int64_t width = -1;
     bool all_halted = true;
     for (NodeId v : mine) {
       if (halted[static_cast<std::size_t>(v)]) continue;
@@ -44,28 +42,14 @@ struct VertexProgramDriver {
       inbox[static_cast<std::size_t>(v)].clear();
       halted[static_cast<std::size_t>(v)] = vctx.halt_;
       all_halted = all_halted && vctx.halt_;
-      for (auto& entry : vctx.outgoing_) {
-        queued.push_back(std::move(entry));
-        queued_src.push_back(v);
-      }
-    }
-    if (!queued.empty()) {
-      MessageBatch out;
-      const auto width =
-          static_cast<std::int64_t>(queued.front().second.size());
-      out.dst.reserve(queued.size());
-      out.src = std::move(queued_src);
-      out.payload = Tensor(static_cast<std::int64_t>(queued.size()), width);
-      for (std::size_t i = 0; i < queued.size(); ++i) {
-        INFERTURBO_CHECK(static_cast<std::int64_t>(queued[i].second.size()) ==
-                         width)
+      for (const auto& [dst, row] : vctx.outgoing_) {
+        if (width < 0) width = static_cast<std::int64_t>(row.size());
+        INFERTURBO_CHECK(static_cast<std::int64_t>(row.size()) == width)
             << "vertex programs must send fixed-width messages";
-        out.dst.push_back(queued[i].first);
-        out.payload.SetRow(static_cast<std::int64_t>(i),
-                           queued[i].second.data());
+        out.Push(dst, v, row.data(), width);
       }
-      ctx->SendBatch(std::move(out));
     }
+    if (!out.empty()) ctx->SendBatch(std::move(out));
     if (all_halted) ctx->VoteToHalt();
   }
 };

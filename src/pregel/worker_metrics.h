@@ -17,6 +17,11 @@ struct WorkerStepMetrics {
   /// Non-CPU stall time (e.g. graph-store round trips in the baseline
   /// pipeline); contributes to latency but not to cpu·min.
   double wait_seconds = 0.0;
+  /// Time spent in the routing + accounting barrier delivering this
+  /// worker's inbox (and its share of the broadcast-board accounting).
+  /// Previously charged to nobody; kept separate from busy_seconds so
+  /// historical latency numbers stay comparable.
+  double route_seconds = 0.0;
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
   std::int64_t records_in = 0;
@@ -30,6 +35,7 @@ struct WorkerStepMetrics {
   void Accumulate(const WorkerStepMetrics& other) {
     busy_seconds += other.busy_seconds;
     wait_seconds += other.wait_seconds;
+    route_seconds += other.route_seconds;
     bytes_in += other.bytes_in;
     bytes_out += other.bytes_out;
     records_in += other.records_in;

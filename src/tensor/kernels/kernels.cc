@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "src/common/logging.h"
 #include "src/tensor/kernels/matmul_tiles.h"
 #include "src/tensor/kernels/reference.h"
+#include "src/tensor/kernels/row_fold.h"
 
 namespace inferturbo {
 namespace kernels {
@@ -105,13 +107,18 @@ Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-Tensor SegmentSum(const Tensor& values, std::span<const std::int64_t> ids,
-                  std::int64_t num_segments) {
+namespace {
+
+/// Shared body of the segment folds: destination-range ownership over
+/// segments, rows scanned in input order per task, one dispatched
+/// row-fold per row. Accumulation order per segment matches the serial
+/// reference exactly at any task count.
+void SegmentFoldInto(Tensor* out, const Tensor& values,
+                     std::span<const std::int64_t> ids,
+                     std::int64_t num_segments, detail::RowFoldFn fold) {
   const std::int64_t cols = values.cols();
-  Tensor out(num_segments, cols);
-  if (ids.empty() || cols == 0) return out;
   const float* pv = values.data();
-  float* po = out.data();
+  float* po = out->data();
   const std::int64_t* pid = ids.data();
   const std::int64_t rows = static_cast<std::int64_t>(ids.size());
   const std::int64_t work_per_segment =
@@ -121,24 +128,65 @@ Tensor SegmentSum(const Tensor& values, std::span<const std::int64_t> ids,
         if (s1 - s0 == num_segments) {
           // Whole range on one task: the reference loop, unfiltered.
           for (std::int64_t i = 0; i < rows; ++i) {
-            float* dst = po + pid[i] * cols;
-            const float* src = pv + i * cols;
-            for (std::int64_t j = 0; j < cols; ++j) dst[j] += src[j];
+            fold(po + pid[i] * cols, pv + i * cols, cols);
           }
           return;
         }
-        // Each task owns segments [s0, s1) and scans all rows in input
-        // order, so per-segment accumulation order matches the serial
-        // reference exactly.
         for (std::int64_t i = 0; i < rows; ++i) {
           const std::int64_t s = pid[i];
           if (s < s0 || s >= s1) continue;
-          float* dst = po + s * cols;
-          const float* src = pv + i * cols;
-          for (std::int64_t j = 0; j < cols; ++j) dst[j] += src[j];
+          fold(po + s * cols, pv + i * cols, cols);
         }
       });
+}
+
+/// Max/min share everything but the init value and the fold.
+Tensor SegmentExtremum(const Tensor& values, std::span<const std::int64_t> ids,
+                       std::int64_t num_segments, float init,
+                       detail::RowFoldFn fold) {
+  const std::int64_t cols = values.cols();
+  Tensor out = Tensor::Full(num_segments, cols, init);
+  if (cols == 0) return out;
+  if (ids.empty()) return Tensor(num_segments, cols);  // all segments empty
+  SegmentFoldInto(&out, values, ids, num_segments, fold);
+  // Empty segments report zero rather than +-inf so downstream layers
+  // see a neutral "no messages" value.
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(num_segments), 0);
+  for (std::int64_t id : ids) ++counts[static_cast<std::size_t>(id)];
+  float* po = out.data();
+  ParallelForRanges(num_segments, cols, [&](std::int64_t s0, std::int64_t s1) {
+    for (std::int64_t s = s0; s < s1; ++s) {
+      if (counts[static_cast<std::size_t>(s)] != 0) continue;
+      float* row = po + s * cols;
+      std::fill(row, row + cols, 0.0f);
+    }
+  });
   return out;
+}
+
+}  // namespace
+
+Tensor SegmentSum(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments) {
+  const std::int64_t cols = values.cols();
+  Tensor out(num_segments, cols);
+  if (ids.empty() || cols == 0) return out;
+  SegmentFoldInto(&out, values, ids, num_segments, detail::RowAdd());
+  return out;
+}
+
+Tensor SegmentMax(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments) {
+  return SegmentExtremum(values, ids, num_segments,
+                         -std::numeric_limits<float>::infinity(),
+                         detail::RowMax());
+}
+
+Tensor SegmentMin(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments) {
+  return SegmentExtremum(values, ids, num_segments,
+                         std::numeric_limits<float>::infinity(),
+                         detail::RowMin());
 }
 
 Tensor SegmentMean(const Tensor& values, std::span<const std::int64_t> ids,

@@ -31,6 +31,15 @@ Tensor SegmentSum(const Tensor& values, std::span<const std::int64_t> ids,
                   std::int64_t num_segments);
 Tensor SegmentMean(const Tensor& values, std::span<const std::int64_t> ids,
                    std::int64_t num_segments);
+/// Per-segment elementwise max/min folded in input order with the
+/// scalar `(acc < v) ? v : acc` select (NaN rows never replace the
+/// accumulator; +-0.0 keeps the accumulator). Segments that receive no
+/// rows report zero, not +-inf — the neutral "no messages" value the
+/// gather stage hands isolated nodes.
+Tensor SegmentMax(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments);
+Tensor SegmentMin(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments);
 
 /// Bounds-checks indices (aborts like the reference on a bad index).
 Tensor GatherRows(const Tensor& a, std::span<const std::int64_t> indices);

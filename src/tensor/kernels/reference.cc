@@ -1,6 +1,7 @@
 #include "src/tensor/kernels/reference.h"
 
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -83,6 +84,51 @@ Tensor SegmentMean(const Tensor& values, std::span<const std::int64_t> ids,
     for (std::int64_t j = 0; j < out.cols(); ++j) po[j] *= inv;
   }
   return out;
+}
+
+namespace {
+
+Tensor SegmentExtremum(const Tensor& values, std::span<const std::int64_t> ids,
+                       std::int64_t num_segments, float init, bool is_max) {
+  Tensor out = Tensor::Full(num_segments, values.cols(), init);
+  std::vector<bool> touched(static_cast<std::size_t>(num_segments), false);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    touched[static_cast<std::size_t>(ids[i])] = true;
+    float* po = out.RowPtr(ids[i]);
+    const float* pv = values.RowPtr(static_cast<std::int64_t>(i));
+    if (is_max) {
+      for (std::int64_t j = 0; j < values.cols(); ++j) {
+        if (po[j] < pv[j]) po[j] = pv[j];
+      }
+    } else {
+      for (std::int64_t j = 0; j < values.cols(); ++j) {
+        if (pv[j] < po[j]) po[j] = pv[j];
+      }
+    }
+  }
+  // Empty segments report zero, not +-inf.
+  for (std::int64_t s = 0; s < num_segments; ++s) {
+    if (touched[static_cast<std::size_t>(s)]) continue;
+    float* po = out.RowPtr(s);
+    for (std::int64_t j = 0; j < out.cols(); ++j) po[j] = 0.0f;
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor SegmentMax(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments) {
+  return SegmentExtremum(values, ids, num_segments,
+                         -std::numeric_limits<float>::infinity(),
+                         /*is_max=*/true);
+}
+
+Tensor SegmentMin(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments) {
+  return SegmentExtremum(values, ids, num_segments,
+                         std::numeric_limits<float>::infinity(),
+                         /*is_max=*/false);
 }
 
 Tensor GatherRows(const Tensor& a, std::span<const std::int64_t> indices) {

@@ -32,6 +32,12 @@ Tensor SegmentSum(const Tensor& values, std::span<const std::int64_t> ids,
 /// SegmentSum divided per segment by its row count (empty stay zero).
 Tensor SegmentMean(const Tensor& values, std::span<const std::int64_t> ids,
                    std::int64_t num_segments);
+/// Per-segment elementwise extremum, `(acc < v) ? v : acc` select in
+/// input order (resp. `(v < acc)` for min); empty segments report zero.
+Tensor SegmentMax(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments);
+Tensor SegmentMin(const Tensor& values, std::span<const std::int64_t> ids,
+                  std::int64_t num_segments);
 
 /// out[i] = a[indices[i]].
 Tensor GatherRows(const Tensor& a, std::span<const std::int64_t> indices);

@@ -34,47 +34,16 @@ Tensor SegmentMean(const Tensor& values, std::span<const std::int64_t> ids,
   return kernels::SegmentMean(values, ids, num_segments);
 }
 
-namespace {
-
-template <typename Cmp>
-Tensor SegmentExtremum(const Tensor& values, std::span<const std::int64_t> ids,
-                       std::int64_t num_segments, float init, Cmp better) {
-  CheckIds(values, ids, num_segments);
-  Tensor out = Tensor::Full(num_segments, values.cols(), init);
-  std::vector<bool> touched(static_cast<std::size_t>(num_segments), false);
-  for (std::size_t i = 0; i < ids.size(); ++i) {
-    touched[static_cast<std::size_t>(ids[i])] = true;
-    float* po = out.RowPtr(ids[i]);
-    const float* pv = values.RowPtr(static_cast<std::int64_t>(i));
-    for (std::int64_t j = 0; j < values.cols(); ++j) {
-      if (better(pv[j], po[j])) po[j] = pv[j];
-    }
-  }
-  // Empty segments report zero rather than +-inf so downstream layers
-  // see a neutral "no messages" value.
-  for (std::int64_t s = 0; s < num_segments; ++s) {
-    if (!touched[static_cast<std::size_t>(s)]) {
-      float* po = out.RowPtr(s);
-      std::fill(po, po + out.cols(), 0.0f);
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 Tensor SegmentMax(const Tensor& values, std::span<const std::int64_t> ids,
                   std::int64_t num_segments) {
-  return SegmentExtremum(values, ids, num_segments,
-                         -std::numeric_limits<float>::infinity(),
-                         [](float a, float b) { return a > b; });
+  CheckIds(values, ids, num_segments);
+  return kernels::SegmentMax(values, ids, num_segments);
 }
 
 Tensor SegmentMin(const Tensor& values, std::span<const std::int64_t> ids,
                   std::int64_t num_segments) {
-  return SegmentExtremum(values, ids, num_segments,
-                         std::numeric_limits<float>::infinity(),
-                         [](float a, float b) { return a < b; });
+  CheckIds(values, ids, num_segments);
+  return kernels::SegmentMin(values, ids, num_segments);
 }
 
 std::vector<std::int64_t> SegmentCounts(std::span<const std::int64_t> ids,

@@ -1,12 +1,42 @@
 #include "src/tensor/tensor.h"
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <sstream>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
 
 #include "src/common/logging.h"
 
 namespace inferturbo {
+namespace detail {
+
+void* AllocFloatBuffer(std::size_t bytes) {
+  constexpr std::size_t kHugePage = std::size_t{2} << 20;
+#if defined(__linux__)
+  if (bytes >= kHugePage) {
+    // aligned_alloc wants size a multiple of the alignment; the slack
+    // is invisible to the vector, which tracks its own capacity.
+    const std::size_t rounded = (bytes + kHugePage - 1) & ~(kHugePage - 1);
+    void* ptr = std::aligned_alloc(kHugePage, rounded);
+    if (ptr != nullptr) {
+      ::madvise(ptr, rounded, MADV_HUGEPAGE);
+      return ptr;
+    }
+  }
+#endif
+  void* ptr = std::malloc(bytes > 0 ? bytes : 1);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void FreeFloatBuffer(void* ptr) { std::free(ptr); }
+
+}  // namespace detail
 
 Tensor::Tensor(std::int64_t rows, std::int64_t cols)
     : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols)) {
@@ -67,6 +97,15 @@ void Tensor::SetRow(std::int64_t r, const std::vector<float>& values) {
 void Tensor::SetRow(std::int64_t r, const float* values) {
   std::memcpy(RowPtr(r), values, static_cast<std::size_t>(cols_) *
                                      sizeof(float));
+}
+
+void Tensor::AppendRow(const float* values) {
+  data_.insert(data_.end(), values, values + cols_);
+  ++rows_;
+}
+
+void Tensor::ReserveRows(std::int64_t rows) {
+  data_.reserve(static_cast<std::size_t>(rows * cols_));
 }
 
 bool Tensor::ApproxEquals(const Tensor& other, float atol) const {

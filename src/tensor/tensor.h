@@ -2,12 +2,47 @@
 #define INFERTURBO_TENSOR_TENSOR_H_
 
 #include <cstdint>
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "src/common/rng.h"
 
 namespace inferturbo {
+namespace detail {
+
+/// Backing storage for large tensors. Buffers of 2 MB and up are
+/// allocated 2 MB-aligned and advised MADV_HUGEPAGE (Linux): the
+/// superstep data plane streams multi-hundred-MB message payloads, and
+/// on 4 KB pages the TLB walk overhead of those streams is measurable.
+/// Always freed with std::free; small buffers come from std::malloc.
+void* AllocFloatBuffer(std::size_t bytes);
+void FreeFloatBuffer(void* ptr);
+
+template <typename T>
+struct HugePageAllocator {
+  using value_type = T;
+  HugePageAllocator() = default;
+  template <typename U>
+  constexpr HugePageAllocator(const HugePageAllocator<U>&) noexcept {}
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(AllocFloatBuffer(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept { FreeFloatBuffer(p); }
+};
+template <typename T, typename U>
+bool operator==(const HugePageAllocator<T>&, const HugePageAllocator<U>&) {
+  return true;
+}
+template <typename T, typename U>
+bool operator!=(const HugePageAllocator<T>&, const HugePageAllocator<U>&) {
+  return false;
+}
+
+}  // namespace detail
+
+/// Float storage with the huge-page-friendly allocator above.
+using FloatBuffer = std::vector<float, detail::HugePageAllocator<float>>;
 
 /// A dense row-major float32 matrix.
 ///
@@ -61,6 +96,14 @@ class Tensor {
   void SetRow(std::int64_t r, const std::vector<float>& values);
   void SetRow(std::int64_t r, const float* values);
 
+  /// Appends one row of cols() floats. Amortized O(cols): storage grows
+  /// geometrically underneath while rows() stays exact, so incremental
+  /// builders (MessageBatch::Push) cost the same as sizing up front.
+  void AppendRow(const float* values);
+  /// Pre-reserves storage for `rows` total rows (capacity only; rows()
+  /// is unchanged).
+  void ReserveRows(std::int64_t rows);
+
   /// Serialized payload size of the whole tensor on the simulated wire.
   std::size_t ByteSize() const { return data_.size() * sizeof(float); }
 
@@ -73,7 +116,7 @@ class Tensor {
  private:
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
 
 }  // namespace inferturbo

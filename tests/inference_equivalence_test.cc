@@ -23,6 +23,7 @@
 #include "src/inference/traditional_pipeline.h"
 #include "src/nn/model.h"
 #include "src/sampling/khop_sampler.h"
+#include "src/tensor/kernels/kernel_config.h"
 #include "src/tensor/ops.h"
 
 namespace inferturbo {
@@ -134,6 +135,48 @@ TEST_P(BackendEquivalenceTest, RepeatedRunsAreBitIdentical) {
       RunInferTurboMapReduce(dataset.graph, *model, options);
   ASSERT_TRUE(c1.ok() && c2.ok());
   EXPECT_TRUE(c1->logits.ApproxEquals(c2->logits, 0.0f));
+}
+
+TEST_P(BackendEquivalenceTest, LogitsAreBitIdenticalAcrossThreadCounts) {
+  // The kernel-backed data plane must not let parallelism into the
+  // numbers: for every strategy combination, both backends produce the
+  // SAME BYTES at 1 thread and at N threads.
+  const Case& c = GetParam();
+  const Dataset dataset = SkewedDataset();
+  const std::unique_ptr<GnnModel> model =
+      MakeModelFor(c.model_kind, dataset.graph);
+
+  InferTurboOptions options;
+  options.num_workers = 5;
+  options.strategies.partial_gather = c.partial_gather;
+  options.strategies.broadcast = c.broadcast;
+  options.strategies.shadow_nodes = c.shadow_nodes;
+  options.strategies.threshold_override =
+      (c.broadcast || c.shadow_nodes) ? 8 : -1;
+
+  const kernels::KernelConfig saved = kernels::GetKernelConfig();
+  auto run_at = [&](int threads) {
+    kernels::KernelConfig config = saved;
+    config.max_threads = threads;
+    // Force the parallel split even on this small graph's tiny shapes.
+    config.min_parallel_work = threads > 1 ? 1 : (std::int64_t{1} << 62);
+    kernels::SetKernelConfig(config);
+    Result<InferenceResult> pregel =
+        RunInferTurboPregel(dataset.graph, *model, options);
+    Result<InferenceResult> mapreduce =
+        RunInferTurboMapReduce(dataset.graph, *model, options);
+    EXPECT_TRUE(pregel.ok() && mapreduce.ok());
+    return std::make_pair(std::move(pregel->logits),
+                          std::move(mapreduce->logits));
+  };
+  const auto serial = run_at(1);
+  const auto parallel = run_at(4);
+  kernels::SetKernelConfig(saved);
+
+  EXPECT_TRUE(serial.first.ApproxEquals(parallel.first, 0.0f))
+      << "pregel logits changed with thread count";
+  EXPECT_TRUE(serial.second.ApproxEquals(parallel.second, 0.0f))
+      << "mapreduce logits changed with thread count";
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -26,6 +26,34 @@ TEST(MessageBatchTest, PushAndAppend) {
   EXPECT_EQ(a.src[2], 3);
 }
 
+TEST(MessageBatchTest, IncrementalPushKeepsContentsThroughGrowth) {
+  // Push grows the payload geometrically; many single-row pushes must
+  // land every row intact and in order (the vertex-API build path).
+  Rng rng(3);
+  const std::int64_t n = 1000, width = 5;
+  const Tensor rows = Tensor::RandomNormal(n, width, 1.0f, &rng);
+  MessageBatch a;
+  for (std::int64_t i = 0; i < n; ++i) {
+    a.Push(static_cast<NodeId>(i % 17), static_cast<NodeId>(i),
+           rows.RowPtr(i), width);
+  }
+  ASSERT_EQ(a.size(), n);
+  EXPECT_TRUE(a.payload.ApproxEquals(rows, 0.0f));
+  EXPECT_EQ(a.dst[999], 999 % 17);
+  EXPECT_EQ(a.src[999], 999);
+}
+
+TEST(MessageBatchTest, PushAfterMismatchedReserveAdoptsRowWidth) {
+  // A reservation at one width must not poison a first push at another
+  // width while the batch is still empty.
+  MessageBatch a;
+  a.Reserve(4, 2);
+  const float r[] = {1.0f, 2.0f, 3.0f};
+  a.Push(0, 0, r, 3);
+  ASSERT_EQ(a.payload.cols(), 3);
+  EXPECT_EQ(a.payload.At(0, 2), 3.0f);
+}
+
 TEST(MessageBatchTest, MergeConcatenatesInOrder) {
   const float r[] = {1.0f};
   MessageBatch a, b, empty;

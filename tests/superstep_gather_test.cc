@@ -1,0 +1,314 @@
+// Randomized equivalence suite for the kernel-backed superstep data
+// plane: the fast gather (BucketInbox + segment kernels) must be
+// BIT-identical to the retained scalar oracle for every aggregator
+// kind, batch mix (dense / partial / id-only broadcast refs / empty),
+// and thread count; PooledAccumulator::AddBatch must be bit-identical
+// to the per-row Add/AddPartial fold including emission order; and the
+// new SegmentMax/SegmentMin kernels must match their pinned scalar
+// references exactly.
+#include "src/gas/superstep_gather.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/gas/message.h"
+#include "src/tensor/kernels/kernel_config.h"
+#include "src/tensor/kernels/kernels.h"
+#include "src/tensor/kernels/reference.h"
+
+namespace inferturbo {
+namespace {
+
+// Forces the kernel layer to `threads` workers with no serial
+// fallback, restoring the previous config on scope exit.
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int threads) : saved_(kernels::GetKernelConfig()) {
+    kernels::KernelConfig config = saved_;
+    config.max_threads = threads;
+    config.min_parallel_work = threads > 1 ? 1 : (std::int64_t{1} << 62);
+    kernels::SetKernelConfig(config);
+  }
+  ~ThreadGuard() { kernels::SetKernelConfig(saved_); }
+
+ private:
+  kernels::KernelConfig saved_;
+};
+
+// Skewed destination draw: min of two uniforms concentrates mass on
+// low ids, so some segments are hubs and some are empty.
+std::int64_t SkewedDst(Rng* rng, std::int64_t num_nodes) {
+  const auto bound = static_cast<std::uint64_t>(num_nodes);
+  const std::uint64_t a = rng->NextBounded(bound);
+  const std::uint64_t b = rng->NextBounded(bound);
+  return static_cast<std::int64_t>(a < b ? a : b);
+}
+
+struct RandomInbox {
+  std::vector<MessageBatch> batches;
+  std::vector<bool> partial;
+  std::unordered_map<NodeId, std::vector<float>> board;
+  std::vector<std::int64_t> local_index;  // identity over [0, num_nodes)
+  std::int64_t num_nodes = 0;
+
+  BroadcastLookupFn Lookup() const {
+    return [this](NodeId key) -> const std::vector<float>* {
+      const auto it = board.find(key);
+      return it == board.end() ? nullptr : &it->second;
+    };
+  }
+};
+
+// A worker inbox like the Pregel engine delivers: dense batches,
+// optionally sender-combined partial batches (built through the real
+// PooledAccumulator so count columns are authentic), optionally
+// id-only broadcast references, plus one deliberately empty batch.
+RandomInbox MakeInbox(Rng* rng, AggKind kind, std::int64_t msg_dim,
+                      bool with_partial, bool with_id_only) {
+  RandomInbox inbox;
+  inbox.num_nodes = 40;
+  inbox.local_index.resize(static_cast<std::size_t>(inbox.num_nodes));
+  for (std::int64_t i = 0; i < inbox.num_nodes; ++i) {
+    inbox.local_index[static_cast<std::size_t>(i)] = i;
+  }
+
+  const std::int64_t num_dense = 3;
+  for (std::int64_t bi = 0; bi < num_dense; ++bi) {
+    MessageBatch b;
+    const std::int64_t n =
+        static_cast<std::int64_t>(rng->NextBounded(120)) + 1;
+    b.payload = Tensor::RandomNormal(n, msg_dim, 2.0f, rng);
+    for (std::int64_t i = 0; i < n; ++i) {
+      b.dst.push_back(SkewedDst(rng, inbox.num_nodes));
+      b.src.push_back(static_cast<NodeId>(rng->NextBounded(1000)));
+    }
+    inbox.batches.push_back(std::move(b));
+    inbox.partial.push_back(false);
+  }
+
+  inbox.batches.emplace_back();  // empty batch must be a no-op
+  inbox.partial.push_back(false);
+
+  if (with_partial) {
+    for (int sender = 0; sender < 2; ++sender) {
+      PooledAccumulator acc(kind, msg_dim);
+      const std::int64_t n =
+          static_cast<std::int64_t>(rng->NextBounded(200)) + 1;
+      const Tensor rows = Tensor::RandomNormal(n, msg_dim, 2.0f, rng);
+      for (std::int64_t i = 0; i < n; ++i) {
+        acc.Add(SkewedDst(rng, inbox.num_nodes), rows.RowPtr(i));
+      }
+      inbox.batches.push_back(acc.ToPartialBatch(/*from=*/sender));
+      inbox.partial.push_back(true);
+    }
+  }
+
+  if (with_id_only) {
+    for (NodeId key = 900; key < 904; ++key) {
+      std::vector<float> value(static_cast<std::size_t>(msg_dim));
+      for (float& v : value) v = rng->NextFloat(-3.0f, 3.0f);
+      inbox.board[key] = std::move(value);
+    }
+    MessageBatch refs;
+    refs.payload = Tensor(0, 0);
+    const std::int64_t n =
+        static_cast<std::int64_t>(rng->NextBounded(60)) + 1;
+    for (std::int64_t i = 0; i < n; ++i) {
+      refs.dst.push_back(SkewedDst(rng, inbox.num_nodes));
+      refs.src.push_back(900 + static_cast<NodeId>(rng->NextBounded(4)));
+    }
+    inbox.batches.push_back(std::move(refs));
+    inbox.partial.push_back(false);
+  }
+  return inbox;
+}
+
+void ExpectBitIdentical(const GatherResult& fast, const GatherResult& oracle) {
+  EXPECT_EQ(fast.kind, oracle.kind);
+  EXPECT_EQ(fast.counts, oracle.counts);
+  // Tolerance 0: bit-identity is the contract, not approximation.
+  EXPECT_TRUE(fast.pooled.ApproxEquals(oracle.pooled, 0.0f));
+  EXPECT_TRUE(fast.messages.ApproxEquals(oracle.messages, 0.0f));
+  EXPECT_EQ(fast.dst_index, oracle.dst_index);
+}
+
+TEST(SuperstepGatherTest, PooledKindsMatchScalarOracleBitIdentically) {
+  Rng rng(2024);
+  for (const AggKind kind :
+       {AggKind::kSum, AggKind::kMean, AggKind::kMax, AggKind::kMin}) {
+    for (const bool with_partial : {false, true}) {
+      for (const bool with_id_only : {false, true}) {
+        const std::int64_t msg_dim = 1 + static_cast<std::int64_t>(
+                                             rng.NextBounded(19));
+        const RandomInbox inbox =
+            MakeInbox(&rng, kind, msg_dim, with_partial, with_id_only);
+        const GatherResult oracle = GatherSuperstepInboxScalar(
+            kind, msg_dim, inbox.batches, inbox.partial, inbox.local_index,
+            inbox.num_nodes, inbox.Lookup());
+        for (const int threads : {1, 4}) {
+          ThreadGuard guard(threads);
+          const GatherResult fast = GatherSuperstepInbox(
+              kind, msg_dim, inbox.batches, inbox.partial, inbox.local_index,
+              inbox.num_nodes, inbox.Lookup());
+          ExpectBitIdentical(fast, oracle);
+        }
+      }
+    }
+  }
+}
+
+TEST(SuperstepGatherTest, UnionMatchesScalarOracleBitIdentically) {
+  Rng rng(77);
+  for (const bool with_id_only : {false, true}) {
+    const std::int64_t msg_dim = 8;
+    const RandomInbox inbox = MakeInbox(&rng, AggKind::kUnion, msg_dim,
+                                        /*with_partial=*/false, with_id_only);
+    const GatherResult oracle = GatherSuperstepInboxScalar(
+        AggKind::kUnion, msg_dim, inbox.batches, inbox.partial,
+        inbox.local_index, inbox.num_nodes, inbox.Lookup());
+    for (const int threads : {1, 4}) {
+      ThreadGuard guard(threads);
+      const GatherResult fast = GatherSuperstepInbox(
+          AggKind::kUnion, msg_dim, inbox.batches, inbox.partial,
+          inbox.local_index, inbox.num_nodes, inbox.Lookup());
+      ExpectBitIdentical(fast, oracle);
+    }
+  }
+}
+
+TEST(SuperstepGatherTest, EmptyInboxYieldsNeutralZeros) {
+  const std::vector<MessageBatch> batches;
+  const std::vector<bool> partial;
+  const std::vector<std::int64_t> local_index = {0, 1, 2};
+  for (const AggKind kind : {AggKind::kSum, AggKind::kMean, AggKind::kMax,
+                             AggKind::kMin, AggKind::kUnion}) {
+    const GatherResult fast =
+        GatherSuperstepInbox(kind, 5, batches, partial, local_index, 3,
+                             BroadcastLookupFn{});
+    const GatherResult oracle =
+        GatherSuperstepInboxScalar(kind, 5, batches, partial, local_index, 3,
+                                   BroadcastLookupFn{});
+    ExpectBitIdentical(fast, oracle);
+    EXPECT_EQ(fast.counts, (std::vector<std::int64_t>{0, 0, 0}));
+    if (kind != AggKind::kUnion) {
+      EXPECT_EQ(fast.pooled.rows(), 3);
+      for (std::int64_t v = 0; v < 3; ++v) {
+        for (std::int64_t j = 0; j < 5; ++j) {
+          EXPECT_EQ(fast.pooled.At(v, j), 0.0f);
+        }
+      }
+    }
+  }
+}
+
+TEST(SuperstepGatherTest, EmptyLocalIndexBucketsEverythingToSegmentZero) {
+  // The MapReduce reduce stage: one key group, no local-index table.
+  Rng rng(5);
+  MessageBatch b;
+  const std::int64_t n = 37, msg_dim = 6;
+  b.payload = Tensor::RandomNormal(n, msg_dim, 1.0f, &rng);
+  for (std::int64_t i = 0; i < n; ++i) {
+    b.dst.push_back(static_cast<NodeId>(rng.NextBounded(1000)));
+    b.src.push_back(static_cast<NodeId>(i));
+  }
+  const std::vector<MessageBatch> batches = {b};
+  const std::vector<bool> partial = {false};
+  const GatherResult fast = GatherSuperstepInbox(
+      AggKind::kSum, msg_dim, batches, partial, {}, 1, BroadcastLookupFn{});
+  const GatherResult oracle = GatherSuperstepInboxScalar(
+      AggKind::kSum, msg_dim, batches, partial, {}, 1, BroadcastLookupFn{});
+  ExpectBitIdentical(fast, oracle);
+  EXPECT_EQ(fast.counts, (std::vector<std::int64_t>{n}));
+}
+
+TEST(SuperstepGatherTest, AddBatchMatchesPerRowFoldAndEmissionOrder) {
+  Rng rng(909);
+  for (const AggKind kind :
+       {AggKind::kSum, AggKind::kMean, AggKind::kMax, AggKind::kMin}) {
+    for (const bool partial : {false, true}) {
+      const std::int64_t width = 7;
+      MessageBatch batch;
+      if (partial) {
+        PooledAccumulator sender(kind, width);
+        const std::int64_t n = 150;
+        const Tensor rows = Tensor::RandomNormal(n, width, 2.0f, &rng);
+        for (std::int64_t i = 0; i < n; ++i) {
+          sender.Add(static_cast<NodeId>(rng.NextBounded(25)), rows.RowPtr(i));
+        }
+        batch = sender.ToPartialBatch(/*from=*/3);
+      } else {
+        const std::int64_t n = 150;
+        batch.payload = Tensor::RandomNormal(n, width, 2.0f, &rng);
+        for (std::int64_t i = 0; i < n; ++i) {
+          batch.dst.push_back(static_cast<NodeId>(rng.NextBounded(25)));
+          batch.src.push_back(static_cast<NodeId>(i));
+        }
+      }
+
+      PooledAccumulator oracle(kind, width);
+      for (std::int64_t i = 0; i < batch.size(); ++i) {
+        const float* row = batch.payload.RowPtr(i);
+        if (partial) {
+          oracle.AddPartial(batch.dst[static_cast<std::size_t>(i)], row,
+                            static_cast<std::int64_t>(row[width]));
+        } else {
+          oracle.Add(batch.dst[static_cast<std::size_t>(i)], row);
+        }
+      }
+      PooledAccumulator batched(kind, width);
+      batched.AddBatch(batch, partial);
+
+      const auto fin_oracle = oracle.Finalize();
+      const auto fin_batched = batched.Finalize();
+      // dst equality covers first-seen EMISSION order, not just content.
+      EXPECT_EQ(fin_batched.dst, fin_oracle.dst);
+      EXPECT_EQ(fin_batched.counts, fin_oracle.counts);
+      EXPECT_TRUE(fin_batched.values.ApproxEquals(fin_oracle.values, 0.0f));
+
+      // Wire form must also be byte-stable (the partial-gather payload).
+      const MessageBatch wire_oracle = oracle.ToPartialBatch(9);
+      const MessageBatch wire_batched = batched.ToPartialBatch(9);
+      EXPECT_EQ(wire_batched.dst, wire_oracle.dst);
+      EXPECT_EQ(wire_batched.src, wire_oracle.src);
+      EXPECT_TRUE(wire_batched.payload.ApproxEquals(wire_oracle.payload,
+                                                    0.0f));
+    }
+  }
+}
+
+TEST(SuperstepGatherTest, SegmentExtremaMatchPinnedReference) {
+  Rng rng(42);
+  const std::int64_t rows = 700, cols = 13, segments = 50;
+  // Shift everything negative so a buggy zero-init would surface in max.
+  Tensor values = Tensor::RandomNormal(rows, cols, 1.0f, &rng);
+  for (std::int64_t i = 0; i < values.size(); ++i) {
+    values.data()[i] -= 5.0f;
+  }
+  std::vector<std::int64_t> ids(static_cast<std::size_t>(rows));
+  // Leave segments [40, 50) empty: they must read neutral zero.
+  for (auto& id : ids) {
+    id = static_cast<std::int64_t>(rng.NextBounded(40));
+  }
+  const Tensor ref_max = kernels::reference::SegmentMax(values, ids, segments);
+  const Tensor ref_min = kernels::reference::SegmentMin(values, ids, segments);
+  for (const int threads : {1, 4}) {
+    ThreadGuard guard(threads);
+    EXPECT_TRUE(
+        kernels::SegmentMax(values, ids, segments).ApproxEquals(ref_max, 0.0f));
+    EXPECT_TRUE(
+        kernels::SegmentMin(values, ids, segments).ApproxEquals(ref_min, 0.0f));
+  }
+  for (std::int64_t s = 40; s < segments; ++s) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      EXPECT_EQ(ref_max.At(s, j), 0.0f);
+      EXPECT_EQ(ref_min.At(s, j), 0.0f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace inferturbo
