@@ -26,6 +26,9 @@
 #include "src/inference/inferturbo_pregel.h"
 #include "src/inference/output_writer.h"
 #include "src/nn/metrics.h"
+#include "src/common/byte_size.h"
+#include "src/storage/graph_view.h"
+#include "src/storage/shard_store.h"
 #include "src/nn/model.h"
 #include "src/nn/trainer.h"
 
@@ -160,10 +163,45 @@ int Infer(const FlagParser& flags, const std::string& dir) {
   }
   const std::string backend = flags.GetString("backend", "pregel");
 
-  Result<InferenceResult> result =
-      backend == "mapreduce"
-          ? RunInferTurboMapReduce(*graph, **model, options)
-          : RunInferTurboPregel(*graph, **model, options);
+  // --packed=DIR streams the graph from a graph_pack shard directory
+  // (out-of-core) instead of the resident copy; the resident load above
+  // still supplies model dims and the accuracy labels.
+  // --storage_memory_budget caps resident shard bytes ("512MB", "4GiB").
+  const std::string packed = flags.GetString("packed", "");
+  Result<InferenceResult> result = Status::Internal("unset");
+  if (!packed.empty()) {
+    const Result<std::uint64_t> budget =
+        flags.GetBytes("storage_memory_budget", 0);
+    if (!budget.ok()) {
+      std::fprintf(stderr, "%s\n", budget.status().ToString().c_str());
+      return 1;
+    }
+    ShardStoreOptions store_options;
+    store_options.directory = packed;
+    store_options.memory_budget_bytes = *budget;
+    Result<ShardStore> store = ShardStore::Open(std::move(store_options));
+    if (!store.ok()) {
+      std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+      return 1;
+    }
+    if (backend == "mapreduce" &&
+        options.num_workers != store->meta().num_partitions()) {
+      std::fprintf(stderr,
+                   "--workers=%lld must equal the pack's --partitions=%lld "
+                   "for the mapreduce backend\n",
+                   static_cast<long long>(options.num_workers),
+                   static_cast<long long>(store->meta().num_partitions()));
+      return 1;
+    }
+    ShardGraphView view(std::move(*store));
+    result = backend == "mapreduce"
+                 ? RunInferTurboMapReduce(view, **model, options)
+                 : RunInferTurboPregel(view, **model, options);
+  } else {
+    result = backend == "mapreduce"
+                 ? RunInferTurboMapReduce(*graph, **model, options)
+                 : RunInferTurboPregel(*graph, **model, options);
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
     return 1;

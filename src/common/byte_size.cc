@@ -1,7 +1,10 @@
 #include "src/common/byte_size.h"
 
 #include <array>
+#include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace inferturbo {
 
@@ -22,6 +25,62 @@ std::string FormatBytes(std::uint64_t bytes) {
     std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
   }
   return buf;
+}
+
+Result<std::uint64_t> ParseByteSize(std::string_view text) {
+  const auto fail = [&text]() {
+    return Status::InvalidArgument("cannot parse byte size '" +
+                                   std::string(text) + "'");
+  };
+  // Trim surrounding whitespace.
+  std::size_t begin = 0, end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+    ++begin;
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])))
+    --end;
+  const std::string trimmed(text.substr(begin, end - begin));
+  if (trimmed.empty()) return fail();
+
+  char* number_end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &number_end);
+  if (number_end == trimmed.c_str()) return fail();
+  if (!std::isfinite(value) || value < 0.0) return fail();
+
+  std::string unit(number_end);
+  std::size_t unit_begin = 0;
+  while (unit_begin < unit.size() &&
+         std::isspace(static_cast<unsigned char>(unit[unit_begin])))
+    ++unit_begin;
+  unit = unit.substr(unit_begin);
+  for (char& c : unit) c = static_cast<char>(std::tolower(
+                           static_cast<unsigned char>(c)));
+
+  double multiplier = 1.0;
+  if (!unit.empty() && unit != "b") {
+    // One prefix letter, then optionally "b" or "ib" ("m", "mb", "mib").
+    static constexpr std::array<std::pair<char, double>, 4> kPrefixes = {
+        {{'k', 1024.0},
+         {'m', 1024.0 * 1024.0},
+         {'g', 1024.0 * 1024.0 * 1024.0},
+         {'t', 1024.0 * 1024.0 * 1024.0 * 1024.0}}};
+    bool matched = false;
+    for (const auto& [prefix, factor] : kPrefixes) {
+      if (unit[0] != prefix) continue;
+      const std::string rest = unit.substr(1);
+      if (rest.empty() || rest == "b" || rest == "ib") {
+        multiplier = factor;
+        matched = true;
+      }
+      break;
+    }
+    if (!matched) return fail();
+  }
+
+  const double bytes = value * multiplier;
+  // 2^64 rounded to double; anything at or past it overflows u64.
+  if (bytes >= 18446744073709551616.0) return fail();
+  return static_cast<std::uint64_t>(bytes);
 }
 
 }  // namespace inferturbo

@@ -4,6 +4,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
+
+#include "src/common/result.h"
 
 namespace inferturbo {
 
@@ -38,6 +41,16 @@ inline constexpr std::size_t IdOnlyMessageBytes() {
 
 /// "12.3 MiB"-style rendering for logs and bench output.
 std::string FormatBytes(std::uint64_t bytes);
+
+/// Parses a human-readable byte count: a non-negative number followed
+/// by an optional unit. Units are binary (1024-based) whether spelled
+/// "MB" or "MiB" — operator shorthand, matching du/free conventions —
+/// and case-insensitive, with optional whitespace before the unit:
+/// "512MB", "4GiB", "1.5 gib", "64 K", and plain "1048576" all parse.
+/// Fractional values round down to whole bytes. Returns
+/// InvalidArgument on malformed text, negatives, or values that
+/// overflow 2^64 - 1 bytes.
+Result<std::uint64_t> ParseByteSize(std::string_view text);
 
 }  // namespace inferturbo
 

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "src/common/byte_size.h"
+
 namespace inferturbo {
 
 Result<FlagParser> FlagParser::Parse(int argc, const char* const argv[]) {
@@ -51,6 +53,18 @@ bool FlagParser::GetBool(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+Result<std::uint64_t> FlagParser::GetBytes(const std::string& key,
+                                           std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  Result<std::uint64_t> parsed = ParseByteSize(it->second);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("--" + key + ": " +
+                                   parsed.status().message());
+  }
+  return parsed;
 }
 
 std::vector<std::string> FlagParser::Keys() const {

@@ -29,6 +29,13 @@ class FlagParser {
   double GetDouble(const std::string& key, double fallback) const;
   bool GetBool(const std::string& key, bool fallback) const;
 
+  /// Human-readable byte count ("512MB", "4GiB", "1048576"; see
+  /// ParseByteSize). Unlike the lenient getters above a malformed value
+  /// is an InvalidArgument error, not a silent fallback — byte budgets
+  /// misread as 0 would quietly disable the limit they configure.
+  Result<std::uint64_t> GetBytes(const std::string& key,
+                                 std::uint64_t fallback) const;
+
   /// Keys seen on the command line, for unknown-flag validation.
   std::vector<std::string> Keys() const;
 

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string_view>
 #include <vector>
@@ -11,6 +12,66 @@
 
 namespace inferturbo {
 namespace {
+
+/// Stream buffer handed to every table reader/writer. Tables at the
+/// paper's scale are hundreds of GB; the default ~8 KB stdio window
+/// turns loading into syscall churn.
+constexpr std::size_t kStreamBufferBytes = 1 << 20;
+
+/// An ifstream with a 1 MiB buffer installed before open (pubsetbuf is
+/// only honored on an unopened stream).
+class BufferedLineReader {
+ public:
+  explicit BufferedLineReader(const std::string& path)
+      : buffer_(new char[kStreamBufferBytes]) {
+    stream_.rdbuf()->pubsetbuf(buffer_.get(), kStreamBufferBytes);
+    stream_.open(path);
+  }
+
+  bool ok() const { return static_cast<bool>(stream_); }
+  bool eof() const { return stream_.eof(); }
+
+  /// Reads the next line, tracking the 1-based line number for error
+  /// messages.
+  bool Next(std::string* line) {
+    if (!std::getline(stream_, *line)) return false;
+    ++line_number_;
+    return true;
+  }
+  std::int64_t line_number() const { return line_number_; }
+
+ private:
+  std::unique_ptr<char[]> buffer_;
+  std::ifstream stream_;
+  std::int64_t line_number_ = 0;
+};
+
+class BufferedWriter {
+ public:
+  explicit BufferedWriter(const std::string& path)
+      : buffer_(new char[kStreamBufferBytes]) {
+    stream_.rdbuf()->pubsetbuf(buffer_.get(), kStreamBufferBytes);
+    stream_.open(path, std::ios::trunc);
+  }
+
+  bool ok() const { return static_cast<bool>(stream_); }
+  void Write(const std::string& line) { stream_ << line; }
+  bool Flush() {
+    stream_.flush();
+    return static_cast<bool>(stream_);
+  }
+
+ private:
+  std::unique_ptr<char[]> buffer_;
+  std::ofstream stream_;
+};
+
+/// "<path>:<line>: <reason>" — every malformed row names the exact
+/// file and 1-based line it came from.
+Status ParseError(const std::string& path, std::int64_t line,
+                  const std::string& reason) {
+  return Status::IoError(path + ":" + std::to_string(line) + ": " + reason);
+}
 
 void AppendFloatCsv(const float* values, std::int64_t n, std::string* out) {
   char buf[32];
@@ -35,34 +96,46 @@ std::vector<std::string_view> SplitView(std::string_view s, char sep) {
   }
 }
 
-Status ParseInt(std::string_view s, std::int64_t* out) {
+Status ParseInt(std::string_view s, std::string_view what,
+                std::int64_t* out) {
   const auto result = std::from_chars(s.data(), s.data() + s.size(), *out);
   if (result.ec != std::errc() || result.ptr != s.data() + s.size()) {
-    return Status::IoError("bad integer field: '" + std::string(s) + "'");
+    return Status::IoError("bad integer " + std::string(what) + " '" +
+                           std::string(s) + "'");
   }
   return Status::OK();
 }
 
-Status ParseFloatCsv(std::string_view s, std::vector<float>* out) {
+Status ParseFloatCsv(std::string_view s, std::string_view what,
+                     std::vector<float>* out) {
   out->clear();
   if (s.empty()) return Status::OK();
   for (std::string_view part : SplitView(s, ',')) {
     float v = 0.0f;
     const auto result =
         std::from_chars(part.data(), part.data() + part.size(), v);
-    if (result.ec != std::errc()) {
-      return Status::IoError("bad float field: '" + std::string(part) + "'");
+    if (result.ec != std::errc() || result.ptr != part.data() + part.size()) {
+      return Status::IoError("bad float in " + std::string(what) + ": '" +
+                             std::string(part) + "'");
     }
     out->push_back(v);
   }
   return Status::OK();
 }
 
+/// Runs a field parser and prefixes any failure with path:line.
+Status AtLine(const std::string& path, std::int64_t line, Status status) {
+  if (status.ok()) return status;
+  return ParseError(path, line, status.message());
+}
+
 }  // namespace
 
 Status WriteNodeTable(const Graph& graph, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  BufferedWriter out(path);
+  if (!out.ok()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
   std::string line;
   for (NodeId v = 0; v < graph.num_nodes(); ++v) {
     line.clear();
@@ -82,15 +155,21 @@ Status WriteNodeTable(const Graph& graph, const std::string& path) {
       line += std::to_string(graph.EdgeDst(e));
     }
     line.push_back('\n');
-    out << line;
+    out.Write(line);
+    if (!out.ok()) {
+      return Status::IoError("write failed for " + path + " near node " +
+                             std::to_string(v));
+    }
   }
-  if (!out) return Status::IoError("write failed for " + path);
+  if (!out.Flush()) return Status::IoError("write failed for " + path);
   return Status::OK();
 }
 
 Status WriteEdgeTable(const Graph& graph, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  BufferedWriter out(path);
+  if (!out.ok()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
   std::string line;
   for (EdgeId e = 0; e < graph.num_edges(); ++e) {
     line.clear();
@@ -103,71 +182,121 @@ Status WriteEdgeTable(const Graph& graph, const std::string& path) {
                      graph.edge_features().cols(), &line);
     }
     line.push_back('\n');
-    out << line;
+    out.Write(line);
+    if (!out.ok()) {
+      return Status::IoError("write failed for " + path + " near edge " +
+                             std::to_string(e));
+    }
   }
-  if (!out) return Status::IoError("write failed for " + path);
+  if (!out.Flush()) return Status::IoError("write failed for " + path);
   return Status::OK();
 }
 
 Result<Graph> LoadGraphFromTables(const std::string& node_path,
                                   const std::string& edge_path) {
-  std::ifstream nodes(node_path);
-  if (!nodes) return Status::IoError("cannot open " + node_path);
+  BufferedLineReader nodes(node_path);
+  if (!nodes.ok()) return Status::IoError("cannot open " + node_path);
 
   std::vector<std::vector<float>> features;
   std::vector<std::int64_t> labels;
   std::int64_t max_label = -1;
   std::string line;
   std::int64_t expected_id = 0;
-  while (std::getline(nodes, line)) {
+  while (nodes.Next(&line)) {
     if (line.empty()) continue;
+    const std::int64_t lineno = nodes.line_number();
     const std::vector<std::string_view> fields = SplitView(line, '\t');
     if (fields.size() < 3) {
-      return Status::IoError("node table row needs >= 3 fields");
+      return ParseError(node_path, lineno,
+                        "node row needs >= 3 tab-separated fields "
+                        "(id, label, features[, out-neighbors]); got " +
+                            std::to_string(fields.size()));
     }
     std::int64_t id = 0;
-    INFERTURBO_RETURN_NOT_OK(ParseInt(fields[0], &id));
+    INFERTURBO_RETURN_NOT_OK(
+        AtLine(node_path, lineno, ParseInt(fields[0], "node id", &id)));
     if (id != expected_id) {
-      return Status::IoError("node table ids must be dense and ordered; got " +
-                             std::to_string(id) + " expecting " +
-                             std::to_string(expected_id));
+      return ParseError(node_path, lineno,
+                        "node ids must be dense and ordered; got " +
+                            std::to_string(id) + " expecting " +
+                            std::to_string(expected_id));
     }
     ++expected_id;
     std::int64_t label = 0;
-    INFERTURBO_RETURN_NOT_OK(ParseInt(fields[1], &label));
+    INFERTURBO_RETURN_NOT_OK(
+        AtLine(node_path, lineno, ParseInt(fields[1], "label", &label)));
     labels.push_back(label);
     max_label = std::max(max_label, label);
     std::vector<float> feat;
-    INFERTURBO_RETURN_NOT_OK(ParseFloatCsv(fields[2], &feat));
+    INFERTURBO_RETURN_NOT_OK(AtLine(
+        node_path, lineno, ParseFloatCsv(fields[2], "feature column",
+                                         &feat)));
     if (!features.empty() && feat.size() != features[0].size()) {
-      return Status::IoError("inconsistent feature dim in node table");
+      return ParseError(node_path, lineno,
+                        "inconsistent feature dim: this row has " +
+                            std::to_string(feat.size()) +
+                            " values, earlier rows have " +
+                            std::to_string(features[0].size()));
     }
     features.push_back(std::move(feat));
   }
+  if (!nodes.eof()) {
+    return ParseError(node_path, nodes.line_number() + 1,
+                      "read failed before end of file");
+  }
   const std::int64_t num_nodes = static_cast<std::int64_t>(features.size());
-  if (num_nodes == 0) return Status::IoError("empty node table");
+  if (num_nodes == 0) {
+    return Status::IoError(node_path + ": empty node table");
+  }
 
   GraphBuilder builder(num_nodes);
-  std::ifstream edges(edge_path);
-  if (!edges) return Status::IoError("cannot open " + edge_path);
+  BufferedLineReader edges(edge_path);
+  if (!edges.ok()) return Status::IoError("cannot open " + edge_path);
   std::vector<std::vector<float>> edge_feats;
-  bool has_edge_feats = false;
-  while (std::getline(edges, line)) {
+  std::int64_t first_featured_line = -1;
+  std::int64_t first_bare_line = -1;
+  while (edges.Next(&line)) {
     if (line.empty()) continue;
+    const std::int64_t lineno = edges.line_number();
     const std::vector<std::string_view> fields = SplitView(line, '\t');
     if (fields.size() < 2) {
-      return Status::IoError("edge table row needs >= 2 fields");
+      return ParseError(edge_path, lineno,
+                        "edge row needs >= 2 tab-separated fields "
+                        "(src, dst[, features])");
     }
     std::int64_t src = 0, dst = 0;
-    INFERTURBO_RETURN_NOT_OK(ParseInt(fields[0], &src));
-    INFERTURBO_RETURN_NOT_OK(ParseInt(fields[1], &dst));
+    INFERTURBO_RETURN_NOT_OK(
+        AtLine(edge_path, lineno, ParseInt(fields[0], "src id", &src)));
+    INFERTURBO_RETURN_NOT_OK(
+        AtLine(edge_path, lineno, ParseInt(fields[1], "dst id", &dst)));
+    if (src < 0 || src >= num_nodes || dst < 0 || dst >= num_nodes) {
+      return ParseError(edge_path, lineno,
+                        "edge (" + std::to_string(src) + " -> " +
+                            std::to_string(dst) + ") references a node id "
+                            "outside [0, " + std::to_string(num_nodes) + ")");
+    }
     builder.AddEdge(src, dst);
     if (fields.size() >= 3) {
-      has_edge_feats = true;
+      if (first_featured_line < 0) first_featured_line = lineno;
       std::vector<float> feat;
-      INFERTURBO_RETURN_NOT_OK(ParseFloatCsv(fields[2], &feat));
+      INFERTURBO_RETURN_NOT_OK(AtLine(
+          edge_path, lineno, ParseFloatCsv(fields[2], "edge features",
+                                           &feat)));
+      if (!edge_feats.empty() && feat.size() != edge_feats[0].size()) {
+        return ParseError(edge_path, lineno,
+                          "inconsistent edge feature dim: this row has " +
+                              std::to_string(feat.size()) +
+                              " values, earlier rows have " +
+                              std::to_string(edge_feats[0].size()));
+      }
       edge_feats.push_back(std::move(feat));
+    } else if (first_bare_line < 0) {
+      first_bare_line = lineno;
     }
+  }
+  if (!edges.eof()) {
+    return ParseError(edge_path, edges.line_number() + 1,
+                      "read failed before end of file");
   }
 
   Tensor feat_tensor = Tensor::FromRows(features);
@@ -178,10 +307,12 @@ Result<Graph> LoadGraphFromTables(const std::string& node_path,
     for (std::int64_t& y : labels) y = std::max<std::int64_t>(y, 0);
     builder.SetLabels(std::move(labels), max_label + 1);
   }
-  if (has_edge_feats) {
-    if (static_cast<std::int64_t>(edge_feats.size()) != builder.num_edges()) {
-      return Status::IoError("edge table mixes rows with and without "
-                             "features");
+  if (!edge_feats.empty()) {
+    if (first_bare_line >= 0) {
+      return ParseError(edge_path, first_bare_line,
+                        "edge table mixes rows with and without features "
+                        "(first featured row is line " +
+                            std::to_string(first_featured_line) + ")");
     }
     builder.SetEdgeFeatures(Tensor::FromRows(edge_feats));
   }

@@ -19,6 +19,10 @@ Status WriteEdgeTable(const Graph& graph, const std::string& path);
 
 /// Rebuilds a Graph from the two tables. Splits and multi-label targets
 /// are not round-tripped (tables carry what the inference job needs).
+/// Reads are buffered (1 MiB windows), and every malformed row fails
+/// with an IoError naming the file, 1-based line number, and reason —
+/// "edges.tsv:17: bad integer src id 'x7'" — never silently skipping
+/// or crashing on bad input.
 Result<Graph> LoadGraphFromTables(const std::string& node_path,
                                   const std::string& edge_path);
 

@@ -12,8 +12,8 @@
 #include "src/common/logging.h"
 #include "src/gas/gas_conv.h"
 #include "src/gas/superstep_gather.h"
-#include "src/graph/partition.h"
 #include "src/mapreduce/mapreduce_engine.h"
+#include "src/storage/graph_view.h"
 #include "src/tensor/ops.h"
 
 namespace inferturbo {
@@ -74,13 +74,16 @@ enum RecordTag : std::int32_t {
   kEmbedding = 7,   ///< floats = final-layer state (optional output)
 };
 
-/// Orchestrates the Map + k-Reduce pipeline.
+/// Orchestrates the Map + k-Reduce pipeline. Reads the graph solely
+/// through a GraphView, one partition per map instance — the driver
+/// never needs the whole graph resident, which is what lets the same
+/// code run in-memory and out-of-core with bit-identical output.
 class MrInferenceDriver {
  public:
-  MrInferenceDriver(const Graph& graph, const GnnModel& model,
+  MrInferenceDriver(const GraphView& view, const GnnModel& model,
                     const InferTurboOptions& options,
                     std::int64_t hub_threshold)
-      : graph_(graph),
+      : view_(view),
         model_(model),
         options_(options),
         hub_threshold_(hub_threshold) {
@@ -88,12 +91,10 @@ class MrInferenceDriver {
       ships_edge_features_ =
           ships_edge_features_ || model.layer(l).signature().uses_edge_features;
     }
-    INFERTURBO_CHECK(!ships_edge_features_ || graph.has_edge_features())
+    INFERTURBO_CHECK(!ships_edge_features_ || view.edge_feature_dim() > 0)
         << "model needs edge features the graph does not have";
-    // Map splits: nodes hashed over instances, same scheme as the
-    // Pregel partitioner.
-    HashPartitioner partitioner(options.num_workers);
-    assignment_ = AssignPartitions(graph.num_nodes(), partitioner);
+    INFERTURBO_CHECK(view.num_partitions() == options.num_workers)
+        << "view partitioning must match the worker count";
   }
 
   Result<Tensor> Run() {
@@ -159,6 +160,12 @@ class MrInferenceDriver {
       job.RunMap([this](std::int64_t instance, MrEmitter* emitter) {
         MapStage(instance, emitter);
       });
+      // MapFn cannot return a Status; partition-acquire failures (e.g.
+      // a corrupt shard) land here instead of crashing the pool.
+      {
+        std::lock_guard<std::mutex> lock(map_error_mutex_);
+        INFERTURBO_RETURN_NOT_OK(map_error_);
+      }
       FlushBroadcastStaging(&job);
       INFERTURBO_RETURN_NOT_OK(save_checkpoint(0));
     }
@@ -191,12 +198,12 @@ class MrInferenceDriver {
     }
 
     // Collect kPrediction (and optional kEmbedding) rows.
-    Tensor logits(graph_.num_nodes(), model_.num_classes());
+    const std::int64_t num_nodes = view_.num_nodes();
+    Tensor logits(num_nodes, model_.num_classes());
     if (options_.export_embeddings) {
-      embeddings_ = Tensor(graph_.num_nodes(), model_.embedding_dim());
+      embeddings_ = Tensor(num_nodes, model_.embedding_dim());
     }
-    std::vector<bool> seen(static_cast<std::size_t>(graph_.num_nodes()),
-                           false);
+    std::vector<bool> seen(static_cast<std::size_t>(num_nodes), false);
     for (MrKeyValue& kv : job.TakeOutputs()) {
       if (kv.second.tag == kEmbedding) {
         embeddings_.SetRow(kv.first, kv.second.floats.data());
@@ -207,7 +214,7 @@ class MrInferenceDriver {
       logits.SetRow(v, kv.second.floats.data());
       seen[static_cast<std::size_t>(v)] = true;
     }
-    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    for (NodeId v = 0; v < num_nodes; ++v) {
       if (!seen[static_cast<std::size_t>(v)]) {
         return Status::Internal("node " + std::to_string(v) +
                                 " produced no prediction");
@@ -278,16 +285,33 @@ class MrInferenceDriver {
     *values = std::move(kept);
   }
 
-  /// The initialization stage: raw features become layer-0 states;
-  /// self-state, out-edge info, and layer-0 messages enter the
+  /// The initialization stage: map instance p streams partition p of
+  /// the view (hinting p+1 so an out-of-core view overlaps the next
+  /// load with this one's compute). Raw features become layer-0
+  /// states; self-state, out-edge info, and layer-0 messages enter the
   /// dataflow.
   void MapStage(std::int64_t instance, MrEmitter* emitter) {
-    const std::vector<NodeId>& nodes =
-        assignment_.members[static_cast<std::size_t>(instance)];
-    if (nodes.empty()) return;
-    const Tensor states = GatherRows(graph_.node_features(), nodes);
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-      const NodeId v = nodes[i];
+    view_.PrefetchPartition(instance + 1);
+    Result<PartitionSlice> acquired = view_.AcquirePartition(instance);
+    if (!acquired.ok()) {
+      RecordMapError(acquired.status());
+      return;
+    }
+    const PartitionSlice& slice = *acquired;
+    const std::size_t n = slice.nodes.size();
+    if (n == 0) return;
+    const std::size_t fd =
+        static_cast<std::size_t>(view_.feature_dim());
+    const std::size_t efd =
+        static_cast<std::size_t>(view_.edge_feature_dim());
+    Tensor states(static_cast<std::int64_t>(n),
+                  static_cast<std::int64_t>(fd));
+    for (std::size_t i = 0; i < n; ++i) {
+      states.SetRow(static_cast<std::int64_t>(i),
+                    slice.node_features + i * fd);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId v = slice.nodes[i];
       MrValue self;
       self.tag = kSelfState;
       self.floats = states.RowVector(static_cast<std::int64_t>(i));
@@ -295,18 +319,23 @@ class MrInferenceDriver {
 
       MrValue out_edges;
       out_edges.tag = kOutEdges;
-      for (EdgeId e : graph_.OutEdges(v)) {
-        out_edges.ids.push_back(graph_.EdgeDst(e));
+      for (std::int64_t k = slice.out_offsets[i];
+           k < slice.out_offsets[i + 1]; ++k) {
+        out_edges.ids.push_back(slice.out_dst[static_cast<std::size_t>(k)]);
         if (ships_edge_features_) {
-          const float* feat = graph_.edge_features().RowPtr(e);
-          out_edges.floats.insert(
-              out_edges.floats.end(), feat,
-              feat + graph_.edge_features().cols());
+          const float* feat =
+              slice.edge_features + static_cast<std::size_t>(k) * efd;
+          out_edges.floats.insert(out_edges.floats.end(), feat, feat + efd);
         }
       }
       emitter->Emit(v, std::move(out_edges));
     }
-    ScatterMessages(instance, /*layer_index=*/0, nodes, states, emitter);
+    ScatterMessages(/*layer_index=*/0, slice, states, emitter);
+  }
+
+  void RecordMapError(const Status& status) {
+    std::lock_guard<std::mutex> lock(map_error_mutex_);
+    if (map_error_.ok()) map_error_ = status;
   }
 
   /// One GNN layer for one key. `values` hold the node's previous
@@ -420,24 +449,25 @@ class MrInferenceDriver {
   /// Scatter for a batch of nodes (Map stage): dense rows, or broadcast
   /// refs for hubs. Map-side partial aggregation is the engine
   /// combiner's job, so dense rows are emitted as-is here.
-  void ScatterMessages(std::int64_t instance, std::int64_t layer_index,
-                       const std::vector<NodeId>& nodes, const Tensor& states,
-                       MrEmitter* emitter) {
-    (void)instance;
+  void ScatterMessages(std::int64_t layer_index, const PartitionSlice& slice,
+                       const Tensor& states, MrEmitter* emitter) {
     const GasConv& layer = model_.layer(layer_index);
     const Tensor messages = layer.ComputeMessage(states);
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const std::size_t efd =
+        static_cast<std::size_t>(view_.edge_feature_dim());
+    for (std::size_t i = 0; i < slice.nodes.size(); ++i) {
       std::vector<NodeId> out_neighbors;
       std::vector<float> out_edge_feats;
-      for (EdgeId e : graph_.OutEdges(nodes[i])) {
-        out_neighbors.push_back(graph_.EdgeDst(e));
+      for (std::int64_t k = slice.out_offsets[i];
+           k < slice.out_offsets[i + 1]; ++k) {
+        out_neighbors.push_back(slice.out_dst[static_cast<std::size_t>(k)]);
         if (ships_edge_features_) {
-          const float* feat = graph_.edge_features().RowPtr(e);
-          out_edge_feats.insert(out_edge_feats.end(), feat,
-                                feat + graph_.edge_features().cols());
+          const float* feat =
+              slice.edge_features + static_cast<std::size_t>(k) * efd;
+          out_edge_feats.insert(out_edge_feats.end(), feat, feat + efd);
         }
       }
-      EmitNodeMessages(layer_index, nodes[i],
+      EmitNodeMessages(layer_index, slice.nodes[i],
                        messages.RowVector(static_cast<std::int64_t>(i)),
                        out_neighbors, out_edge_feats, emitter);
     }
@@ -544,14 +574,16 @@ class MrInferenceDriver {
     }
   }
 
-  const Graph& graph_;
+  const GraphView& view_;
   const GnnModel& model_;
   const InferTurboOptions& options_;
   std::int64_t hub_threshold_;
   /// True when some layer's apply_edge consumes edge features, so the
   /// out-edge records must ship them between rounds.
   bool ships_edge_features_ = false;
-  PartitionAssignment assignment_;
+  std::mutex map_error_mutex_;
+  /// First failure from a map instance (MapFn cannot return Status).
+  Status map_error_ = Status::OK();
   JobMetrics metrics_;
   Tensor embeddings_;
   std::int64_t failures_recovered_ = 0;
@@ -560,6 +592,23 @@ class MrInferenceDriver {
   std::unordered_map<NodeId, std::vector<float>> broadcast_staging_;
   std::unordered_map<NodeId, std::vector<float>> broadcast_table_;
 };
+
+/// Runs the driver over `view` and packages the raw outputs (no
+/// shadow-node remapping — callers that rewrote the graph trim after).
+Result<InferenceResult> DriveView(const GraphView& view,
+                                  const GnnModel& model,
+                                  const InferTurboOptions& options,
+                                  std::int64_t hub_threshold) {
+  MrInferenceDriver driver(view, model, options, hub_threshold);
+  INFERTURBO_ASSIGN_OR_RETURN(Tensor all_logits, driver.Run());
+  options.failures_recovered = driver.failures_recovered();
+  InferenceResult result;
+  result.logits = std::move(all_logits);
+  result.embeddings = driver.TakeEmbeddings();
+  result.predictions = ArgmaxRows(result.logits);
+  result.metrics = driver.TakeMetrics();
+  return result;
+}
 
 }  // namespace
 
@@ -582,29 +631,68 @@ Result<InferenceResult> RunInferTurboMapReduce(
     active = &shadow.graph;
   }
 
-  MrInferenceDriver driver(*active, model, options, threshold);
-  INFERTURBO_ASSIGN_OR_RETURN(Tensor all_logits, driver.Run());
-  options.failures_recovered = driver.failures_recovered();
+  InMemoryGraphView view(*active, options.num_workers);
+  INFERTURBO_ASSIGN_OR_RETURN(InferenceResult result,
+                              DriveView(view, model, options, threshold));
 
-  InferenceResult result;
-  Tensor all_embeddings = driver.TakeEmbeddings();
   if (options.strategies.shadow_nodes) {
-    result.logits = Tensor(graph.num_nodes(), all_logits.cols());
+    // Shadow nodes are appended past the original id range: trim their
+    // rows off the outputs.
+    Tensor trimmed(graph.num_nodes(), result.logits.cols());
     for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-      result.logits.SetRow(v, all_logits.RowPtr(v));
+      trimmed.SetRow(v, result.logits.RowPtr(v));
     }
-    if (!all_embeddings.empty()) {
-      result.embeddings = Tensor(graph.num_nodes(), all_embeddings.cols());
+    result.logits = std::move(trimmed);
+    if (!result.embeddings.empty()) {
+      Tensor emb(graph.num_nodes(), result.embeddings.cols());
       for (NodeId v = 0; v < graph.num_nodes(); ++v) {
-        result.embeddings.SetRow(v, all_embeddings.RowPtr(v));
+        emb.SetRow(v, result.embeddings.RowPtr(v));
       }
+      result.embeddings = std::move(emb);
     }
-  } else {
-    result.logits = std::move(all_logits);
-    result.embeddings = std::move(all_embeddings);
+    result.predictions = ArgmaxRows(result.logits);
   }
-  result.predictions = ArgmaxRows(result.logits);
-  result.metrics = driver.TakeMetrics();
+  return result;
+}
+
+Result<InferenceResult> RunInferTurboMapReduce(
+    const GraphView& view, const GnnModel& model,
+    const InferTurboOptions& options) {
+  // A view that is just a window onto a resident graph gains nothing
+  // from the streaming path; reuse the Graph entry (which also keeps
+  // shadow_nodes free of a materialize round trip).
+  if (const Graph* resident = view.resident_graph()) {
+    return RunInferTurboMapReduce(*resident, model, options);
+  }
+  if (view.feature_dim() != model.input_dim()) {
+    return Status::InvalidArgument("graph feature dim does not match model");
+  }
+  if (options.num_workers <= 0) {
+    return Status::InvalidArgument("num_workers must be positive");
+  }
+  if (options.num_workers != view.num_partitions()) {
+    return Status::InvalidArgument(
+        "num_workers (" + std::to_string(options.num_workers) +
+        ") must equal the view's partition count (" +
+        std::to_string(view.num_partitions()) +
+        "): the shard partitioning is the worker assignment");
+  }
+  if (options.strategies.shadow_nodes) {
+    // The shadow rewrite restructures topology globally; rebuild the
+    // graph (bounded mapped bytes while building), run the resident
+    // path, and still report the storage work done.
+    INFERTURBO_ASSIGN_OR_RETURN(Graph graph, MaterializeGraph(view));
+    INFERTURBO_ASSIGN_OR_RETURN(
+        InferenceResult result,
+        RunInferTurboMapReduce(graph, model, options));
+    result.metrics.storage = view.storage_metrics();
+    return result;
+  }
+  const std::int64_t threshold = options.strategies.HubThreshold(
+      view.num_edges(), options.num_workers);
+  INFERTURBO_ASSIGN_OR_RETURN(InferenceResult result,
+                              DriveView(view, model, options, threshold));
+  result.metrics.storage = view.storage_metrics();
   return result;
 }
 

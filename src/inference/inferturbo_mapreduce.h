@@ -9,6 +9,8 @@
 
 namespace inferturbo {
 
+class GraphView;
+
 /// Full-graph layer-wise GNN inference on the MapReduce backend (paper
 /// §IV-C2). Unlike the Pregel backend nothing stays resident between
 /// rounds: the Map stage turns the node table into self-state,
@@ -20,6 +22,20 @@ namespace inferturbo {
 /// cost/efficiency trade-off between the two backends.
 Result<InferenceResult> RunInferTurboMapReduce(
     const Graph& graph, const GnnModel& model,
+    const InferTurboOptions& options);
+
+/// Same pipeline over a GraphView: map instance p streams partition p
+/// of the view (prefetching p+1), so an out-of-core shard-backed view
+/// runs with only ~one partition resident per mapper. Logits are
+/// bit-identical to the in-memory overload because the view presents
+/// partitions in the same HashPartitioner member order with the same
+/// raw feature bytes. Requires options.num_workers ==
+/// view.num_partitions() (the partitioning IS the worker assignment);
+/// anything else is an InvalidArgument. The shadow_nodes strategy
+/// rewrites the whole graph, so that path materializes the view first.
+/// result.metrics.storage carries the view's storage counters.
+Result<InferenceResult> RunInferTurboMapReduce(
+    const GraphView& view, const GnnModel& model,
     const InferTurboOptions& options);
 
 }  // namespace inferturbo

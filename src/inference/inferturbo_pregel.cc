@@ -10,6 +10,7 @@
 #include "src/gas/gas_conv.h"
 #include "src/gas/superstep_gather.h"
 #include "src/pregel/pregel_engine.h"
+#include "src/storage/graph_view.h"
 #include "src/tensor/kernels/kernels.h"
 #include "src/tensor/ops.h"
 
@@ -488,6 +489,22 @@ Result<InferenceResult> RunInferTurboPregel(const Graph& graph,
   }
   result.predictions = ArgmaxRows(result.logits);
   result.metrics = std::move(metrics);
+  return result;
+}
+
+Result<InferenceResult> RunInferTurboPregel(const GraphView& view,
+                                            const GnnModel& model,
+                                            const InferTurboOptions& options) {
+  if (const Graph* resident = view.resident_graph()) {
+    return RunInferTurboPregel(*resident, model, options);
+  }
+  // Out-of-core view: Pregel holds all node state resident anyway, so
+  // rebuild the graph (one partition mapped at a time while building)
+  // and run the resident path on the exact original structure.
+  INFERTURBO_ASSIGN_OR_RETURN(Graph graph, MaterializeGraph(view));
+  INFERTURBO_ASSIGN_OR_RETURN(InferenceResult result,
+                              RunInferTurboPregel(graph, model, options));
+  result.metrics.storage = view.storage_metrics();
   return result;
 }
 

@@ -84,6 +84,19 @@ Result<InferenceResult> RunInferTurboPregel(const Graph& graph,
                                             const GnnModel& model,
                                             const InferTurboOptions& options);
 
+class GraphView;
+
+/// Pregel over a GraphView. The Pregel backend keeps all state
+/// resident by design (that is its side of the paper's trade-off), so
+/// an out-of-core view is materialized back into a Graph first —
+/// MaterializeGraph reproduces the exact original edge ordering, so
+/// logits stay bit-identical to running on the graph that was packed.
+/// Views over a resident graph run on it directly. In either case
+/// result.metrics.storage carries the view's storage counters.
+Result<InferenceResult> RunInferTurboPregel(const GraphView& view,
+                                            const GnnModel& model,
+                                            const InferTurboOptions& options);
+
 }  // namespace inferturbo
 
 #endif  // INFERTURBO_INFERENCE_INFERTURBO_PREGEL_H_

@@ -73,6 +73,34 @@ struct ClusterCostModel {
   }
 };
 
+/// Out-of-core storage accounting (src/storage/): how many bytes of
+/// shard files a job had mapped, and how well the prefetcher hid the
+/// map cost. A job that never touched the shard store reports zeros.
+struct StorageMetrics {
+  /// Shard bytes currently mapped (mmap or heap fallback).
+  std::uint64_t bytes_mapped = 0;
+  /// High-water mark of bytes_mapped over the store's lifetime — the
+  /// number the memory-budget contract is checked against.
+  std::uint64_t peak_bytes_mapped = 0;
+  /// Physical shard loads (each maps one partition's file).
+  std::int64_t map_calls = 0;
+  /// Mappings released (eviction or last lease dropped).
+  std::int64_t unmap_calls = 0;
+  /// Map() requests satisfied by an already-mapped shard.
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  /// Async prefetches issued / finished loading.
+  std::int64_t prefetch_issued = 0;
+  std::int64_t prefetch_completed = 0;
+  /// Map() requests whose shard was resident because a prefetch loaded
+  /// it (subset of cache_hits).
+  std::int64_t prefetch_hits = 0;
+  /// Cache entries dropped to respect the memory budget.
+  std::int64_t evictions = 0;
+  /// Shards rejected on load because a page failed CRC/bounds checks.
+  std::int64_t checksum_failures = 0;
+};
+
 /// Whole-job accounting: one WorkerMetrics per logical worker.
 struct JobMetrics {
   std::vector<WorkerMetrics> workers;
@@ -82,6 +110,9 @@ struct JobMetrics {
   /// when an I/O fault injector fired on the spill path.
   std::int64_t spill_read_retries = 0;
   std::int64_t spill_write_retries = 0;
+  /// Shard-store counters for jobs that ran over an out-of-core
+  /// GraphView (zeros for fully-resident runs).
+  StorageMetrics storage;
 
   std::int64_t num_steps() const {
     return workers.empty() ? 0

@@ -1,0 +1,187 @@
+#include "src/storage/shard_writer.h"
+
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "src/common/atomic_file.h"
+#include "src/common/binary_io.h"
+#include "src/common/crc32.h"
+#include "src/graph/partition.h"
+
+namespace inferturbo {
+namespace {
+
+/// One page staged for writing: its table entry plus the payload bytes.
+struct StagedPage {
+  PageKind kind;
+  std::string payload;
+};
+
+void StageI64Page(PageKind kind, const std::vector<std::int64_t>& values,
+                  std::vector<StagedPage>* pages) {
+  StagedPage page;
+  page.kind = kind;
+  page.payload.assign(
+      reinterpret_cast<const char*>(values.data()),
+      values.size() * sizeof(std::int64_t));
+  pages->push_back(std::move(page));
+}
+
+void StageFloatPage(PageKind kind, const std::vector<float>& values,
+                    std::vector<StagedPage>* pages) {
+  StagedPage page;
+  page.kind = kind;
+  page.payload.assign(reinterpret_cast<const char*>(values.data()),
+                      values.size() * sizeof(float));
+  pages->push_back(std::move(page));
+}
+
+/// Assembles one shard file: header, page table, 64-byte-aligned
+/// payloads, each frame CRC-stamped.
+std::string AssembleShardFile(const ShardHeader& header,
+                              std::vector<StagedPage> pages) {
+  std::string file = EncodeShardHeader(header);
+  // Lay payloads out past the page table, aligning each to
+  // kPageAlignment, and build the entries as we go.
+  std::size_t cursor = ShardPayloadStart();
+  std::vector<PageEntry> entries;
+  entries.reserve(pages.size());
+  for (const StagedPage& page : pages) {
+    PageEntry entry;
+    entry.kind = page.kind;
+    entry.bytes = page.payload.size();
+    if (page.payload.empty()) {
+      entry.offset = 0;
+      entry.payload_crc = 0;
+    } else {
+      cursor = (cursor + kPageAlignment - 1) / kPageAlignment *
+               kPageAlignment;
+      entry.offset = cursor;
+      entry.payload_crc = Crc32(page.payload);
+      cursor += page.payload.size();
+    }
+    entries.push_back(entry);
+  }
+  for (const PageEntry& entry : entries) {
+    file += EncodePageEntry(entry);
+  }
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    if (pages[i].payload.empty()) continue;
+    file.resize(entries[i].offset, '\0');  // alignment padding
+    file += pages[i].payload;
+  }
+  return file;
+}
+
+}  // namespace
+
+Result<ShardMeta> WriteGraphShards(const Graph& graph,
+                                   const std::string& directory,
+                                   const ShardWriterOptions& options) {
+  if (directory.empty()) {
+    return Status::InvalidArgument("shard directory must be set");
+  }
+  if (options.num_partitions < 1) {
+    return Status::InvalidArgument("num_partitions must be >= 1, got " +
+                                   std::to_string(options.num_partitions));
+  }
+  if (graph.is_multi_label()) {
+    return Status::InvalidArgument(
+        "multi-label graphs are not representable in the shard format");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (!std::filesystem::is_directory(directory)) {
+    return Status::IoError("cannot create shard directory " + directory);
+  }
+
+  const std::int64_t feature_dim = graph.feature_dim();
+  const std::int64_t edge_feature_dim =
+      graph.has_edge_features() ? graph.edge_features().cols() : 0;
+  const bool has_labels = !graph.labels().empty();
+
+  // Same partitioner + member order the runtime's workers use, so a
+  // shard-backed MapReduce job streams the exact node order an
+  // in-memory job maps.
+  const PartitionAssignment assignment = AssignPartitions(
+      graph.num_nodes(), HashPartitioner(options.num_partitions));
+
+  ShardMeta meta;
+  meta.num_nodes = graph.num_nodes();
+  meta.num_edges = graph.num_edges();
+  meta.feature_dim = feature_dim;
+  meta.edge_feature_dim = edge_feature_dim;
+  meta.num_classes = graph.num_classes();
+  meta.has_labels = has_labels;
+
+  for (std::int64_t p = 0; p < options.num_partitions; ++p) {
+    const std::vector<NodeId>& members = assignment.members[p];
+    std::vector<std::int64_t> node_ids(members.begin(), members.end());
+    std::vector<std::int64_t> out_offsets;
+    out_offsets.reserve(members.size() + 1);
+    out_offsets.push_back(0);
+    std::vector<std::int64_t> out_dst;
+    std::vector<std::int64_t> out_edge_ids;
+    std::vector<float> node_features;
+    node_features.reserve(members.size() *
+                          static_cast<std::size_t>(feature_dim));
+    std::vector<float> edge_features;
+    std::vector<std::int64_t> labels;
+
+    for (const NodeId v : members) {
+      for (const EdgeId e : graph.OutEdges(v)) {
+        out_dst.push_back(graph.EdgeDst(e));
+        out_edge_ids.push_back(e);
+        if (edge_feature_dim > 0) {
+          const float* row = graph.edge_features().RowPtr(e);
+          edge_features.insert(edge_features.end(), row,
+                               row + edge_feature_dim);
+        }
+      }
+      out_offsets.push_back(static_cast<std::int64_t>(out_dst.size()));
+      const float* row = graph.node_features().RowPtr(v);
+      node_features.insert(node_features.end(), row, row + feature_dim);
+      if (has_labels) {
+        labels.push_back(graph.labels()[static_cast<std::size_t>(v)]);
+      }
+    }
+
+    ShardHeader header;
+    header.partition = p;
+    header.num_nodes = static_cast<std::int64_t>(members.size());
+    header.num_edges = static_cast<std::int64_t>(out_dst.size());
+    header.feature_dim = feature_dim;
+    header.edge_feature_dim = edge_feature_dim;
+    header.has_labels = has_labels;
+
+    std::vector<StagedPage> pages;
+    pages.reserve(kNumPageKinds);
+    StageI64Page(PageKind::kNodeIds, node_ids, &pages);
+    StageI64Page(PageKind::kOutOffsets, out_offsets, &pages);
+    StageI64Page(PageKind::kOutDst, out_dst, &pages);
+    StageI64Page(PageKind::kOutEdgeIds, out_edge_ids, &pages);
+    StageFloatPage(PageKind::kNodeFeatures, node_features, &pages);
+    StageFloatPage(PageKind::kEdgeFeatures, edge_features, &pages);
+    StageI64Page(PageKind::kLabels, labels, &pages);
+
+    const std::string file = AssembleShardFile(header, std::move(pages));
+    const std::string path = directory + "/" + ShardFileName(p);
+    INFERTURBO_RETURN_NOT_OK(WriteFileAtomic(
+        path, file, options.fault_injector, options.retry));
+
+    ShardPartitionInfo info;
+    info.num_nodes = header.num_nodes;
+    info.num_edges = header.num_edges;
+    meta.partitions.push_back(info);
+  }
+
+  // Commit point: the pack is only valid once the meta lands.
+  const std::string meta_path = directory + "/" + ShardMetaFileName();
+  INFERTURBO_RETURN_NOT_OK(WriteFileAtomic(meta_path, EncodeShardMeta(meta),
+                                           options.fault_injector,
+                                           options.retry));
+  return meta;
+}
+
+}  // namespace inferturbo

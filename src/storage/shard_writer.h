@@ -1,0 +1,42 @@
+#ifndef INFERTURBO_STORAGE_SHARD_WRITER_H_
+#define INFERTURBO_STORAGE_SHARD_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/io_fault.h"
+#include "src/common/result.h"
+#include "src/graph/graph.h"
+#include "src/storage/shard_format.h"
+
+namespace inferturbo {
+
+struct ShardWriterOptions {
+  /// Number of shards. Nodes are assigned with the same HashPartitioner
+  /// the runtime uses for workers, so a shard-backed MapReduce run with
+  /// num_workers == num_partitions streams exactly the member lists an
+  /// in-memory run would build — the bit-identity contract depends on
+  /// this.
+  std::int64_t num_partitions = 1;
+  /// Optional fault injection + retry for every file written.
+  IoFaultInjector* fault_injector = nullptr;
+  IoRetryPolicy retry;
+};
+
+/// Packs `graph` into an immutable shard directory at `directory`
+/// (created if absent). Shard files are written first, each through
+/// WriteFileAtomic; the meta file is written LAST and is the commit
+/// point — a directory without a readable meta is not a valid pack, so
+/// an interrupted pack can never be mistaken for a complete one.
+/// Returns the meta that was written.
+///
+/// Multi-label graphs and train/val/test splits are not representable
+/// (the format carries what an inference job needs, like the MR text
+/// tables); packing a multi-label graph is an InvalidArgument.
+Result<ShardMeta> WriteGraphShards(const Graph& graph,
+                                   const std::string& directory,
+                                   const ShardWriterOptions& options = {});
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_STORAGE_SHARD_WRITER_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/byte_size.h"
+
 namespace inferturbo {
 namespace {
 
@@ -63,6 +65,86 @@ TEST(FlagParserTest, RejectsBareDoubleDash) {
 TEST(FlagParserTest, KeysListsEverything) {
   const FlagParser flags = MustParse({"--b=2", "--a=1"});
   EXPECT_EQ(flags.Keys(), (std::vector<std::string>{"a", "b"}));
+}
+
+std::uint64_t MustParseBytes(std::string_view text) {
+  const Result<std::uint64_t> parsed = ParseByteSize(text);
+  EXPECT_TRUE(parsed.ok()) << "'" << text << "': "
+                           << parsed.status().ToString();
+  return parsed.ok() ? *parsed : 0;
+}
+
+TEST(ParseByteSizeTest, PlainNumbersAreBytes) {
+  EXPECT_EQ(MustParseBytes("0"), 0u);
+  EXPECT_EQ(MustParseBytes("1048576"), 1048576u);
+  EXPECT_EQ(MustParseBytes("  42  "), 42u);
+}
+
+TEST(ParseByteSizeTest, UnitsAreBinaryAndCaseInsensitive) {
+  EXPECT_EQ(MustParseBytes("512MB"), 512ull << 20);
+  EXPECT_EQ(MustParseBytes("512MiB"), 512ull << 20);
+  EXPECT_EQ(MustParseBytes("4GiB"), 4ull << 30);
+  EXPECT_EQ(MustParseBytes("4gb"), 4ull << 30);
+  EXPECT_EQ(MustParseBytes("64k"), 64ull << 10);
+  EXPECT_EQ(MustParseBytes("64 KB"), 64ull << 10);
+  EXPECT_EQ(MustParseBytes("2tb"), 2ull << 40);
+  EXPECT_EQ(MustParseBytes("100B"), 100u);
+}
+
+TEST(ParseByteSizeTest, FractionsRoundDown) {
+  EXPECT_EQ(MustParseBytes("1.5KiB"), 1536u);
+  EXPECT_EQ(MustParseBytes("0.5 GiB"), 512ull << 20);
+  EXPECT_EQ(MustParseBytes("2.7"), 2u);
+}
+
+TEST(ParseByteSizeTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "  ", "MB", "12XB", "12MiBs", "-4GiB", "1e400", "4GiB extra",
+        "nan", "inf"}) {
+    EXPECT_FALSE(ParseByteSize(bad).ok()) << "'" << bad << "'";
+  }
+}
+
+TEST(ParseByteSizeTest, RejectsOverflow) {
+  EXPECT_FALSE(ParseByteSize("17179869184GiB").ok());
+  // Just under 2^64 still parses.
+  EXPECT_TRUE(ParseByteSize("15EB").ok() == false);  // unknown unit
+  EXPECT_TRUE(ParseByteSize("16000000TB").ok());
+}
+
+TEST(ParseByteSizeTest, RoundTripsWithFormatBytes) {
+  // FormatBytes keeps one decimal, so the round trip is exact for whole
+  // units and within half a unit otherwise.
+  for (const std::uint64_t bytes :
+       {0ull, 100ull, 1ull << 10, 64ull << 10, 512ull << 20, 4ull << 30,
+        3ull << 40}) {
+    const std::string text = FormatBytes(bytes);
+    const Result<std::uint64_t> parsed = ParseByteSize(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(*parsed, bytes) << text;
+  }
+  const std::uint64_t odd = (1ull << 30) + (357ull << 20);  // "1.3 GiB"
+  const Result<std::uint64_t> parsed = ParseByteSize(FormatBytes(odd));
+  ASSERT_TRUE(parsed.ok());
+  const double relative_error =
+      std::abs(static_cast<double>(*parsed) - static_cast<double>(odd)) /
+      static_cast<double>(odd);
+  EXPECT_LT(relative_error, 0.05) << FormatBytes(odd);
+}
+
+TEST(FlagParserTest, GetBytesParsesUnitsAndRejectsGarbage) {
+  const FlagParser flags =
+      MustParse({"--storage_memory_budget=512MB", "--bad=12parsecs"});
+  const Result<std::uint64_t> budget =
+      flags.GetBytes("storage_memory_budget", 0);
+  ASSERT_TRUE(budget.ok());
+  EXPECT_EQ(*budget, 512ull << 20);
+  const Result<std::uint64_t> missing = flags.GetBytes("absent", 77);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(*missing, 77u);
+  const Result<std::uint64_t> bad = flags.GetBytes("bad", 0);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("--bad"), std::string::npos);
 }
 
 }  // namespace
