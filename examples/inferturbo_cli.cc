@@ -13,6 +13,11 @@
 //   example_inferturbo_cli --mode=infer    --dir=/tmp/job --model=sage \
 //       --backend=pregel --workers=16 --partial_gather=true
 //
+// Observability flags (any mode):
+//   --log_level=debug|info|warning|error
+//   --trace_out=FILE     Chrome trace-event JSON (open in Perfetto)
+//   --metrics_out=FILE   machine-readable run report (infer mode)
+//
 // Run with no flags for a demo that chains all three in /tmp.
 #include <cstdio>
 #include <filesystem>
@@ -20,6 +25,10 @@
 #include <numeric>
 
 #include "src/common/flags.h"
+#include "src/common/logging.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/run_report.h"
+#include "src/telemetry/trace.h"
 #include "src/graph/datasets.h"
 #include "src/graph/graph_io.h"
 #include "src/inference/inferturbo_mapreduce.h"
@@ -221,6 +230,23 @@ int Infer(const FlagParser& flags, const std::string& dir) {
               result->metrics.TotalCpuSeconds(),
               result->metrics.SimulatedWallSeconds(),
               static_cast<long long>(writer.num_shards), out_dir.c_str());
+  // --metrics_out: one JSON document unifying job + storage accounting,
+  // the metric-registry snapshot, and the flags this run was given.
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  if (!metrics_out.empty()) {
+    RunReportOptions report;
+    report.backend = backend;
+    for (const std::string& key : flags.Keys()) {
+      report.config[key] = flags.GetString(key, "");
+    }
+    const Status status =
+        WriteRunReport(metrics_out, result->metrics, report);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("run report -> %s\n", metrics_out.c_str());
+  }
   if (!graph->labels().empty()) {
     std::vector<NodeId> all(static_cast<std::size_t>(graph->num_nodes()));
     std::iota(all.begin(), all.end(), 0);
@@ -236,23 +262,52 @@ int Main(int argc, const char* const argv[]) {
     std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
     return 2;
   }
+  const std::string log_level = flags->GetString("log_level", "");
+  if (!log_level.empty()) {
+    LogLevel level;
+    if (!ParseLogLevel(log_level, &level)) {
+      std::fprintf(stderr,
+                   "unknown --log_level=%s (debug|info|warning|error)\n",
+                   log_level.c_str());
+      return 2;
+    }
+    SetLogLevel(level);
+  }
+  // Telemetry is opt-in per run: tracing/metrics stay compiled-out-cheap
+  // (a branch on a relaxed atomic) unless the flags ask for output.
+  const std::string trace_out = flags->GetString("trace_out", "");
+  if (!trace_out.empty()) SetTracingEnabled(true);
+  if (!flags->GetString("metrics_out", "").empty()) SetMetricsEnabled(true);
+
   const std::string dir = flags->GetString("dir", "/tmp/inferturbo_cli");
   std::filesystem::create_directories(dir);
   const std::string mode = flags->GetString("mode", "");
-  if (mode == "generate") return Generate(*flags, dir);
-  if (mode == "train") return Train(*flags, dir);
-  if (mode == "infer") return Infer(*flags, dir);
-  if (!mode.empty()) {
-    std::fprintf(stderr, "unknown --mode=%s (generate|train|infer)\n",
-                 mode.c_str());
-    return 2;
+  const int rc = [&]() -> int {
+    if (mode == "generate") return Generate(*flags, dir);
+    if (mode == "train") return Train(*flags, dir);
+    if (mode == "infer") return Infer(*flags, dir);
+    if (!mode.empty()) {
+      std::fprintf(stderr, "unknown --mode=%s (generate|train|infer)\n",
+                   mode.c_str());
+      return 2;
+    }
+    // Demo: chain all three.
+    std::printf("== demo: generate -> train -> infer under %s ==\n",
+                dir.c_str());
+    if (const int rc = Generate(*flags, dir); rc != 0) return rc;
+    if (const int rc = Train(*flags, dir); rc != 0) return rc;
+    return Infer(*flags, dir);
+  }();
+  if (!trace_out.empty()) {
+    const Status status = WriteTraceFile(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return rc != 0 ? rc : 1;
+    }
+    std::printf("trace -> %s (open in https://ui.perfetto.dev)\n",
+                trace_out.c_str());
   }
-  // Demo: chain all three.
-  std::printf("== demo: generate -> train -> infer under %s ==\n",
-              dir.c_str());
-  if (const int rc = Generate(*flags, dir); rc != 0) return rc;
-  if (const int rc = Train(*flags, dir); rc != 0) return rc;
-  return Infer(*flags, dir);
+  return rc;
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 #include "src/common/binary_io.h"
 #include "src/common/crc32.h"
 #include "src/common/logging.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace inferturbo {
 namespace {
@@ -156,6 +158,10 @@ Status CheckpointStore::WriteManifest() const {
 }
 
 Status CheckpointStore::Save(const CheckpointData& data) {
+  TraceSpan span("checkpoint/save");
+  if (MetricsEnabled()) {
+    GlobalMetrics().GetCounter("checkpoint.saves")->Increment();
+  }
   const std::int64_t version = next_version_;
   const std::string encoded = EncodeCheckpoint(data);
   INFERTURBO_RETURN_NOT_OK(WriteFileAtomic(CheckpointPath(version), encoded,
@@ -190,6 +196,10 @@ Status CheckpointStore::Save(const CheckpointData& data) {
 }
 
 Result<CheckpointData> CheckpointStore::LoadLatest() const {
+  TraceSpan span("checkpoint/restore");
+  if (MetricsEnabled()) {
+    GlobalMetrics().GetCounter("checkpoint.restores")->Increment();
+  }
   std::vector<std::int64_t> candidates = versions_;
   if (candidates.empty()) candidates = ScanVersions();
   for (auto it = candidates.rbegin(); it != candidates.rend(); ++it) {

@@ -1,19 +1,28 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
+#include <utility>
 
 namespace inferturbo {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
 
-// Serializes whole lines so concurrent workers do not interleave.
+// Serializes whole lines so concurrent workers do not interleave, and
+// guards the sink pointer.
 std::mutex& SinkMutex() {
   static std::mutex* m = new std::mutex();
   return *m;
+}
+
+LogSink& SinkSlot() {
+  static LogSink* sink = new LogSink();  // empty == default stderr
+  return *sink;
 }
 
 const char* LevelTag(LogLevel level) {
@@ -30,6 +39,38 @@ const char* LevelTag(LogLevel level) {
   return "?";
 }
 
+/// Small dense per-thread id (main thread gets 0) — far more readable
+/// in interleaved output than the opaque pthread handle.
+int ThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// "HH:MM:SS.mmm" wall-clock timestamp, local time.
+void FormatTimestamp(char* buf, std::size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm tm_buf{};
+  localtime_r(&seconds, &tm_buf);
+  std::snprintf(buf, size, "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, static_cast<int>(millis));
+}
+
+void EmitLine(LogLevel level, const std::string& line, bool also_stderr) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const LogSink& sink = SinkSlot();
+  if (sink) {
+    sink(level, line);
+    if (!also_stderr) return;
+  }
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -38,6 +79,26 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* level) {
+  if (name == "debug") {
+    *level = LogLevel::kDebug;
+  } else if (name == "info") {
+    *level = LogLevel::kInfo;
+  } else if (name == "warning" || name == "warn") {
+    *level = LogLevel::kWarning;
+  } else if (name == "error") {
+    *level = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkSlot() = std::move(sink);
 }
 
 namespace internal_logging {
@@ -51,25 +112,27 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+    char ts[16];
+    FormatTimestamp(ts, sizeof(ts));
+    stream_ << "[" << LevelTag(level_) << " " << ts << " t" << ThreadId()
+            << " " << base << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (!enabled_) return;
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  EmitLine(level_, stream_.str(), /*also_stderr=*/false);
 }
 
 FatalMessage::FatalMessage(const char* file, int line) {
-  stream_ << "[FATAL " << file << ":" << line << "] ";
+  char ts[16];
+  FormatTimestamp(ts, sizeof(ts));
+  stream_ << "[FATAL " << ts << " t" << ThreadId() << " " << file << ":"
+          << line << "] ";
 }
 
 FatalMessage::~FatalMessage() {
-  {
-    std::lock_guard<std::mutex> lock(SinkMutex());
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
-  }
+  EmitLine(LogLevel::kError, stream_.str(), /*also_stderr=*/true);
   std::abort();
 }
 

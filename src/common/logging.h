@@ -1,8 +1,10 @@
 #ifndef INFERTURBO_COMMON_LOGGING_H_
 #define INFERTURBO_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace inferturbo {
 
@@ -12,6 +14,22 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Defaults to kInfo. Thread-safe.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug" / "info" / "warning" (or "warn") / "error" into
+/// `*level`. Returns false (leaving `*level` untouched) on anything
+/// else — the CLI turns that into a usage error.
+bool ParseLogLevel(std::string_view name, LogLevel* level);
+
+/// Destination for formatted log lines (`line` has no trailing
+/// newline). Invoked under the logging mutex, so sinks need no
+/// locking of their own but must not log re-entrantly.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Replaces the process-wide sink; pass nullptr to restore the default
+/// (stderr). Tests install a capturing sink to assert on log output.
+/// Fatal messages always go to stderr in addition to the sink, so a
+/// crashing process never hides its last words inside a test buffer.
+void SetLogSink(LogSink sink);
 
 namespace internal_logging {
 

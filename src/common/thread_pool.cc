@@ -3,6 +3,7 @@
 #include <atomic>
 
 #include "src/common/logging.h"
+#include "src/telemetry/metrics.h"
 
 namespace inferturbo {
 namespace {
@@ -36,6 +37,12 @@ void ThreadPool::Submit(std::function<void()> task) {
     INFERTURBO_CHECK(!shutdown_) << "Submit after shutdown";
     queue_.push_back(std::move(task));
     ++in_flight_;
+    if (MetricsEnabled()) {
+      // Under mu_, so the size read is exact; the gauge's peak records
+      // the worst backlog a run ever built up.
+      GlobalMetrics().GetGauge("threadpool.queue_depth")->Set(
+          static_cast<std::int64_t>(queue_.size()));
+    }
   }
   work_available_.notify_one();
 }
@@ -56,6 +63,11 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (MetricsEnabled()) {
+        GlobalMetrics().GetGauge("threadpool.queue_depth")->Set(
+            static_cast<std::int64_t>(queue_.size()));
+        GlobalMetrics().GetCounter("threadpool.tasks_executed")->Increment();
+      }
     }
     task();
     {

@@ -11,6 +11,7 @@
 #include "src/gas/superstep_gather.h"
 #include "src/pregel/pregel_engine.h"
 #include "src/storage/graph_view.h"
+#include "src/telemetry/trace.h"
 #include "src/tensor/kernels/kernels.h"
 #include "src/tensor/ops.h"
 
@@ -84,6 +85,7 @@ class PregelInferenceDriver {
     if (step == 0) {
       // Initialization superstep: raw features become layer-0 input
       // states, then scatter layer 0's messages.
+      TraceSpan span("pregel/scatter", ctx->worker_id());
       worker.states = GatherRows(graph_.node_features(), worker.nodes);
       ctx->ChargeResidentBytes(worker.states.ByteSize());
       ScatterLayer(ctx, &worker, 0);
@@ -92,20 +94,29 @@ class PregelInferenceDriver {
 
     const std::int64_t layer_index = step - 1;
     const GasConv& layer = model_.layer(layer_index);
-    const GatherResult gathered = GatherInbox(ctx, worker, layer);
+    GatherResult gathered;
+    {
+      TraceSpan span("pregel/gather", ctx->worker_id());
+      gathered = GatherInbox(ctx, worker, layer);
+    }
     const std::uint64_t gathered_bytes =
         gathered.pooled.ByteSize() + gathered.messages.ByteSize();
     const std::uint64_t old_state_bytes = worker.states.ByteSize();
-    worker.states = layer.ApplyNode(worker.states, gathered);
+    {
+      TraceSpan span("pregel/apply", ctx->worker_id());
+      worker.states = layer.ApplyNode(worker.states, gathered);
+    }
     // Old state, vectorized gather result, and new state coexist at
     // the apply_node boundary — the Pregel backend's resident cost.
     ctx->ChargeResidentBytes(old_state_bytes + gathered_bytes +
                              worker.states.ByteSize());
 
     if (layer_index + 1 < num_layers) {
+      TraceSpan span("pregel/scatter", ctx->worker_id());
       ScatterLayer(ctx, &worker, layer_index + 1);
     } else {
       // Last superstep: fuse the prediction slice and emit results.
+      TraceSpan span("pregel/scatter", ctx->worker_id());
       const Tensor logits = model_.PredictLogits(worker.states);
       for (std::size_t i = 0; i < worker.nodes.size(); ++i) {
         logits_.SetRow(worker.nodes[i],

@@ -15,6 +15,8 @@
 #include "src/common/crc32.h"
 #include "src/common/logging.h"
 #include "src/common/timer.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace inferturbo {
 namespace {
@@ -143,13 +145,20 @@ void MapReduceJob::RunMap(const MapFn& map_fn) {
       options_.pool != nullptr ? *options_.pool : DefaultThreadPool();
   const std::int64_t n = options_.num_instances;
   std::vector<WorkerStepMetrics> step(static_cast<std::size_t>(n));
+  TraceSpan stage_span("mr/map_stage");
   pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t i) {
+    TraceSpan span("mr/map", static_cast<std::int64_t>(i));
     MrEmitter emitter;
     WallTimer timer;
     map_fn(static_cast<std::int64_t>(i), &emitter);
     step[i].busy_seconds = timer.ElapsedSeconds();
     step[i].records_out = static_cast<std::int64_t>(emitter.buffer().size());
     dataflow_[i] = std::move(emitter.buffer());
+    if (MetricsEnabled()) {
+      static Histogram* hist =
+          GlobalMetrics().GetHistogram("mr.map_seconds");
+      hist->Observe(step[i].busy_seconds);
+    }
   });
   for (std::int64_t i = 0; i < n; ++i) {
     metrics_.workers[static_cast<std::size_t>(i)].steps.push_back(
@@ -176,7 +185,9 @@ Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
   // sorted_outgoing[p][r] = p's records for reducer r, key-grouped.
   std::vector<std::vector<std::vector<MrKeyValue>>> outgoing(
       static_cast<std::size_t>(n));
+  TraceSpan stage_span("mr/reduce_stage");
   pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t p) {
+    TraceSpan span("mr/shuffle_partition", static_cast<std::int64_t>(p));
     WallTimer timer;
     outgoing[p].resize(static_cast<std::size_t>(n));
     // Group this producer's pairs by destination reducer, preserving
@@ -233,6 +244,7 @@ Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
     std::atomic<std::uint64_t> written{0};
     std::atomic<std::int64_t> write_retries{0};
     pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t p) {
+      TraceSpan span("mr/spill_write", static_cast<std::int64_t>(p));
       for (std::int64_t r = 0; r < n; ++r) {
         auto& block = outgoing[p][static_cast<std::size_t>(r)];
         if (block.empty()) continue;
@@ -253,6 +265,10 @@ Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
     });
     spill_bytes_written_ += written.load();
     metrics_.spill_write_retries += write_retries.load();
+    if (MetricsEnabled()) {
+      GlobalMetrics().GetCounter("mr.spill_bytes_written")
+          ->Add(static_cast<std::int64_t>(written.load()));
+    }
     if (!first_error.ok()) return first_error;
   }
 
@@ -268,6 +284,8 @@ Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
     // key: values for one key arrive in (producer, emission) order —
     // the determinism contract.
     std::vector<MrKeyValue> incoming;
+    {
+    TraceSpan shuffle_span("mr/shuffle_read", static_cast<std::int64_t>(r));
     std::size_t total = 0;
     for (std::int64_t p = 0; p < n; ++p) {
       total += outgoing[static_cast<std::size_t>(p)][r].size();
@@ -315,6 +333,7 @@ Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
                      [](const MrKeyValue& a, const MrKeyValue& b) {
                        return a.first < b.first;
                      });
+    }
     // Shuffle inputs are durable: a failed task (injected) is simply
     // re-executed over the same inputs; the wasted attempt's time is
     // charged. Reduce functions are pure w.r.t. the dataflow, so
@@ -333,6 +352,7 @@ Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
       }
     }
     MrEmitter emitter;
+    TraceSpan reduce_span("mr/reduce", static_cast<std::int64_t>(r));
     for (std::int64_t attempt = 0; attempt < attempts_left; ++attempt) {
       const bool last_attempt = attempt + 1 == attempts_left;
       emitter.buffer().clear();
@@ -360,6 +380,11 @@ Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
     }
     next_dataflow[r] = std::move(emitter.buffer());
     step[r].busy_seconds += timer.ElapsedSeconds();
+    if (MetricsEnabled()) {
+      static Histogram* hist =
+          GlobalMetrics().GetHistogram("mr.reduce_seconds");
+      hist->Observe(step[r].busy_seconds);
+    }
   });
   failures_recovered_ += failures.load();
   metrics_.spill_read_retries += read_retries.load();

@@ -6,6 +6,8 @@
 #include "src/common/binary_io.h"
 #include "src/common/logging.h"
 #include "src/common/timer.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace inferturbo {
 
@@ -245,6 +247,7 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
       checkpoint = Checkpoint();
       checkpoint.step = step;
       if (options_.checkpoint_store != nullptr) {
+        TraceSpan span("pregel/checkpoint");
         checkpoint.engine_bytes = std::make_shared<const std::string>(
             EncodePregelEngineState(inboxes, inbox_partial, board_current_));
         // The driver state rolls back through the encoded bytes only
@@ -302,8 +305,16 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
         inbox_bytes += b.WireBytes();
       }
       WallTimer timer;
-      compute(&ctx);
+      {
+        TraceSpan span("pregel/compute", static_cast<std::int64_t>(w));
+        compute(&ctx);
+      }
       m.busy_seconds = timer.ElapsedSeconds() + ctx.extra_busy_seconds_;
+      if (MetricsEnabled()) {
+        static Histogram* hist =
+            GlobalMetrics().GetHistogram("pregel.compute_seconds");
+        hist->Observe(m.busy_seconds);
+      }
       // The whole vectorized inbox is resident during compute, plus
       // whatever state the driver reported.
       m.peak_resident_bytes =
@@ -354,6 +365,7 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
     if (options_.combiner) {
       pool.ParallelFor(static_cast<std::size_t>(num_workers),
                        [&](std::size_t w) {
+        TraceSpan span("pregel/combine", static_cast<std::int64_t>(w));
         WallTimer timer;
         for (std::int64_t d = 0; d < num_workers; ++d) {
           auto& outgoing = contexts[w].outbox_[static_cast<std::size_t>(d)];
@@ -384,6 +396,7 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
     std::vector<std::int64_t> route_records_out(W * W, 0);
     std::vector<std::uint8_t> dest_any(W, 0);
     pool.ParallelFor(W, [&](std::size_t d) {
+      TraceSpan span("pregel/route", static_cast<std::int64_t>(d));
       WallTimer route_timer;
       WorkerStepMetrics& dm = step_metrics[d];
       for (std::size_t w = 0; w < W; ++w) {
@@ -412,6 +425,15 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
       }
       dm.route_seconds += route_timer.ElapsedSeconds();
     });
+    TraceSpan barrier_span("pregel/barrier");
+    if (MetricsEnabled()) {
+      GlobalMetrics().GetCounter("pregel.supersteps")->Increment();
+      static Histogram* hist =
+          GlobalMetrics().GetHistogram("pregel.route_seconds");
+      for (std::size_t d = 0; d < W; ++d) {
+        hist->Observe(step_metrics[d].route_seconds);
+      }
+    }
     bool any_messages = false;
     for (std::size_t d = 0; d < W; ++d) {
       any_messages = any_messages || dest_any[d] != 0;

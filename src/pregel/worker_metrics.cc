@@ -70,6 +70,7 @@ std::uint64_t JobMetrics::PeakResidentBytes() const {
 void JobMetrics::AppendStages(const JobMetrics& other) {
   spill_read_retries += other.spill_read_retries;
   spill_write_retries += other.spill_write_retries;
+  storage.Merge(other.storage);
   if (workers.empty()) {
     workers = other.workers;
     return;

@@ -99,6 +99,23 @@ struct StorageMetrics {
   std::int64_t evictions = 0;
   /// Shards rejected on load because a page failed CRC/bounds checks.
   std::int64_t checksum_failures = 0;
+
+  /// Folds another stage's storage accounting into this one: activity
+  /// counters sum, instantaneous/high-water byte gauges take the max
+  /// (stages share one store, so peaks don't add).
+  void Merge(const StorageMetrics& other) {
+    bytes_mapped = std::max(bytes_mapped, other.bytes_mapped);
+    peak_bytes_mapped = std::max(peak_bytes_mapped, other.peak_bytes_mapped);
+    map_calls += other.map_calls;
+    unmap_calls += other.unmap_calls;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    prefetch_issued += other.prefetch_issued;
+    prefetch_completed += other.prefetch_completed;
+    prefetch_hits += other.prefetch_hits;
+    evictions += other.evictions;
+    checksum_failures += other.checksum_failures;
+  }
 };
 
 /// Whole-job accounting: one WorkerMetrics per logical worker.

@@ -13,6 +13,8 @@
 
 #include "src/common/atomic_file.h"
 #include "src/common/crc32.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace inferturbo {
 
@@ -216,6 +218,12 @@ std::uint64_t ExpectedShardBytes(const ShardMeta& meta,
 /// the loop still terminates because each pass shrinks the cache.
 void EvictForLocked(State& s, std::uint64_t incoming) {
   if (s.options.memory_budget_bytes == 0) return;
+  if (s.cache.empty() ||
+      s.bytes_mapped.load(std::memory_order_relaxed) + incoming <=
+          s.options.memory_budget_bytes) {
+    return;
+  }
+  TraceSpan span("storage/evict");
   while (!s.cache.empty() &&
          s.bytes_mapped.load(std::memory_order_relaxed) + incoming >
              s.options.memory_budget_bytes) {
@@ -227,6 +235,9 @@ void EvictForLocked(State& s, std::uint64_t incoming) {
     // deleter returns the bytes immediately (atomics only — no `mu`).
     s.cache.erase(lru);
     ++s.counters.evictions;
+    if (MetricsEnabled()) {
+      GlobalMetrics().GetCounter("storage.evictions")->Increment();
+    }
   }
 }
 
@@ -236,6 +247,7 @@ void EvictForLocked(State& s, std::uint64_t incoming) {
 /// against the budget or distorting the peak.
 Result<std::unique_ptr<MappedShard>> LoadShard(
     const std::shared_ptr<State>& s, std::int64_t partition) {
+  TraceSpan span("storage/load", partition);
   const std::string path =
       s->options.directory + "/" + ShardFileName(partition);
   std::unique_ptr<MappedShard> shard;
@@ -304,13 +316,23 @@ ShardLease PublishLocked(const std::shared_ptr<State>& s,
   while (now > peak && !s->peak_bytes_mapped.compare_exchange_weak(
                            peak, now, std::memory_order_relaxed)) {
   }
+  if (MetricsEnabled()) {
+    GlobalMetrics().GetGauge("storage.bytes_mapped")->Set(
+        static_cast<std::int64_t>(now));
+  }
   std::weak_ptr<State> weak = s;
   ShardLease lease(shard.release(), [weak](const MappedShard* p) {
     const std::size_t bytes = p->mapped_bytes();
     delete p;
     if (const std::shared_ptr<State> st = weak.lock()) {
-      st->bytes_mapped.fetch_sub(bytes, std::memory_order_relaxed);
+      const std::uint64_t now_mapped =
+          st->bytes_mapped.fetch_sub(bytes, std::memory_order_relaxed) -
+          bytes;
       st->unmap_calls.fetch_add(1, std::memory_order_relaxed);
+      if (MetricsEnabled()) {
+        GlobalMetrics().GetGauge("storage.bytes_mapped")->Set(
+            static_cast<std::int64_t>(now_mapped));
+      }
     }
   });
   State::CacheEntry entry;
@@ -360,6 +382,7 @@ Result<ShardLease> ShardStore::Map(std::int64_t partition) {
         "partition " + std::to_string(partition) + " out of range [0, " +
         std::to_string(s.meta.num_partitions()) + ")");
   }
+  TraceSpan span("storage/map", partition);
   {
     std::lock_guard<std::mutex> lock(s.mu);
     auto it = s.cache.find(partition);
@@ -367,6 +390,9 @@ Result<ShardLease> ShardStore::Map(std::int64_t partition) {
       ++s.counters.cache_hits;
       if (it->second.from_prefetch) {
         ++s.counters.prefetch_hits;
+        if (MetricsEnabled()) {
+          GlobalMetrics().GetCounter("storage.prefetch_hits")->Increment();
+        }
         it->second.from_prefetch = false;
       }
       it->second.last_use = ++s.tick;
@@ -387,6 +413,9 @@ Result<ShardLease> ShardStore::Map(std::int64_t partition) {
     it->second.last_use = ++s.tick;
     if (it->second.from_prefetch) {
       ++s.counters.prefetch_hits;
+      if (MetricsEnabled()) {
+        GlobalMetrics().GetCounter("storage.prefetch_hits")->Increment();
+      }
       it->second.from_prefetch = false;
     }
     return it->second.lease;
@@ -409,11 +438,15 @@ void ShardStore::Prefetch(std::int64_t partition) {
     }
     s.prefetching.insert(partition);
     ++s.counters.prefetch_issued;
+    if (MetricsEnabled()) {
+      GlobalMetrics().GetCounter("storage.prefetch_issued")->Increment();
+    }
   }
   // The task holds the State shared_ptr, so a store destroyed while a
   // prefetch is in flight stays valid until the task finishes.
   const std::shared_ptr<State> state = state_;
   s.options.prefetch_pool->Submit([state, partition]() {
+    TraceSpan span("storage/prefetch", partition);
     {
       std::lock_guard<std::mutex> lock(state->mu);
       EvictForLocked(*state, ExpectedShardBytes(state->meta, partition));

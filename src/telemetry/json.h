@@ -1,0 +1,97 @@
+#ifndef INFERTURBO_TELEMETRY_JSON_H_
+#define INFERTURBO_TELEMETRY_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace inferturbo {
+
+/// A minimal JSON document model. The telemetry layer emits JSON
+/// (trace files, metric snapshots, run reports) and the tests parse
+/// those files back to assert well-formedness, so both directions live
+/// here with zero external dependencies.
+///
+/// Numbers are stored as either int64 or double; integers round-trip
+/// exactly (byte counters routinely exceed float precision). Object
+/// keys are kept in sorted order (std::map), which makes every dump
+/// deterministic — a property the tests and the CI smoke step rely on.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : rep_(nullptr) {}
+  JsonValue(std::nullptr_t) : rep_(nullptr) {}          // NOLINT
+  JsonValue(bool b) : rep_(b) {}                        // NOLINT
+  JsonValue(std::int64_t i) : rep_(i) {}                // NOLINT
+  JsonValue(int i) : rep_(static_cast<std::int64_t>(i)) {}  // NOLINT
+  JsonValue(std::uint64_t i)                            // NOLINT
+      : rep_(static_cast<std::int64_t>(i)) {}
+  JsonValue(double d) : rep_(d) {}                      // NOLINT
+  JsonValue(std::string s) : rep_(std::move(s)) {}      // NOLINT
+  JsonValue(const char* s) : rep_(std::string(s)) {}    // NOLINT
+  JsonValue(Array a) : rep_(std::move(a)) {}            // NOLINT
+  JsonValue(Object o) : rep_(std::move(o)) {}           // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_array() const { return std::holds_alternative<Array>(rep_); }
+  bool is_object() const { return std::holds_alternative<Object>(rep_); }
+
+  bool as_bool() const { return std::get<bool>(rep_); }
+  std::int64_t as_int() const {
+    return is_double() ? static_cast<std::int64_t>(std::get<double>(rep_))
+                       : std::get<std::int64_t>(rep_);
+  }
+  double as_double() const {
+    return is_int() ? static_cast<double>(std::get<std::int64_t>(rep_))
+                    : std::get<double>(rep_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+  const Array& as_array() const { return std::get<Array>(rep_); }
+  const Object& as_object() const { return std::get<Object>(rep_); }
+  Array& as_array() { return std::get<Array>(rep_); }
+  Object& as_object() { return std::get<Object>(rep_); }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    auto it = as_object().find(key);
+    return it == as_object().end() ? nullptr : &it->second;
+  }
+
+  /// Serializes the value. indent < 0 emits compact single-line JSON;
+  /// indent >= 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      rep_;
+};
+
+/// Appends `text` to `out` as a quoted JSON string with all mandatory
+/// escapes. Exposed so the streaming trace writer can share the exact
+/// escaping rules with JsonValue::Dump.
+void AppendJsonEscaped(std::string_view text, std::string* out);
+
+/// Strict recursive-descent JSON parser. Rejects trailing garbage and
+/// documents nested deeper than an internal safety limit. Used by the
+/// telemetry tests to re-parse emitted trace files and run reports.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TELEMETRY_JSON_H_

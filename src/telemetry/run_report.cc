@@ -1,0 +1,96 @@
+#include "src/telemetry/run_report.h"
+
+#include <utility>
+
+#include "src/common/atomic_file.h"
+#include "src/telemetry/metrics.h"
+
+namespace inferturbo {
+namespace {
+
+JsonValue WorkerTotalsJson(const WorkerStepMetrics& t) {
+  return JsonValue(JsonValue::Object{
+      {"busy_seconds", JsonValue(t.busy_seconds)},
+      {"wait_seconds", JsonValue(t.wait_seconds)},
+      {"route_seconds", JsonValue(t.route_seconds)},
+      {"bytes_in", JsonValue(t.bytes_in)},
+      {"bytes_out", JsonValue(t.bytes_out)},
+      {"records_in", JsonValue(t.records_in)},
+      {"records_out", JsonValue(t.records_out)},
+      {"peak_resident_bytes", JsonValue(t.peak_resident_bytes)},
+  });
+}
+
+JsonValue StorageJson(const StorageMetrics& s) {
+  const double hit_rate =
+      s.prefetch_issued > 0
+          ? static_cast<double>(s.prefetch_hits) /
+                static_cast<double>(s.prefetch_issued)
+          : 0.0;
+  return JsonValue(JsonValue::Object{
+      {"bytes_mapped", JsonValue(s.bytes_mapped)},
+      {"peak_bytes_mapped", JsonValue(s.peak_bytes_mapped)},
+      {"map_calls", JsonValue(s.map_calls)},
+      {"unmap_calls", JsonValue(s.unmap_calls)},
+      {"cache_hits", JsonValue(s.cache_hits)},
+      {"cache_misses", JsonValue(s.cache_misses)},
+      {"prefetch_issued", JsonValue(s.prefetch_issued)},
+      {"prefetch_completed", JsonValue(s.prefetch_completed)},
+      {"prefetch_hits", JsonValue(s.prefetch_hits)},
+      {"prefetch_hit_rate", JsonValue(hit_rate)},
+      {"evictions", JsonValue(s.evictions)},
+      {"checksum_failures", JsonValue(s.checksum_failures)},
+  });
+}
+
+}  // namespace
+
+JsonValue BuildRunReport(const JobMetrics& metrics,
+                         const RunReportOptions& options) {
+  JsonValue::Object job{
+      {"num_workers", JsonValue(static_cast<std::int64_t>(
+                          metrics.workers.size()))},
+      {"num_steps", JsonValue(metrics.num_steps())},
+      {"simulated_wall_seconds", JsonValue(metrics.SimulatedWallSeconds())},
+      {"total_cpu_seconds", JsonValue(metrics.TotalCpuSeconds())},
+      {"total_bytes_in", JsonValue(metrics.TotalBytesIn())},
+      {"total_bytes_out", JsonValue(metrics.TotalBytesOut())},
+      {"peak_resident_bytes", JsonValue(metrics.PeakResidentBytes())},
+      {"latency_variance", JsonValue(LatencyVariance(metrics))},
+      {"spill_read_retries", JsonValue(metrics.spill_read_retries)},
+      {"spill_write_retries", JsonValue(metrics.spill_write_retries)},
+  };
+  if (options.per_worker) {
+    JsonValue::Array per_worker;
+    for (const WorkerStepMetrics& t : metrics.PerWorkerTotals()) {
+      per_worker.push_back(WorkerTotalsJson(t));
+    }
+    job["per_worker"] = JsonValue(std::move(per_worker));
+  }
+
+  JsonValue::Object config;
+  for (const auto& [key, value] : options.config) {
+    config[key] = JsonValue(value);
+  }
+
+  return JsonValue(JsonValue::Object{
+      {"schema", JsonValue("inferturbo.run_report.v1")},
+      {"backend", JsonValue(options.backend)},
+      {"config", JsonValue(std::move(config))},
+      {"job", JsonValue(std::move(job))},
+      {"storage", StorageJson(metrics.storage)},
+      {"metrics", GlobalMetrics().Snapshot()},
+  });
+}
+
+std::string BuildRunReportJson(const JobMetrics& metrics,
+                               const RunReportOptions& options) {
+  return BuildRunReport(metrics, options).Dump(2) + "\n";
+}
+
+Status WriteRunReport(const std::string& path, const JobMetrics& metrics,
+                      const RunReportOptions& options) {
+  return WriteFileAtomic(path, BuildRunReportJson(metrics, options));
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,45 @@
+#ifndef INFERTURBO_TELEMETRY_RUN_REPORT_H_
+#define INFERTURBO_TELEMETRY_RUN_REPORT_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/pregel/worker_metrics.h"
+#include "src/telemetry/json.h"
+
+namespace inferturbo {
+
+/// Everything about a run that is not already inside JobMetrics.
+struct RunReportOptions {
+  /// Which backend produced the JobMetrics ("pregel" | "mapreduce" |
+  /// "traditional" ...). Counter provenance differs per backend, so the
+  /// report records it.
+  std::string backend;
+  /// Flag key -> value map (or any other config worth archiving with
+  /// the numbers).
+  std::map<std::string, std::string> config;
+  /// Include per-worker totals (one object per worker). On by default;
+  /// jobs with thousands of logical workers may want it off.
+  bool per_worker = true;
+};
+
+/// Builds the machine-readable run report: one JSON document unifying
+/// job accounting (JobMetrics), shard-store accounting
+/// (StorageMetrics), the global metric registry snapshot (histogram
+/// p50/p95/p99 included), and the run's config. Top-level keys:
+/// "schema", "backend", "config", "job", "storage", "metrics".
+JsonValue BuildRunReport(const JobMetrics& metrics,
+                         const RunReportOptions& options);
+
+/// Serialized report (pretty-printed, deterministic key order).
+std::string BuildRunReportJson(const JobMetrics& metrics,
+                               const RunReportOptions& options);
+
+/// BuildRunReportJson + durable write through WriteFileAtomic.
+Status WriteRunReport(const std::string& path, const JobMetrics& metrics,
+                      const RunReportOptions& options);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TELEMETRY_RUN_REPORT_H_

@@ -1,0 +1,165 @@
+#include "src/telemetry/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "src/common/atomic_file.h"
+#include "src/telemetry/json.h"
+
+namespace inferturbo {
+
+namespace telemetry_internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace telemetry_internal
+
+void SetTracingEnabled(bool enabled) {
+  telemetry_internal::g_trace_enabled.store(enabled,
+                                            std::memory_order_relaxed);
+}
+
+namespace {
+
+std::int64_t NowNs() {
+  // One process-wide steady epoch so timestamps from different threads
+  // share an origin. Captured on first use, before any span can end.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+std::atomic<std::uint64_t> g_seq{0};
+std::atomic<std::int64_t> g_next_default_track{TraceSpan::kDefaultTrackBase};
+
+/// Per-thread event buffer. Registered in a global list via shared_ptr
+/// so DrainTrace() can reach buffers of threads that already exited;
+/// the per-buffer mutex is uncontended except during a drain.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::int64_t default_track;
+};
+
+std::mutex& BuffersMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<std::shared_ptr<ThreadBuffer>>& Buffers() {
+  static auto* buffers = new std::vector<std::shared_ptr<ThreadBuffer>>();
+  return *buffers;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    b->default_track =
+        g_next_default_track.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(BuffersMutex());
+    Buffers().push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name, std::int64_t track) {
+  if (!TracingEnabled()) return;
+  name_ = name;
+  track_ = track;
+  start_ns_ = NowNs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) return;
+  const std::int64_t end_ns = NowNs();
+  ThreadBuffer& buffer = LocalBuffer();
+  TraceEvent event;
+  event.name = name_;
+  event.track = track_ >= 0 ? track_ : buffer.default_track;
+  event.start_ns = start_ns_;
+  event.dur_ns = end_ns - start_ns_;
+  event.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(event);
+}
+
+std::vector<TraceEvent> DrainTrace() {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(BuffersMutex());
+    for (const std::shared_ptr<ThreadBuffer>& buffer : Buffers()) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+      buffer->events.clear();
+    }
+  }
+  // Sort lanes, then time within a lane; an enclosing span shares its
+  // start with the first child, so the longer (outer) span wins ties,
+  // keeping nesting order stable. seq breaks exact remaining ties so
+  // identical-timestamp runs serialize identically.
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.track != b.track) return a.track < b.track;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              return a.seq < b.seq;
+            });
+  return all;
+}
+
+void ClearTrace() { DrainTrace(); }
+
+std::string DrainTraceJson() {
+  const std::vector<TraceEvent> events = DrainTrace();
+  std::string out;
+  out.reserve(events.size() * 96 + 256);
+  out.append("{\"traceEvents\":[\n");
+  // Name the lanes: explicit tracks are workers/partitions, default
+  // tracks are coordinator threads.
+  std::set<std::int64_t> tracks;
+  for (const TraceEvent& e : events) tracks.insert(e.track);
+  bool first = true;
+  char buf[192];
+  for (const std::int64_t track : tracks) {
+    if (!first) out.append(",\n");
+    first = false;
+    const char* kind =
+        track >= TraceSpan::kDefaultTrackBase ? "thread" : "worker";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%lld,\"args\":{\"name\":\"%s-%lld\"}}",
+                  static_cast<long long>(track), kind,
+                  static_cast<long long>(track));
+    out.append(buf);
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) out.append(",\n");
+    first = false;
+    out.append("{\"name\":");
+    // Names are literals, but escape anyway so no name can ever
+    // corrupt the document.
+    AppendJsonEscaped(e.name, &out);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"X\",\"pid\":1,\"tid\":%lld,"
+                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  static_cast<long long>(e.track),
+                  static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0);
+    out.append(buf);
+  }
+  out.append("\n]}\n");
+  return out;
+}
+
+Status WriteTraceFile(const std::string& path) {
+  return WriteFileAtomic(path, DrainTraceJson());
+}
+
+}  // namespace inferturbo

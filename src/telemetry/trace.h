@@ -1,0 +1,84 @@
+#ifndef INFERTURBO_TELEMETRY_TRACE_H_
+#define INFERTURBO_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace inferturbo {
+
+/// Process-wide tracing switch. Off by default; when off a TraceSpan
+/// constructor is a relaxed atomic load + branch and the destructor a
+/// predictable not-taken branch — nothing is allocated or timed.
+namespace telemetry_internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace telemetry_internal
+
+inline bool TracingEnabled() {
+  return telemetry_internal::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void SetTracingEnabled(bool enabled);
+
+/// One completed span, exposed for tests that assert on structure
+/// without round-tripping through JSON.
+struct TraceEvent {
+  const char* name;       ///< Static string; spans must pass literals.
+  std::int64_t track;     ///< Logical lane (worker/partition id) or the
+                          ///< thread's default track when unspecified.
+  std::int64_t start_ns;  ///< Nanoseconds since the trace epoch.
+  std::int64_t dur_ns;
+  std::uint64_t seq;      ///< Global completion order, for stable sorts.
+};
+
+/// RAII scoped span. Records a complete ("ph":"X") event covering the
+/// object's lifetime into a thread-local buffer; buffers are drained
+/// process-wide by DrainTrace(). `name` MUST be a string literal (or
+/// otherwise outlive the drain) — the recorder stores the pointer, not
+/// a copy, so the hot path never allocates.
+///
+/// Tracks group spans into horizontal lanes in the viewer. Pass the
+/// worker / partition / instance id so one lane tells one worker's
+/// story across supersteps regardless of which pool thread ran it;
+/// omit it for coordinator-side spans, which land on a stable
+/// per-thread default track (>= kDefaultTrackBase).
+class TraceSpan {
+ public:
+  static constexpr std::int64_t kDefaultTrackBase = 1000;
+
+  explicit TraceSpan(const char* name) : TraceSpan(name, -1) {}
+  TraceSpan(const char* name, std::int64_t track);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr == disarmed (tracing off)
+  std::int64_t track_ = 0;
+  std::int64_t start_ns_ = 0;
+};
+
+/// Removes and returns all completed spans from every thread's buffer
+/// (including threads that have since exited), sorted by (track, start,
+/// longer-span-first, completion seq) so per-track ordering is stable
+/// and deterministic for a deterministic run.
+std::vector<TraceEvent> DrainTrace();
+
+/// Drains and serializes as Chrome trace-event JSON — an object with a
+/// "traceEvents" array of complete events (µs timestamps) plus
+/// thread_name metadata per track, loadable in Perfetto or
+/// chrome://tracing.
+std::string DrainTraceJson();
+
+/// DrainTraceJson() + durable write through WriteFileAtomic.
+Status WriteTraceFile(const std::string& path);
+
+/// Discards all buffered spans (test isolation between cases).
+void ClearTrace();
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TELEMETRY_TRACE_H_

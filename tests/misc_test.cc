@@ -252,5 +252,33 @@ TEST(WorkerMetricsTest, AppendStagesChains) {
   EXPECT_EQ(a.num_steps(), 3);
 }
 
+TEST(WorkerMetricsTest, AppendStagesMergesStorage) {
+  JobMetrics a, b;
+  a.workers.resize(1);
+  b.workers.resize(1);
+  a.workers[0].steps.resize(1);
+  b.workers[0].steps.resize(1);
+  a.storage.bytes_mapped = 100;
+  a.storage.peak_bytes_mapped = 400;
+  a.storage.map_calls = 3;
+  a.storage.prefetch_issued = 2;
+  a.storage.prefetch_hits = 1;
+  b.storage.bytes_mapped = 250;
+  b.storage.peak_bytes_mapped = 300;
+  b.storage.map_calls = 5;
+  b.storage.evictions = 2;
+  b.storage.checksum_failures = 1;
+  a.AppendStages(b);
+  // Counts sum across stages; mapped-bytes figures take the max (they
+  // are levels, not flows).
+  EXPECT_EQ(a.storage.bytes_mapped, 250u);
+  EXPECT_EQ(a.storage.peak_bytes_mapped, 400u);
+  EXPECT_EQ(a.storage.map_calls, 8);
+  EXPECT_EQ(a.storage.prefetch_issued, 2);
+  EXPECT_EQ(a.storage.prefetch_hits, 1);
+  EXPECT_EQ(a.storage.evictions, 2);
+  EXPECT_EQ(a.storage.checksum_failures, 1);
+}
+
 }  // namespace
 }  // namespace inferturbo
