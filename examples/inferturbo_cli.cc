@@ -18,6 +18,13 @@
 //   --trace_out=FILE     Chrome trace-event JSON (open in Perfetto)
 //   --metrics_out=FILE   machine-readable run report (infer mode)
 //
+// Robustness flags (infer mode; any of them enables task supervision):
+//   --task_deadline_ms=N        per-attempt deadline (0 = none)
+//   --max_task_retries=N        retry budget per task (default 3)
+//   --speculative_execution=true  backup attempts for stragglers
+//   --fault_plan=SPEC           compute-side chaos schedule, e.g.
+//       "crash@compute:1:0;transient@map:*:1x2;straggle@reduce:*:2~80"
+//
 // Run with no flags for a demo that chains all three in /tmp.
 #include <cstdio>
 #include <filesystem>
@@ -26,6 +33,7 @@
 
 #include "src/common/flags.h"
 #include "src/common/logging.h"
+#include "src/runtime/fault_plan.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/run_report.h"
 #include "src/telemetry/trace.h"
@@ -170,6 +178,30 @@ int Infer(const FlagParser& flags, const std::string& dir) {
       return 1;
     }
   }
+  // Task supervision + compute-side chaos. Any of these flags turns
+  // the TaskSupervisor on; --fault_plan additionally injects the given
+  // crash/transient/straggle schedule (see ParseFaultPlan for the
+  // grammar, e.g. "crash@compute:1:0;straggle@reduce:*:2~80").
+  FaultPlan fault_plan;
+  const std::string fault_spec = flags.GetString("fault_plan", "");
+  if (!fault_spec.empty()) {
+    const Status parsed = ParseFaultPlan(fault_spec, &fault_plan);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+      return 2;
+    }
+    options.fault_plan = &fault_plan;
+  }
+  options.supervision.task_deadline_seconds =
+      flags.GetDouble("task_deadline_ms", 0.0) / 1000.0;
+  options.supervision.max_task_retries =
+      static_cast<int>(flags.GetInt("max_task_retries", 3));
+  options.supervision.speculative_execution =
+      flags.GetBool("speculative_execution", false);
+  options.supervise_tasks =
+      flags.GetBool("supervise_tasks", false) ||
+      flags.Has("task_deadline_ms") || flags.Has("max_task_retries") ||
+      flags.Has("speculative_execution");
   const std::string backend = flags.GetString("backend", "pregel");
 
   // --packed=DIR streams the graph from a graph_pack shard directory
@@ -230,6 +262,27 @@ int Infer(const FlagParser& flags, const std::string& dir) {
               result->metrics.TotalCpuSeconds(),
               result->metrics.SimulatedWallSeconds(),
               static_cast<long long>(writer.num_shards), out_dir.c_str());
+  if (options.fault_plan != nullptr || options.supervise_tasks) {
+    const SupervisionMetrics& sup = result->metrics.supervision;
+    std::printf("supervision: %lld tasks / %lld attempts, %lld retries, "
+                "%lld injected faults (%lld crash, %lld transient, %lld "
+                "straggle), %lld speculative commits\n",
+                static_cast<long long>(sup.tasks),
+                static_cast<long long>(sup.attempts),
+                static_cast<long long>(sup.retries),
+                static_cast<long long>(sup.injected_crashes +
+                                       sup.injected_transients +
+                                       sup.injected_delays),
+                static_cast<long long>(sup.injected_crashes),
+                static_cast<long long>(sup.injected_transients),
+                static_cast<long long>(sup.injected_delays),
+                static_cast<long long>(sup.speculative_commits));
+    // The realized schedule, for deterministic replay of this run.
+    for (const TaskFaultEvent& event : fault_plan.realized_events()) {
+      INFERTURBO_LOG(Info) << "fault_plan realized: "
+                           << TaskFaultEventToString(event);
+    }
+  }
   // --metrics_out: one JSON document unifying job + storage accounting,
   // the metric-registry snapshot, and the flags this run was given.
   const std::string metrics_out = flags.GetString("metrics_out", "");

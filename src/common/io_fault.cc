@@ -1,8 +1,11 @@
 #include "src/common/io_fault.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
+
+#include "src/common/logging.h"
 
 namespace inferturbo {
 
@@ -43,6 +46,102 @@ IoFaultKind ScriptedIoFaultInjector::Tick(IoOp op, const std::string& path) {
 std::int64_t ScriptedIoFaultInjector::faults_fired() const {
   std::lock_guard<std::mutex> lock(mu_);
   return fired_;
+}
+
+std::string IoFaultEventToString(const IoFaultEvent& event) {
+  std::string out = event.op == IoOp::kWrite ? "write" : "read";
+  out += ":";
+  out += event.path;
+  out += ":";
+  out += IoFaultKindToString(event.kind);
+  return out;
+}
+
+RandomIoFaultInjector::RandomIoFaultInjector(std::uint64_t seed,
+                                             Profile profile)
+    : seed_(seed), profile_(profile), rng_(seed) {}
+
+IoFaultKind RandomIoFaultInjector::Tick(IoOp op, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (profile_.max_faults >= 0 && fired_ >= profile_.max_faults) {
+    return IoFaultKind::kNone;
+  }
+  // Always consume exactly two draws per tick so the PRNG stream stays
+  // aligned with the tick count regardless of which branch fires.
+  const double roll = rng_.NextDouble();
+  const double pick = rng_.NextDouble();
+  if (roll >= profile_.fault_probability) return IoFaultKind::kNone;
+
+  const double w_write_fail = std::max(0.0, profile_.write_fail_weight);
+  const double w_no_space = std::max(0.0, profile_.no_space_weight);
+  const double w_short_read = std::max(0.0, profile_.short_read_weight);
+  const double w_bit_flip = std::max(0.0, profile_.bit_flip_weight);
+  const double total = w_write_fail + w_no_space + w_short_read + w_bit_flip;
+  if (total <= 0.0) return IoFaultKind::kNone;
+
+  IoFaultKind kind = IoFaultKind::kBitFlip;
+  double cut = pick * total;
+  if (cut < w_write_fail) {
+    kind = IoFaultKind::kWriteFail;
+  } else if (cut < w_write_fail + w_no_space) {
+    kind = IoFaultKind::kNoSpace;
+  } else if (cut < w_write_fail + w_no_space + w_short_read) {
+    kind = IoFaultKind::kShortRead;
+  }
+  // Write-only kinds make no sense on the read path; degrade them to a
+  // short read so the drawn probability mass is preserved.
+  if (op == IoOp::kRead &&
+      (kind == IoFaultKind::kWriteFail || kind == IoFaultKind::kNoSpace)) {
+    kind = IoFaultKind::kShortRead;
+  }
+
+  ++fired_;
+  schedule_.push_back({op, path, kind});
+  if (profile_.log_faults) {
+    INFERTURBO_LOG(Info) << "io_fault[seed=" << seed_ << " #" << fired_
+                         << "] " << IoFaultEventToString(schedule_.back());
+  }
+  return kind;
+}
+
+std::int64_t RandomIoFaultInjector::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+std::vector<IoFaultEvent> RandomIoFaultInjector::realized_schedule() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return schedule_;
+}
+
+ReplayIoFaultInjector::ReplayIoFaultInjector(
+    std::vector<IoFaultEvent> schedule) {
+  for (IoFaultEvent& event : schedule) {
+    queues_[{static_cast<int>(event.op), std::move(event.path)}].push_back(
+        event.kind);
+    ++pending_;
+  }
+}
+
+IoFaultKind ReplayIoFaultInjector::Tick(IoOp op, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queues_.find({static_cast<int>(op), path});
+  if (it == queues_.end() || it->second.empty()) return IoFaultKind::kNone;
+  const IoFaultKind kind = it->second.front();
+  it->second.pop_front();
+  ++fired_;
+  --pending_;
+  return kind;
+}
+
+std::int64_t ReplayIoFaultInjector::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+std::int64_t ReplayIoFaultInjector::faults_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
 }
 
 Status RetryWithBackoff(const IoRetryPolicy& retry,

@@ -2,11 +2,15 @@
 #define INFERTURBO_COMMON_IO_FAULT_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/common/rng.h"
 #include "src/common/status.h"
 
 namespace inferturbo {
@@ -68,6 +72,84 @@ class ScriptedIoFaultInjector : public IoFaultInjector {
   mutable std::mutex mu_;
   std::vector<Rule> rules_;
   std::int64_t fired_ = 0;
+};
+
+/// One realized fault decision: which op/path it hit and what fired.
+/// `kNone` ticks are not recorded — the schedule lists faults only.
+struct IoFaultEvent {
+  IoOp op;
+  std::string path;
+  IoFaultKind kind;
+};
+
+/// Formats one event as "write:checkpoints/ck_3.bin:BitFlip".
+std::string IoFaultEventToString(const IoFaultEvent& event);
+
+/// Seeded probabilistic injector. Each Tick draws from a deterministic
+/// PRNG stream (seed given at construction), so a given seed always
+/// produces the same fault schedule for the same sequence of Tick
+/// calls. Every fired fault is appended to a realized-schedule log
+/// (and optionally INFERTURBO_LOG'd), so a failing randomized sweep can
+/// be replayed exactly via ReplayIoFaultInjector without re-running the
+/// probabilistic draw — even from a different Tick interleaving.
+class RandomIoFaultInjector : public IoFaultInjector {
+ public:
+  struct Profile {
+    /// Probability that a given attempt faults at all.
+    double fault_probability = 0.05;
+    /// Relative weights among fault kinds once an attempt faults.
+    /// Read-side draws that land on a write-only kind degrade to
+    /// kShortRead; write-side draws landing on kShortRead stay (torn
+    /// write).
+    double write_fail_weight = 1.0;
+    double no_space_weight = 1.0;
+    double short_read_weight = 1.0;
+    double bit_flip_weight = 1.0;
+    /// Hard cap on total faults fired (< 0 = unbounded). Keeps
+    /// randomized sweeps within retry budgets.
+    std::int64_t max_faults = -1;
+    /// Log every realized fault at Info level as it fires.
+    bool log_faults = true;
+  };
+
+  RandomIoFaultInjector(std::uint64_t seed, Profile profile);
+  IoFaultKind Tick(IoOp op, const std::string& path) override;
+
+  std::uint64_t seed() const { return seed_; }
+  std::int64_t faults_fired() const;
+  /// The realized schedule: every non-kNone decision, in Tick order.
+  std::vector<IoFaultEvent> realized_schedule() const;
+
+ private:
+  const std::uint64_t seed_;
+  const Profile profile_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::int64_t fired_ = 0;
+  std::vector<IoFaultEvent> schedule_;
+};
+
+/// Replays a realized schedule recorded by RandomIoFaultInjector. Each
+/// (op, path) pair keeps a FIFO of the kinds that fired on it; Tick
+/// pops the next one (kNone when that queue is exhausted). Keying by
+/// (op, path) instead of global tick order makes the replay robust to
+/// thread-interleaving differences between the recording run and the
+/// replaying run.
+class ReplayIoFaultInjector : public IoFaultInjector {
+ public:
+  explicit ReplayIoFaultInjector(std::vector<IoFaultEvent> schedule);
+  IoFaultKind Tick(IoOp op, const std::string& path) override;
+  /// Faults replayed so far.
+  std::int64_t faults_fired() const;
+  /// Events armed but never consumed by a Tick.
+  std::int64_t faults_pending() const;
+
+ private:
+  mutable std::mutex mu_;
+  // (op, path) -> queue of kinds, consumed front-first.
+  std::map<std::pair<int, std::string>, std::deque<IoFaultKind>> queues_;
+  std::int64_t fired_ = 0;
+  std::int64_t pending_ = 0;
 };
 
 /// Bounded retry with exponential backoff for transient persisted-state

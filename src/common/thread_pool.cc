@@ -47,6 +47,20 @@ void ThreadPool::Submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+void ThreadPool::SubmitUrgent(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    INFERTURBO_CHECK(!shutdown_) << "SubmitUrgent after shutdown";
+    queue_.push_front(std::move(task));
+    ++in_flight_;
+    if (MetricsEnabled()) {
+      GlobalMetrics().GetGauge("threadpool.queue_depth")->Set(
+          static_cast<std::int64_t>(queue_.size()));
+    }
+  }
+  work_available_.notify_one();
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });

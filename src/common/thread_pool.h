@@ -29,6 +29,11 @@ class ThreadPool {
   /// Enqueues `task` for execution. Must not be called after Shutdown.
   void Submit(std::function<void()> task);
 
+  /// Enqueues `task` at the front of the queue. Retry and speculative
+  /// backup attempts use this so recovery work is not stuck behind a
+  /// long backlog of first attempts.
+  void SubmitUrgent(std::function<void()> task);
+
   /// Blocks until every submitted task has finished running.
   void Wait();
 

@@ -106,6 +106,16 @@ class MrInferenceDriver {
     job_options.spill_directory = options_.mr_spill_directory;
     job_options.fault_injector = options_.io_fault_injector;
     job_options.retry = options_.io_retry;
+    // One supervisor for the whole job: quarantine decisions and
+    // supervision counters span the map stage and every reduce round.
+    std::optional<TaskSupervisor> supervisor;
+    if (options_.supervise_tasks || options_.fault_plan != nullptr) {
+      TaskSupervisionOptions supervision = options_.supervision;
+      supervision.pool = options_.pool;
+      supervision.fault_plan = options_.fault_plan;
+      supervisor.emplace(supervision);
+      job_options.supervisor = &*supervisor;
+    }
     MapReduceJob job(job_options);
 
     // Durable round checkpoints: stage 0 is the map, stage l+1 is
@@ -157,9 +167,10 @@ class MrInferenceDriver {
 
     if (completed_stage < 0) {
       INFERTURBO_RETURN_NOT_OK(killed(0));
-      job.RunMap([this](std::int64_t instance, MrEmitter* emitter) {
-        MapStage(instance, emitter);
-      });
+      INFERTURBO_RETURN_NOT_OK(
+          job.RunMap([this](std::int64_t instance, MrEmitter* emitter) {
+            MapStage(instance, emitter);
+          }));
       // MapFn cannot return a Status; partition-acquire failures (e.g.
       // a corrupt shard) land here instead of crashing the pool.
       {
@@ -221,6 +232,7 @@ class MrInferenceDriver {
       }
     }
     metrics_ = job.metrics();
+    if (supervisor) metrics_.supervision = supervisor->metrics();
     failures_recovered_ = job.failures_recovered();
     return logits;
   }
@@ -523,6 +535,9 @@ class MrInferenceDriver {
                          hub_threshold_;
     if (hub) {
       {
+        // Idempotent under supervised duplicate attempts: both write
+        // the same deterministic bytes for v, so last-write-wins is
+        // byte-identical to exactly-once.
         std::lock_guard<std::mutex> lock(broadcast_mutex_);
         broadcast_staging_[v] = row;
       }

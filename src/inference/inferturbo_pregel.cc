@@ -82,13 +82,24 @@ class PregelInferenceDriver {
     const std::int64_t step = ctx->superstep();
     const std::int64_t num_layers = model_.num_layers();
 
+    // Deferred-commit contract: the compute below reads the superstep's
+    // immutable inputs (inbox, board, worker.states as left by the
+    // previous superstep) and computes into attempt-local tensors; the
+    // writes into shared driver state (worker.states, logits_,
+    // embeddings_) happen inside DeferToCommit callbacks, which the
+    // engine runs only once the whole superstep's stage has committed.
+    // That makes duplicate (speculative) attempts and superstep
+    // re-execution safe: no attempt ever mutates what another reads.
     if (step == 0) {
       // Initialization superstep: raw features become layer-0 input
       // states, then scatter layer 0's messages.
       TraceSpan span("pregel/scatter", ctx->worker_id());
-      worker.states = GatherRows(graph_.node_features(), worker.nodes);
-      ctx->ChargeResidentBytes(worker.states.ByteSize());
-      ScatterLayer(ctx, &worker, 0);
+      auto states = std::make_shared<Tensor>(
+          GatherRows(graph_.node_features(), worker.nodes));
+      ctx->ChargeResidentBytes(states->ByteSize());
+      ScatterLayer(ctx, worker.nodes, *states, 0);
+      ctx->DeferToCommit(
+          [&worker, states] { worker.states = std::move(*states); });
       return;
     }
 
@@ -102,31 +113,38 @@ class PregelInferenceDriver {
     const std::uint64_t gathered_bytes =
         gathered.pooled.ByteSize() + gathered.messages.ByteSize();
     const std::uint64_t old_state_bytes = worker.states.ByteSize();
+    auto new_states = std::make_shared<Tensor>();
     {
       TraceSpan span("pregel/apply", ctx->worker_id());
-      worker.states = layer.ApplyNode(worker.states, gathered);
+      *new_states = layer.ApplyNode(worker.states, gathered);
     }
     // Old state, vectorized gather result, and new state coexist at
     // the apply_node boundary — the Pregel backend's resident cost.
     ctx->ChargeResidentBytes(old_state_bytes + gathered_bytes +
-                             worker.states.ByteSize());
+                             new_states->ByteSize());
 
     if (layer_index + 1 < num_layers) {
       TraceSpan span("pregel/scatter", ctx->worker_id());
-      ScatterLayer(ctx, &worker, layer_index + 1);
+      ScatterLayer(ctx, worker.nodes, *new_states, layer_index + 1);
+      ctx->DeferToCommit(
+          [&worker, new_states] { worker.states = std::move(*new_states); });
     } else {
       // Last superstep: fuse the prediction slice and emit results.
       TraceSpan span("pregel/scatter", ctx->worker_id());
-      const Tensor logits = model_.PredictLogits(worker.states);
-      for (std::size_t i = 0; i < worker.nodes.size(); ++i) {
-        logits_.SetRow(worker.nodes[i],
-                       logits.RowPtr(static_cast<std::int64_t>(i)));
-        if (!embeddings_.empty()) {
-          embeddings_.SetRow(worker.nodes[i],
-                             worker.states.RowPtr(static_cast<std::int64_t>(
-                                 i)));
+      auto logits = std::make_shared<Tensor>(
+          model_.PredictLogits(*new_states));
+      ctx->DeferToCommit([this, &worker, new_states, logits] {
+        for (std::size_t i = 0; i < worker.nodes.size(); ++i) {
+          logits_.SetRow(worker.nodes[i],
+                         logits->RowPtr(static_cast<std::int64_t>(i)));
+          if (!embeddings_.empty()) {
+            embeddings_.SetRow(
+                worker.nodes[i],
+                new_states->RowPtr(static_cast<std::int64_t>(i)));
+          }
         }
-      }
+        worker.states = std::move(*new_states);
+      });
       ctx->VoteToHalt();
     }
   }
@@ -216,17 +234,19 @@ class PregelInferenceDriver {
   }
 
   /// apply_edge + scatter_nbrs for `layer_index`, from the worker's
-  /// freshly-updated states. Routes per strategy:
+  /// freshly-computed states (passed explicitly — under the
+  /// deferred-commit contract they are attempt-local, not yet published
+  /// to WorkerState). Routes per strategy:
   ///   - hubs (out-degree > threshold, broadcast on, broadcastable
   ///     messages): one payload on the board + id-only rows per edge;
   ///   - lawful aggregates with partial-gather on: fold into per-worker
   ///     accumulators, send one partial row per (worker, destination);
   ///   - otherwise: one dense row per out-edge.
-  void ScatterLayer(PregelContext* ctx, WorkerState* worker,
-                    std::int64_t layer_index) const {
+  void ScatterLayer(PregelContext* ctx, const std::vector<NodeId>& nodes,
+                    const Tensor& states, std::int64_t layer_index) const {
     const GasConv& layer = model_.layer(layer_index);
     const LayerSignature& sig = layer.signature();
-    const Tensor messages = layer.ComputeMessage(worker->states);
+    const Tensor messages = layer.ComputeMessage(states);
     const std::int64_t msg_dim = sig.message_dim;
     const std::int64_t num_workers = ctx->num_workers();
 
@@ -238,7 +258,7 @@ class PregelInferenceDriver {
                                hub_threshold_ > 0;
 
     if (sig.uses_edge_features) {
-      ScatterWithEdgeFeatures(ctx, *worker, layer, messages, use_partial);
+      ScatterWithEdgeFeatures(ctx, nodes, layer, messages, use_partial);
       return;
     }
 
@@ -258,9 +278,9 @@ class PregelInferenceDriver {
     refs.payload = Tensor(0, 0);
 
     std::int64_t dense_rows = 0;
-    std::vector<bool> is_hub(worker->nodes.size(), false);
-    for (std::size_t i = 0; i < worker->nodes.size(); ++i) {
-      const NodeId v = worker->nodes[i];
+    std::vector<bool> is_hub(nodes.size(), false);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const NodeId v = nodes[i];
       const std::int64_t out_degree = graph_.OutDegree(v);
       if (use_broadcast && out_degree > hub_threshold_) {
         is_hub[i] = true;
@@ -274,8 +294,8 @@ class PregelInferenceDriver {
     }
 
     std::int64_t dense_cursor = 0;
-    for (std::size_t i = 0; i < worker->nodes.size(); ++i) {
-      const NodeId v = worker->nodes[i];
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const NodeId v = nodes[i];
       const float* row = messages.RowPtr(static_cast<std::int64_t>(i));
       if (is_hub[i]) {
         ctx->PublishBroadcast(v, row, msg_dim);
@@ -330,21 +350,22 @@ class PregelInferenceDriver {
   /// batched ApplyEdge call), then either folded into partial
   /// accumulators or sent dense. Broadcast never applies here — the
   /// messages are not identical across out-edges.
-  void ScatterWithEdgeFeatures(PregelContext* ctx, const WorkerState& worker,
+  void ScatterWithEdgeFeatures(PregelContext* ctx,
+                               const std::vector<NodeId>& nodes,
                                const GasConv& layer, const Tensor& messages,
                                bool use_partial) const {
     INFERTURBO_CHECK(graph_.has_edge_features())
         << "layer " << layer.signature().layer_type
         << " needs edge features the graph does not have";
     std::int64_t total = 0;
-    for (NodeId v : worker.nodes) total += graph_.OutDegree(v);
+    for (NodeId v : nodes) total += graph_.OutDegree(v);
     Tensor base_rows(total, messages.cols());
     Tensor edge_feats(total, graph_.edge_features().cols());
     std::vector<NodeId> dst(static_cast<std::size_t>(total));
     std::vector<NodeId> src(static_cast<std::size_t>(total));
     std::int64_t cursor = 0;
-    for (std::size_t i = 0; i < worker.nodes.size(); ++i) {
-      const NodeId v = worker.nodes[i];
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const NodeId v = nodes[i];
       const float* row = messages.RowPtr(static_cast<std::int64_t>(i));
       for (EdgeId e : graph_.OutEdges(v)) {
         base_rows.SetRow(cursor, row);
@@ -470,6 +491,18 @@ Result<InferenceResult> RunInferTurboPregel(const Graph& graph,
           driver.RestoreState(state);
         };
   }
+  // Task supervision: deadlines, retry, speculation, quarantine around
+  // every superstep compute task. The driver's deferred-commit Compute
+  // makes duplicate attempts and superstep re-execution safe.
+  std::optional<TaskSupervisor> supervisor;
+  if (options.supervise_tasks || options.fault_plan != nullptr) {
+    TaskSupervisionOptions supervision = options.supervision;
+    supervision.pool = options.pool;
+    supervision.fault_plan = options.fault_plan;
+    supervisor.emplace(supervision);
+    engine_options.supervisor = &*supervisor;
+  }
+
   PregelEngine engine(engine_options, partitioner);
   driver.engine_partitioner_ = &engine.partitioner();
 

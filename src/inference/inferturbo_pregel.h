@@ -8,6 +8,8 @@
 #include "src/common/io_fault.h"
 #include "src/common/result.h"
 #include "src/common/thread_pool.h"
+#include "src/runtime/fault_plan.h"
+#include "src/runtime/task_supervisor.h"
 #include "src/graph/graph.h"
 #include "src/inference/result.h"
 #include "src/inference/strategies.h"
@@ -71,6 +73,22 @@ struct InferTurboOptions {
   /// Also return final-layer node embeddings (InferenceResult::
   /// embeddings) — the output mode embedding-production jobs use.
   bool export_embeddings = false;
+
+  // --- task supervision (src/runtime/) -----------------------------
+  /// Run every per-partition unit of work (Pregel compute tasks,
+  /// MapReduce map/shuffle/reduce tasks) under a TaskSupervisor:
+  /// per-attempt deadlines, bounded retry with exponential backoff,
+  /// speculative backup execution, and executor quarantine. Any fault
+  /// schedule within the retry budgets yields logits bit-identical to
+  /// a fault-free run. Supervision is also enabled implicitly when
+  /// `fault_plan` is set.
+  bool supervise_tasks = false;
+  /// Supervision policy; `pool` and `fault_plan` inside it are
+  /// overridden from this struct's fields.
+  TaskSupervisionOptions supervision;
+  /// Optional compute-side chaos schedule (crash/transient/straggle
+  /// per task attempt). Not owned.
+  FaultPlan* fault_plan = nullptr;
 };
 
 /// Full-graph layer-wise GNN inference on the Pregel backend (paper

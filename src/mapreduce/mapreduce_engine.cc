@@ -126,10 +126,38 @@ std::int64_t MapReduceJob::InstanceForKey(std::int64_t key,
 
 std::string MapReduceJob::SpillPath(std::int64_t stage,
                                     std::int64_t producer,
-                                    std::int64_t reducer) const {
-  return options_.spill_directory + "/stage" + std::to_string(stage) +
-         "_p" + std::to_string(producer) + "_r" + std::to_string(reducer) +
-         ".blk";
+                                    std::int64_t reducer,
+                                    int attempt) const {
+  std::string path = options_.spill_directory + "/stage" +
+                     std::to_string(stage) + "_p" + std::to_string(producer) +
+                     "_r" + std::to_string(reducer);
+  if (attempt >= 0) path += "_a" + std::to_string(attempt);
+  return path + ".blk";
+}
+
+Status MapReduceJob::PromoteSpillBlocks(
+    std::int64_t stage, const std::vector<int>& winning_attempt) {
+  // An attempt id is bounded by 1 original + max_task_retries retries +
+  // 1 speculative backup.
+  const int attempt_cap = options_.supervisor->options().max_task_retries + 2;
+  const std::int64_t n = options_.num_instances;
+  for (std::int64_t p = 0; p < n; ++p) {
+    const int winner = winning_attempt[static_cast<std::size_t>(p)];
+    for (std::int64_t r = 0; r < n; ++r) {
+      for (int a = 0; a < attempt_cap; ++a) {
+        if (a == winner) continue;
+        std::remove(SpillPath(stage, p, r, a).c_str());  // loser cleanup
+      }
+      const std::string src = SpillPath(stage, p, r, winner);
+      if (!std::ifstream(src).good()) continue;  // empty block: no file
+      const std::string dst = SpillPath(stage, p, r);
+      if (std::rename(src.c_str(), dst.c_str()) != 0) {
+        return Status::IoError("cannot promote committed spill block " + src +
+                               " to " + dst);
+      }
+    }
+  }
+  return Status::OK();
 }
 
 MapReduceJob::MapReduceJob(Options options) : options_(options) {
@@ -140,36 +168,66 @@ MapReduceJob::MapReduceJob(Options options) : options_(options) {
   metrics_.workers.resize(static_cast<std::size_t>(options_.num_instances));
 }
 
-void MapReduceJob::RunMap(const MapFn& map_fn) {
+Status MapReduceJob::RunMap(const MapFn& map_fn) {
   ThreadPool& pool =
       options_.pool != nullptr ? *options_.pool : DefaultThreadPool();
   const std::int64_t n = options_.num_instances;
   std::vector<WorkerStepMetrics> step(static_cast<std::size_t>(n));
   TraceSpan stage_span("mr/map_stage");
-  pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t i) {
+  // Attempt-local map task: everything lands in *m / *out; publication
+  // to dataflow_ happens at the caller (unsupervised: immediately;
+  // supervised: only for the winning attempt).
+  const auto run_map_task = [&](std::size_t i, WorkerStepMetrics* m,
+                                std::vector<MrKeyValue>* out) {
     TraceSpan span("mr/map", static_cast<std::int64_t>(i));
     MrEmitter emitter;
     WallTimer timer;
     map_fn(static_cast<std::int64_t>(i), &emitter);
-    step[i].busy_seconds = timer.ElapsedSeconds();
-    step[i].records_out = static_cast<std::int64_t>(emitter.buffer().size());
-    dataflow_[i] = std::move(emitter.buffer());
+    m->busy_seconds = timer.ElapsedSeconds();
+    m->records_out = static_cast<std::int64_t>(emitter.buffer().size());
+    *out = std::move(emitter.buffer());
     if (MetricsEnabled()) {
       static Histogram* hist =
           GlobalMetrics().GetHistogram("mr.map_seconds");
-      hist->Observe(step[i].busy_seconds);
+      hist->Observe(m->busy_seconds);
     }
-  });
+  };
+  if (options_.supervisor != nullptr) {
+    const TaskStage map_stage{TaskStageKind::kMrMap, metrics_.num_steps()};
+    INFERTURBO_ASSIGN_OR_RETURN(
+        const StageResult stage_result,
+        options_.supervisor->RunStage(
+            map_stage, static_cast<std::size_t>(n),
+            [&](TaskAttempt* attempt) {
+              WorkerStepMetrics local_metrics;
+              std::vector<MrKeyValue> local_out;
+              run_map_task(attempt->task(), &local_metrics, &local_out);
+              if (attempt->TryCommit()) {
+                dataflow_[attempt->task()] = std::move(local_out);
+                step[attempt->task()] = local_metrics;
+              }
+              return Status::OK();
+            }));
+    (void)stage_result;
+  } else {
+    pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t i) {
+      run_map_task(i, &step[i], &dataflow_[i]);
+    });
+  }
   for (std::int64_t i = 0; i < n; ++i) {
     metrics_.workers[static_cast<std::size_t>(i)].steps.push_back(
         step[static_cast<std::size_t>(i)]);
   }
+  return Status::OK();
 }
 
 Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
                                const CombineFn* combiner) {
+  TaskSupervisor* const supervisor = options_.supervisor;
+  const bool supervised = supervisor != nullptr;
   // First error wins; the other tasks finish their current work and
-  // the round is abandoned (ParallelFor has no cancellation).
+  // the round is abandoned (ParallelFor has no cancellation). Only the
+  // unsupervised paths use it — the supervisor returns errors itself.
   std::mutex error_mu;
   Status first_error = Status::OK();
   const auto record_error = [&error_mu, &first_error](const Status& s) {
@@ -181,26 +239,46 @@ Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
   const std::int64_t n = options_.num_instances;
   std::vector<WorkerStepMetrics> step(static_cast<std::size_t>(n));
 
-  // --- producer side: partition by destination, combine, account ----
-  // sorted_outgoing[p][r] = p's records for reducer r, key-grouped.
+  // --- producer side: partition by destination, combine, account,
+  // and (when spilling) write this attempt's blocks out --------------
+  // outgoing[p][r] = p's records for reducer r, key-grouped.
   std::vector<std::vector<std::vector<MrKeyValue>>> outgoing(
       static_cast<std::size_t>(n));
   TraceSpan stage_span("mr/reduce_stage");
-  pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t p) {
+  const std::int64_t spill_stage = metrics_.num_steps();
+  const bool spill = !options_.spill_directory.empty();
+  std::atomic<std::uint64_t> written{0};
+  std::atomic<std::int64_t> write_retries{0};
+  // Producer task body. Attempt-local under supervision: the resident
+  // dataflow is only read (copied), never drained, so a retried or
+  // duplicate attempt sees the same immutable inputs; spill blocks go
+  // to attempt-scoped paths and only the winner's are promoted.
+  const auto produce =
+      [&](std::size_t p, int attempt,
+          std::vector<std::vector<MrKeyValue>>* out, WorkerStepMetrics* m,
+          std::uint64_t* bytes_spilled,
+          std::int64_t* spill_retries) -> Status {
     TraceSpan span("mr/shuffle_partition", static_cast<std::int64_t>(p));
     WallTimer timer;
-    outgoing[p].resize(static_cast<std::size_t>(n));
+    out->assign(static_cast<std::size_t>(n), {});
     // Group this producer's pairs by destination reducer, preserving
     // emission order within each destination.
-    for (MrKeyValue& kv : dataflow_[p]) {
-      outgoing[p][static_cast<std::size_t>(InstanceOfKey(kv.first, n))]
-          .push_back(std::move(kv));
+    if (supervised) {
+      for (const MrKeyValue& kv : dataflow_[p]) {
+        (*out)[static_cast<std::size_t>(InstanceOfKey(kv.first, n))]
+            .push_back(kv);
+      }
+    } else {
+      for (MrKeyValue& kv : dataflow_[p]) {
+        (*out)[static_cast<std::size_t>(InstanceOfKey(kv.first, n))]
+            .push_back(std::move(kv));
+      }
+      dataflow_[p].clear();
     }
-    dataflow_[p].clear();
     if (combiner != nullptr) {
       // Map-side combine: within one (producer, reducer) block, fold
       // same-key runs. Stable sort keeps values in emission order.
-      for (auto& block : outgoing[p]) {
+      for (auto& block : *out) {
         std::stable_sort(block.begin(), block.end(),
                          [](const MrKeyValue& a, const MrKeyValue& b) {
                            return a.first < b.first;
@@ -223,54 +301,89 @@ Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
     }
     // Shuffle-write accounting: every record leaves through external
     // storage, local or not.
-    for (const auto& block : outgoing[p]) {
+    for (const auto& block : *out) {
       for (const MrKeyValue& kv : block) {
-        step[p].bytes_out += kv.second.WireBytes();
-        ++step[p].records_out;
+        m->bytes_out += kv.second.WireBytes();
+        ++m->records_out;
       }
     }
-    step[p].busy_seconds += timer.ElapsedSeconds();
-  });
-
-  // --- optional external-storage hop ---------------------------------
-  const std::int64_t spill_stage = metrics_.num_steps();
-  const bool spill = !options_.spill_directory.empty();
-  if (spill) {
-    // Producers write their blocks out and release the memory; the
-    // reducer half reads them back — the dataflow never lives fully in
-    // RAM, which is the MR backend's §IV-C2 selling point. Each block
-    // is CRC-framed and lands atomically (temp + rename); transient
-    // injected faults are retried with backoff and counted.
-    std::atomic<std::uint64_t> written{0};
-    std::atomic<std::int64_t> write_retries{0};
-    pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t p) {
-      TraceSpan span("mr/spill_write", static_cast<std::int64_t>(p));
+    m->busy_seconds += timer.ElapsedSeconds();
+    if (spill) {
+      // Producers write their blocks out and release the memory; the
+      // reducer half reads them back — the dataflow never lives fully
+      // in RAM, which is the MR backend's §IV-C2 selling point. Each
+      // block is CRC-framed and lands atomically (temp + rename);
+      // transient injected faults are retried with backoff and counted.
+      TraceSpan write_span("mr/spill_write", static_cast<std::int64_t>(p));
       for (std::int64_t r = 0; r < n; ++r) {
-        auto& block = outgoing[p][static_cast<std::size_t>(r)];
+        auto& block = (*out)[static_cast<std::size_t>(r)];
         if (block.empty()) continue;
         const std::string encoded = EncodeBlock(block);
         std::int64_t retries = 0;
         const Status status = WriteFileAtomic(
-            SpillPath(spill_stage, static_cast<std::int64_t>(p), r), encoded,
-            options_.fault_injector, options_.retry, &retries);
-        write_retries.fetch_add(retries);
-        if (!status.ok()) {
-          record_error(status);
-          return;
-        }
-        written.fetch_add(encoded.size());
+            SpillPath(spill_stage, static_cast<std::int64_t>(p), r, attempt),
+            encoded, options_.fault_injector, options_.retry, &retries);
+        *spill_retries += retries;
+        if (!status.ok()) return status;
+        *bytes_spilled += encoded.size();
         block.clear();
         block.shrink_to_fit();
       }
+    }
+    return Status::OK();
+  };
+
+  if (supervised) {
+    const TaskStage shuffle_stage{TaskStageKind::kMrShuffle, spill_stage};
+    INFERTURBO_ASSIGN_OR_RETURN(
+        const StageResult shuffle_result,
+        supervisor->RunStage(
+            shuffle_stage, static_cast<std::size_t>(n),
+            [&](TaskAttempt* attempt) -> Status {
+              std::vector<std::vector<MrKeyValue>> local_out;
+              WorkerStepMetrics local_metrics;
+              std::uint64_t local_bytes = 0;
+              std::int64_t local_retries = 0;
+              INFERTURBO_RETURN_NOT_OK(
+                  produce(attempt->task(), attempt->attempt(), &local_out,
+                          &local_metrics, &local_bytes, &local_retries));
+              if (attempt->TryCommit()) {
+                // Only the winner's work enters the books, so counters
+                // stay deterministic; loser attempts' blocks are
+                // deleted by PromoteSpillBlocks below.
+                outgoing[attempt->task()] = std::move(local_out);
+                step[attempt->task()] = local_metrics;
+                written.fetch_add(local_bytes);
+                write_retries.fetch_add(local_retries);
+              }
+              return Status::OK();
+            }));
+    // The stage committed everywhere; the copied inputs can go now.
+    for (auto& flow : dataflow_) flow.clear();
+    if (spill) {
+      INFERTURBO_RETURN_NOT_OK(
+          PromoteSpillBlocks(spill_stage, shuffle_result.committed_attempt));
+    }
+  } else {
+    pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t p) {
+      std::uint64_t local_bytes = 0;
+      std::int64_t local_retries = 0;
+      const Status status = produce(p, /*attempt=*/-1, &outgoing[p], &step[p],
+                                    &local_bytes, &local_retries);
+      written.fetch_add(local_bytes);
+      write_retries.fetch_add(local_retries);
+      if (!status.ok()) record_error(status);
     });
+  }
+  if (spill) {
     spill_bytes_written_ += written.load();
     metrics_.spill_write_retries += write_retries.load();
     if (MetricsEnabled()) {
       GlobalMetrics().GetCounter("mr.spill_bytes_written")
           ->Add(static_cast<std::int64_t>(written.load()));
     }
-    if (!first_error.ok()) return first_error;
   }
+  if (!first_error.ok()) return first_error;
 
   // --- reducer side: read, sort, reduce ------------------------------
   const std::int64_t stage = metrics_.num_steps();
@@ -278,7 +391,10 @@ Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
   std::atomic<std::int64_t> read_retries{0};
   std::vector<std::vector<MrKeyValue>> next_dataflow(
       static_cast<std::size_t>(n));
-  pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t r) {
+  const auto run_reduce_task =
+      [&](std::size_t r, std::vector<MrKeyValue>* out, WorkerStepMetrics* m,
+          std::int64_t* injected_failures,
+          std::int64_t* local_read_retries) -> Status {
     WallTimer timer;
     // Gather blocks from producers in id order, then a stable sort by
     // key: values for one key arrive in (producer, emission) order —
@@ -314,19 +430,26 @@ Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
                 return DecodeBlock(file, path, &from_disk);
               },
               &retries);
-          read_retries.fetch_add(retries);
-          if (!status.ok()) {
-            record_error(status);
-            return;
-          }
-          std::remove(path.c_str());
+          *local_read_retries += retries;
+          if (!status.ok()) return status;
+          // Supervised attempts must leave the durable shuffle input
+          // in place — a retried or duplicate attempt re-reads it; the
+          // files are retired once every reduce task has committed.
+          if (!supervised) std::remove(path.c_str());
           block = &from_disk;
         }
       }
+      // A supervised attempt may share `outgoing` with a concurrent
+      // duplicate of itself — copy instead of draining.
+      const bool shared_input = supervised && block != &from_disk;
       for (MrKeyValue& kv : *block) {
-        step[r].bytes_in += kv.second.WireBytes();
-        ++step[r].records_in;
-        incoming.push_back(std::move(kv));
+        m->bytes_in += kv.second.WireBytes();
+        ++m->records_in;
+        if (shared_input) {
+          incoming.push_back(kv);
+        } else {
+          incoming.push_back(std::move(kv));
+        }
       }
     }
     std::stable_sort(incoming.begin(), incoming.end(),
@@ -342,13 +465,12 @@ Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
     while (options_.failure_injector &&
            options_.failure_injector(stage, static_cast<std::int64_t>(r))) {
       ++attempts_left;
-      failures.fetch_add(1);
+      ++*injected_failures;
       if (attempts_left > 10) {
-        record_error(Status::Aborted(
+        return Status::Aborted(
             "failure injector never stopped firing for reduce task " +
             std::to_string(r) + " in stage " + std::to_string(stage) +
-            " (gave up after 10 attempts)"));
-        return;
+            " (gave up after 10 attempts)");
       }
     }
     MrEmitter emitter;
@@ -373,19 +495,67 @@ Status MapReduceJob::RunReduce(const ReduceFn& reduce_fn,
         // Streaming execution model: one key group resident at a time
         // (sort/merge spills to external storage on a real deployment),
         // which is the backend's low-memory selling point.
-        step[r].peak_resident_bytes =
-            std::max(step[r].peak_resident_bytes, run_bytes);
+        m->peak_resident_bytes = std::max(m->peak_resident_bytes, run_bytes);
         reduce_fn(key, run, &emitter);
       }
     }
-    next_dataflow[r] = std::move(emitter.buffer());
-    step[r].busy_seconds += timer.ElapsedSeconds();
+    *out = std::move(emitter.buffer());
+    m->busy_seconds += timer.ElapsedSeconds();
     if (MetricsEnabled()) {
       static Histogram* hist =
           GlobalMetrics().GetHistogram("mr.reduce_seconds");
-      hist->Observe(step[r].busy_seconds);
+      hist->Observe(m->busy_seconds);
     }
-  });
+    return Status::OK();
+  };
+
+  if (supervised) {
+    const TaskStage reduce_stage{TaskStageKind::kMrReduce, stage};
+    INFERTURBO_ASSIGN_OR_RETURN(
+        const StageResult reduce_result,
+        supervisor->RunStage(
+            reduce_stage, static_cast<std::size_t>(n),
+            [&](TaskAttempt* attempt) -> Status {
+              std::vector<MrKeyValue> local_out;
+              WorkerStepMetrics local_metrics;
+              std::int64_t local_failures = 0;
+              std::int64_t local_retries = 0;
+              INFERTURBO_RETURN_NOT_OK(
+                  run_reduce_task(attempt->task(), &local_out, &local_metrics,
+                                  &local_failures, &local_retries));
+              if (attempt->TryCommit()) {
+                next_dataflow[attempt->task()] = std::move(local_out);
+                WorkerStepMetrics& s = step[attempt->task()];
+                s.bytes_in += local_metrics.bytes_in;
+                s.records_in += local_metrics.records_in;
+                s.busy_seconds += local_metrics.busy_seconds;
+                s.peak_resident_bytes = std::max(
+                    s.peak_resident_bytes, local_metrics.peak_resident_bytes);
+                failures.fetch_add(local_failures);
+                read_retries.fetch_add(local_retries);
+              }
+              return Status::OK();
+            }));
+    (void)reduce_result;
+    if (spill) {
+      // Every reduce task committed; retire the round's durable inputs.
+      for (std::int64_t p = 0; p < n; ++p) {
+        for (std::int64_t r = 0; r < n; ++r) {
+          std::remove(SpillPath(spill_stage, p, r).c_str());
+        }
+      }
+    }
+  } else {
+    pool.ParallelFor(static_cast<std::size_t>(n), [&](std::size_t r) {
+      std::int64_t local_failures = 0;
+      std::int64_t local_retries = 0;
+      const Status status = run_reduce_task(r, &next_dataflow[r], &step[r],
+                                            &local_failures, &local_retries);
+      failures.fetch_add(local_failures);
+      read_retries.fetch_add(local_retries);
+      if (!status.ok()) record_error(status);
+    });
+  }
   failures_recovered_ += failures.load();
   metrics_.spill_read_retries += read_retries.load();
   if (!first_error.ok()) return first_error;

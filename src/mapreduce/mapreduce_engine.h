@@ -14,6 +14,7 @@
 #include "src/common/thread_pool.h"
 #include "src/graph/graph.h"
 #include "src/pregel/worker_metrics.h"
+#include "src/runtime/task_supervisor.h"
 
 namespace inferturbo {
 
@@ -86,6 +87,16 @@ class MapReduceJob {
     /// spill_write_retries; a persistent fault surfaces as an IoError
     /// Status from RunReduce, never a crash or silent corruption.
     IoRetryPolicy retry;
+    /// When set, every map/shuffle/reduce task runs under supervision:
+    /// per-attempt deadlines, bounded retry with backoff, speculative
+    /// backups, and executor quarantine. Tasks then compute into
+    /// attempt-local buffers (the resident dataflow stays immutable
+    /// until commit) and spill blocks are written under attempt-scoped
+    /// names, promoted to their canonical path only for the winning
+    /// attempt — any in-budget fault schedule yields bit-identical
+    /// results. Not owned; one supervisor may span the whole job so
+    /// quarantine decisions persist across rounds.
+    TaskSupervisor* supervisor = nullptr;
   };
 
   /// Called once per instance; the driver reads its own input split.
@@ -100,8 +111,10 @@ class MapReduceJob {
 
   explicit MapReduceJob(Options options);
 
-  /// Stage 1: populate the dataflow from input splits.
-  void RunMap(const MapFn& map_fn);
+  /// Stage 1: populate the dataflow from input splits. Always OK
+  /// without supervision; under a supervisor it surfaces a retry-
+  /// exhausted map task's error instead of crashing.
+  Status RunMap(const MapFn& map_fn);
 
   /// One shuffle+reduce round over the current dataflow; emitted pairs
   /// become the next round's dataflow. `combiner` may be null. Returns
@@ -140,8 +153,17 @@ class MapReduceJob {
   Status RestoreDataflow(std::string_view bytes);
 
  private:
+  /// Canonical spill block path for attempt < 0; attempt-scoped
+  /// ("..._aN.blk") otherwise. Supervised producers write under their
+  /// attempt's name and the winner's blocks are renamed to the
+  /// canonical path at commit, so readers never observe a loser's (or
+  /// a half-abandoned attempt's) output.
   std::string SpillPath(std::int64_t stage, std::int64_t producer,
-                        std::int64_t reducer) const;
+                        std::int64_t reducer, int attempt = -1) const;
+  /// Commit protocol for supervised spilling: promote the winning
+  /// attempt's blocks to canonical names, delete every other attempt's.
+  Status PromoteSpillBlocks(std::int64_t stage,
+                            const std::vector<int>& winning_attempt);
 
   Options options_;
   /// dataflow_[i] = key/value pairs resident on instance i.

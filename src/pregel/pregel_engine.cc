@@ -57,6 +57,10 @@ bool PregelContext::IsPartialBatch(std::size_t batch_index) const {
 
 void PregelContext::VoteToHalt() { halt_vote_ = true; }
 
+void PregelContext::DeferToCommit(std::function<void()> fn) {
+  commit_callbacks_.push_back(std::move(fn));
+}
+
 void PregelContext::ChargeBusySeconds(double seconds) {
   extra_busy_seconds_ += seconds;
 }
@@ -235,6 +239,12 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
   std::int64_t attempts = 0;
   const std::int64_t max_attempts = options_.max_supersteps * 10 + 10;
 
+  // Degradation-ladder bookkeeping (supervised runs only).
+  std::int64_t reexec_step = -1;
+  std::int64_t reexecs_this_step = 0;
+  std::int64_t superstep_reexecutions_total = 0;
+  std::int64_t supervised_restores = 0;
+
   for (std::int64_t step = start_step; step < options_.max_supersteps;
        ++step) {
     if (++attempts > max_attempts) {
@@ -288,39 +298,131 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
     std::vector<WorkerStepMetrics> step_metrics(
         static_cast<std::size_t>(num_workers));
 
-    // --- compute phase (parallel over logical workers) --------------
-    pool.ParallelFor(static_cast<std::size_t>(num_workers),
-                     [&](std::size_t w) {
-      PregelContext& ctx = contexts[w];
-      ctx.engine_ = this;
-      ctx.worker_id_ = static_cast<std::int64_t>(w);
-      ctx.superstep_ = step;
-      ctx.inbox_ = &inboxes[w];
-      ctx.inbox_partial_ = inbox_partial[w];
-      ctx.outbox_.resize(static_cast<std::size_t>(num_workers));
-      WorkerStepMetrics& m = step_metrics[w];
+    // One worker's compute attempt, writing into caller-owned context
+    // and metrics slots. Under supervision those slots are
+    // attempt-local, so duplicate attempts never share state.
+    const auto run_worker = [&](std::size_t w, PregelContext* ctx,
+                                WorkerStepMetrics* m) {
+      ctx->engine_ = this;
+      ctx->worker_id_ = static_cast<std::int64_t>(w);
+      ctx->superstep_ = step;
+      ctx->inbox_ = &inboxes[w];
+      ctx->inbox_partial_ = inbox_partial[w];
+      ctx->outbox_.resize(static_cast<std::size_t>(num_workers));
       std::uint64_t inbox_bytes = 0;
       for (const MessageBatch& b : inboxes[w]) {
-        m.records_in += b.size();
+        m->records_in += b.size();
         inbox_bytes += b.WireBytes();
       }
       WallTimer timer;
       {
         TraceSpan span("pregel/compute", static_cast<std::int64_t>(w));
-        compute(&ctx);
+        compute(ctx);
       }
-      m.busy_seconds = timer.ElapsedSeconds() + ctx.extra_busy_seconds_;
+      m->busy_seconds = timer.ElapsedSeconds() + ctx->extra_busy_seconds_;
       if (MetricsEnabled()) {
         static Histogram* hist =
             GlobalMetrics().GetHistogram("pregel.compute_seconds");
-        hist->Observe(m.busy_seconds);
+        hist->Observe(m->busy_seconds);
       }
       // The whole vectorized inbox is resident during compute, plus
       // whatever state the driver reported.
-      m.peak_resident_bytes =
-          std::max(inbox_bytes + ctx.resident_bytes_,
-                   m.peak_resident_bytes);
-    });
+      m->peak_resident_bytes =
+          std::max(inbox_bytes + ctx->resident_bytes_,
+                   m->peak_resident_bytes);
+    };
+
+    // --- compute phase (parallel over logical workers) --------------
+    if (options_.supervisor != nullptr) {
+      // Supervised: each worker's compute runs as one task with
+      // deadlines/retry/speculation. The compute is read-only against
+      // the superstep's inputs (inboxes, board, driver state via
+      // DeferToCommit), so any attempt — first, retry, or speculative
+      // backup — produces identical bytes, and a failed stage can
+      // re-execute the whole superstep from those same inputs.
+      const TaskStage task_stage{TaskStageKind::kPregelCompute, step};
+      const Result<StageResult> stage = options_.supervisor->RunStage(
+          task_stage, static_cast<std::size_t>(num_workers),
+          [&](TaskAttempt* attempt) -> Status {
+            const std::size_t w = attempt->task();
+            PregelContext local;
+            WorkerStepMetrics local_metrics;
+            run_worker(w, &local, &local_metrics);
+            if (attempt->TryCommit()) {
+              // Winner owns the slot; losers discard their copies.
+              contexts[w] = std::move(local);
+              step_metrics[w] = local_metrics;
+            }
+            return Status::OK();
+          });
+      if (!stage.ok()) {
+        // The attempted work is still real cost, and appending one row
+        // per worker keeps the per-worker step vectors aligned.
+        for (std::int64_t w = 0; w < num_workers; ++w) {
+          metrics.workers[static_cast<std::size_t>(w)].steps.push_back(
+              step_metrics[static_cast<std::size_t>(w)]);
+        }
+        if (reexec_step != step) {
+          reexec_step = step;
+          reexecs_this_step = 0;
+        }
+        const int max_reexecs =
+            options_.supervisor->options().max_superstep_reexecutions;
+        if (reexecs_this_step < max_reexecs) {
+          // Rung 2 of the ladder: nothing was published (commit
+          // callbacks never ran, next inboxes were never built), so
+          // the superstep's inputs are intact — just run it again.
+          ++reexecs_this_step;
+          ++superstep_reexecutions_total;
+          INFERTURBO_LOG(Warning)
+              << "re-executing superstep " << step << " ("
+              << reexecs_this_step << "/" << max_reexecs
+              << ") after stage failure: " << stage.status().ToString();
+          --step;  // loop increment replays it
+          continue;
+        }
+        if (has_checkpoint) {
+          // Rung 3: roll back to the last checkpoint.
+          ++supervised_restores;
+          ++failures_recovered_;
+          INFERTURBO_LOG(Warning)
+              << "superstep " << step
+              << " re-execution budget exhausted; restoring checkpoint of "
+              << "step " << checkpoint.step;
+          if (checkpoint.engine_bytes != nullptr) {
+            INFERTURBO_RETURN_NOT_OK(DecodePregelEngineState(
+                *checkpoint.engine_bytes, num_workers, &inboxes,
+                &inbox_partial, &board_current_));
+          } else {
+            inboxes = checkpoint.inboxes;
+            inbox_partial = checkpoint.inbox_partial;
+            board_current_ = checkpoint.board;
+          }
+          if (checkpoint.driver_bytes != nullptr &&
+              options_.deserialize_driver) {
+            INFERTURBO_RETURN_NOT_OK(
+                options_.deserialize_driver(*checkpoint.driver_bytes));
+          } else if (options_.restore_state) {
+            options_.restore_state(checkpoint.driver_state);
+          }
+          step = checkpoint.step - 1;
+          continue;
+        }
+        // Rung 4: no checkpoint to fall back to — surface the stage
+        // error as a clean Status.
+        return stage.status();
+      }
+    } else {
+      pool.ParallelFor(static_cast<std::size_t>(num_workers),
+                       [&](std::size_t w) {
+        run_worker(w, &contexts[w], &step_metrics[w]);
+      });
+    }
+
+    // Commit point: publish every worker's deferred state mutations,
+    // in worker order — deterministic regardless of which attempt of
+    // each task won, and only reached when the whole stage committed.
+    for (PregelContext& ctx : contexts) ctx.RunCommitCallbacks();
 
     // --- failure check: a crashed worker aborts the superstep --------
     if (options_.failure_injector) {
@@ -479,6 +581,11 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
     // message condition subsumes it.)
     (void)all_halted;
     if (!any_messages) break;
+  }
+  if (options_.supervisor != nullptr) {
+    metrics.supervision = options_.supervisor->metrics();
+    metrics.supervision.superstep_reexecutions = superstep_reexecutions_total;
+    metrics.supervision.checkpoint_restores = supervised_restores;
   }
   return metrics;
 }

@@ -14,6 +14,7 @@
 #include "src/gas/message.h"
 #include "src/graph/partition.h"
 #include "src/pregel/worker_metrics.h"
+#include "src/runtime/task_supervisor.h"
 
 namespace inferturbo {
 
@@ -69,6 +70,17 @@ class PregelContext {
   /// worker voted in the same superstep.
   void VoteToHalt();
 
+  /// Defers a publication of driver-visible state (node states, output
+  /// rows) until the whole superstep's compute stage has committed.
+  /// Under supervision this is mandatory for state the compute function
+  /// would otherwise mutate in place: duplicate (speculative) attempts
+  /// of one worker may run concurrently, and a failed stage re-executes
+  /// the superstep from its immutable inputs — both are only safe when
+  /// in-place mutation is postponed to the commit point. Callbacks run
+  /// on the coordinator thread, in worker order, exactly once per
+  /// committed superstep.
+  void DeferToCommit(std::function<void()> fn);
+
   /// Extra accounting hooks (e.g. reading node state from a local
   /// store).
   void ChargeBusySeconds(double seconds);
@@ -91,9 +103,15 @@ class PregelContext {
   };
   std::vector<std::vector<Outgoing>> outbox_;  // [dst_worker] -> batches
   std::vector<std::pair<NodeId, std::vector<float>>> broadcast_out_;
+  std::vector<std::function<void()>> commit_callbacks_;
   bool halt_vote_ = false;
   double extra_busy_seconds_ = 0.0;
   std::uint64_t resident_bytes_ = 0;
+
+  void RunCommitCallbacks() {
+    for (const std::function<void()>& fn : commit_callbacks_) fn();
+    commit_callbacks_.clear();
+  }
 };
 
 class PregelEngine {
@@ -148,6 +166,18 @@ class PregelEngine {
     /// compute runs — in-memory state is discarded, exactly like a
     /// killed driver.
     std::function<bool(std::int64_t step)> kill_switch;
+
+    // --- task supervision (src/runtime/) ----------------------------
+    /// When set, every superstep's compute phase runs as a supervised
+    /// stage: per-attempt deadlines, bounded retry with backoff,
+    /// speculative backups, and executor quarantine. The compute
+    /// function must then follow the deferred-commit contract
+    /// (PregelContext::DeferToCommit) for any in-place state mutation.
+    /// On per-task retry exhaustion the engine degrades in order:
+    /// superstep re-execution from the superstep's immutable inputs
+    /// (bounded by the supervisor's max_superstep_reexecutions), then
+    /// checkpoint restore, then a clean non-OK Status. Not owned.
+    TaskSupervisor* supervisor = nullptr;
   };
 
   /// `compute` is invoked once per worker per superstep.

@@ -71,6 +71,7 @@ void JobMetrics::AppendStages(const JobMetrics& other) {
   spill_read_retries += other.spill_read_retries;
   spill_write_retries += other.spill_write_retries;
   storage.Merge(other.storage);
+  supervision.Merge(other.supervision);
   if (workers.empty()) {
     workers = other.workers;
     return;

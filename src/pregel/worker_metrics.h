@@ -118,6 +118,54 @@ struct StorageMetrics {
   }
 };
 
+/// Task-supervision accounting (src/runtime/): every attempt, retry,
+/// injected fault, speculative launch, and quarantine decision a job's
+/// supervisor made. Feeds the run report's "faults" section, which must
+/// account for every injected event.
+struct SupervisionMetrics {
+  /// Logical tasks supervised (one per partition per supervised stage).
+  std::int64_t tasks = 0;
+  /// Total attempts launched, including first attempts, retries, and
+  /// speculative backups.
+  std::int64_t attempts = 0;
+  /// Re-attempts after a failed attempt (excludes speculative backups).
+  std::int64_t retries = 0;
+  /// Injected faults, by kind, as realized by the FaultPlan.
+  std::int64_t injected_crashes = 0;
+  std::int64_t injected_transients = 0;
+  std::int64_t injected_delays = 0;
+  /// Attempts cancelled because they overran the per-attempt deadline.
+  std::int64_t deadline_exceeded = 0;
+  /// Speculative backup attempts launched / backups that won the commit.
+  std::int64_t speculative_launched = 0;
+  std::int64_t speculative_commits = 0;
+  /// Executors quarantined after repeated permanent failures, and tasks
+  /// deterministically reassigned off quarantined executors.
+  std::int64_t quarantined_workers = 0;
+  std::int64_t reassigned_tasks = 0;
+  /// Pregel degradation ladder: supersteps re-executed from immutable
+  /// inputs after per-task retry exhaustion, and checkpoint restores
+  /// when re-execution was also exhausted.
+  std::int64_t superstep_reexecutions = 0;
+  std::int64_t checkpoint_restores = 0;
+
+  void Merge(const SupervisionMetrics& other) {
+    tasks += other.tasks;
+    attempts += other.attempts;
+    retries += other.retries;
+    injected_crashes += other.injected_crashes;
+    injected_transients += other.injected_transients;
+    injected_delays += other.injected_delays;
+    deadline_exceeded += other.deadline_exceeded;
+    speculative_launched += other.speculative_launched;
+    speculative_commits += other.speculative_commits;
+    quarantined_workers += other.quarantined_workers;
+    reassigned_tasks += other.reassigned_tasks;
+    superstep_reexecutions += other.superstep_reexecutions;
+    checkpoint_restores += other.checkpoint_restores;
+  }
+};
+
 /// Whole-job accounting: one WorkerMetrics per logical worker.
 struct JobMetrics {
   std::vector<WorkerMetrics> workers;
@@ -130,6 +178,8 @@ struct JobMetrics {
   /// Shard-store counters for jobs that ran over an out-of-core
   /// GraphView (zeros for fully-resident runs).
   StorageMetrics storage;
+  /// Task-supervision counters (zeros for unsupervised runs).
+  SupervisionMetrics supervision;
 
   std::int64_t num_steps() const {
     return workers.empty() ? 0

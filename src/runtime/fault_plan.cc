@@ -1,0 +1,269 @@
+#include "src/runtime/fault_plan.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace inferturbo {
+
+std::string_view TaskFaultKindToString(TaskFaultKind kind) {
+  switch (kind) {
+    case TaskFaultKind::kNone:
+      return "none";
+    case TaskFaultKind::kCrash:
+      return "crash";
+    case TaskFaultKind::kTransient:
+      return "transient";
+    case TaskFaultKind::kStraggle:
+      return "straggle";
+  }
+  return "unknown";
+}
+
+std::string_view TaskStageKindToString(TaskStageKind kind) {
+  switch (kind) {
+    case TaskStageKind::kPregelCompute:
+      return "compute";
+    case TaskStageKind::kMrMap:
+      return "map";
+    case TaskStageKind::kMrShuffle:
+      return "shuffle";
+    case TaskStageKind::kMrReduce:
+      return "reduce";
+    case TaskStageKind::kAny:
+      return "any";
+  }
+  return "unknown";
+}
+
+std::string TaskFaultEventToString(const TaskFaultEvent& event) {
+  std::string out(TaskFaultKindToString(event.kind));
+  out += "@";
+  out += TaskStageKindToString(event.coord.stage_kind);
+  out += ":";
+  out += std::to_string(event.coord.stage_index);
+  out += ":";
+  out += std::to_string(event.coord.executor);
+  out += "#";
+  out += std::to_string(event.coord.attempt);
+  if (event.kind == TaskFaultKind::kStraggle) {
+    out += "~";
+    out += std::to_string(static_cast<std::int64_t>(
+        event.delay_seconds * 1000.0 + 0.5));
+  }
+  return out;
+}
+
+void FaultPlan::ArmCrash(TaskStageKind stage_kind, std::int64_t stage_index,
+                         int executor, std::int64_t times) {
+  Arm({TaskFaultKind::kCrash, stage_kind, stage_index, executor, times, 0.0});
+}
+
+void FaultPlan::ArmTransient(TaskStageKind stage_kind,
+                             std::int64_t stage_index, int executor,
+                             std::int64_t times) {
+  Arm({TaskFaultKind::kTransient, stage_kind, stage_index, executor, times,
+       0.0});
+}
+
+void FaultPlan::ArmDelay(TaskStageKind stage_kind, std::int64_t stage_index,
+                         int executor, double delay_seconds,
+                         std::int64_t times) {
+  Arm({TaskFaultKind::kStraggle, stage_kind, stage_index, executor, times,
+       delay_seconds});
+}
+
+void FaultPlan::Arm(Rule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(rule);
+}
+
+TaskFault FaultPlan::Next(const TaskCoord& coord) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Rule& rule : rules_) {
+    if (rule.times == 0) continue;
+    if (rule.stage_kind != TaskStageKind::kAny &&
+        rule.stage_kind != coord.stage_kind) {
+      continue;
+    }
+    if (rule.stage_index >= 0 && rule.stage_index != coord.stage_index) {
+      continue;
+    }
+    if (rule.executor >= 0 && rule.executor != coord.executor) continue;
+    if (rule.times > 0) --rule.times;
+    switch (rule.kind) {
+      case TaskFaultKind::kCrash:
+        ++crashes_;
+        break;
+      case TaskFaultKind::kTransient:
+        ++transients_;
+        break;
+      case TaskFaultKind::kStraggle:
+        ++delays_;
+        break;
+      case TaskFaultKind::kNone:
+        break;
+    }
+    events_.push_back({rule.kind, coord, rule.delay_seconds});
+    return {rule.kind, rule.delay_seconds};
+  }
+  return {TaskFaultKind::kNone, 0.0};
+}
+
+std::size_t FaultPlan::num_rules() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rules_.size();
+}
+
+std::int64_t FaultPlan::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashes_ + transients_ + delays_;
+}
+
+std::int64_t FaultPlan::crashes_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashes_;
+}
+
+std::int64_t FaultPlan::transients_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transients_;
+}
+
+std::int64_t FaultPlan::delays_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delays_;
+}
+
+std::vector<TaskFaultEvent> FaultPlan::realized_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+namespace {
+
+Status BadSpec(std::string_view rule, const char* why) {
+  std::string msg = "bad fault-plan rule '";
+  msg += rule;
+  msg += "': ";
+  msg += why;
+  return Status::InvalidArgument(std::move(msg));
+}
+
+/// Parses a base-10 integer covering the whole of `text`.
+bool ParseInt(std::string_view text, std::int64_t* out) {
+  if (text.empty()) return false;
+  std::string buffer(text);
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno != 0 || end != buffer.c_str() + buffer.size()) return false;
+  *out = value;
+  return true;
+}
+
+Status ParseRule(std::string_view rule, FaultPlan* plan) {
+  const std::size_t at = rule.find('@');
+  if (at == std::string_view::npos) return BadSpec(rule, "missing '@'");
+  const std::string_view kind_text = rule.substr(0, at);
+  std::string_view rest = rule.substr(at + 1);
+
+  FaultPlan::Rule parsed;
+  if (kind_text == "crash") {
+    parsed.kind = TaskFaultKind::kCrash;
+  } else if (kind_text == "transient") {
+    parsed.kind = TaskFaultKind::kTransient;
+  } else if (kind_text == "straggle") {
+    parsed.kind = TaskFaultKind::kStraggle;
+    parsed.delay_seconds = 0.1;  // default 100 ms
+  } else {
+    return BadSpec(rule, "kind must be crash|transient|straggle");
+  }
+
+  const std::size_t c1 = rest.find(':');
+  if (c1 == std::string_view::npos) return BadSpec(rule, "missing stage/step");
+  const std::size_t c2 = rest.find(':', c1 + 1);
+  if (c2 == std::string_view::npos) return BadSpec(rule, "missing worker");
+  const std::string_view stage_text = rest.substr(0, c1);
+  const std::string_view step_text = rest.substr(c1 + 1, c2 - c1 - 1);
+  std::string_view worker_text = rest.substr(c2 + 1);
+
+  if (stage_text == "compute") {
+    parsed.stage_kind = TaskStageKind::kPregelCompute;
+  } else if (stage_text == "map") {
+    parsed.stage_kind = TaskStageKind::kMrMap;
+  } else if (stage_text == "shuffle") {
+    parsed.stage_kind = TaskStageKind::kMrShuffle;
+  } else if (stage_text == "reduce") {
+    parsed.stage_kind = TaskStageKind::kMrReduce;
+  } else if (stage_text == "any") {
+    parsed.stage_kind = TaskStageKind::kAny;
+  } else {
+    return BadSpec(rule, "stage must be compute|map|shuffle|reduce|any");
+  }
+
+  if (step_text == "*") {
+    parsed.stage_index = -1;
+  } else if (!ParseInt(step_text, &parsed.stage_index) ||
+             parsed.stage_index < 0) {
+    return BadSpec(rule, "step must be a non-negative integer or '*'");
+  }
+
+  // Trailing modifiers on the worker field: [x times] [~ delay_ms].
+  const std::size_t tilde = worker_text.find('~');
+  if (tilde != std::string_view::npos) {
+    if (parsed.kind != TaskFaultKind::kStraggle) {
+      return BadSpec(rule, "'~delay' only applies to straggle rules");
+    }
+    std::int64_t delay_ms = 0;
+    if (!ParseInt(worker_text.substr(tilde + 1), &delay_ms) || delay_ms < 0) {
+      return BadSpec(rule, "delay must be a non-negative integer (ms)");
+    }
+    parsed.delay_seconds = static_cast<double>(delay_ms) / 1000.0;
+    worker_text = worker_text.substr(0, tilde);
+  }
+  const std::size_t x = worker_text.find('x');
+  if (x != std::string_view::npos) {
+    if (!ParseInt(worker_text.substr(x + 1), &parsed.times) ||
+        parsed.times == 0) {
+      return BadSpec(rule, "times must be a nonzero integer (-1 = unbounded)");
+    }
+    worker_text = worker_text.substr(0, x);
+  }
+
+  if (worker_text == "*") {
+    parsed.executor = -1;
+  } else {
+    std::int64_t worker = 0;
+    if (!ParseInt(worker_text, &worker) || worker < 0) {
+      return BadSpec(rule, "worker must be a non-negative integer or '*'");
+    }
+    parsed.executor = static_cast<int>(worker);
+  }
+
+  plan->Arm(parsed);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseFaultPlan(std::string_view spec, FaultPlan* plan) {
+  INFERTURBO_CHECK(plan != nullptr);
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view rule = spec.substr(start, end - start);
+    // Trim surrounding spaces.
+    while (!rule.empty() && rule.front() == ' ') rule.remove_prefix(1);
+    while (!rule.empty() && rule.back() == ' ') rule.remove_suffix(1);
+    if (!rule.empty()) INFERTURBO_RETURN_NOT_OK(ParseRule(rule, plan));
+    if (end == spec.size()) break;
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,145 @@
+#ifndef INFERTURBO_RUNTIME_FAULT_PLAN_H_
+#define INFERTURBO_RUNTIME_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace inferturbo {
+
+/// Compute-side failure modes, complementing IoFaultKind (PR 1) which
+/// covers the persistence layer. A FaultPlan decides, per task attempt,
+/// whether the attempt dies, errors transiently, or straggles.
+enum class TaskFaultKind {
+  kNone = 0,
+  /// The attempt "crashes": it reports kInternal without running the
+  /// task body. Crash failures are permanent-style — they count toward
+  /// executor quarantine.
+  kCrash,
+  /// The attempt fails with kUnavailable — retryable by code, does not
+  /// count toward quarantine.
+  kTransient,
+  /// The attempt is delayed by `delay_seconds` before running the task
+  /// body — a straggler. The delay sleep is cooperative: it polls the
+  /// attempt's abandon flag so a committed or deadline-cancelled
+  /// attempt stops sleeping promptly.
+  kStraggle,
+};
+
+std::string_view TaskFaultKindToString(TaskFaultKind kind);
+
+/// Which supervised stage family a task belongs to. kAny is valid only
+/// in rules (wildcard match), never in a TaskCoord.
+enum class TaskStageKind {
+  kPregelCompute = 0,
+  kMrMap,
+  kMrShuffle,
+  kMrReduce,
+  kAny,
+};
+
+std::string_view TaskStageKindToString(TaskStageKind kind);
+
+/// Identifies one task attempt: which stage family, which stage index
+/// (Pregel superstep / MapReduce round), which logical executor runs
+/// it, and which attempt number this is (0 = first attempt).
+struct TaskCoord {
+  TaskStageKind stage_kind = TaskStageKind::kPregelCompute;
+  std::int64_t stage_index = 0;
+  int executor = 0;
+  int attempt = 0;
+};
+
+/// The decision for one attempt.
+struct TaskFault {
+  TaskFaultKind kind = TaskFaultKind::kNone;
+  double delay_seconds = 0.0;  // only for kStraggle
+};
+
+/// One realized injection, for the plan's replayable log.
+struct TaskFaultEvent {
+  TaskFaultKind kind;
+  TaskCoord coord;
+  double delay_seconds;
+};
+
+/// "crash@compute:1:0#2" style rendering of one realized event.
+std::string TaskFaultEventToString(const TaskFaultEvent& event);
+
+/// A scripted compute-fault schedule. Rules match (stage kind, stage
+/// index, executor); `stage_index`/`executor` < 0 and
+/// TaskStageKind::kAny are wildcards. Each rule fires a bounded number
+/// of times (`times` < 0 = unbounded). Thread-safe: supervised attempts
+/// consult the plan concurrently from pool workers.
+class FaultPlan {
+ public:
+  struct Rule {
+    TaskFaultKind kind = TaskFaultKind::kNone;
+    TaskStageKind stage_kind = TaskStageKind::kAny;
+    std::int64_t stage_index = -1;  // < 0 = any
+    int executor = -1;              // < 0 = any
+    std::int64_t times = 1;         // < 0 = unbounded
+    double delay_seconds = 0.0;     // kStraggle only
+  };
+
+  /// Kills matching attempts before they run (kInternal, permanent).
+  void ArmCrash(TaskStageKind stage_kind, std::int64_t stage_index,
+                int executor, std::int64_t times = 1);
+  /// Fails matching attempts with kUnavailable (transient, retryable).
+  void ArmTransient(TaskStageKind stage_kind, std::int64_t stage_index,
+                    int executor, std::int64_t times = 1);
+  /// Delays matching attempts by `delay_seconds` (a straggler).
+  void ArmDelay(TaskStageKind stage_kind, std::int64_t stage_index,
+                int executor, double delay_seconds, std::int64_t times = 1);
+  void Arm(Rule rule);
+
+  /// The fault (if any) to apply to this attempt. First matching rule
+  /// with shots remaining fires; every firing is logged.
+  TaskFault Next(const TaskCoord& coord);
+
+  std::size_t num_rules() const;
+  /// Total faults fired, and per-kind breakdowns — what chaos tests
+  /// compare against the run report's `faults` section.
+  std::int64_t faults_fired() const;
+  std::int64_t crashes_fired() const;
+  std::int64_t transients_fired() const;
+  std::int64_t delays_fired() const;
+  /// Every realized injection, in firing order.
+  std::vector<TaskFaultEvent> realized_events() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Rule> rules_;
+  std::int64_t crashes_ = 0;
+  std::int64_t transients_ = 0;
+  std::int64_t delays_ = 0;
+  std::vector<TaskFaultEvent> events_;
+};
+
+/// Parses a CLI fault-plan spec into `plan` (appending to its rules).
+///
+/// Grammar (semicolon-separated rules):
+///   rule  := kind '@' stage ':' step ':' worker [ 'x' times ] [ '~' ms ]
+///   kind  := "crash" | "transient" | "straggle"
+///   stage := "compute" | "map" | "shuffle" | "reduce" | "any"
+///   step  := integer | '*'          (Pregel superstep / MR round)
+///   worker:= integer | '*'          (logical executor id)
+///   times := integer (-1 = every match; default 1)
+///   ms    := delay in milliseconds (straggle only; default 100)
+///
+/// Examples:
+///   "crash@compute:1:0"            crash worker 0's first attempt in
+///                                  superstep 1
+///   "straggle@any:*:2~250"         delay every attempt on worker 2 by
+///                                  250 ms
+///   "transient@map:0:*x3"          three transient failures anywhere
+///                                  in the map stage
+Status ParseFaultPlan(std::string_view spec, FaultPlan* plan);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_RUNTIME_FAULT_PLAN_H_

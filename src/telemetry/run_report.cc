@@ -43,6 +43,24 @@ JsonValue StorageJson(const StorageMetrics& s) {
   });
 }
 
+JsonValue FaultsJson(const SupervisionMetrics& s) {
+  return JsonValue(JsonValue::Object{
+      {"tasks", JsonValue(s.tasks)},
+      {"attempts", JsonValue(s.attempts)},
+      {"retries", JsonValue(s.retries)},
+      {"injected_crashes", JsonValue(s.injected_crashes)},
+      {"injected_transients", JsonValue(s.injected_transients)},
+      {"injected_delays", JsonValue(s.injected_delays)},
+      {"deadline_exceeded", JsonValue(s.deadline_exceeded)},
+      {"speculative_launched", JsonValue(s.speculative_launched)},
+      {"speculative_commits", JsonValue(s.speculative_commits)},
+      {"quarantined_workers", JsonValue(s.quarantined_workers)},
+      {"reassigned_tasks", JsonValue(s.reassigned_tasks)},
+      {"superstep_reexecutions", JsonValue(s.superstep_reexecutions)},
+      {"checkpoint_restores", JsonValue(s.checkpoint_restores)},
+  });
+}
+
 }  // namespace
 
 JsonValue BuildRunReport(const JobMetrics& metrics,
@@ -79,6 +97,7 @@ JsonValue BuildRunReport(const JobMetrics& metrics,
       {"config", JsonValue(std::move(config))},
       {"job", JsonValue(std::move(job))},
       {"storage", StorageJson(metrics.storage)},
+      {"faults", FaultsJson(metrics.supervision)},
       {"metrics", GlobalMetrics().Snapshot()},
   });
 }

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/common/byte_size.h"
+#include "src/runtime/fault_plan.h"
 
 namespace inferturbo {
 namespace {
@@ -145,6 +146,79 @@ TEST(FlagParserTest, GetBytesParsesUnitsAndRejectsGarbage) {
   const Result<std::uint64_t> bad = flags.GetBytes("bad", 0);
   EXPECT_FALSE(bad.ok());
   EXPECT_NE(bad.status().message().find("--bad"), std::string::npos);
+}
+
+// --- task supervision / chaos flags (the CLI's robustness knobs) -----
+
+TEST(FlagParserTest, SupervisionFlagsParse) {
+  const FlagParser flags = MustParse(
+      {"--task_deadline_ms=250", "--max_task_retries=5",
+       "--speculative_execution", "--fault_plan=crash@compute:1:0"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("task_deadline_ms", 0.0), 250.0);
+  EXPECT_EQ(flags.GetInt("max_task_retries", 3), 5);
+  EXPECT_TRUE(flags.GetBool("speculative_execution", false));
+  EXPECT_EQ(flags.GetString("fault_plan", ""), "crash@compute:1:0");
+  // Presence of any supervision flag is what turns the supervisor on.
+  EXPECT_TRUE(flags.Has("task_deadline_ms"));
+  EXPECT_FALSE(MustParse({"--mode=infer"}).Has("task_deadline_ms"));
+}
+
+TEST(FaultPlanSpecTest, ParsesKindsStagesAndModifiers) {
+  FaultPlan plan;
+  ASSERT_TRUE(ParseFaultPlan("crash@compute:1:0;transient@map:0:*x3;"
+                             "straggle@reduce:*:2x-1~250",
+                             &plan)
+                  .ok());
+  EXPECT_EQ(plan.num_rules(), 3u);
+  // Rule 1 fires for compute step 1 worker 0, exactly once.
+  EXPECT_EQ(plan.Next({TaskStageKind::kPregelCompute, 1, 0, 0}).kind,
+            TaskFaultKind::kCrash);
+  EXPECT_EQ(plan.Next({TaskStageKind::kPregelCompute, 1, 0, 1}).kind,
+            TaskFaultKind::kNone);
+  // Rule 2: any worker in the map stage, three shots.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(plan.Next({TaskStageKind::kMrMap, 0, i, 0}).kind,
+              TaskFaultKind::kTransient);
+  }
+  EXPECT_EQ(plan.Next({TaskStageKind::kMrMap, 0, 9, 0}).kind,
+            TaskFaultKind::kNone);
+  // Rule 3: unbounded straggle on worker 2 in any reduce round, 250 ms.
+  const TaskFault straggle = plan.Next({TaskStageKind::kMrReduce, 7, 2, 0});
+  EXPECT_EQ(straggle.kind, TaskFaultKind::kStraggle);
+  EXPECT_DOUBLE_EQ(straggle.delay_seconds, 0.25);
+  EXPECT_EQ(plan.Next({TaskStageKind::kMrReduce, 8, 2, 1}).kind,
+            TaskFaultKind::kStraggle);
+  EXPECT_EQ(plan.crashes_fired(), 1);
+  EXPECT_EQ(plan.transients_fired(), 3);
+  EXPECT_EQ(plan.delays_fired(), 2);
+  EXPECT_EQ(plan.faults_fired(), 6);
+  EXPECT_EQ(plan.realized_events().size(), 6u);
+}
+
+TEST(FaultPlanSpecTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"boom@compute:1:0", "crash@nowhere:1:0", "crash@compute:1",
+        "crash@compute", "crash", "crash@compute:x:0",
+        "crash@compute:1:0~50", "straggle@compute:1:0~",
+        "crash@compute:1:0x0", "crash@compute:1:0 extra"}) {
+    FaultPlan plan;
+    EXPECT_FALSE(ParseFaultPlan(bad, &plan).ok()) << "'" << bad << "'";
+  }
+  // Empty specs (and stray separators) arm nothing and are fine.
+  FaultPlan empty;
+  EXPECT_TRUE(ParseFaultPlan("", &empty).ok());
+  EXPECT_TRUE(ParseFaultPlan(" ; ", &empty).ok());
+  EXPECT_EQ(empty.num_rules(), 0u);
+}
+
+TEST(FaultPlanSpecTest, RealizedEventsRenderStably) {
+  FaultPlan plan;
+  ASSERT_TRUE(ParseFaultPlan("crash@compute:1:0", &plan).ok());
+  ASSERT_EQ(plan.Next({TaskStageKind::kPregelCompute, 1, 0, 2}).kind,
+            TaskFaultKind::kCrash);
+  const std::vector<TaskFaultEvent> events = plan.realized_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(TaskFaultEventToString(events[0]), "crash@compute:1:0#2");
 }
 
 }  // namespace

@@ -32,6 +32,27 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
             "InvalidArgument");
   EXPECT_EQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, DeadlineExceededIsDistinguishableByCode) {
+  const Status s = Status::DeadlineExceeded("attempt 2 over 500ms budget");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsDeadlineExceeded());
+  EXPECT_FALSE(s.IsUnavailable());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.ToString(), "DeadlineExceeded: attempt 2 over 500ms budget");
+}
+
+TEST(StatusTest, UnavailableIsDistinguishableByCode) {
+  const Status s = Status::Unavailable("transient fault injected");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_FALSE(s.IsDeadlineExceeded());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.ToString(), "Unavailable: transient fault injected");
 }
 
 Status FailsThrough() {

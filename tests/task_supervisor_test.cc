@@ -1,0 +1,337 @@
+// TaskSupervisor unit tests: the first-commit-wins attempt protocol,
+// bounded retry with status-code-aware accounting, per-attempt
+// deadlines, speculative backups, and executor quarantine — exercised
+// directly against small synthetic task bodies so every assertion pins
+// one supervisor behavior the engines rely on.
+#include "src/runtime/task_supervisor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/fault_plan.h"
+
+namespace inferturbo {
+namespace {
+
+using std::chrono::steady_clock;
+
+// Cooperative wait: parks until the supervisor abandons the attempt,
+// bounded so a supervisor bug cannot hang the test binary.
+void WaitForAbandon(TaskAttempt* attempt, double max_seconds = 10.0) {
+  const auto give_up =
+      steady_clock::now() +
+      std::chrono::duration_cast<steady_clock::duration>(
+          std::chrono::duration<double>(max_seconds));
+  while (!attempt->ShouldAbandon() && steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(TaskSupervisorTest, HappyPathCommitsEveryTaskOnAttemptZero) {
+  TaskSupervisor supervisor({});
+  constexpr std::size_t kTasks = 5;
+  std::vector<int> out(kTasks, -1);
+  const Result<StageResult> stage = supervisor.RunStage(
+      {TaskStageKind::kPregelCompute, 0}, kTasks,
+      [&](TaskAttempt* attempt) -> Status {
+        const int value = static_cast<int>(attempt->task()) * 10;
+        if (attempt->TryCommit()) out[attempt->task()] = value;
+        return Status::OK();
+      });
+  ASSERT_TRUE(stage.ok()) << stage.status().ToString();
+  EXPECT_FALSE(stage->had_failures);
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(stage->committed_attempt[t], 0) << t;
+    EXPECT_EQ(stage->committed_executor[t], static_cast<int>(t)) << t;
+    EXPECT_EQ(out[t], static_cast<int>(t) * 10) << t;
+  }
+  const SupervisionMetrics m = supervisor.metrics();
+  EXPECT_EQ(m.tasks, 5);
+  EXPECT_EQ(m.attempts, 5);
+  EXPECT_EQ(m.retries, 0);
+  EXPECT_EQ(m.deadline_exceeded, 0);
+  EXPECT_EQ(supervisor.num_quarantined(), 0);
+}
+
+TEST(TaskSupervisorTest, BodyReturningOkWithoutTryCommitIsAutoCommitted) {
+  TaskSupervisor supervisor({});
+  const Result<StageResult> stage =
+      supervisor.RunStage({TaskStageKind::kMrMap, 0}, 3,
+                          [](TaskAttempt*) { return Status::OK(); });
+  ASSERT_TRUE(stage.ok()) << stage.status().ToString();
+  EXPECT_EQ(supervisor.metrics().tasks, 3);
+  EXPECT_EQ(supervisor.metrics().attempts, 3);
+}
+
+TEST(TaskSupervisorTest, InjectedCrashRetriesAndRecovers) {
+  FaultPlan plan;
+  // Executor 1's first attempt in stage 0 crashes, once.
+  plan.ArmCrash(TaskStageKind::kAny, /*stage_index=*/0, /*executor=*/1,
+                /*times=*/1);
+  TaskSupervisionOptions options;
+  options.fault_plan = &plan;
+  TaskSupervisor supervisor(options);
+
+  std::atomic<int> commits{0};
+  const Result<StageResult> stage = supervisor.RunStage(
+      {TaskStageKind::kPregelCompute, 0}, 3,
+      [&](TaskAttempt* attempt) -> Status {
+        if (attempt->TryCommit()) commits.fetch_add(1);
+        return Status::OK();
+      });
+  ASSERT_TRUE(stage.ok()) << stage.status().ToString();
+  EXPECT_TRUE(stage->had_failures);
+  EXPECT_EQ(commits.load(), 3);
+  // The crashed task committed on its retry, same executor (one crash
+  // is under the default quarantine threshold).
+  EXPECT_EQ(stage->committed_attempt[1], 1);
+  EXPECT_EQ(stage->committed_executor[1], 1);
+  const SupervisionMetrics m = supervisor.metrics();
+  EXPECT_EQ(m.injected_crashes, 1);
+  EXPECT_EQ(m.retries, 1);
+  EXPECT_EQ(m.attempts, 4);
+  EXPECT_EQ(supervisor.num_quarantined(), 0);
+  EXPECT_EQ(plan.crashes_fired(), 1);
+}
+
+TEST(TaskSupervisorTest, TransientFailuresRetryWithoutQuarantine) {
+  FaultPlan plan;
+  plan.ArmTransient(TaskStageKind::kAny, -1, /*executor=*/0, /*times=*/2);
+  TaskSupervisionOptions options;
+  options.fault_plan = &plan;
+  options.quarantine_threshold = 1;  // a single crash would quarantine
+  TaskSupervisor supervisor(options);
+
+  const Result<StageResult> stage =
+      supervisor.RunStage({TaskStageKind::kMrReduce, 2}, 2,
+                          [](TaskAttempt*) { return Status::OK(); });
+  ASSERT_TRUE(stage.ok()) << stage.status().ToString();
+  // Two kUnavailable failures burned two retries but zero quarantine
+  // budget: transient codes are not permanent-style.
+  EXPECT_EQ(stage->committed_attempt[0], 2);
+  EXPECT_EQ(stage->committed_executor[0], 0);
+  const SupervisionMetrics m = supervisor.metrics();
+  EXPECT_EQ(m.injected_transients, 2);
+  EXPECT_EQ(m.retries, 2);
+  EXPECT_EQ(supervisor.num_quarantined(), 0);
+  EXPECT_FALSE(supervisor.IsQuarantined(0));
+}
+
+TEST(TaskSupervisorTest, RetryExhaustionFailsStageWithPreservedCode) {
+  FaultPlan plan;
+  plan.ArmCrash(TaskStageKind::kAny, -1, -1, /*times=*/-1);  // every attempt
+  TaskSupervisionOptions options;
+  options.fault_plan = &plan;
+  options.max_task_retries = 1;
+  options.quarantine_threshold = 0;  // keep crashes landing on one executor
+  TaskSupervisor supervisor(options);
+
+  std::atomic<int> bodies_run{0};
+  const Result<StageResult> stage = supervisor.RunStage(
+      {TaskStageKind::kPregelCompute, 1}, 2, [&](TaskAttempt*) -> Status {
+        bodies_run.fetch_add(1);
+        return Status::OK();
+      });
+  ASSERT_FALSE(stage.ok());
+  // Crashes report kInternal; the stage error preserves the code and
+  // names the exhausted retry budget.
+  EXPECT_EQ(stage.status().code(), StatusCode::kInternal);
+  EXPECT_NE(stage.status().message().find("exhausted"), std::string::npos)
+      << stage.status().ToString();
+  // A crash kills the attempt before its body runs.
+  EXPECT_EQ(bodies_run.load(), 0);
+}
+
+TEST(TaskSupervisorTest, ExhaustionWithTransientCodeSurfacesUnavailable) {
+  FaultPlan plan;
+  plan.ArmTransient(TaskStageKind::kAny, -1, -1, /*times=*/-1);
+  TaskSupervisionOptions options;
+  options.fault_plan = &plan;
+  options.max_task_retries = 1;
+  TaskSupervisor supervisor(options);
+
+  const Result<StageResult> stage =
+      supervisor.RunStage({TaskStageKind::kMrMap, 0}, 1,
+                          [](TaskAttempt*) { return Status::OK(); });
+  ASSERT_FALSE(stage.ok());
+  EXPECT_TRUE(stage.status().IsUnavailable()) << stage.status().ToString();
+}
+
+TEST(TaskSupervisorTest, DeadlineAbandonsStragglerAndRetryCommits) {
+  TaskSupervisionOptions options;
+  options.task_deadline_seconds = 0.05;
+  TaskSupervisor supervisor(options);
+
+  const Result<StageResult> stage = supervisor.RunStage(
+      {TaskStageKind::kPregelCompute, 0}, 2,
+      [&](TaskAttempt* attempt) -> Status {
+        if (attempt->task() == 0 && attempt->attempt() == 0) {
+          // Overruns the 50 ms budget; parks until the deadline
+          // scanner abandons it.
+          WaitForAbandon(attempt);
+          EXPECT_TRUE(attempt->ShouldAbandon());
+          // An abandoned attempt must not win even if it claims OK.
+          EXPECT_FALSE(attempt->TryCommit());
+          return Status::OK();
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(stage.ok()) << stage.status().ToString();
+  EXPECT_TRUE(stage->had_failures);
+  EXPECT_GE(stage->committed_attempt[0], 1);
+  const SupervisionMetrics m = supervisor.metrics();
+  EXPECT_GE(m.deadline_exceeded, 1);
+  EXPECT_GE(m.retries, 1);
+  // Deadline overruns are transient-style: no quarantine.
+  EXPECT_EQ(supervisor.num_quarantined(), 0);
+}
+
+TEST(TaskSupervisorTest, SpeculativeBackupCommitsWhileStragglerSleeps) {
+  TaskSupervisionOptions options;
+  options.speculative_execution = true;
+  options.speculation_delay_seconds = 0.01;
+  TaskSupervisor supervisor(options);
+
+  std::atomic<int> wins{0};
+  const Result<StageResult> stage = supervisor.RunStage(
+      {TaskStageKind::kMrReduce, 1}, 3,
+      [&](TaskAttempt* attempt) -> Status {
+        if (attempt->task() == 0 && attempt->attempt() == 0) {
+          WaitForAbandon(attempt);  // straggle until the backup wins
+          if (attempt->TryCommit()) wins.fetch_add(1);
+          return Status::OK();
+        }
+        if (attempt->TryCommit()) wins.fetch_add(1);
+        return Status::OK();
+      });
+  ASSERT_TRUE(stage.ok()) << stage.status().ToString();
+  // Exactly one attempt per task won, and task 0's winner was the
+  // speculative backup (attempt 1).
+  EXPECT_EQ(wins.load(), 3);
+  EXPECT_EQ(stage->committed_attempt[0], 1);
+  const SupervisionMetrics m = supervisor.metrics();
+  EXPECT_GE(m.speculative_launched, 1);
+  EXPECT_GE(m.speculative_commits, 1);
+  EXPECT_EQ(m.tasks, 3);
+}
+
+TEST(TaskSupervisorTest, CommitIsExclusiveAcrossEagerBackups) {
+  // Zero speculation delay => backups race first attempts aggressively;
+  // first-commit-wins must still hand out exactly one win per task.
+  TaskSupervisionOptions options;
+  options.speculative_execution = true;
+  options.speculation_delay_seconds = 0.0;
+  TaskSupervisor supervisor(options);
+
+  constexpr std::size_t kTasks = 8;
+  std::atomic<int> wins{0};
+  const Result<StageResult> stage = supervisor.RunStage(
+      {TaskStageKind::kPregelCompute, 2}, kTasks,
+      [&](TaskAttempt* attempt) -> Status {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        if (attempt->TryCommit()) wins.fetch_add(1);
+        return Status::OK();
+      });
+  ASSERT_TRUE(stage.ok()) << stage.status().ToString();
+  EXPECT_EQ(wins.load(), static_cast<int>(kTasks));
+  EXPECT_EQ(supervisor.metrics().tasks, static_cast<std::int64_t>(kTasks));
+}
+
+TEST(TaskSupervisorTest, QuarantineReassignsTaskToNextHealthyExecutor) {
+  FaultPlan plan;
+  plan.ArmCrash(TaskStageKind::kAny, -1, /*executor=*/1, /*times=*/-1);
+  TaskSupervisionOptions options;
+  options.fault_plan = &plan;
+  options.quarantine_threshold = 2;
+  TaskSupervisor supervisor(options);
+
+  const Result<StageResult> stage =
+      supervisor.RunStage({TaskStageKind::kPregelCompute, 0}, 3,
+                          [](TaskAttempt*) { return Status::OK(); });
+  ASSERT_TRUE(stage.ok()) << stage.status().ToString();
+  // Task 1's home executor crashed twice, got quarantined, and the
+  // third attempt deterministically moved to executor 2 — where the
+  // (executor-1-scoped) fault rule no longer matches.
+  EXPECT_EQ(stage->committed_attempt[1], 2);
+  EXPECT_EQ(stage->committed_executor[1], 2);
+  EXPECT_TRUE(supervisor.IsQuarantined(1));
+  EXPECT_FALSE(supervisor.IsQuarantined(0));
+  EXPECT_EQ(supervisor.num_quarantined(), 1);
+  const SupervisionMetrics m = supervisor.metrics();
+  EXPECT_EQ(m.injected_crashes, 2);
+  EXPECT_EQ(m.quarantined_workers, 1);
+  EXPECT_GE(m.reassigned_tasks, 1);
+}
+
+TEST(TaskSupervisorTest, QuarantinePersistsAcrossStages) {
+  FaultPlan plan;
+  plan.ArmCrash(TaskStageKind::kAny, /*stage_index=*/0, /*executor=*/0,
+                /*times=*/-1);
+  TaskSupervisionOptions options;
+  options.fault_plan = &plan;
+  options.quarantine_threshold = 1;
+  TaskSupervisor supervisor(options);
+
+  ASSERT_TRUE(supervisor
+                  .RunStage({TaskStageKind::kPregelCompute, 0}, 2,
+                            [](TaskAttempt*) { return Status::OK(); })
+                  .ok());
+  ASSERT_TRUE(supervisor.IsQuarantined(0));
+
+  // The next stage never routes task 0 to the quarantined executor:
+  // one supervisor per job means health outlives any single stage.
+  const Result<StageResult> next =
+      supervisor.RunStage({TaskStageKind::kPregelCompute, 1}, 2,
+                          [](TaskAttempt*) { return Status::OK(); });
+  ASSERT_TRUE(next.ok()) << next.status().ToString();
+  EXPECT_EQ(next->committed_executor[0], 1);
+  EXPECT_GE(supervisor.metrics().reassigned_tasks, 1);
+}
+
+TEST(TaskSupervisorTest, StraggleInjectionDelaysButStillCommits) {
+  FaultPlan plan;
+  plan.ArmDelay(TaskStageKind::kAny, -1, /*executor=*/0,
+                /*delay_seconds=*/0.02, /*times=*/1);
+  TaskSupervisionOptions options;
+  options.fault_plan = &plan;
+  TaskSupervisor supervisor(options);
+
+  const Result<StageResult> stage =
+      supervisor.RunStage({TaskStageKind::kMrShuffle, 1}, 2,
+                          [](TaskAttempt*) { return Status::OK(); });
+  ASSERT_TRUE(stage.ok()) << stage.status().ToString();
+  // A straggle is not a failure: attempt 0 still commits.
+  EXPECT_EQ(stage->committed_attempt[0], 0);
+  EXPECT_FALSE(stage->had_failures);
+  const SupervisionMetrics m = supervisor.metrics();
+  EXPECT_EQ(m.injected_delays, 1);
+  EXPECT_EQ(m.retries, 0);
+  EXPECT_EQ(plan.delays_fired(), 1);
+}
+
+TEST(TaskSupervisorTest, MetricsAccumulateAcrossStages) {
+  FaultPlan plan;
+  plan.ArmTransient(TaskStageKind::kAny, -1, -1, /*times=*/1);
+  TaskSupervisionOptions options;
+  options.fault_plan = &plan;
+  TaskSupervisor supervisor(options);
+
+  for (int s = 0; s < 3; ++s) {
+    ASSERT_TRUE(supervisor
+                    .RunStage({TaskStageKind::kPregelCompute, s}, 2,
+                              [](TaskAttempt*) { return Status::OK(); })
+                    .ok());
+  }
+  const SupervisionMetrics m = supervisor.metrics();
+  EXPECT_EQ(m.tasks, 6);
+  EXPECT_EQ(m.attempts, 7);  // 6 firsts + 1 retry for the transient
+  EXPECT_EQ(m.retries, 1);
+  EXPECT_EQ(m.injected_transients, 1);
+}
+
+}  // namespace
+}  // namespace inferturbo
