@@ -10,15 +10,22 @@
 //   bench_kernels --out=PATH           write the JSON elsewhere
 //   bench_kernels --check=PATH         diff against a baseline JSON; exits 1
 //                                      when any op regresses past --check-tolerance
-//   bench_kernels --threads=N          parallel sweep thread count (default:
-//                                      the default pool's size)
+//   bench_kernels --threads=LIST       comma-separated thread sweep
+//                                      (default "1,2,8" — fixed so baselines
+//                                      compare like against like)
+//   bench_kernels --scaling-gate       exit 1 if any op's best multi-thread
+//                                      time is worse than its 1-thread time
+//                                      by more than --scaling-tolerance
+//   bench_kernels --fast_math=false    skip the opt-in fast-math rows
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/flags.h"
@@ -79,20 +86,39 @@ void SetThreads(int max_threads) {
   kernels::SetKernelConfig(config);
 }
 
+void SetFastMath(bool on, bool bf16) {
+  kernels::KernelConfig config = kernels::GetKernelConfig();
+  config.fast_math = on;
+  config.fast_math_bf16 = bf16;
+  kernels::SetKernelConfig(config);
+}
+
 struct Harness {
   TimingOptions timing;
-  int parallel_threads = 2;
+  // Fixed sweep (default {1, 2, 8}) so baseline rows always compare
+  // like against like regardless of the machine's core count. The
+  // scaling gate compares across these rows per (op, shape).
+  std::vector<int> thread_set = {1, 2, 8};
   std::vector<BenchRecord> records;
 
-  // Benches one op at serial and parallel settings against a serial
-  // reference run. `flops`/`elems` describe ONE iteration; gflops uses
-  // flops, ns_per_elem uses elems.
+  // Benches one op across the thread sweep against a serial reference
+  // run. `flops`/`elems` describe ONE iteration; gflops uses flops,
+  // ns_per_elem uses elems.
   template <typename RefFn, typename FastFn>
   void Bench(const std::string& op, const std::string& shape, double flops,
              double elems, RefFn&& ref, FastFn&& fast) {
     SetThreads(1);
     const double ref_seconds = TimeIt(timing, ref);
-    for (const int threads : {1, parallel_threads}) {
+    BenchTimed(op, shape, flops, elems, ref_seconds, fast);
+  }
+
+  // As Bench, but reuses an already-measured reference time (for
+  // op variants sharing one oracle, e.g. the fast-math tiers).
+  template <typename FastFn>
+  void BenchTimed(const std::string& op, const std::string& shape,
+                  double flops, double elems, double ref_seconds,
+                  FastFn&& fast) {
+    for (const int threads : thread_set) {
       SetThreads(threads);
       const double seconds = TimeIt(timing, fast);
       BenchRecord record;
@@ -104,13 +130,13 @@ struct Harness {
       record.ns_per_elem = elems > 0 ? seconds * 1e9 / elems : 0.0;
       record.speedup_vs_reference = ref_seconds / seconds;
       records.push_back(record);
-      std::printf("%-14s %-14s threads=%d  %10.3f ms/iter  %7.2f GFLOP/s"
+      std::printf("%-16s %-14s threads=%d  %10.3f ms/iter  %7.2f GFLOP/s"
                   "  %8.3f ns/elem  %5.2fx vs reference\n",
                   op.c_str(), shape.c_str(), threads, seconds * 1e3,
                   record.gflops, record.ns_per_elem,
                   record.speedup_vs_reference);
-      if (threads == parallel_threads) break;  // when parallel_threads == 1
     }
+    SetThreads(1);
   }
 };
 
@@ -120,7 +146,38 @@ std::string MatMulShapeLabel(std::int64_t m, std::int64_t k, std::int64_t n) {
   return out.str();
 }
 
-void BenchMatMuls(Harness* harness, bool quick) {
+// Validates one fast-math result against the scalar oracle within the
+// documented envelope |fast - oracle| <= tol * (|A|·|B|)[i,j] + tiny.
+// Dies loudly on violation: a silently-wrong fast row would poison the
+// baseline.
+void CheckFastMath(const Tensor& fast, const Tensor& oracle,
+                   const Tensor& envelope, float tol, const char* op) {
+  constexpr float kTiny = 1e-6f;
+  for (std::int64_t i = 0; i < fast.rows(); ++i) {
+    for (std::int64_t j = 0; j < fast.cols(); ++j) {
+      const float bound = tol * envelope.At(i, j) + kTiny;
+      const float err = std::fabs(fast.At(i, j) - oracle.At(i, j));
+      if (!(err <= bound)) {
+        std::fprintf(stderr,
+                     "bench_kernels: %s out of tolerance at (%lld,%lld): "
+                     "|%g - %g| = %g > %g\n",
+                     op, static_cast<long long>(i), static_cast<long long>(j),
+                     fast.At(i, j), oracle.At(i, j), err, bound);
+        std::exit(3);
+      }
+    }
+  }
+}
+
+Tensor AbsTensor(const Tensor& t) {
+  Tensor out(t.rows(), t.cols());
+  for (std::int64_t i = 0; i < t.size(); ++i) {
+    out.data()[i] = std::fabs(t.data()[i]);
+  }
+  return out;
+}
+
+void BenchMatMuls(Harness* harness, bool quick, bool fast_math) {
   std::vector<std::int64_t> sizes = quick
                                         ? std::vector<std::int64_t>{128}
                                         : std::vector<std::int64_t>{128, 256,
@@ -132,10 +189,32 @@ void BenchMatMuls(Harness* harness, bool quick) {
     const double flops = 2.0 * static_cast<double>(n) * n * n;
     const double elems = static_cast<double>(n) * n;  // output elements
     const std::string shape = MatMulShapeLabel(n, n, n);
-    harness->Bench(
-        "matmul", shape, flops, elems,
-        [&] { Sink(kernels::reference::MatMul(a, b)); },
-        [&] { Sink(kernels::MatMul(a, b)); });
+    SetThreads(1);
+    const double ref_seconds =
+        TimeIt(harness->timing, [&] { Sink(kernels::reference::MatMul(a, b)); });
+    harness->BenchTimed("matmul", shape, flops, elems, ref_seconds,
+                        [&] { Sink(kernels::MatMul(a, b)); });
+    SetFastMath(true, /*bf16=*/false);
+    const bool fast_available = kernels::UsingFastMath();
+    SetFastMath(false, false);
+    if (fast_math && fast_available) {
+      // Validate each tier once against the oracle at the documented
+      // tolerance before timing it.
+      const Tensor oracle = kernels::reference::MatMul(a, b);
+      const Tensor envelope =
+          kernels::reference::MatMul(AbsTensor(a), AbsTensor(b));
+      SetFastMath(true, /*bf16=*/false);
+      CheckFastMath(kernels::MatMul(a, b), oracle, envelope,
+                    kernels::kFastMathRelTol, "matmul_fast");
+      harness->BenchTimed("matmul_fast", shape, flops, elems, ref_seconds,
+                          [&] { Sink(kernels::MatMul(a, b)); });
+      SetFastMath(true, /*bf16=*/true);
+      CheckFastMath(kernels::MatMul(a, b), oracle, envelope,
+                    kernels::kFastMathBf16RelTol, "matmul_fast_bf16");
+      harness->BenchTimed("matmul_fast_bf16", shape, flops, elems,
+                          ref_seconds, [&] { Sink(kernels::MatMul(a, b)); });
+      SetFastMath(false, false);
+    }
     harness->Bench(
         "matmul_tb", shape, flops, elems,
         [&] { Sink(kernels::reference::MatMulTransposedB(a, b)); },
@@ -206,8 +285,16 @@ void BenchRowOps(Harness* harness, bool quick) {
       });
 }
 
+std::string ThreadSetLabel(const std::vector<int>& threads) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    out << (i ? "," : "") << threads[i];
+  }
+  return out.str();
+}
+
 void WriteJson(const std::string& path, const std::vector<BenchRecord>& records,
-               bool quick, int parallel_threads) {
+               bool quick, const std::vector<int>& thread_set) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "bench_kernels: cannot write %s\n", path.c_str());
@@ -217,7 +304,9 @@ void WriteJson(const std::string& path, const std::vector<BenchRecord>& records,
   out << "  \"bench\": \"bench_kernels\",\n";
   out << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
   out << "  \"avx2\": " << (kernels::UsingAvx2() ? "true" : "false") << ",\n";
-  out << "  \"parallel_threads\": " << parallel_threads << ",\n";
+  out << "  \"thread_set\": \"" << ThreadSetLabel(thread_set) << "\",\n";
+  out << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
@@ -314,6 +403,56 @@ int CheckAgainstBaseline(const std::vector<BenchRecord>& records,
   return regressions == 0 ? 0 : 1;
 }
 
+// The multithreading-is-a-win gate: for every (op, shape) with both a
+// 1-thread row and multi-thread rows, the BEST multi-thread time must
+// not be worse than the 1-thread time by more than `tolerance`. On a
+// single-core host the executor caps fan-out at the core count, so
+// multi-thread rows degrade to ~parity and the gate still holds; on a
+// real multi-core runner this enforces actual scaling.
+int CheckScaling(const std::vector<BenchRecord>& records, double tolerance) {
+  int violations = 0, groups = 0;
+  for (const BenchRecord& r : records) {
+    if (r.threads != 1) continue;
+    double best_multi = 0.0;
+    int best_threads = 0;
+    for (const BenchRecord& m : records) {
+      if (m.op != r.op || m.shape != r.shape || m.threads == 1) continue;
+      if (best_threads == 0 || m.seconds_per_iter < best_multi) {
+        best_multi = m.seconds_per_iter;
+        best_threads = m.threads;
+      }
+    }
+    if (best_threads == 0) continue;
+    ++groups;
+    if (best_multi > r.seconds_per_iter * (1.0 + tolerance)) {
+      ++violations;
+      std::printf("SCALING VIOLATION %s %s: best multi-thread %.3f ms/iter "
+                  "(threads=%d) vs 1-thread %.3f ms/iter (tolerance %.0f%%)\n",
+                  r.op.c_str(), r.shape.c_str(), best_multi * 1e3,
+                  best_threads, r.seconds_per_iter * 1e3, tolerance * 100.0);
+    } else {
+      std::printf("scaling ok %s %s: %.2fx at best multi-thread\n",
+                  r.op.c_str(), r.shape.c_str(),
+                  r.seconds_per_iter / best_multi);
+    }
+  }
+  std::printf("scaling gate: %d groups checked, %d violations\n", groups,
+              violations);
+  return violations == 0 ? 0 : 1;
+}
+
+std::vector<int> ParseThreadSet(const std::string& spec) {
+  std::vector<int> threads;
+  std::stringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const int t = std::atoi(item.c_str());
+    if (t >= 1) threads.push_back(t);
+  }
+  if (threads.empty()) threads.push_back(1);
+  return threads;
+}
+
 int Main(int argc, char** argv) {
   Result<FlagParser> flags = FlagParser::Parse(argc, argv);
   if (!flags.ok()) {
@@ -324,32 +463,35 @@ int Main(int argc, char** argv) {
   const std::string out_path = flags->GetString("out", "BENCH_kernels.json");
   const std::string check_path = flags->GetString("check", "");
   const double tolerance = flags->GetDouble("check-tolerance", 0.5);
+  const bool scaling_gate = flags->GetBool("scaling-gate", false);
+  const double scaling_tolerance = flags->GetDouble("scaling-tolerance", 0.15);
+  const bool fast_math = flags->GetBool("fast_math", true);
 
   Harness harness;
-  harness.parallel_threads = static_cast<int>(flags->GetInt(
-      "threads",
-      static_cast<std::int64_t>(DefaultThreadPool().num_threads())));
-  harness.parallel_threads = std::max(harness.parallel_threads, 1);
+  harness.thread_set = ParseThreadSet(flags->GetString("threads", "1,2,8"));
   harness.timing.min_seconds = quick ? 0.02 : 0.3;
   harness.timing.max_iters = quick ? 20 : 200;
 
-  std::printf("bench_kernels (%s mode, avx2=%s, parallel sweep at %d "
+  std::printf("bench_kernels (%s mode, avx2=%s, threads={%s}, %u hardware "
               "threads)\n\n",
               quick ? "quick" : "full", kernels::UsingAvx2() ? "on" : "off",
-              harness.parallel_threads);
+              ThreadSetLabel(harness.thread_set).c_str(),
+              std::thread::hardware_concurrency());
 
   const kernels::KernelConfig saved = kernels::GetKernelConfig();
-  BenchMatMuls(&harness, quick);
+  BenchMatMuls(&harness, quick, fast_math);
   BenchSegmentOps(&harness, quick);
   BenchRowOps(&harness, quick);
   kernels::SetKernelConfig(saved);
 
-  WriteJson(out_path, harness.records, quick, harness.parallel_threads);
+  WriteJson(out_path, harness.records, quick, harness.thread_set);
 
+  int rc = 0;
+  if (scaling_gate) rc |= CheckScaling(harness.records, scaling_tolerance);
   if (!check_path.empty()) {
-    return CheckAgainstBaseline(harness.records, check_path, tolerance);
+    rc |= CheckAgainstBaseline(harness.records, check_path, tolerance);
   }
-  return 0;
+  return rc;
 }
 
 }  // namespace

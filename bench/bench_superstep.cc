@@ -15,8 +15,12 @@
 //                                      below baseline/(1 + --check-tolerance).
 //                                      Ratios, not absolute seconds: the
 //                                      interleaved oracle cancels host speed.
-//   bench_superstep --threads=N        parallel sweep thread count (default 8,
-//                                      the acceptance configuration)
+//   bench_superstep --threads=LIST     comma-separated thread sweep
+//                                      (default "1,2,8" — fixed so baselines
+//                                      compare like against like)
+//   bench_superstep --scaling-gate     exit 1 if any op's best multi-thread
+//                                      time is worse than its 1-thread time
+//                                      by more than --scaling-tolerance
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -26,6 +30,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -75,13 +80,15 @@ void SetThreads(int max_threads) {
 
 struct Harness {
   TimingOptions timing;
-  int parallel_threads = 8;
+  // Fixed sweep (default {1, 2, 8}) so baseline rows always compare
+  // like against like regardless of the machine's core count.
+  std::vector<int> thread_set = {1, 2, 8};
   std::vector<BenchRecord> records;
 
   template <typename RefFn, typename FastFn>
   void Bench(const std::string& op, const std::string& shape, double flops,
              double elems, RefFn&& ref, FastFn&& fast) {
-    for (const int threads : {1, parallel_threads}) {
+    for (const int threads : thread_set) {
       // The scalar side is re-timed inside every row, interleaved
       // iteration by iteration with the fast side: on shared hardware
       // the effective memory bandwidth drifts minute to minute, and a
@@ -129,7 +136,6 @@ struct Harness {
                   op.c_str(), shape.c_str(), threads, seconds * 1e3,
                   record.gflops, record.ns_per_elem,
                   record.speedup_vs_reference);
-      if (threads == parallel_threads) break;  // when parallel_threads == 1
     }
   }
 };
@@ -281,8 +287,11 @@ void BenchGatherCombine(Harness* harness, const Workload& w) {
         kernels::ParallelForRanges(
             num_senders, (w.num_msgs / num_senders) * w.msg_dim,
             [&](std::int64_t s0, std::int64_t s1) {
+              // One accumulator per task, Reset per sender — the
+              // engines' allocation-reuse pattern.
+              PooledAccumulator acc(AggKind::kSum, w.msg_dim);
               for (std::int64_t s = s0; s < s1; ++s) {
-                PooledAccumulator acc(AggKind::kSum, w.msg_dim);
+                acc.Reset(AggKind::kSum, w.msg_dim);
                 acc.AddBatch(w.batches[static_cast<std::size_t>(s)],
                              /*partial=*/false);
                 partials[static_cast<std::size_t>(s)] =
@@ -326,8 +335,16 @@ void BenchRoute(Harness* harness, const Workload& w) {
       });
 }
 
+std::string ThreadSetLabel(const std::vector<int>& threads) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < threads.size(); ++i) {
+    out << (i ? "," : "") << threads[i];
+  }
+  return out.str();
+}
+
 void WriteJson(const std::string& path, const std::vector<BenchRecord>& records,
-               bool quick, int parallel_threads) {
+               bool quick, const std::vector<int>& thread_set) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "bench_superstep: cannot write %s\n", path.c_str());
@@ -337,7 +354,9 @@ void WriteJson(const std::string& path, const std::vector<BenchRecord>& records,
   out << "  \"bench\": \"bench_superstep\",\n";
   out << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
   out << "  \"avx2\": " << (kernels::UsingAvx2() ? "true" : "false") << ",\n";
-  out << "  \"parallel_threads\": " << parallel_threads << ",\n";
+  out << "  \"thread_set\": \"" << ThreadSetLabel(thread_set) << "\",\n";
+  out << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
@@ -436,6 +455,56 @@ int CheckAgainstBaseline(const std::vector<BenchRecord>& records,
   return regressions == 0 ? 0 : 1;
 }
 
+// The multithreading-is-a-win gate: for every (op, shape) with both a
+// 1-thread row and multi-thread rows, the BEST multi-thread time must
+// not be worse than the 1-thread time by more than `tolerance`. On a
+// single-core host the executor caps fan-out at the core count, so
+// multi-thread rows degrade to ~parity and the gate still holds; on a
+// real multi-core runner this enforces actual scaling.
+int CheckScaling(const std::vector<BenchRecord>& records, double tolerance) {
+  int violations = 0, groups = 0;
+  for (const BenchRecord& r : records) {
+    if (r.threads != 1) continue;
+    double best_multi = 0.0;
+    int best_threads = 0;
+    for (const BenchRecord& m : records) {
+      if (m.op != r.op || m.shape != r.shape || m.threads == 1) continue;
+      if (best_threads == 0 || m.seconds_per_iter < best_multi) {
+        best_multi = m.seconds_per_iter;
+        best_threads = m.threads;
+      }
+    }
+    if (best_threads == 0) continue;
+    ++groups;
+    if (best_multi > r.seconds_per_iter * (1.0 + tolerance)) {
+      ++violations;
+      std::printf("SCALING VIOLATION %s %s: best multi-thread %.3f ms/iter "
+                  "(threads=%d) vs 1-thread %.3f ms/iter (tolerance %.0f%%)\n",
+                  r.op.c_str(), r.shape.c_str(), best_multi * 1e3,
+                  best_threads, r.seconds_per_iter * 1e3, tolerance * 100.0);
+    } else {
+      std::printf("scaling ok %s %s: %.2fx at best multi-thread\n",
+                  r.op.c_str(), r.shape.c_str(),
+                  r.seconds_per_iter / best_multi);
+    }
+  }
+  std::printf("scaling gate: %d groups checked, %d violations\n", groups,
+              violations);
+  return violations == 0 ? 0 : 1;
+}
+
+std::vector<int> ParseThreadSet(const std::string& spec) {
+  std::vector<int> threads;
+  std::stringstream in(spec);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    const int t = std::atoi(item.c_str());
+    if (t >= 1) threads.push_back(t);
+  }
+  if (threads.empty()) threads.push_back(1);
+  return threads;
+}
+
 int Main(int argc, char** argv) {
   Result<FlagParser> flags = FlagParser::Parse(argc, argv);
   if (!flags.ok()) {
@@ -446,19 +515,19 @@ int Main(int argc, char** argv) {
   const std::string out_path = flags->GetString("out", "BENCH_superstep.json");
   const std::string check_path = flags->GetString("check", "");
   const double tolerance = flags->GetDouble("check-tolerance", 0.25);
+  const bool scaling_gate = flags->GetBool("scaling-gate", false);
+  const double scaling_tolerance = flags->GetDouble("scaling-tolerance", 0.15);
 
   Harness harness;
-  // Default 8: the acceptance configuration for the gather_combine row.
-  harness.parallel_threads =
-      static_cast<int>(flags->GetInt("threads", 8));
-  harness.parallel_threads = std::max(harness.parallel_threads, 1);
+  harness.thread_set = ParseThreadSet(flags->GetString("threads", "1,2,8"));
   harness.timing.min_seconds = quick ? 0.1 : 0.3;
   harness.timing.max_iters = quick ? 30 : 50;
 
-  std::printf("bench_superstep (%s mode, avx2=%s, parallel sweep at %d "
+  std::printf("bench_superstep (%s mode, avx2=%s, threads={%s}, %u hardware "
               "threads)\n\n",
               quick ? "quick" : "full", kernels::UsingAvx2() ? "on" : "off",
-              harness.parallel_threads);
+              ThreadSetLabel(harness.thread_set).c_str(),
+              std::thread::hardware_concurrency());
 
   // The quick sweep reuses the smaller full-sweep inbox so CI --check
   // compares real rows against the checked-in Release baseline.
@@ -477,12 +546,14 @@ int Main(int argc, char** argv) {
   }
   kernels::SetKernelConfig(saved);
 
-  WriteJson(out_path, harness.records, quick, harness.parallel_threads);
+  WriteJson(out_path, harness.records, quick, harness.thread_set);
 
+  int rc = 0;
+  if (scaling_gate) rc |= CheckScaling(harness.records, scaling_tolerance);
   if (!check_path.empty()) {
-    return CheckAgainstBaseline(harness.records, check_path, tolerance);
+    rc |= CheckAgainstBaseline(harness.records, check_path, tolerance);
   }
-  return 0;
+  return rc;
 }
 
 }  // namespace

@@ -1,0 +1,237 @@
+#include "src/common/parallel_exec.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace inferturbo {
+namespace {
+
+thread_local bool t_executor_worker = false;
+thread_local bool t_in_launch = false;
+
+// How long a thread spins before parking (workers waiting for the next
+// epoch, the caller waiting for completion). Kernel launches inside a
+// superstep arrive back to back, so a short spin usually catches the
+// next one without a futex round trip; past the yield phase the thread
+// parks so an idle executor — or one oversubscribed on a small machine
+// — costs nothing.
+constexpr int kSpinIters = 1024;
+constexpr int kYieldIters = 64;
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#endif
+}
+
+int DetectNumCpus() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Parses a sysfs cpulist ("0-3,8,10-11") into cpu ids.
+void ParseCpuList(const std::string& list, int node, std::vector<int>* map) {
+  std::istringstream in(list);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    const std::size_t dash = token.find('-');
+    const int lo = std::atoi(token.c_str());
+    const int hi = dash == std::string::npos
+                       ? lo
+                       : std::atoi(token.c_str() + dash + 1);
+    for (int cpu = lo; cpu <= hi; ++cpu) {
+      if (cpu >= 0 && cpu < static_cast<int>(map->size())) {
+        (*map)[static_cast<std::size_t>(cpu)] = node;
+      }
+    }
+  }
+}
+
+// cpu -> NUMA node, best effort from sysfs; all zeros when the topology
+// is unreadable (non-Linux, containers without /sys).
+std::vector<int> CpuNodeMap(int num_cpus) {
+  std::vector<int> map(static_cast<std::size_t>(num_cpus), 0);
+  for (int node = 0; node < 64; ++node) {
+    std::ostringstream path;
+    path << "/sys/devices/system/node/node" << node << "/cpulist";
+    std::ifstream in(path.str());
+    if (!in) {
+      if (node == 0) continue;  // node0 can be absent on odd topologies
+      break;
+    }
+    std::string list;
+    std::getline(in, list);
+    ParseCpuList(list, node, &map);
+  }
+  return map;
+}
+
+void PinCurrentThread(int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  // Best effort: a denied affinity call (restricted cpuset) just leaves
+  // the thread floating.
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
+
+}  // namespace
+
+bool StaticExecutor::InWorker() { return t_executor_worker; }
+
+WorkerSlot& StaticExecutor::SerialSlot() {
+  static thread_local WorkerSlot slot;
+  return slot;
+}
+
+StaticExecutor::StaticExecutor(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  const int num_cpus = DetectNumCpus();
+  const bool pin = num_cpus > 1 && num_threads_ <= num_cpus &&
+                   std::getenv("INFERTURBO_NO_PIN") == nullptr;
+  const std::vector<int> cpu_node = CpuNodeMap(num_cpus);
+  slots_.resize(static_cast<std::size_t>(num_threads_));
+  for (int t = 0; t < num_threads_; ++t) {
+    WorkerSlot& slot = slots_[static_cast<std::size_t>(t)];
+    slot.thread_id = t;
+    // The caller (slot 0) is never pinned — it may be an application
+    // main thread with its own affinity ideas.
+    slot.cpu = (pin && t > 0) ? t % num_cpus : -1;
+    slot.numa_node =
+        slot.cpu >= 0 ? cpu_node[static_cast<std::size_t>(slot.cpu)] : 0;
+  }
+  workers_.reserve(static_cast<std::size_t>(num_threads_ - 1));
+  for (int t = 1; t < num_threads_; ++t) {
+    workers_.emplace_back([this, t] { WorkerLoop(t); });
+  }
+}
+
+StaticExecutor::~StaticExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void StaticExecutor::RunOwnedTasks(const Job& job, int thread_id) {
+  WorkerSlot& slot = slots_[static_cast<std::size_t>(thread_id)];
+  for (int t = thread_id; t < job.tasks; t += num_threads_) {
+    job.fn(job.ctx, slot, t);
+  }
+}
+
+void StaticExecutor::WorkerLoop(int thread_id) {
+  t_executor_worker = true;
+  {
+    const WorkerSlot& slot = slots_[static_cast<std::size_t>(thread_id)];
+    if (slot.cpu >= 0) PinCurrentThread(slot.cpu);
+  }
+  std::uint64_t seen = 0;
+  for (;;) {
+    // Spin, then yield, then park until the epoch moves.
+    std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    int spins = 0;
+    while (e == seen && !shutdown_.load(std::memory_order_acquire)) {
+      ++spins;
+      if (spins <= kSpinIters) {
+        CpuRelax();
+      } else if (spins <= kSpinIters + kYieldIters) {
+        std::this_thread::yield();
+      } else {
+        std::unique_lock<std::mutex> lock(mu_);
+        ++num_parked_;
+        cv_.wait(lock, [&] {
+          return epoch_.load(std::memory_order_acquire) != seen ||
+                 shutdown_.load(std::memory_order_acquire);
+        });
+        --num_parked_;
+      }
+      e = epoch_.load(std::memory_order_acquire);
+    }
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    seen = e;
+    const Job job = job_;  // safe: published before the epoch bump
+    RunOwnedTasks(job, thread_id);
+    // Every worker acknowledges the epoch (tasks or not) so the caller
+    // knows job_ is dead before the next launch reuses it.
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void StaticExecutor::RunTasksRaw(int tasks,
+                                 void (*fn)(void*, WorkerSlot&, int),
+                                 void* ctx) {
+  if (tasks <= 0) return;
+  if (tasks == 1 || num_threads_ == 1 || t_executor_worker || t_in_launch) {
+    // Serial / nested: run every task inline on this thread. Nested
+    // launches must not touch the barrier (a worker waiting on itself
+    // deadlocks), and SerialSlot keeps the scratch per OS thread so
+    // concurrent serial callers (e.g. pool workers) never share.
+    WorkerSlot& slot = SerialSlot();
+    for (int t = 0; t < tasks; ++t) fn(ctx, slot, t);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  t_in_launch = true;
+  job_ = Job{fn, ctx, tasks};
+  pending_.store(num_threads_ - 1, std::memory_order_relaxed);
+  {
+    // The epoch bump happens under mu_ so a worker between its
+    // predicate check and its park cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_.fetch_add(1, std::memory_order_release);
+    if (num_parked_ > 0) cv_.notify_all();
+  }
+  RunOwnedTasks(job_, /*thread_id=*/0);
+  int spins = 0;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    ++spins;
+    if (spins <= kSpinIters) {
+      CpuRelax();
+    } else if (spins <= kSpinIters + kYieldIters) {
+      std::this_thread::yield();
+    } else {
+      std::unique_lock<std::mutex> lock(done_mu_);
+      done_cv_.wait(lock, [&] {
+        return pending_.load(std::memory_order_acquire) == 0;
+      });
+      break;
+    }
+  }
+  t_in_launch = false;
+}
+
+StaticExecutor& StaticExecutor::Default() {
+  static StaticExecutor* exec = [] {
+    int threads = DetectNumCpus();
+    if (const char* env = std::getenv("INFERTURBO_EXEC_THREADS")) {
+      const int parsed = std::atoi(env);
+      if (parsed > 0) threads = parsed;
+    }
+    return new StaticExecutor(threads);
+  }();
+  return *exec;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,123 @@
+#ifndef INFERTURBO_COMMON_PARALLEL_EXEC_H_
+#define INFERTURBO_COMMON_PARALLEL_EXEC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace inferturbo {
+
+/// Per-worker context handed to every task of a StaticExecutor launch.
+/// The slot outlives individual launches, so `scratch` is the place for
+/// buffers a kernel wants to reuse run after run on the same core
+/// (packed matmul panels, combiner staging): the allocation — and on a
+/// pinned worker the cache footprint — stays thread-local across
+/// supersteps instead of being reallocated per kernel call.
+struct WorkerSlot {
+  int thread_id = 0;   ///< 0 is the calling thread; workers are 1..T-1.
+  int cpu = -1;        ///< Pinned CPU, or -1 when unpinned.
+  int numa_node = 0;   ///< NUMA node of `cpu` (best effort; 0 elsewhere).
+  std::vector<float> scratch;
+};
+
+/// A bulk-synchronous executor with persistent workers and static task
+/// ownership: launch `tasks` numbered tasks and task t always runs on
+/// thread t mod T (the caller participates as thread 0). There is no
+/// work queue and no per-task std::function allocation — a launch
+/// publishes one job descriptor, bumps an epoch the workers spin on,
+/// and the fixed task→thread map does the rest. Workers spin briefly
+/// (kernel launches in a superstep arrive back to back) and then park
+/// on a condition variable, so an idle executor costs nothing.
+///
+/// Determinism contract: which thread runs task t never affects what
+/// task t computes — callers derive all ownership from (t, tasks)
+/// alone. The executor adds no scheduling freedom to observe.
+///
+/// Workers are pinned to cores (and labelled with their NUMA node) on
+/// Linux when the machine has enough CPUs; set INFERTURBO_NO_PIN to
+/// disable. INFERTURBO_EXEC_THREADS overrides the Default() size.
+class StaticExecutor {
+ public:
+  /// Spawns `num_threads - 1` persistent workers (the calling thread is
+  /// the remaining one). `num_threads < 1` is clamped to 1.
+  explicit StaticExecutor(int num_threads);
+  ~StaticExecutor();
+
+  StaticExecutor(const StaticExecutor&) = delete;
+  StaticExecutor& operator=(const StaticExecutor&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `fn(slot, t)` for every task t in [0, tasks), task t on
+  /// thread t mod num_threads(), and returns when all have finished.
+  /// Nested launches (from inside a task) run inline on the caller.
+  /// Launches from distinct threads serialize on an internal mutex.
+  template <typename Fn>
+  void RunTasks(int tasks, Fn&& fn) {
+    RunTasksRaw(
+        tasks,
+        [](void* ctx, WorkerSlot& slot, int task) {
+          (*static_cast<std::remove_reference_t<Fn>*>(ctx))(slot, task);
+        },
+        &fn);
+  }
+
+  /// True on a StaticExecutor worker thread (any executor). The serial
+  /// guard for layered parallelism: a kernel invoked from inside a task
+  /// must not launch again.
+  static bool InWorker();
+
+  /// The process-wide executor, sized to the hardware concurrency (or
+  /// INFERTURBO_EXEC_THREADS). Constructed on first use, never torn
+  /// down — workers park when idle.
+  static StaticExecutor& Default();
+
+  /// A per-thread slot for code paths that run serially (no launch):
+  /// same WorkerSlot shape, so kernels use one scratch protocol
+  /// everywhere. Each OS thread gets its own, making serial fallbacks
+  /// inside pool workers race-free.
+  static WorkerSlot& SerialSlot();
+
+ private:
+  // The launch payload: one descriptor per launch, published before the
+  // epoch bump that releases it to the workers.
+  struct Job {
+    void (*fn)(void*, WorkerSlot&, int) = nullptr;
+    void* ctx = nullptr;
+    int tasks = 0;
+  };
+
+  void RunTasksRaw(int tasks, void (*fn)(void*, WorkerSlot&, int), void* ctx);
+  void WorkerLoop(int thread_id);
+  void RunOwnedTasks(const Job& job, int thread_id);
+
+  const int num_threads_;
+  std::vector<WorkerSlot> slots_;
+  std::vector<std::thread> workers_;
+
+  // Launch protocol: job_ is written by the (single, run_mu_-holding)
+  // caller, then epoch_ is bumped with release semantics; workers
+  // acquire the epoch and read job_ data-race-free. Completion runs the
+  // other way: each worker acq_rel-decrements pending_ after its tasks
+  // (every worker acknowledges every epoch, even with nothing to run,
+  // so job_ can never be overwritten under a straggler), and the caller
+  // acquires pending_ == 0.
+  Job job_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> pending_{0};
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex mu_;  // guards num_parked_, pairs with cv_
+  std::condition_variable cv_;
+  int num_parked_ = 0;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  std::mutex run_mu_;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_COMMON_PARALLEL_EXEC_H_

@@ -136,6 +136,19 @@ PooledAccumulator::PooledAccumulator(AggKind kind, std::int64_t width)
       << "PooledAccumulator cannot pool a union aggregate";
 }
 
+void PooledAccumulator::Reset(AggKind kind, std::int64_t width) {
+  INFERTURBO_CHECK(kind != AggKind::kUnion)
+      << "PooledAccumulator cannot pool a union aggregate";
+  kind_ = kind;
+  width_ = width;
+  rows_.clear();
+  dst_order_.clear();
+  counts_.clear();
+  index_.clear();
+  // dense_slots_ / slot_scratch_ are per-AddBatch scratch and already
+  // reinitialized on use; keeping them is the point of Reset.
+}
+
 namespace {
 
 float PooledInitValue(AggKind kind) {

@@ -84,6 +84,13 @@ class PooledAccumulator {
   PooledAccumulator(PooledAccumulator&&) = default;
   PooledAccumulator& operator=(PooledAccumulator&&) = default;
 
+  /// Clears all accumulated state and rebinds the aggregate kind and
+  /// row width, keeping every allocation (rows, index, scratch tables)
+  /// for reuse. Engines hold one accumulator per worker across
+  /// supersteps and Reset it per destination partition instead of
+  /// constructing a fresh one in the hot loop.
+  void Reset(AggKind kind, std::int64_t width);
+
   /// Folds one message row for `dst` (count 1).
   void Add(NodeId dst, const float* row);
   /// Folds a partial aggregate row for `dst` carrying `count` original

@@ -14,6 +14,7 @@
 #include "src/gas/superstep_gather.h"
 #include "src/mapreduce/mapreduce_engine.h"
 #include "src/storage/graph_view.h"
+#include "src/tensor/kernels/row_fold.h"
 #include "src/tensor/ops.h"
 
 namespace inferturbo {
@@ -249,6 +250,14 @@ class MrInferenceDriver {
                                 std::int64_t key,
                                 std::vector<MrValue>* values) {
     (void)key;
+    INFERTURBO_CHECK(kind != AggKind::kUnion) << "union is not combinable";
+    // Dispatched SIMD row fold instead of a scalar loop per value: the
+    // max/min selects match std::max/std::min exactly (see row_fold.h),
+    // so the combine stays bit-identical to the old scalar switch.
+    const kernels::detail::RowFoldFn fold =
+        kind == AggKind::kMax   ? kernels::detail::RowMax()
+        : kind == AggKind::kMin ? kernels::detail::RowMin()
+                                : kernels::detail::RowAdd();
     std::vector<MrValue> kept;
     std::vector<float> acc;
     std::int64_t count = 0;
@@ -267,24 +276,8 @@ class MrInferenceDriver {
         count = v_count;
         continue;
       }
-      switch (kind) {
-        case AggKind::kSum:
-        case AggKind::kMean:
-          for (std::size_t j = 0; j < acc.size(); ++j) acc[j] += v.floats[j];
-          break;
-        case AggKind::kMax:
-          for (std::size_t j = 0; j < acc.size(); ++j) {
-            acc[j] = std::max(acc[j], v.floats[j]);
-          }
-          break;
-        case AggKind::kMin:
-          for (std::size_t j = 0; j < acc.size(); ++j) {
-            acc[j] = std::min(acc[j], v.floats[j]);
-          }
-          break;
-        case AggKind::kUnion:
-          INFERTURBO_CHECK(false) << "union is not combinable";
-      }
+      fold(acc.data(), v.floats.data(),
+           static_cast<std::int64_t>(acc.size()));
       count += v_count;
     }
     if (!acc.empty()) {

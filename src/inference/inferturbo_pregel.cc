@@ -330,6 +330,7 @@ class PregelInferenceDriver {
       // gather, then fold the whole batch through the SIMD combine —
       // same first-seen destination order as per-edge Add calls, so the
       // partial batch's wire bytes are unchanged.
+      PooledAccumulator acc(sig.agg_kind, msg_dim);
       for (std::int64_t w = 0; w < num_workers; ++w) {
         auto& dst_ids = part_dst[static_cast<std::size_t>(w)];
         if (dst_ids.empty()) continue;
@@ -338,7 +339,7 @@ class PregelInferenceDriver {
             messages, part_row[static_cast<std::size_t>(w)]);
         carrier.src.assign(dst_ids.size(), ctx->worker_id());
         carrier.dst = std::move(dst_ids);
-        PooledAccumulator acc(sig.agg_kind, msg_dim);
+        acc.Reset(sig.agg_kind, msg_dim);
         acc.AddBatch(carrier, /*partial=*/false);
         ctx->SendPartialBatch(acc.ToPartialBatch(ctx->worker_id()));
       }
@@ -389,10 +390,11 @@ class PregelInferenceDriver {
       const std::int64_t width = batch.payload.cols();
       std::vector<MessageBatch> slices = SplitByWorker(
           std::move(batch), *engine_partitioner_, ctx->num_workers());
+      PooledAccumulator acc(layer.signature().agg_kind, width);
       for (std::int64_t w = 0; w < ctx->num_workers(); ++w) {
         const MessageBatch& slice = slices[static_cast<std::size_t>(w)];
         if (slice.empty()) continue;
-        PooledAccumulator acc(layer.signature().agg_kind, width);
+        acc.Reset(layer.signature().agg_kind, width);
         acc.AddBatch(slice, /*partial=*/false);
         ctx->SendPartialBatch(acc.ToPartialBatch(ctx->worker_id()));
       }

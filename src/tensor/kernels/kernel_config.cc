@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "src/common/parallel_exec.h"
 #include "src/common/thread_pool.h"
 
 namespace inferturbo {
@@ -11,6 +12,9 @@ namespace {
 
 std::atomic<int> g_max_threads{0};
 std::atomic<std::int64_t> g_min_parallel_work{1 << 18};
+std::atomic<bool> g_use_static_executor{true};
+std::atomic<bool> g_fast_math{false};
+std::atomic<bool> g_fast_math_bf16{false};
 
 }  // namespace
 
@@ -19,6 +23,10 @@ KernelConfig GetKernelConfig() {
   config.max_threads = g_max_threads.load(std::memory_order_relaxed);
   config.min_parallel_work =
       g_min_parallel_work.load(std::memory_order_relaxed);
+  config.use_static_executor =
+      g_use_static_executor.load(std::memory_order_relaxed);
+  config.fast_math = g_fast_math.load(std::memory_order_relaxed);
+  config.fast_math_bf16 = g_fast_math_bf16.load(std::memory_order_relaxed);
   return config;
 }
 
@@ -27,35 +35,90 @@ void SetKernelConfig(const KernelConfig& config) {
   g_min_parallel_work.store(std::max<std::int64_t>(1,
                                                    config.min_parallel_work),
                             std::memory_order_relaxed);
+  g_use_static_executor.store(config.use_static_executor,
+                              std::memory_order_relaxed);
+  g_fast_math.store(config.fast_math, std::memory_order_relaxed);
+  g_fast_math_bf16.store(config.fast_math_bf16, std::memory_order_relaxed);
+}
+
+int PlanParallelTasks(std::int64_t n, std::int64_t work_per_item) {
+  if (n <= 0) return 1;
+  // Nested launches run serially: a pool worker waiting on the pool
+  // deadlocks, and an executor worker re-entering the barrier would
+  // wait on itself.
+  if (ThreadPool::InPoolWorker() || StaticExecutor::InWorker()) return 1;
+  const KernelConfig config = GetKernelConfig();
+  const std::int64_t scheduler_threads =
+      config.use_static_executor
+          ? static_cast<std::int64_t>(StaticExecutor::Default().num_threads())
+          : static_cast<std::int64_t>(DefaultThreadPool().num_threads());
+  // max_threads is an upper bound, never a way to plan more concurrency
+  // than the scheduler has: tasks beyond the scheduler's threads cannot
+  // run concurrently and would be pure partitioning overhead (asking
+  // for 8 threads on a 1-core host must degrade to serial, not to 8
+  // serialized chunks with worse locality).
+  const std::int64_t thread_cap =
+      config.max_threads > 0 ? std::min<std::int64_t>(config.max_threads,
+                                                      scheduler_threads)
+                             : scheduler_threads;
+  const std::int64_t total_work = n * std::max<std::int64_t>(1, work_per_item);
+  return static_cast<int>(std::max<std::int64_t>(
+      1, std::min({thread_cap, n, total_work / config.min_parallel_work})));
+}
+
+void ParallelForChunksFixed(std::int64_t n, int tasks,
+                            const std::function<void(const RangeChunk&)>& fn) {
+  if (n <= 0) return;
+  if (tasks <= 1) {
+    RangeChunk chunk;
+    chunk.begin = 0;
+    chunk.end = n;
+    chunk.slot = &StaticExecutor::SerialSlot();
+    fn(chunk);
+    return;
+  }
+  const std::int64_t tasks64 = tasks;
+  if (GetKernelConfig().use_static_executor) {
+    StaticExecutor::Default().RunTasks(tasks, [&](WorkerSlot& slot, int t) {
+      RangeChunk chunk;
+      chunk.begin = RangeBegin(n, t, tasks64);
+      chunk.end = RangeBegin(n, t + 1, tasks64);
+      chunk.task = t;
+      chunk.num_tasks = tasks;
+      chunk.slot = &slot;
+      fn(chunk);
+    });
+    return;
+  }
+  // Legacy scheduling: one pool task per chunk via the pool's range
+  // overload (no per-index dispatch). Slots fall back to the
+  // per-thread serial slot, so scratch is still never shared.
+  DefaultThreadPool().ParallelForRanges(
+      static_cast<std::size_t>(tasks), static_cast<std::size_t>(tasks),
+      [&](std::size_t t0, std::size_t t1) {
+        for (std::size_t t = t0; t < t1; ++t) {
+          RangeChunk chunk;
+          chunk.begin = RangeBegin(n, static_cast<std::int64_t>(t), tasks64);
+          chunk.end = RangeBegin(n, static_cast<std::int64_t>(t) + 1, tasks64);
+          chunk.task = static_cast<int>(t);
+          chunk.num_tasks = tasks;
+          chunk.slot = &StaticExecutor::SerialSlot();
+          fn(chunk);
+        }
+      });
+}
+
+void ParallelForChunks(std::int64_t n, std::int64_t work_per_item,
+                       const std::function<void(const RangeChunk&)>& fn) {
+  ParallelForChunksFixed(n, PlanParallelTasks(n, work_per_item), fn);
 }
 
 void ParallelForRanges(
     std::int64_t n, std::int64_t work_per_item,
     const std::function<void(std::int64_t, std::int64_t)>& fn) {
-  if (n <= 0) return;
-  std::int64_t tasks = 1;
-  if (!ThreadPool::InPoolWorker()) {
-    const KernelConfig config = GetKernelConfig();
-    const std::int64_t thread_cap =
-        config.max_threads > 0
-            ? config.max_threads
-            : static_cast<std::int64_t>(DefaultThreadPool().num_threads());
-    const std::int64_t total_work =
-        n * std::max<std::int64_t>(1, work_per_item);
-    tasks = std::min({thread_cap, n, total_work / config.min_parallel_work});
-  }
-  if (tasks <= 1) {
-    fn(0, n);
-    return;
-  }
-  DefaultThreadPool().ParallelFor(
-      static_cast<std::size_t>(tasks), [&](std::size_t t) {
-        const std::int64_t begin =
-            n * static_cast<std::int64_t>(t) / tasks;
-        const std::int64_t end =
-            n * (static_cast<std::int64_t>(t) + 1) / tasks;
-        if (begin < end) fn(begin, end);
-      });
+  ParallelForChunks(n, work_per_item, [&](const RangeChunk& chunk) {
+    if (chunk.begin < chunk.end) fn(chunk.begin, chunk.end);
+  });
 }
 
 }  // namespace kernels

@@ -4,35 +4,100 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/common/parallel_exec.h"
+
 namespace inferturbo {
 namespace kernels {
 
 /// Process-wide tuning knobs for the fast kernel layer. Thread fan-out
 /// never changes results — every output row is owned by exactly one
-/// task in a fixed contiguous partition — so these only trade latency
-/// against scheduling overhead.
+/// task in a fixed contiguous partition — so the scheduling knobs only
+/// trade latency against dispatch overhead. The fast-math knobs are the
+/// one exception and are opt-in: they select a separate kernel tier
+/// that trades bit-identity with the scalar oracle for throughput
+/// (documented tolerance, see fast_math_test).
 struct KernelConfig {
-  /// Upper bound on tasks per kernel launch; 0 means the default
-  /// pool's thread count.
+  /// Upper bound on tasks per kernel launch; 0 means the scheduler's
+  /// thread count (the static executor's, or the default pool's when
+  /// `use_static_executor` is off).
   int max_threads = 0;
   /// Minimum work (multiply-adds or copied floats) a task must carry
-  /// before a kernel fans out to the pool; below this everything runs
-  /// on the calling thread.
+  /// before a kernel fans out; below this everything runs on the
+  /// calling thread.
   std::int64_t min_parallel_work = 1 << 18;
+  /// Route parallel kernel launches to the StaticExecutor (persistent
+  /// pinned workers, static task ownership, spin-then-park barrier).
+  /// Off = legacy path: the default ThreadPool's range overload.
+  /// Results are identical either way; this is a scheduling choice.
+  bool use_static_executor = true;
+  /// Opt-in fast-math tier for the matmuls: FMA contraction and
+  /// relaxed accumulation order, validated against the scalar oracle
+  /// at a documented tolerance instead of bit-identity. Never on by
+  /// default; ignored when the CPU lacks FMA.
+  bool fast_math = false;
+  /// With fast_math: store packed B panels as bf16 (fp32 accumulate).
+  /// Halves the panel working set at a wider documented tolerance.
+  bool fast_math_bf16 = false;
 };
 
 KernelConfig GetKernelConfig();
 void SetKernelConfig(const KernelConfig& config);
 
+/// One contiguous chunk of a fixed partition of [0, n): indices
+/// [begin, end), owned exclusively by task `task` of `num_tasks`.
+/// `slot` is the executing thread's persistent slot (scratch reuse);
+/// ownership decisions must use (task, num_tasks) only — the
+/// determinism contract.
+struct RangeChunk {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  int task = 0;
+  int num_tasks = 1;
+  WorkerSlot* slot = nullptr;
+};
+
+/// The partition boundary formula every parallel kernel shares: chunk
+/// t of `tasks` owns [RangeBegin(n, t, tasks), RangeBegin(n, t+1,
+/// tasks)). Depends only on (n, t, tasks) — never on scheduling.
+inline std::int64_t RangeBegin(std::int64_t n, std::int64_t t,
+                               std::int64_t tasks) {
+  return n * t / tasks;
+}
+
+/// The task that owns index `i` under the RangeBegin partition — the
+/// closed-form inverse, used to pre-bucket scattered rows by owner.
+inline int RangeOwner(std::int64_t i, std::int64_t n, std::int64_t tasks) {
+  return static_cast<int>(((i + 1) * tasks - 1) / n);
+}
+
+/// How many tasks a kernel launch over `n` items of `work_per_item`
+/// cost would fan out to under the current config (1 when the caller
+/// is already a pool/executor worker — nested launches run serially).
+/// Kernels that pre-partition auxiliary state (row buckets) call this
+/// and then ParallelForChunksFixed with the same count, so the plan
+/// and the execution can never disagree.
+int PlanParallelTasks(std::int64_t n, std::int64_t work_per_item);
+
 /// Runs `fn(begin, end)` over a fixed contiguous partition of [0, n).
 /// Partition boundaries depend only on (n, task count), never on
 /// scheduling, and each index belongs to exactly one call — the
 /// determinism contract every parallel kernel builds on. Runs serially
-/// when the work is too small or the caller is already a pool worker
-/// (nested waits on the pool would deadlock).
+/// when the work is too small or the caller is already a pool or
+/// executor worker (nested waits would deadlock).
 void ParallelForRanges(
     std::int64_t n, std::int64_t work_per_item,
     const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+/// As ParallelForRanges, but hands each task its RangeChunk (task
+/// index + per-thread slot) for owner-indexed state and scratch reuse.
+void ParallelForChunks(std::int64_t n, std::int64_t work_per_item,
+                       const std::function<void(const RangeChunk&)>& fn);
+
+/// ParallelForChunks at an exact task count (from PlanParallelTasks):
+/// runs precisely `tasks` chunks even when that exceeds the scheduler's
+/// threads, so owner-bucketed data built for `tasks` stays valid.
+void ParallelForChunksFixed(std::int64_t n, int tasks,
+                            const std::function<void(const RangeChunk&)>& fn);
 
 }  // namespace kernels
 }  // namespace inferturbo

@@ -31,6 +31,101 @@ RowKernel MatMulTBRowsKernel() {
   return kernel;
 }
 
+using PanelKernel = void (*)(const float*, const float*, float*, std::int64_t,
+                             std::int64_t, std::int64_t, std::int64_t,
+                             std::int64_t);
+
+PanelKernel MatMulPanelKernel() {
+  static const PanelKernel kernel = detail::Avx2KernelsAvailable()
+                                        ? detail::MatMulPanelAvx2
+                                        : detail::MatMulPanelPortable;
+  return kernel;
+}
+
+// Panel partition geometry: column-chunk boundaries snap to the tile
+// width so no task ever splits a 16-wide register tile, and each
+// packed block is capped so a panel (k × kPanelMaxCols floats, half
+// that as bf16) stays cache-resident in the owning thread's scratch.
+constexpr std::int64_t kPanelQuantum = 16;
+constexpr std::int64_t kPanelMaxCols = 128;
+
+// Pack columns [j0, j0 + pw) of B(k×n) into a dense k×pw panel.
+void PackPanel(const float* b, std::int64_t k, std::int64_t n, std::int64_t j0,
+               std::int64_t pw, float* out) {
+  const std::size_t bytes = static_cast<std::size_t>(pw) * sizeof(float);
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    std::memcpy(out + kk * pw, b + kk * n + j0, bytes);
+  }
+}
+
+// Shared C(m×n) = A(m×k)·B(k×n) body behind MatMul and the transposed
+// variants. Three dispatch paths:
+//  - deterministic rows: each task owns output rows. Serial calls and
+//    skinny-N shapes (not enough 16-column panels for the task count).
+//  - deterministic panels: tasks own column ranges; each packs its B
+//    columns into persistent per-thread scratch, so the streamed
+//    operand stays dense and core-local. Bit-identical to the row path
+//    (packing moves bytes, every per-element chain is unchanged).
+//  - fast-math panels: same geometry, FMA tiles (optionally bf16
+//    storage). Opt-in, tolerance-validated, never silently selected.
+void MatMulInto(const float* pa, const float* pb, float* pc, std::int64_t m,
+                std::int64_t k, std::int64_t n) {
+  const KernelConfig config = GetKernelConfig();
+  const bool fast = config.fast_math && detail::FastMathKernelsAvailable();
+  const bool bf16 = fast && config.fast_math_bf16;
+  const std::int64_t groups = (n + kPanelQuantum - 1) / kPanelQuantum;
+  const std::int64_t items = std::max(m, groups);
+  const std::int64_t work_per_item = m * k * n / std::max<std::int64_t>(1,
+                                                                        items);
+  const int tasks = PlanParallelTasks(items, work_per_item);
+
+  if (!fast && (tasks <= 1 || tasks > groups)) {
+    const RowKernel kernel = MatMulRowsKernel();
+    const int row_tasks = static_cast<int>(
+        std::min<std::int64_t>(tasks, std::max<std::int64_t>(1, m)));
+    ParallelForChunksFixed(m, row_tasks, [&](const RangeChunk& chunk) {
+      if (chunk.begin < chunk.end) {
+        kernel(pa, pb, pc, chunk.begin, chunk.end, k, n);
+      }
+    });
+    return;
+  }
+
+  const int panel_tasks = static_cast<int>(
+      std::min<std::int64_t>(tasks, std::max<std::int64_t>(1, groups)));
+  constexpr std::int64_t kGroupsPerBlock = kPanelMaxCols / kPanelQuantum;
+  ParallelForChunksFixed(groups, panel_tasks, [&](const RangeChunk& chunk) {
+    std::vector<float>& scratch = chunk.slot->scratch;
+    for (std::int64_t g0 = chunk.begin; g0 < chunk.end;
+         g0 += kGroupsPerBlock) {
+      const std::int64_t g1 = std::min(chunk.end, g0 + kGroupsPerBlock);
+      const std::int64_t j0 = g0 * kPanelQuantum;
+      const std::int64_t j1 = std::min(n, g1 * kPanelQuantum);
+      const std::int64_t pw = j1 - j0;
+      if (pw <= 0) continue;
+      if (bf16) {
+        // bf16 panels live in the same float scratch, two values per
+        // slot.
+        const std::size_t need = static_cast<std::size_t>(k * pw + 1) / 2;
+        if (scratch.size() < need) scratch.resize(need);
+        std::uint16_t* packed =
+            reinterpret_cast<std::uint16_t*>(scratch.data());
+        detail::PackPanelBf16(pb, k, n, j0, pw, packed);
+        detail::MatMulPanelBf16Fma(pa, packed, pc, m, k, pw, j0, n);
+        continue;
+      }
+      const std::size_t need = static_cast<std::size_t>(k * pw);
+      if (scratch.size() < need) scratch.resize(need);
+      PackPanel(pb, k, n, j0, pw, scratch.data());
+      if (fast) {
+        detail::MatMulPanelFma(pa, scratch.data(), pc, m, k, pw, j0, n);
+      } else {
+        MatMulPanelKernel()(pa, scratch.data(), pc, m, k, pw, j0, n);
+      }
+    }
+  });
+}
+
 // Below this many multiply-adds the transpose-and-tile path for
 // MatMulTransposedA costs more in allocation than it saves.
 constexpr std::int64_t kTransposeAMinMulAdds = 1 << 15;
@@ -56,17 +151,15 @@ void TransposeInto(const float* __restrict__ src, std::int64_t rows,
 
 bool UsingAvx2() { return detail::Avx2KernelsAvailable(); }
 
+bool UsingFastMath() {
+  return GetKernelConfig().fast_math && detail::FastMathKernelsAvailable();
+}
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor c(m, n);
   if (c.empty()) return c;
-  const RowKernel kernel = MatMulRowsKernel();
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  ParallelForRanges(m, k * n, [&](std::int64_t r0, std::int64_t r1) {
-    kernel(pa, pb, pc, r0, r1, k, n);
-  });
+  MatMulInto(a.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
@@ -86,33 +179,64 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
 
 Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   const std::int64_t k = a.rows(), m = a.cols(), n = b.cols();
-  if (m * k * n < kTransposeAMinMulAdds) {
+  if (m * k * n < kTransposeAMinMulAdds && !UsingFastMath()) {
     return reference::MatMulTransposedA(a, b);
   }
   // A^T·B = MatMul over a transposed copy of A. The tiled kernel skips
   // the same zero entries in the same ascending-k order the reference's
   // k-i-j loop does, so results stay bit-identical while the hot loop
-  // gets the register-tiled treatment.
+  // gets the register-tiled treatment (and the fast-math tier applies
+  // here too, since the shared body does the dispatch).
   std::vector<float> at(static_cast<std::size_t>(m * k));
   TransposeInto(a.data(), k, m, at.data());
   Tensor c(m, n);
   if (c.empty()) return c;
-  const RowKernel kernel = MatMulRowsKernel();
-  const float* pb = b.data();
-  float* pc = c.data();
-  const float* pat = at.data();
-  ParallelForRanges(m, k * n, [&](std::int64_t r0, std::int64_t r1) {
-    kernel(pat, pb, pc, r0, r1, k, n);
-  });
+  MatMulInto(at.data(), b.data(), c.data(), m, k, n);
   return c;
 }
 
 namespace {
 
+/// Owner buckets for destination-scattered rows: row indices grouped
+/// by the task that owns their destination under the RangeBegin
+/// partition, input order preserved within each task (the counting
+/// sort is stable). One serial O(rows) pass replaces the old
+/// scan-all-rows-and-filter scheme, whose id-scan traffic and branchy
+/// filter grew linearly with the task count — the reason segment ops
+/// used to get SLOWER with more threads.
+struct OwnerBuckets {
+  std::vector<std::int64_t> offsets;  // tasks + 1
+  std::vector<std::int64_t> rows;     // grouped by owner, input order kept
+};
+
+OwnerBuckets BucketRowsByOwner(const std::int64_t* ids, std::int64_t rows,
+                               std::int64_t num_dst, int tasks) {
+  OwnerBuckets buckets;
+  buckets.offsets.assign(static_cast<std::size_t>(tasks) + 1, 0);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    ++buckets.offsets[static_cast<std::size_t>(
+        RangeOwner(ids[i], num_dst, tasks)) + 1];
+  }
+  for (int t = 0; t < tasks; ++t) {
+    buckets.offsets[static_cast<std::size_t>(t) + 1] +=
+        buckets.offsets[static_cast<std::size_t>(t)];
+  }
+  buckets.rows.resize(static_cast<std::size_t>(rows));
+  std::vector<std::int64_t> cursor(buckets.offsets.begin(),
+                                   buckets.offsets.end() - 1);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    buckets.rows[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(
+            RangeOwner(ids[i], num_dst, tasks))]++)] = i;
+  }
+  return buckets;
+}
+
 /// Shared body of the segment folds: destination-range ownership over
-/// segments, rows scanned in input order per task, one dispatched
-/// row-fold per row. Accumulation order per segment matches the serial
-/// reference exactly at any task count.
+/// segments; each task folds only its pre-bucketed rows, in input
+/// order. Accumulation order per segment matches the serial reference
+/// exactly at any task count (each segment is owned by one task, and
+/// that task sees its rows in the original order).
 void SegmentFoldInto(Tensor* out, const Tensor& values,
                      std::span<const std::int64_t> ids,
                      std::int64_t num_segments, detail::RowFoldFn fold) {
@@ -123,21 +247,26 @@ void SegmentFoldInto(Tensor* out, const Tensor& values,
   const std::int64_t rows = static_cast<std::int64_t>(ids.size());
   const std::int64_t work_per_segment =
       rows * cols / std::max<std::int64_t>(1, num_segments);
-  ParallelForRanges(
-      num_segments, work_per_segment, [&](std::int64_t s0, std::int64_t s1) {
-        if (s1 - s0 == num_segments) {
-          // Whole range on one task: the reference loop, unfiltered.
-          for (std::int64_t i = 0; i < rows; ++i) {
-            fold(po + pid[i] * cols, pv + i * cols, cols);
-          }
-          return;
-        }
-        for (std::int64_t i = 0; i < rows; ++i) {
-          const std::int64_t s = pid[i];
-          if (s < s0 || s >= s1) continue;
-          fold(po + s * cols, pv + i * cols, cols);
-        }
-      });
+  const int tasks = PlanParallelTasks(num_segments, work_per_segment);
+  if (tasks <= 1) {
+    // One task: the reference loop, unfiltered and unbucketed.
+    for (std::int64_t i = 0; i < rows; ++i) {
+      fold(po + pid[i] * cols, pv + i * cols, cols);
+    }
+    return;
+  }
+  const OwnerBuckets buckets =
+      BucketRowsByOwner(pid, rows, num_segments, tasks);
+  ParallelForChunksFixed(num_segments, tasks, [&](const RangeChunk& chunk) {
+    const std::int64_t lo =
+        buckets.offsets[static_cast<std::size_t>(chunk.task)];
+    const std::int64_t hi =
+        buckets.offsets[static_cast<std::size_t>(chunk.task) + 1];
+    for (std::int64_t p = lo; p < hi; ++p) {
+      const std::int64_t i = buckets.rows[static_cast<std::size_t>(p)];
+      fold(po + pid[i] * cols, pv + i * cols, cols);
+    }
+  });
 }
 
 /// Max/min share everything but the init value and the fold.
@@ -247,27 +376,28 @@ void ScatterAddRows(Tensor* acc, std::span<const std::int64_t> indices,
   const std::int64_t* pid = indices.data();
   const std::int64_t work_per_acc_row =
       num_rows * cols / std::max<std::int64_t>(1, acc_rows);
-  ParallelForRanges(
-      acc_rows, work_per_acc_row, [&](std::int64_t d0, std::int64_t d1) {
-        if (d1 - d0 == acc_rows) {
-          for (std::int64_t i = 0; i < num_rows; ++i) {
-            float* dst = pa + pid[i] * cols;
-            const float* src = pr + i * cols;
-            for (std::int64_t j = 0; j < cols; ++j) dst[j] += src[j];
-          }
-          return;
-        }
-        // Destination-range ownership: every task scans all rows in
-        // input order and folds only its own destinations, matching
-        // the serial accumulation order per destination row.
-        for (std::int64_t i = 0; i < num_rows; ++i) {
-          const std::int64_t d = pid[i];
-          if (d < d0 || d >= d1) continue;
-          float* dst = pa + d * cols;
-          const float* src = pr + i * cols;
-          for (std::int64_t j = 0; j < cols; ++j) dst[j] += src[j];
-        }
-      });
+  const int tasks = PlanParallelTasks(acc_rows, work_per_acc_row);
+  const detail::RowFoldFn add = detail::RowAdd();
+  if (tasks <= 1) {
+    for (std::int64_t i = 0; i < num_rows; ++i) {
+      add(pa + pid[i] * cols, pr + i * cols, cols);
+    }
+    return;
+  }
+  // Destination-range ownership with pre-bucketed rows: each task adds
+  // only its own destinations' rows, in input order, so accumulation
+  // per destination row matches the serial order at any task count.
+  const OwnerBuckets buckets = BucketRowsByOwner(pid, num_rows, acc_rows, tasks);
+  ParallelForChunksFixed(acc_rows, tasks, [&](const RangeChunk& chunk) {
+    const std::int64_t lo =
+        buckets.offsets[static_cast<std::size_t>(chunk.task)];
+    const std::int64_t hi =
+        buckets.offsets[static_cast<std::size_t>(chunk.task) + 1];
+    for (std::int64_t p = lo; p < hi; ++p) {
+      const std::int64_t i = buckets.rows[static_cast<std::size_t>(p)];
+      add(pa + pid[i] * cols, pr + i * cols, cols);
+    }
+  });
 }
 
 }  // namespace kernels

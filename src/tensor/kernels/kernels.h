@@ -11,17 +11,35 @@ namespace inferturbo {
 namespace kernels {
 
 /// The fast compute-kernel layer: register-tiled, ISA-dispatched
-/// matmuls and ThreadPool-parallel segment/row ops. Every kernel is
-/// BIT-IDENTICAL to its scalar twin in kernels::reference at any
-/// thread count — parallel partitions assign each output row to
-/// exactly one task in a fixed order, accumulation order per output
-/// element matches the reference (ascending k, skip-on-zero over A),
-/// and no FMA contraction is allowed in any instantiation. The
-/// crash-sweep and cross-backend equivalence suites rely on this
-/// contract; kernels_test enforces it.
+/// matmuls and range-partitioned parallel segment/row ops (scheduled
+/// on the StaticExecutor, or the legacy ThreadPool path — a config
+/// choice that never changes results). In the default deterministic
+/// tier every kernel is BIT-IDENTICAL to its scalar twin in
+/// kernels::reference at any thread count — parallel partitions assign
+/// each output element to exactly one task in a fixed order,
+/// accumulation order per output element matches the reference
+/// (ascending k, skip-on-zero over A), and no FMA contraction is
+/// allowed in any instantiation. The crash-sweep and cross-backend
+/// equivalence suites rely on this contract; kernels_test enforces it.
+///
+/// The one exception is the OPT-IN fast-math tier
+/// (KernelConfig.fast_math): MatMul and MatMulTransposedA then route
+/// to FMA panel kernels (optionally bf16-storage) that trade
+/// bit-identity for throughput. Fast-math results are validated
+/// against the scalar oracle within the tolerances below
+/// (fast_math_test); deterministic mode is unaffected.
 ///
 /// Shape agreement is the caller's contract (src/tensor/ops.h checks
 /// it); segment ids must already be validated against num_segments.
+
+/// Documented fast-math validation bounds, as a multiple of the
+/// |A|·|B| absolute-value product per output element (the standard
+/// rounding-error envelope — see fast_math_test): fp32-FMA results
+/// must satisfy |fast - oracle| <= tol * (|A|·|B|)[i,j] + tiny.
+constexpr float kFastMathRelTol = 1e-4f;
+/// bf16 stores B with an 8-bit mantissa (unit roundoff 2^-9), so the
+/// envelope is dominated by the storage rounding, not accumulation.
+constexpr float kFastMathBf16RelTol = 8e-3f;
 
 Tensor MatMul(const Tensor& a, const Tensor& b);
 Tensor MatMulTransposedB(const Tensor& a, const Tensor& b);
@@ -49,6 +67,10 @@ void ScatterAddRows(Tensor* acc, std::span<const std::int64_t> indices,
 /// True when the AVX2 instantiation is compiled in and the CPU
 /// supports it (informational — results are identical either way).
 bool UsingAvx2();
+
+/// True when the fast-math tier would actually engage: the config
+/// opts in AND the FMA instantiation is compiled in and supported.
+bool UsingFastMath();
 
 }  // namespace kernels
 }  // namespace inferturbo

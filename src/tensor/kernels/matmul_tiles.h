@@ -33,8 +33,48 @@ void MatMulTBRowsAvx2(const float* a, const float* b, float* c,
                       std::int64_t r0, std::int64_t r1, std::int64_t k,
                       std::int64_t n);
 
+/// Packed-panel kernels: columns [c0, c0 + pw) of C(m×ldc) from all of
+/// A(m×k) and a pre-packed B panel `bp` (k×pw row-major — the pw
+/// columns made dense so a parallel task's B working set is contiguous
+/// per-thread scratch instead of strided slices of the shared B).
+/// Same math and order as the row kernels: each output element is one
+/// ascending-k chain with skip-on-zero over A, mul and add separate —
+/// bit-identical to the scalar reference. Panel calls own their column
+/// range exclusively, so N-partitioned calls run concurrently.
+void MatMulPanelPortable(const float* a, const float* bp, float* c,
+                         std::int64_t m, std::int64_t k, std::int64_t pw,
+                         std::int64_t c0, std::int64_t ldc);
+void MatMulPanelAvx2(const float* a, const float* bp, float* c,
+                     std::int64_t m, std::int64_t k, std::int64_t pw,
+                     std::int64_t c0, std::int64_t ldc);
+
 /// True when the AVX2 TU was built with AVX2 *and* the CPU supports it.
 bool Avx2KernelsAvailable();
+
+/// The opt-in fast-math tier (matmul_fastmath.cc, compiled with
+/// -mavx2 -mfma): FMA contraction, no skip-on-zero, same panel shape.
+/// NOT bit-identical to the reference — validated against it at the
+/// documented tolerances (see kFastMathRelTol / kFastMathBf16RelTol in
+/// kernels.h). Dispatched only when KernelConfig.fast_math is set and
+/// FastMathKernelsAvailable() is true.
+void MatMulPanelFma(const float* a, const float* bp, float* c, std::int64_t m,
+                    std::int64_t k, std::int64_t pw, std::int64_t c0,
+                    std::int64_t ldc);
+
+/// bf16-storage variant: `bp` holds the panel as bf16 (PackPanelBf16),
+/// expanded to fp32 in registers and accumulated in fp32.
+void MatMulPanelBf16Fma(const float* a, const std::uint16_t* bp, float* c,
+                        std::int64_t m, std::int64_t k, std::int64_t pw,
+                        std::int64_t c0, std::int64_t ldc);
+
+/// Packs columns [j0, j0 + pw) of B(k×n) into a dense k×pw bf16 panel
+/// (round-to-nearest-even truncation of the fp32 bits).
+void PackPanelBf16(const float* b, std::int64_t k, std::int64_t n,
+                   std::int64_t j0, std::int64_t pw, std::uint16_t* out);
+
+/// True when the fast-math TU was built with AVX2+FMA and the CPU has
+/// both.
+bool FastMathKernelsAvailable();
 
 }  // namespace detail
 }  // namespace kernels

@@ -26,7 +26,9 @@ namespace detail {
 #define INFERTURBO_TILE_FN(name) name##Avx2
 #define INFERTURBO_TILE_RESTRICT __restrict__
 #define INFERTURBO_TILE_SKIP_MATMUL_ROWS
+#define INFERTURBO_TILE_SKIP_MATMUL_PANEL
 #include "src/tensor/kernels/matmul_tiles.inc"
+#undef INFERTURBO_TILE_SKIP_MATMUL_PANEL
 #undef INFERTURBO_TILE_SKIP_MATMUL_ROWS
 #undef INFERTURBO_TILE_FN
 #undef INFERTURBO_TILE_RESTRICT
@@ -50,17 +52,19 @@ namespace {
 // the caller pre-scans the A panel once and runs the check-free
 // instantiation when the panel holds no zeros (skipping zero entries
 // and not checking are then the same function).
+// `b` has row stride ldb (the shared B, or a packed panel), `c` row
+// stride ldc; both are n for the full-matrix row kernel.
 template <int kRows, bool kHasZeros>
-inline void MatMulTile16(const float* const* ar, const float* b, float* c,
-                         std::int64_t i, std::int64_t j, std::int64_t k,
-                         std::int64_t n) {
+inline void MatMulTile16(const float* const* ar, const float* b,
+                         std::int64_t ldb, float* c, std::int64_t ldc,
+                         std::int64_t i, std::int64_t j, std::int64_t k) {
   __m256 acc_lo[kRows], acc_hi[kRows];
   for (int r = 0; r < kRows; ++r) {
     acc_lo[r] = _mm256_setzero_ps();
     acc_hi[r] = _mm256_setzero_ps();
   }
   for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* bk = b + kk * n + j;
+    const float* bk = b + kk * ldb + j;
     const __m256 b_lo = _mm256_loadu_ps(bk);
     const __m256 b_hi = _mm256_loadu_ps(bk + 8);
     if (kHasZeros) {
@@ -79,7 +83,7 @@ inline void MatMulTile16(const float* const* ar, const float* b, float* c,
     }
   }
   for (int r = 0; r < kRows; ++r) {
-    float* cr = c + (i + r) * n + j;
+    float* cr = c + (i + r) * ldc + j;
     _mm256_storeu_ps(cr, acc_lo[r]);
     _mm256_storeu_ps(cr + 8, acc_hi[r]);
   }
@@ -137,16 +141,72 @@ void MatMulRowsAvx2(const float* a, const float* b, float* c, std::int64_t r0,
     std::int64_t j = 0;
     if (has_zeros) {
       for (; j + kColTile <= n; j += kColTile) {
-        MatMulTile16<kRowTile, /*kHasZeros=*/true>(ar, b, c, i, j, k, n);
+        MatMulTile16<kRowTile, /*kHasZeros=*/true>(ar, b, n, c, n, i, j, k);
       }
     } else {
       for (; j + kColTile <= n; j += kColTile) {
-        MatMulTile16<kRowTile, /*kHasZeros=*/false>(ar, b, c, i, j, k, n);
+        MatMulTile16<kRowTile, /*kHasZeros=*/false>(ar, b, n, c, n, i, j, k);
       }
     }
     if (j < n) MatMulScalarPatch(a, b, c, i, i + kRowTile, j, k, n);
   }
   if (i < r1) MatMulScalarPatch(a, b, c, i, r1, 0, k, n);
+}
+
+namespace {
+
+// Scalar reference body over rows [i0, i1) × panel columns [j0, pw),
+// reading the packed panel (stride pw) and writing C (stride ldc) at
+// column offset c0. Same order and skip semantics as the reference.
+inline void MatMulPanelScalarPatch(const float* a, const float* bp, float* c,
+                                   std::int64_t i0, std::int64_t i1,
+                                   std::int64_t j0, std::int64_t k,
+                                   std::int64_t pw, std::int64_t c0,
+                                   std::int64_t ldc) {
+  for (std::int64_t i = i0; i < i1; ++i) {
+    float* __restrict__ ci = c + i * ldc + c0;
+    const float* ai = a + i * k;
+    for (std::int64_t kk = 0; kk < k; ++kk) {
+      const float v = ai[kk];
+      if (v == 0.0f) continue;
+      const float* __restrict__ bk = bp + kk * pw;
+      for (std::int64_t j = j0; j < pw; ++j) ci[j] += v * bk[j];
+    }
+  }
+}
+
+}  // namespace
+
+void MatMulPanelAvx2(const float* a, const float* bp, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t pw, std::int64_t c0,
+                     std::int64_t ldc) {
+  constexpr std::int64_t kRowTile = 6;
+  constexpr std::int64_t kColTile = 16;
+  float* const cb = c + c0;
+  std::int64_t i = 0;
+  for (; i + kRowTile <= m; i += kRowTile) {
+    const float* ar[kRowTile];
+    bool has_zeros = false;
+    for (std::int64_t r = 0; r < kRowTile; ++r) {
+      ar[r] = a + (i + r) * k;
+      has_zeros = has_zeros || RowHasZero(ar[r], k);
+    }
+    std::int64_t j = 0;
+    if (has_zeros) {
+      for (; j + kColTile <= pw; j += kColTile) {
+        MatMulTile16<kRowTile, /*kHasZeros=*/true>(ar, bp, pw, cb, ldc, i, j,
+                                                   k);
+      }
+    } else {
+      for (; j + kColTile <= pw; j += kColTile) {
+        MatMulTile16<kRowTile, /*kHasZeros=*/false>(ar, bp, pw, cb, ldc, i, j,
+                                                    k);
+      }
+    }
+    if (j < pw) MatMulPanelScalarPatch(a, bp, c, i, i + kRowTile, j, k, pw,
+                                       c0, ldc);
+  }
+  if (i < m) MatMulPanelScalarPatch(a, bp, c, i, m, 0, k, pw, c0, ldc);
 }
 
 bool Avx2KernelsAvailable() {
@@ -168,6 +228,12 @@ void MatMulTBRowsAvx2(const float* a, const float* b, float* c,
                       std::int64_t r0, std::int64_t r1, std::int64_t k,
                       std::int64_t n) {
   MatMulTBRowsPortable(a, b, c, r0, r1, k, n);
+}
+
+void MatMulPanelAvx2(const float* a, const float* bp, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t pw, std::int64_t c0,
+                     std::int64_t ldc) {
+  MatMulPanelPortable(a, bp, c, m, k, pw, c0, ldc);
 }
 
 bool Avx2KernelsAvailable() { return false; }
