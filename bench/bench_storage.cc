@@ -3,18 +3,26 @@
 // patterns the streaming inference path is built from and writes
 // BENCH_storage.json — one record per mode with MB/s over the pack.
 //
-//   cold        open the store and demand-load every shard (page-in)
-//   warm        every Map() is a cache hit (unlimited budget)
-//   streamed    sequential partition sweep under a BINDING budget
-//               (the pack minus its smallest shard), touching every
-//               feature byte — the MapReduce map stage's access shape
-//   prefetched  the same sweep with Prefetch(p+1) overlapping I/O
+//   cold              open the store and demand-load every shard (page-in)
+//   warm              every Map() is a cache hit (unlimited budget)
+//   streamed          sequential partition sweep under a BINDING budget
+//                     (the pack minus its smallest shard), touching every
+//                     feature byte — the MapReduce map stage's access shape
+//   prefetched        the same sweep with Prefetch(p+1) overlapping I/O
+//                     (the legacy fire-and-forget scheme, kept as a row so
+//                     the pipeline's win over it stays visible)
+//   pipelined         the same sweep through a ShardPipeline: a dedicated
+//                     loader thread double-buffers shard I/O behind the
+//                     checksum compute
+//   pipelined_pinned  the pipeline sweep with the hub hot-set pinned
+//                     resident (pinned budget = half the memory budget)
 //
 // Every mode folds the bytes it touches into a deterministic
 // gather_checksum (seeded dataset + hash partitioning = host-stable),
 // and the run FAILS — not just reports — when an invariant breaks:
-// peak mapped bytes over budget, zero prefetch hits, or any checksum
-// failure.
+// peak mapped bytes over budget, zero prefetch hits, nothing pinned,
+// or any checksum failure. The JSON also records which read-path tier
+// (io_uring / O_DIRECT / pread / mmap) auto-detection picked.
 //
 // Usage:
 //   bench_storage                     full sweep, writes BENCH_storage.json
@@ -23,6 +31,9 @@
 //   bench_storage --check=PATH        diff against a baseline JSON; exits 1 on
 //                                     timing regression past --check-tolerance
 //                                     or a gather_checksum mismatch
+//   bench_storage --overlap-gate      exit 1 unless the pipelined sweep is at
+//                                     least as fast as the streamed sweep
+//                                     (minus --overlap-tolerance slack)
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +50,8 @@
 #include "src/graph/datasets.h"
 #include "src/storage/graph_view.h"
 #include "src/storage/shard_format.h"
+#include "src/storage/shard_pipeline.h"
+#include "src/storage/shard_reader.h"
 #include "src/storage/shard_store.h"
 #include "src/storage/shard_writer.h"
 
@@ -120,13 +133,33 @@ std::uint64_t SweepView(const GraphView& view, bool prefetch) {
   return acc;
 }
 
+/// The pipeline's access shape: same sweep, but every acquire goes
+/// through the double-buffered loader thread.
+std::uint64_t SweepPipelined(const GraphView& view, int slots) {
+  ShardPipeline pipeline(view, ShardPipelineOptions{slots});
+  std::uint64_t acc = 0;
+  for (std::int64_t p = 0; p < view.num_partitions(); ++p) {
+    const Result<PartitionSlice> slice = pipeline.Acquire(p);
+    if (!slice.ok()) {
+      std::fprintf(stderr, "bench_storage: %s\n",
+                   slice.status().ToString().c_str());
+      std::exit(2);
+    }
+    acc += ChecksumSlice(*slice, view.feature_dim(),
+                         view.edge_feature_dim());
+  }
+  return acc;
+}
+
 ShardStoreOptions StoreOptions(const std::string& dir,
                                std::uint64_t budget,
-                               ThreadPool* pool) {
+                               ThreadPool* pool,
+                               std::uint64_t pinned_budget = 0) {
   ShardStoreOptions options;
   options.directory = dir;
   options.memory_budget_bytes = budget;
   options.prefetch_pool = pool;
+  options.pinned_budget_bytes = pinned_budget;
   return options;
 }
 
@@ -142,7 +175,8 @@ ShardStore MustOpen(ShardStoreOptions options) {
 
 void WriteJson(const std::string& path,
                const std::vector<BenchRecord>& records, bool quick,
-               std::uint64_t gather_checksum, std::uint64_t budget) {
+               std::uint64_t gather_checksum, std::uint64_t budget,
+               ShardReadPath read_path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "bench_storage: cannot write %s\n", path.c_str());
@@ -153,6 +187,7 @@ void WriteJson(const std::string& path,
   out << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
   out << "  \"gather_checksum\": \"" << gather_checksum << "\",\n";
   out << "  \"memory_budget_bytes\": " << budget << ",\n";
+  out << "  \"read_path\": \"" << ShardReadPathName(read_path) << "\",\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
@@ -245,6 +280,9 @@ int Main(int argc, const char* const argv[]) {
       flags->GetString("out", "BENCH_storage.json");
   const std::string check_path = flags->GetString("check", "");
   const double tolerance = flags->GetDouble("check-tolerance", 0.5);
+  const bool overlap_gate = flags->GetBool("overlap-gate", false);
+  const double overlap_tolerance =
+      flags->GetDouble("overlap-tolerance", 0.10);
 
   TimingOptions timing;
   if (quick) {
@@ -302,6 +340,7 @@ int Main(int argc, const char* const argv[]) {
 
   std::vector<BenchRecord> records;
   std::uint64_t gather_checksum = 0;
+  ShardReadPath read_path = ShardReadPath::kMmap;
   int failures = 0;
   const auto record = [&](const std::string& mode, double seconds,
                           std::uint64_t peak) {
@@ -330,6 +369,7 @@ int Main(int argc, const char* const argv[]) {
 
   {  // warm: one store, every Map a cache hit
     ShardStore store = MustOpen(StoreOptions(dir, 0, nullptr));
+    read_path = store.read_path();
     const ShardGraphView view(std::move(store));
     gather_checksum = SweepView(view, /*prefetch=*/false);  // fill
     const double seconds = TimeIt(
@@ -397,9 +437,96 @@ int Main(int argc, const char* const argv[]) {
     }
   }
 
-  std::printf("\ngather_checksum: %llu\n",
-              static_cast<unsigned long long>(gather_checksum));
-  WriteJson(out_path, records, quick, gather_checksum, budget);
+  {  // pipelined: the sweep with a dedicated loader thread overlapping
+     // shard I/O for p+1 behind the checksum compute on p
+    std::uint64_t peak = 0;
+    const double seconds = TimeIt(timing, [&] {
+      ShardStore store = MustOpen(StoreOptions(dir, budget, nullptr));
+      const ShardGraphView view(std::move(store));
+      const std::uint64_t acc = SweepPipelined(view, /*slots=*/2);
+      g_sink = g_sink + acc;
+      if (acc != gather_checksum) {
+        std::fprintf(stderr, "INVARIANT: pipelined checksum diverged\n");
+        ++failures;
+      }
+      peak = view.storage_metrics().peak_bytes_mapped;
+    });
+    record("pipelined", seconds, peak);
+    if (peak > budget) {
+      std::fprintf(stderr,
+                   "INVARIANT: peak %llu exceeds the %llu-byte budget\n",
+                   static_cast<unsigned long long>(peak),
+                   static_cast<unsigned long long>(budget));
+      ++failures;
+    }
+  }
+
+  {  // pipelined_pinned: persistent store, hub hot-set pinned resident
+     // under half the budget, cold shards cycling through the rest
+    ShardStore store =
+        MustOpen(StoreOptions(dir, budget, nullptr, budget / 2));
+    const ShardGraphView view(std::move(store));
+    const Result<std::int64_t> pinned = view.PinHotSet(/*hub_threshold=*/0);
+    if (!pinned.ok()) {
+      std::fprintf(stderr, "bench_storage: %s\n",
+                   pinned.status().ToString().c_str());
+      return 2;
+    }
+    const double seconds = TimeIt(timing, [&] {
+      const std::uint64_t acc = SweepPipelined(view, /*slots=*/2);
+      g_sink = g_sink + acc;
+      if (acc != gather_checksum) {
+        std::fprintf(stderr,
+                     "INVARIANT: pipelined_pinned checksum diverged\n");
+        ++failures;
+      }
+    });
+    const StorageMetrics metrics = view.storage_metrics();
+    record("pipelined_pinned", seconds, metrics.peak_bytes_mapped);
+    if (metrics.peak_bytes_mapped > budget) {
+      std::fprintf(stderr,
+                   "INVARIANT: peak %llu exceeds the %llu-byte budget\n",
+                   static_cast<unsigned long long>(metrics.peak_bytes_mapped),
+                   static_cast<unsigned long long>(budget));
+      ++failures;
+    }
+    if (metrics.pinned_bytes == 0 || metrics.pinned_partitions == 0) {
+      std::fprintf(stderr, "INVARIANT: nothing pinned under a %llu-byte "
+                           "pinned budget\n",
+                   static_cast<unsigned long long>(budget / 2));
+      ++failures;
+    }
+    if (metrics.pinned_hits == 0) {
+      std::fprintf(stderr, "INVARIANT: no pinned shard was ever re-hit\n");
+      ++failures;
+    }
+  }
+
+  if (overlap_gate) {
+    double streamed_s = 0.0;
+    double pipelined_s = 0.0;
+    for (const BenchRecord& r : records) {
+      if (r.mode == "streamed") streamed_s = r.seconds_per_iter;
+      if (r.mode == "pipelined") pipelined_s = r.seconds_per_iter;
+    }
+    if (pipelined_s > streamed_s * (1.0 + overlap_tolerance)) {
+      std::fprintf(stderr,
+                   "OVERLAP GATE: pipelined %.3f ms/iter is slower than "
+                   "streamed %.3f ms/iter (tolerance %.0f%%)\n",
+                   pipelined_s * 1e3, streamed_s * 1e3,
+                   overlap_tolerance * 100.0);
+      ++failures;
+    } else {
+      std::printf("overlap gate: pipelined %.3f ms/iter vs streamed "
+                  "%.3f ms/iter — ok\n",
+                  pipelined_s * 1e3, streamed_s * 1e3);
+    }
+  }
+
+  std::printf("\ngather_checksum: %llu  read_path: %s\n",
+              static_cast<unsigned long long>(gather_checksum),
+              std::string(ShardReadPathName(read_path)).c_str());
+  WriteJson(out_path, records, quick, gather_checksum, budget, read_path);
   std::filesystem::remove_all(dir);
 
   if (failures != 0) {

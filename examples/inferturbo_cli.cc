@@ -217,8 +217,15 @@ int Infer(const FlagParser& flags, const std::string& dir) {
   // (out-of-core) instead of the resident copy; the resident load above
   // still supplies model dims and the accuracy labels.
   // --storage_memory_budget caps resident shard bytes ("512MB", "4GiB").
+  // --pipeline_slots sets the streaming pipeline's in-flight window
+  // (2 = double buffering, 0 = demand loads); --read_path forces a read
+  // tier (auto|mmap|pread|direct|uring); --storage_pinned_budget +
+  // --pin_hubs keep the hub-heavy shards resident across the sweep.
   const std::string packed = flags.GetString("packed", "");
   Result<InferenceResult> result = Status::Internal("unset");
+  options.storage_pipeline_slots =
+      static_cast<int>(flags.GetInt("pipeline_slots", 2));
+  options.pin_hub_shards = flags.GetBool("pin_hubs", false);
   if (!packed.empty()) {
     const Result<std::uint64_t> budget =
         flags.GetBytes("storage_memory_budget", 0);
@@ -226,9 +233,24 @@ int Infer(const FlagParser& flags, const std::string& dir) {
       std::fprintf(stderr, "%s\n", budget.status().ToString().c_str());
       return 1;
     }
+    const Result<std::uint64_t> pinned_budget =
+        flags.GetBytes("storage_pinned_budget", 0);
+    if (!pinned_budget.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   pinned_budget.status().ToString().c_str());
+      return 1;
+    }
+    const Result<ShardReadPath> read_path =
+        ParseShardReadPath(flags.GetString("read_path", "auto"));
+    if (!read_path.ok()) {
+      std::fprintf(stderr, "%s\n", read_path.status().ToString().c_str());
+      return 1;
+    }
     ShardStoreOptions store_options;
     store_options.directory = packed;
     store_options.memory_budget_bytes = *budget;
+    store_options.pinned_budget_bytes = *pinned_budget;
+    store_options.read_path = *read_path;
     Result<ShardStore> store = ShardStore::Open(std::move(store_options));
     if (!store.ok()) {
       std::fprintf(stderr, "%s\n", store.status().ToString().c_str());

@@ -14,6 +14,7 @@
 #include "src/gas/superstep_gather.h"
 #include "src/mapreduce/mapreduce_engine.h"
 #include "src/storage/graph_view.h"
+#include "src/storage/shard_pipeline.h"
 #include "src/tensor/kernels/row_fold.h"
 #include "src/tensor/ops.h"
 
@@ -168,10 +169,22 @@ class MrInferenceDriver {
 
     if (completed_stage < 0) {
       INFERTURBO_RETURN_NOT_OK(killed(0));
-      INFERTURBO_RETURN_NOT_OK(
-          job.RunMap([this](std::int64_t instance, MrEmitter* emitter) {
-            MapStage(instance, emitter);
-          }));
+      {
+        // Double-buffered streaming for the map stage: the dedicated
+        // loader thread fills partition p+1 while instance p computes,
+        // handing off through an explicit ready-future (passthrough —
+        // no thread — for in-memory views).
+        ShardPipeline pipeline(
+            view_, ShardPipelineOptions{options_.storage_pipeline_slots});
+        pipeline_ = &pipeline;
+        const Status map_status =
+            job.RunMap([this](std::int64_t instance, MrEmitter* emitter) {
+              MapStage(instance, emitter);
+            });
+        pipeline_ = nullptr;
+        pipeline_stats_.Merge(pipeline.stats());
+        INFERTURBO_RETURN_NOT_OK(map_status);
+      }
       // MapFn cannot return a Status; partition-acquire failures (e.g.
       // a corrupt shard) land here instead of crashing the pool.
       {
@@ -242,6 +255,7 @@ class MrInferenceDriver {
   Tensor TakeEmbeddings() { return std::move(embeddings_); }
 
   JobMetrics TakeMetrics() { return std::move(metrics_); }
+  const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
 
  private:
   /// Map-side combine: fold this producer's kInMessage rows for `key`
@@ -291,13 +305,14 @@ class MrInferenceDriver {
   }
 
   /// The initialization stage: map instance p streams partition p of
-  /// the view (hinting p+1 so an out-of-core view overlaps the next
-  /// load with this one's compute). Raw features become layer-0
-  /// states; self-state, out-edge info, and layer-0 messages enter the
-  /// dataflow.
+  /// the view through the shard pipeline, whose loader thread is
+  /// already filling p+1 while this instance computes. Raw features
+  /// become layer-0 states; self-state, out-edge info, and layer-0
+  /// messages enter the dataflow.
   void MapStage(std::int64_t instance, MrEmitter* emitter) {
-    view_.PrefetchPartition(instance + 1);
-    Result<PartitionSlice> acquired = view_.AcquirePartition(instance);
+    Result<PartitionSlice> acquired =
+        pipeline_ != nullptr ? pipeline_->Acquire(instance)
+                             : view_.AcquirePartition(instance);
     if (!acquired.ok()) {
       RecordMapError(acquired.status());
       return;
@@ -592,6 +607,9 @@ class MrInferenceDriver {
   std::mutex map_error_mutex_;
   /// First failure from a map instance (MapFn cannot return Status).
   Status map_error_ = Status::OK();
+  /// Live only while RunMap executes; MapStage acquires through it.
+  ShardPipeline* pipeline_ = nullptr;
+  PipelineStats pipeline_stats_;
   JobMetrics metrics_;
   Tensor embeddings_;
   std::int64_t failures_recovered_ = 0;
@@ -606,7 +624,8 @@ class MrInferenceDriver {
 Result<InferenceResult> DriveView(const GraphView& view,
                                   const GnnModel& model,
                                   const InferTurboOptions& options,
-                                  std::int64_t hub_threshold) {
+                                  std::int64_t hub_threshold,
+                                  PipelineStats* pipeline_stats = nullptr) {
   MrInferenceDriver driver(view, model, options, hub_threshold);
   INFERTURBO_ASSIGN_OR_RETURN(Tensor all_logits, driver.Run());
   options.failures_recovered = driver.failures_recovered();
@@ -615,6 +634,9 @@ Result<InferenceResult> DriveView(const GraphView& view,
   result.embeddings = driver.TakeEmbeddings();
   result.predictions = ArgmaxRows(result.logits);
   result.metrics = driver.TakeMetrics();
+  if (pipeline_stats != nullptr) {
+    pipeline_stats->Merge(driver.pipeline_stats());
+  }
   return result;
 }
 
@@ -685,22 +707,37 @@ Result<InferenceResult> RunInferTurboMapReduce(
         std::to_string(view.num_partitions()) +
         "): the shard partitioning is the worker assignment");
   }
+  const std::int64_t threshold = options.strategies.HubThreshold(
+      view.num_edges(), options.num_workers);
+  if (options.pin_hub_shards) {
+    // Pin the hub-heavy hot-set before any streaming so it survives
+    // every LRU cycle of the sweep (no-op without a pinned budget).
+    INFERTURBO_RETURN_NOT_OK(view.PinHotSet(threshold).status());
+  }
   if (options.strategies.shadow_nodes) {
     // The shadow rewrite restructures topology globally; rebuild the
-    // graph (bounded mapped bytes while building), run the resident
-    // path, and still report the storage work done.
-    INFERTURBO_ASSIGN_OR_RETURN(Graph graph, MaterializeGraph(view));
+    // graph (bounded mapped bytes while building, pipelined so shard
+    // I/O overlaps the rebuild), run the resident path, and still
+    // report the storage work done.
+    PipelineStats stats;
+    MaterializeOptions materialize;
+    materialize.pipeline_slots = options.storage_pipeline_slots;
+    materialize.stats = &stats;
+    INFERTURBO_ASSIGN_OR_RETURN(Graph graph,
+                                MaterializeGraph(view, materialize));
     INFERTURBO_ASSIGN_OR_RETURN(
         InferenceResult result,
         RunInferTurboMapReduce(graph, model, options));
     result.metrics.storage = view.storage_metrics();
+    stats.FoldInto(&result.metrics.storage);
     return result;
   }
-  const std::int64_t threshold = options.strategies.HubThreshold(
-      view.num_edges(), options.num_workers);
-  INFERTURBO_ASSIGN_OR_RETURN(InferenceResult result,
-                              DriveView(view, model, options, threshold));
+  PipelineStats stats;
+  INFERTURBO_ASSIGN_OR_RETURN(
+      InferenceResult result,
+      DriveView(view, model, options, threshold, &stats));
   result.metrics.storage = view.storage_metrics();
+  stats.FoldInto(&result.metrics.storage);
   return result;
 }
 

@@ -11,6 +11,7 @@
 #include "src/gas/superstep_gather.h"
 #include "src/pregel/pregel_engine.h"
 #include "src/storage/graph_view.h"
+#include "src/storage/shard_pipeline.h"
 #include "src/telemetry/trace.h"
 #include "src/tensor/kernels/kernels.h"
 #include "src/tensor/ops.h"
@@ -545,12 +546,25 @@ Result<InferenceResult> RunInferTurboPregel(const GraphView& view,
     return RunInferTurboPregel(*resident, model, options);
   }
   // Out-of-core view: Pregel holds all node state resident anyway, so
-  // rebuild the graph (one partition mapped at a time while building)
-  // and run the resident path on the exact original structure.
-  INFERTURBO_ASSIGN_OR_RETURN(Graph graph, MaterializeGraph(view));
+  // rebuild the graph and run the resident path on the exact original
+  // structure. The rebuild streams through the shard pipeline — I/O
+  // for partition p+1 overlaps reconstruction of partition p — after
+  // optionally pinning the hub hot-set.
+  if (options.pin_hub_shards) {
+    const std::int64_t threshold = options.strategies.HubThreshold(
+        view.num_edges(), options.num_workers);
+    INFERTURBO_RETURN_NOT_OK(view.PinHotSet(threshold).status());
+  }
+  PipelineStats stats;
+  MaterializeOptions materialize;
+  materialize.pipeline_slots = options.storage_pipeline_slots;
+  materialize.stats = &stats;
+  INFERTURBO_ASSIGN_OR_RETURN(Graph graph,
+                              MaterializeGraph(view, materialize));
   INFERTURBO_ASSIGN_OR_RETURN(InferenceResult result,
                               RunInferTurboPregel(graph, model, options));
   result.metrics.storage = view.storage_metrics();
+  stats.FoldInto(&result.metrics.storage);
   return result;
 }
 

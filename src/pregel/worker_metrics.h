@@ -99,6 +99,26 @@ struct StorageMetrics {
   std::int64_t evictions = 0;
   /// Shards rejected on load because a page failed CRC/bounds checks.
   std::int64_t checksum_failures = 0;
+  /// Bytes held by the pinned hub hot-set (gauge; pinned shards never
+  /// cycle through the LRU). Zero when pinning is off.
+  std::uint64_t pinned_bytes = 0;
+  /// Partitions currently pinned resident (gauge).
+  std::int64_t pinned_partitions = 0;
+  /// Map() requests satisfied by a pinned shard (subset of cache_hits).
+  std::int64_t pinned_hits = 0;
+  /// I/O seconds the shard pipeline hid behind compute (ahead-scheduled
+  /// load time that the consumer never waited for).
+  double overlap_seconds = 0.0;
+  /// Seconds consumers stalled in ShardPipeline::Acquire waiting for an
+  /// in-flight load.
+  double pipeline_wait_seconds = 0.0;
+  /// How shard bytes were read: a ShardReadPath numeric code
+  /// (0 auto / 1 mmap / 2 pread / 3 direct / 4 uring). Provenance for
+  /// BENCH_storage.json and the run report.
+  std::int64_t read_path = 0;
+  /// Loads where the detected read tier failed mid-job and the store
+  /// fell back to mmap for that shard.
+  std::int64_t read_path_fallbacks = 0;
 
   /// Folds another stage's storage accounting into this one: activity
   /// counters sum, instantaneous/high-water byte gauges take the max
@@ -115,6 +135,13 @@ struct StorageMetrics {
     prefetch_hits += other.prefetch_hits;
     evictions += other.evictions;
     checksum_failures += other.checksum_failures;
+    pinned_bytes = std::max(pinned_bytes, other.pinned_bytes);
+    pinned_partitions = std::max(pinned_partitions, other.pinned_partitions);
+    pinned_hits += other.pinned_hits;
+    overlap_seconds += other.overlap_seconds;
+    pipeline_wait_seconds += other.pipeline_wait_seconds;
+    read_path = std::max(read_path, other.read_path);
+    read_path_fallbacks += other.read_path_fallbacks;
   }
 };
 

@@ -101,13 +101,35 @@ Result<PartitionSlice> ShardGraphView::AcquirePartition(
 }
 
 void ShardGraphView::PrefetchPartition(std::int64_t partition) const {
+  // Guard at the view boundary: drivers hint p+1 while sweeping, so the
+  // last partition's hint lands out of range and must cost nothing —
+  // not even the store's range check path is worth trusting here, this
+  // is the documented no-op point.
+  if (partition < 0 || partition >= num_partitions()) return;
   store_.Prefetch(partition);
+}
+
+Result<std::int64_t> ShardGraphView::PinHotSet(
+    std::int64_t hub_threshold) const {
+  return store_.PinHotSet(hub_threshold);
 }
 
 Result<Graph> MaterializeGraph(const GraphView& view) {
   if (const Graph* resident = view.resident_graph()) {
     return *resident;  // already whole; copy rather than re-gather
   }
+  return storage_internal::MaterializeWith(
+      view, [&view](std::int64_t p) {
+        view.PrefetchPartition(p + 1);
+        return view.AcquirePartition(p);
+      });
+}
+
+namespace storage_internal {
+
+Result<Graph> MaterializeWith(
+    const GraphView& view,
+    const std::function<Result<PartitionSlice>(std::int64_t)>& acquire) {
   const std::int64_t num_nodes = view.num_nodes();
   const std::int64_t num_edges = view.num_edges();
   const std::int64_t fd = view.feature_dim();
@@ -127,9 +149,7 @@ Result<Graph> MaterializeGraph(const GraphView& view) {
   std::vector<bool> node_seen(static_cast<std::size_t>(num_nodes), false);
 
   for (std::int64_t p = 0; p < view.num_partitions(); ++p) {
-    view.PrefetchPartition(p + 1);
-    INFERTURBO_ASSIGN_OR_RETURN(PartitionSlice slice,
-                                view.AcquirePartition(p));
+    INFERTURBO_ASSIGN_OR_RETURN(PartitionSlice slice, acquire(p));
     if (slice.out_offsets.size() != slice.nodes.size() + 1) {
       return Status::IoError("partition " + std::to_string(p) +
                              " slice has inconsistent CSR offsets");
@@ -191,5 +211,7 @@ Result<Graph> MaterializeGraph(const GraphView& view) {
   if (labeled) builder.SetLabels(std::move(labels), view.num_classes());
   return std::move(builder).Finish();
 }
+
+}  // namespace storage_internal
 
 }  // namespace inferturbo

@@ -5,11 +5,14 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 #include "src/common/atomic_file.h"
 #include "src/common/crc32.h"
@@ -27,16 +30,24 @@ MappedShard::~MappedShard() {
 struct ShardStore::State {
   ShardStoreOptions options;
   ShardMeta meta;
+  /// The tier Open() resolved for this store (never kAuto).
+  ShardReadPath read_path = ShardReadPath::kMmap;
 
   mutable std::mutex mu;
   struct CacheEntry {
     ShardLease lease;
     std::uint64_t last_use = 0;
     bool from_prefetch = false;
+    /// Pinned entries belong to the hub hot-set: LRU eviction skips
+    /// them, so they stay resident across supersteps.
+    bool pinned = false;
   };
   std::unordered_map<std::int64_t, CacheEntry> cache;
   std::unordered_set<std::int64_t> prefetching;
   std::uint64_t tick = 0;
+  /// Hot-set accounting, guarded by `mu`.
+  std::uint64_t pinned_bytes = 0;
+  std::int64_t pinned_partitions = 0;
   /// Counters mutated under `mu`. bytes_mapped/peak/unmap_calls live as
   /// atomics below: the lease deleter updates them without taking `mu`,
   /// so dropping a lease inside an eviction (which holds `mu`) cannot
@@ -53,6 +64,8 @@ struct ShardStoreInternal {
   static Status ValidateShard(MappedShard* shard, bool verify_checksums);
   static Result<std::unique_ptr<MappedShard>> BuildFromHeap(
       std::string bytes, bool verify_checksums);
+  static Result<std::unique_ptr<MappedShard>> BuildFromBuffer(
+      AlignedShardBuffer buffer, bool verify_checksums);
   static Result<std::unique_ptr<MappedShard>> MapFromFile(
       const std::string& path, bool verify_checksums);
 };
@@ -128,6 +141,18 @@ Result<std::unique_ptr<MappedShard>> ShardStoreInternal::BuildFromHeap(
   shard->heap_ = std::move(bytes);
   shard->base_ = shard->heap_.data();
   shard->size_ = shard->heap_.size();
+  INFERTURBO_RETURN_NOT_OK(ValidateShard(shard.get(), verify_checksums));
+  return shard;
+}
+
+/// Aligned-buffer-backed shard: the whole file image arrived through
+/// the direct-I/O read ladder (pread / O_DIRECT / io_uring).
+Result<std::unique_ptr<MappedShard>> ShardStoreInternal::BuildFromBuffer(
+    AlignedShardBuffer buffer, bool verify_checksums) {
+  std::unique_ptr<MappedShard> shard(new MappedShard());
+  shard->buffer_ = std::move(buffer);
+  shard->base_ = shard->buffer_.data();
+  shard->size_ = shard->buffer_.size();
   INFERTURBO_RETURN_NOT_OK(ValidateShard(shard.get(), verify_checksums));
   return shard;
 }
@@ -212,10 +237,11 @@ std::uint64_t ExpectedShardBytes(const ShardMeta& meta,
   return cursor;
 }
 
-/// Drops least-recently-used cache entries until `incoming` more bytes
-/// fit under the budget (or the cache is empty). Entries pinned by
-/// outstanding leases free their bytes only when those leases drop;
-/// the loop still terminates because each pass shrinks the cache.
+/// Drops least-recently-used *unpinned* cache entries until `incoming`
+/// more bytes fit under the budget (or only the pinned hot-set
+/// remains). Entries held by outstanding leases free their bytes only
+/// when those leases drop; the loop still terminates because each pass
+/// shrinks the evictable set.
 void EvictForLocked(State& s, std::uint64_t incoming) {
   if (s.options.memory_budget_bytes == 0) return;
   if (s.cache.empty() ||
@@ -224,13 +250,17 @@ void EvictForLocked(State& s, std::uint64_t incoming) {
     return;
   }
   TraceSpan span("storage/evict");
-  while (!s.cache.empty() &&
-         s.bytes_mapped.load(std::memory_order_relaxed) + incoming >
-             s.options.memory_budget_bytes) {
-    auto lru = s.cache.begin();
+  while (s.bytes_mapped.load(std::memory_order_relaxed) + incoming >
+         s.options.memory_budget_bytes) {
+    auto lru = s.cache.end();
     for (auto it = s.cache.begin(); it != s.cache.end(); ++it) {
-      if (it->second.last_use < lru->second.last_use) lru = it;
+      if (it->second.pinned) continue;
+      if (lru == s.cache.end() ||
+          it->second.last_use < lru->second.last_use) {
+        lru = it;
+      }
     }
+    if (lru == s.cache.end()) return;  // nothing evictable left
     // Erasing drops the cache's reference; when it is the last one the
     // deleter returns the bytes immediately (atomics only — no `mu`).
     s.cache.erase(lru);
@@ -239,6 +269,75 @@ void EvictForLocked(State& s, std::uint64_t incoming) {
       GlobalMetrics().GetCounter("storage.evictions")->Increment();
     }
   }
+}
+
+/// Out-edges carried by hub nodes (out-degree > `hub_threshold`) of one
+/// shard, computed from a transient read of just the header, page
+/// table, and CSR offsets page — a few KB against multi-MB shards, and
+/// never charged to the memory budget. The page-table frame CRC is
+/// checked (DecodePageEntry); the offsets payload CRC is not — full
+/// validation happens when the shard is actually pinned via Map().
+Result<std::int64_t> HubEdgesForPartition(const std::string& path,
+                                          std::int64_t hub_threshold) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open shard file " + path);
+  }
+  const auto pread_exact = [fd, &path](char* dst, std::size_t len,
+                                       std::size_t off) {
+    std::size_t got = 0;
+    while (got < len) {
+      const ssize_t n = ::pread(fd, dst + got, len - got,
+                                static_cast<off_t>(off + got));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        return Status::IoError("short read of shard prefix in " + path);
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    return Status::OK();
+  };
+  std::string prefix(ShardPayloadStart(), '\0');
+  Status status = pread_exact(prefix.data(), prefix.size(), 0);
+  PageEntry offsets_entry;
+  if (status.ok()) {
+    // Slot 1 of the page table is kOutOffsets (the local CSR).
+    status = DecodePageEntry(prefix, 1, &offsets_entry);
+  }
+  std::vector<std::int64_t> offsets;
+  if (status.ok()) {
+    offsets.resize(offsets_entry.bytes / sizeof(std::int64_t));
+    status = pread_exact(reinterpret_cast<char*>(offsets.data()),
+                         offsets_entry.bytes, offsets_entry.offset);
+  }
+  ::close(fd);
+  INFERTURBO_RETURN_NOT_OK(status);
+  std::int64_t hub_edges = 0;
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    const std::int64_t degree = offsets[i] - offsets[i - 1];
+    if (degree > hub_threshold) hub_edges += degree;
+  }
+  return hub_edges;
+}
+
+/// Non-injector load through the resolved read tier, with mmap as the
+/// safety net when a buffered/direct/uring read fails mid-job (the
+/// probe passed at Open, but a filesystem can still refuse O_DIRECT on
+/// a particular file, or a ring allocation can hit a limit). Validation
+/// failures are returned as-is — re-reading corrupt bytes through mmap
+/// cannot fix them.
+Result<std::unique_ptr<MappedShard>> LoadFromDisk(
+    const std::shared_ptr<State>& s, const std::string& path) {
+  if (s->read_path != ShardReadPath::kMmap) {
+    Result<AlignedShardBuffer> bytes = ReadFileAligned(path, s->read_path);
+    if (bytes.ok()) {
+      return ShardStoreInternal::BuildFromBuffer(
+          std::move(*bytes), s->options.verify_checksums);
+    }
+    std::lock_guard<std::mutex> lock(s->mu);
+    ++s->counters.read_path_fallbacks;
+  }
+  return ShardStoreInternal::MapFromFile(path, s->options.verify_checksums);
 }
 
 /// Loads + validates one shard. No budget accounting happens here —
@@ -278,8 +377,7 @@ Result<std::unique_ptr<MappedShard>> LoadShard(
       return Status::IoError(path + ": " + status.message());
     }
   } else {
-    Result<std::unique_ptr<MappedShard>> built =
-        ShardStoreInternal::MapFromFile(path, s->options.verify_checksums);
+    Result<std::unique_ptr<MappedShard>> built = LoadFromDisk(s, path);
     if (!built.ok()) {
       note_checksum_failure(built.status());
       return Status::IoError(path + ": " + built.status().message());
@@ -349,6 +447,14 @@ Result<ShardStore> ShardStore::Open(ShardStoreOptions options) {
   if (options.directory.empty()) {
     return Status::InvalidArgument("shard directory must be set");
   }
+  if (options.memory_budget_bytes != 0 &&
+      options.pinned_budget_bytes > options.memory_budget_bytes) {
+    return Status::InvalidArgument(
+        "pinned_budget_bytes (" +
+        std::to_string(options.pinned_budget_bytes) +
+        ") exceeds memory_budget_bytes (" +
+        std::to_string(options.memory_budget_bytes) + ")");
+  }
   const std::string meta_path =
       options.directory + "/" + ShardMetaFileName();
   ShardMeta meta;
@@ -366,6 +472,18 @@ Result<ShardStore> ShardStore::Open(ShardStoreOptions options) {
   auto state = std::make_shared<State>();
   state->options = std::move(options);
   state->meta = std::move(meta);
+  // Resolve the read tier once per store. An armed fault injector needs
+  // every byte to flow through ReadFileToString, which the heap path
+  // (reported as kMmap provenance) provides; otherwise probe the ladder
+  // against the meta file, which lives on the same filesystem as the
+  // shards.
+  if (state->options.fault_injector != nullptr) {
+    state->read_path = ShardReadPath::kMmap;
+  } else if (state->options.read_path == ShardReadPath::kAuto) {
+    state->read_path = DetectShardReadPath(meta_path);
+  } else {
+    state->read_path = state->options.read_path;
+  }
   return ShardStore(std::move(state));
 }
 
@@ -388,6 +506,7 @@ Result<ShardLease> ShardStore::Map(std::int64_t partition) {
     auto it = s.cache.find(partition);
     if (it != s.cache.end()) {
       ++s.counters.cache_hits;
+      if (it->second.pinned) ++s.counters.pinned_hits;
       if (it->second.from_prefetch) {
         ++s.counters.prefetch_hits;
         if (MetricsEnabled()) {
@@ -464,17 +583,80 @@ void ShardStore::Prefetch(std::int64_t partition) {
   });
 }
 
+Result<std::int64_t> ShardStore::PinHotSet(std::int64_t hub_threshold) {
+  State& s = *state_;
+  if (s.options.pinned_budget_bytes == 0) return std::int64_t{0};
+  TraceSpan span("storage/pin_hot_set");
+  struct HubRank {
+    std::int64_t partition = 0;
+    std::uint64_t bytes = 0;
+    std::int64_t hub_edges = 0;
+    std::int64_t num_edges = 0;
+  };
+  std::vector<HubRank> ranks;
+  ranks.reserve(static_cast<std::size_t>(s.meta.num_partitions()));
+  for (std::int64_t p = 0; p < s.meta.num_partitions(); ++p) {
+    HubRank rank;
+    rank.partition = p;
+    rank.bytes = ExpectedShardBytes(s.meta, p);
+    rank.num_edges =
+        s.meta.partitions[static_cast<std::size_t>(p)].num_edges;
+    INFERTURBO_ASSIGN_OR_RETURN(
+        rank.hub_edges,
+        HubEdgesForPartition(
+            s.options.directory + "/" + ShardFileName(p), hub_threshold));
+    ranks.push_back(rank);
+  }
+  // Heaviest hub shards first; edge count then partition id break ties
+  // so the pinned set is deterministic.
+  std::sort(ranks.begin(), ranks.end(),
+            [](const HubRank& a, const HubRank& b) {
+              if (a.hub_edges != b.hub_edges) return a.hub_edges > b.hub_edges;
+              if (a.num_edges != b.num_edges) return a.num_edges > b.num_edges;
+              return a.partition < b.partition;
+            });
+  std::int64_t pinned = 0;
+  std::uint64_t spent = 0;
+  for (const HubRank& rank : ranks) {
+    if (spent + rank.bytes > s.options.pinned_budget_bytes) continue;
+    // Pin through the normal demand path so the shard is validated and
+    // budget-accounted like any other resident shard.
+    INFERTURBO_ASSIGN_OR_RETURN(ShardLease lease, Map(rank.partition));
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.cache.find(rank.partition);
+    if (it == s.cache.end()) continue;  // raced with an eviction; skip
+    if (!it->second.pinned) {
+      it->second.pinned = true;
+      s.pinned_bytes += it->second.lease->mapped_bytes();
+      ++s.pinned_partitions;
+    }
+    spent += rank.bytes;
+    ++pinned;
+  }
+  if (MetricsEnabled()) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    GlobalMetrics().GetGauge("storage.pinned_bytes")->Set(
+        static_cast<std::int64_t>(s.pinned_bytes));
+  }
+  return pinned;
+}
+
+ShardReadPath ShardStore::read_path() const { return state_->read_path; }
+
 StorageMetrics ShardStore::metrics() const {
   State& s = *state_;
   StorageMetrics out;
   {
     std::lock_guard<std::mutex> lock(s.mu);
     out = s.counters;
+    out.pinned_bytes = s.pinned_bytes;
+    out.pinned_partitions = s.pinned_partitions;
   }
   out.bytes_mapped = s.bytes_mapped.load(std::memory_order_relaxed);
   out.peak_bytes_mapped =
       s.peak_bytes_mapped.load(std::memory_order_relaxed);
   out.unmap_calls = s.unmap_calls.load(std::memory_order_relaxed);
+  out.read_path = static_cast<std::int64_t>(s.read_path);
   return out;
 }
 

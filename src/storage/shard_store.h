@@ -12,13 +12,15 @@
 #include "src/common/thread_pool.h"
 #include "src/pregel/worker_metrics.h"
 #include "src/storage/shard_format.h"
+#include "src/storage/shard_reader.h"
 
 namespace inferturbo {
 
 /// One validated, resident shard: typed views over its pages. The
-/// backing memory is either an mmap'd read-only file or (when a fault
-/// injector is active) a heap copy; either way it is immutable and
-/// outlives every span handed out, for as long as the MappedShard does.
+/// backing memory is an mmap'd read-only file, an aligned buffer filled
+/// by the direct-I/O read ladder, or (when a fault injector is active)
+/// a heap copy; either way it is immutable and outlives every span
+/// handed out, for as long as the MappedShard does.
 class MappedShard {
  public:
   ~MappedShard();
@@ -75,8 +77,9 @@ class MappedShard {
   std::array<PageEntry, kNumPageKinds> entries_{};
   const char* base_ = nullptr;
   std::size_t size_ = 0;
-  void* mmap_base_ = nullptr;  ///< non-null when backed by mmap
-  std::string heap_;           ///< backing bytes on the fallback path
+  void* mmap_base_ = nullptr;   ///< non-null when backed by mmap
+  std::string heap_;            ///< backing bytes on the injector path
+  AlignedShardBuffer buffer_;   ///< backing bytes on the read ladder
 };
 
 /// A lease pins one shard resident. The shard stays mapped — and its
@@ -99,6 +102,19 @@ struct ShardStoreOptions {
   /// ReadFileToString (heap fallback) so every IoFaultKind applies.
   IoFaultInjector* fault_injector = nullptr;
   IoRetryPolicy retry;
+  /// How shard bytes get resident. kAuto probes the ladder (io_uring →
+  /// O_DIRECT → fadvise-pread → mmap) against the pack's meta file at
+  /// Open(); any other value forces that tier. A forced non-mmap tier
+  /// that fails at load time falls back to mmap for that shard (counted
+  /// in read_path_fallbacks). Ignored while a fault injector is set —
+  /// injected faults need the heap read path.
+  ShardReadPath read_path = ShardReadPath::kAuto;
+  /// Budget carved out of memory_budget_bytes for the pinned hub
+  /// hot-set (PinHotSet). Pinned shards never cycle through the LRU;
+  /// the LRU works the remaining memory_budget_bytes - pinned bytes.
+  /// Must be <= memory_budget_bytes when both are nonzero. 0 disables
+  /// pinning.
+  std::uint64_t pinned_budget_bytes = 0;
 };
 
 /// Maps shard files on demand under a memory budget (paper §IV-C2: the
@@ -130,6 +146,24 @@ class ShardStore {
   /// Schedules an async load of partition p (no-op without a pool, or
   /// when p is already resident or being prefetched).
   void Prefetch(std::int64_t partition);
+
+  /// Builds the pinned hub hot-set: ranks partitions by the out-edges
+  /// their hub nodes carry (nodes whose out-degree exceeds
+  /// `hub_threshold` — the same nodes the activation threshold flags),
+  /// then greedily pins the heaviest shards resident until
+  /// pinned_budget_bytes is spent. Ranking reads only each shard's
+  /// header + CSR offsets page (a transient pread, never charged
+  /// against the budget); pinning itself goes through Map(), so pinned
+  /// shards are validated like any other. Pinned shards are exempt from
+  /// LRU eviction but still counted against memory_budget_bytes, and
+  /// they unpin when the store is destroyed. Returns the number of
+  /// partitions pinned; a no-op returning 0 when pinned_budget_bytes
+  /// is 0. Call once, before streaming starts; idempotent.
+  Result<std::int64_t> PinHotSet(std::int64_t hub_threshold);
+
+  /// The read tier Open() resolved (never kAuto). kMmap whenever a
+  /// fault injector forces the heap path.
+  ShardReadPath read_path() const;
 
   /// Point-in-time snapshot of the store's counters.
   StorageMetrics metrics() const;

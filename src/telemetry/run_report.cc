@@ -1,8 +1,10 @@
 #include "src/telemetry/run_report.h"
 
+#include <string>
 #include <utility>
 
 #include "src/common/atomic_file.h"
+#include "src/storage/shard_reader.h"
 #include "src/telemetry/metrics.h"
 
 namespace inferturbo {
@@ -40,6 +42,15 @@ JsonValue StorageJson(const StorageMetrics& s) {
       {"prefetch_hit_rate", JsonValue(hit_rate)},
       {"evictions", JsonValue(s.evictions)},
       {"checksum_failures", JsonValue(s.checksum_failures)},
+      {"pinned_bytes", JsonValue(s.pinned_bytes)},
+      {"pinned_partitions", JsonValue(s.pinned_partitions)},
+      {"pinned_hits", JsonValue(s.pinned_hits)},
+      {"overlap_seconds", JsonValue(s.overlap_seconds)},
+      {"pipeline_wait_seconds", JsonValue(s.pipeline_wait_seconds)},
+      {"read_path",
+       JsonValue(std::string(ShardReadPathName(
+           static_cast<ShardReadPath>(s.read_path))))},
+      {"read_path_fallbacks", JsonValue(s.read_path_fallbacks)},
   });
 }
 

@@ -18,6 +18,7 @@
 #include "src/graph/datasets.h"
 #include "src/storage/graph_view.h"
 #include "src/storage/shard_format.h"
+#include "src/storage/shard_reader.h"
 #include "src/storage/shard_writer.h"
 
 namespace inferturbo {
@@ -244,6 +245,141 @@ TEST(ShardStoreTest, BudgetEvictsLeastRecentlyUsedShards) {
   EXPECT_LE(metrics.peak_bytes_mapped, 2 * largest);
   EXPECT_EQ(metrics.checksum_failures, 0);
   EXPECT_GE(metrics.map_calls, 8);
+}
+
+TEST(ShardStoreTest, PinnedShardsSurviveEvictionPressure) {
+  const Dataset d = MakeDataset();
+  const std::string dir = FreshDir("shards_pinned");
+  ShardWriterOptions writer;
+  writer.num_partitions = 8;
+  ASSERT_TRUE(WriteGraphShards(d.graph, dir, writer).ok());
+  std::uint64_t largest = 0;
+  for (std::int64_t p = 0; p < 8; ++p) {
+    largest = std::max<std::uint64_t>(
+        largest,
+        std::filesystem::file_size(dir + "/" + ShardFileName(p)));
+  }
+
+  ShardStoreOptions options;
+  options.directory = dir;
+  options.memory_budget_bytes = 4 * largest;
+  options.pinned_budget_bytes = 2 * largest;
+  Result<ShardStore> store = ShardStore::Open(std::move(options));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  const Result<std::int64_t> pinned = store->PinHotSet(/*hub_threshold=*/0);
+  ASSERT_TRUE(pinned.ok()) << pinned.status().ToString();
+  ASSERT_GT(*pinned, 0);
+  const StorageMetrics after_pin = store->metrics();
+  EXPECT_EQ(after_pin.pinned_partitions, *pinned);
+  EXPECT_GT(after_pin.pinned_bytes, 0u);
+  EXPECT_LE(after_pin.pinned_bytes, 2 * largest);
+
+  // Pinning again is idempotent.
+  const Result<std::int64_t> again = store->PinHotSet(/*hub_threshold=*/0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(store->metrics().pinned_partitions, after_pin.pinned_partitions);
+  EXPECT_EQ(store->metrics().pinned_bytes, after_pin.pinned_bytes);
+
+  // Two full passes force the unpinned shards to cycle through the
+  // remaining headroom; the pinned hot-set must stay resident (every
+  // Map of a pinned shard is a cache hit) and the combined pinned+LRU
+  // footprint must never exceed the budget.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::int64_t p = 0; p < 8; ++p) {
+      ASSERT_TRUE(store->Map(p).ok());
+    }
+  }
+  const StorageMetrics metrics = store->metrics();
+  EXPECT_GT(metrics.evictions, 0);
+  EXPECT_LE(metrics.peak_bytes_mapped, 4 * largest);
+  EXPECT_GE(metrics.pinned_hits, 2 * after_pin.pinned_partitions);
+  EXPECT_EQ(metrics.pinned_partitions, after_pin.pinned_partitions);
+  EXPECT_EQ(metrics.checksum_failures, 0);
+}
+
+TEST(ShardStoreTest, TinyPinnedBudgetPinsNothing) {
+  const Dataset d = MakeDataset();
+  const std::string dir = FreshDir("shards_pin_tiny");
+  ShardWriterOptions writer;
+  writer.num_partitions = 4;
+  ASSERT_TRUE(WriteGraphShards(d.graph, dir, writer).ok());
+  ShardStoreOptions options;
+  options.directory = dir;
+  options.pinned_budget_bytes = 1;  // smaller than any shard
+  Result<ShardStore> store = ShardStore::Open(std::move(options));
+  ASSERT_TRUE(store.ok());
+  const Result<std::int64_t> pinned = store->PinHotSet(/*hub_threshold=*/0);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(*pinned, 0);
+  EXPECT_EQ(store->metrics().pinned_bytes, 0u);
+  EXPECT_EQ(store->metrics().pinned_partitions, 0);
+}
+
+TEST(ShardStoreTest, PinnedBudgetAboveMemoryBudgetIsRejected) {
+  const Dataset d = MakeDataset();
+  const std::string dir = FreshDir("shards_pin_reject");
+  ASSERT_TRUE(WriteGraphShards(d.graph, dir).ok());
+  ShardStoreOptions options;
+  options.directory = dir;
+  options.memory_budget_bytes = 1000;
+  options.pinned_budget_bytes = 2000;
+  EXPECT_TRUE(
+      ShardStore::Open(std::move(options)).status().IsInvalidArgument());
+}
+
+TEST(ShardStoreTest, OutOfRangePrefetchIsANoOp) {
+  const Dataset d = MakeDataset();
+  const std::string dir = FreshDir("shards_pf_range");
+  ShardWriterOptions writer;
+  writer.num_partitions = 4;
+  ASSERT_TRUE(WriteGraphShards(d.graph, dir, writer).ok());
+  ThreadPool pool(2);
+  ShardStoreOptions options;
+  options.directory = dir;
+  options.prefetch_pool = &pool;
+  Result<ShardStore> store = ShardStore::Open(std::move(options));
+  ASSERT_TRUE(store.ok());
+  const ShardGraphView view(std::move(*store));
+
+  // The drivers blindly hint p+1 while sweeping; hints past either end
+  // must not issue anything — not even a queued no-op task.
+  view.PrefetchPartition(-1);
+  view.PrefetchPartition(view.num_partitions());
+  view.PrefetchPartition(view.num_partitions() + 7);
+  EXPECT_EQ(view.storage_metrics().prefetch_issued, 0);
+
+  view.PrefetchPartition(view.num_partitions() - 1);
+  EXPECT_EQ(view.storage_metrics().prefetch_issued, 1);
+}
+
+TEST(ShardStoreTest, ForcedReadPathsAreBitIdentical) {
+  const Dataset d = MakeDataset(/*edge_features=*/true);
+  const std::string dir = FreshDir("shards_read_paths");
+  ShardWriterOptions writer;
+  writer.num_partitions = 5;
+  ASSERT_TRUE(WriteGraphShards(d.graph, dir, writer).ok());
+
+  for (const ShardReadPath path :
+       {ShardReadPath::kMmap, ShardReadPath::kPread, ShardReadPath::kDirect,
+        ShardReadPath::kUring, ShardReadPath::kAuto}) {
+    SCOPED_TRACE(ShardReadPathName(path));
+    ShardStoreOptions options;
+    options.directory = dir;
+    options.read_path = path;
+    Result<ShardStore> store = ShardStore::Open(std::move(options));
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    // kAuto resolves to a concrete tier at Open.
+    EXPECT_NE(store->read_path(), ShardReadPath::kAuto);
+    if (path != ShardReadPath::kAuto) {
+      EXPECT_EQ(store->read_path(), path);
+    }
+    const ShardGraphView view(std::move(*store));
+    const Result<Graph> rebuilt = MaterializeGraph(view);
+    ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+    EXPECT_TRUE(BitIdentical(d.graph, *rebuilt));
+    EXPECT_EQ(view.storage_metrics().checksum_failures, 0);
+  }
 }
 
 TEST(ShardStoreTest, SecondMapIsACacheHit) {
