@@ -3,17 +3,47 @@
 // daily delta grows. Shows where the crossover sits: tiny deltas are
 // orders of magnitude cheaper; once the delta's k-hop out-cone covers
 // the graph, incremental degenerates to the full pass.
+//
+// Every row folds the incremental run's logits into a deterministic
+// logits_crc and records the exact recomputation count; both are
+// host-invariant (seeded dataset + deterministic kernels), so --check
+// gates them with zero tolerance while wall times get the usual slack.
+//
+// Usage:
+//   bench_incremental                 full sweep, writes BENCH_incremental.json
+//   bench_incremental --quick         CI smoke: same rows, single timed iter
+//   bench_incremental --out=PATH      write the JSON elsewhere
+//   bench_incremental --check=PATH    diff against a baseline JSON; exits 1 on
+//                                     a timing regression past
+//                                     --check-tolerance, a recomputation-count
+//                                     drift, or a logits_crc mismatch
+#include <algorithm>
 #include <cstdio>
-
+#include <cstdlib>
+#include <fstream>
 #include <numeric>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "src/common/crc32.h"
+#include "src/common/flags.h"
 #include "src/common/timer.h"
 #include "src/graph/graph_builder.h"
 #include "src/inference/incremental.h"
 
 namespace inferturbo {
 namespace {
+
+volatile std::uint64_t g_sink = 0;
+
+struct BenchRecord {
+  std::int64_t delta_size = 0;  // 0 = the full pass row
+  double seconds_per_iter = 0.0;
+  std::int64_t recomputed = 0;
+  std::uint64_t logits_crc = 0;
+  double speedup = 1.0;
+};
 
 Graph WithRefreshedFeatures(const Graph& graph,
                             const std::vector<NodeId>& nodes) {
@@ -32,7 +62,131 @@ Graph WithRefreshedFeatures(const Graph& graph,
   return std::move(builder).Finish().ValueOrDie();
 }
 
-void Run() {
+std::uint64_t LogitsCrc(const Tensor& logits) {
+  return Crc32(logits.RowPtr(0), static_cast<std::size_t>(logits.rows() *
+                                                          logits.cols()) *
+                                     sizeof(float));
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<BenchRecord>& records, bool quick,
+               const std::string& shape) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "bench_incremental: cannot write %s\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  out << "{\n";
+  out << "  \"bench\": \"bench_incremental\",\n";
+  out << "  \"mode\": \"" << (quick ? "quick" : "full") << "\",\n";
+  out << "  \"shape\": \"" << shape << "\",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    char line[512];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"op\": \"%s\", \"delta\": %lld, \"seconds_per_iter\": %.6e, "
+        "\"recomputed\": %lld, \"logits_crc\": \"%llu\", "
+        "\"speedup\": %.2f}%s",
+        r.delta_size == 0 ? "full_pass" : "incremental",
+        static_cast<long long>(r.delta_size), r.seconds_per_iter,
+        static_cast<long long>(r.recomputed),
+        static_cast<unsigned long long>(r.logits_crc), r.speedup,
+        i + 1 < records.size() ? "," : "");
+    out << line << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("\nwrote %zu records to %s\n", records.size(), path.c_str());
+}
+
+std::string ExtractString(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return "";
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = line.find('"', begin);
+  return end == std::string::npos ? "" : line.substr(begin, end - begin);
+}
+
+double ExtractNumber(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return 0.0;
+  return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+int CheckAgainstBaseline(const std::vector<BenchRecord>& records,
+                         const std::string& path, double tolerance) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_incremental: cannot read baseline %s\n",
+                 path.c_str());
+    return 1;
+  }
+  int compared = 0;
+  int regressions = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string op = ExtractString(line, "op");
+    if (op.empty()) continue;
+    const std::int64_t delta =
+        static_cast<std::int64_t>(ExtractNumber(line, "delta"));
+    for (const BenchRecord& r : records) {
+      const std::string r_op = r.delta_size == 0 ? "full_pass" : "incremental";
+      if (r_op != op || r.delta_size != delta) continue;
+      ++compared;
+      // Host-invariant gates: the change-propagation cone and the
+      // logits bits are exact functions of the seeded inputs.
+      const std::int64_t baseline_recomputed =
+          static_cast<std::int64_t>(ExtractNumber(line, "recomputed"));
+      if (baseline_recomputed != r.recomputed) {
+        ++regressions;
+        std::printf("CONE DRIFT delta=%lld: recomputed %lld vs baseline "
+                    "%lld — change propagation visits a different set\n",
+                    static_cast<long long>(delta),
+                    static_cast<long long>(r.recomputed),
+                    static_cast<long long>(baseline_recomputed));
+      }
+      const std::string baseline_crc = ExtractString(line, "logits_crc");
+      if (!baseline_crc.empty() &&
+          baseline_crc != std::to_string(r.logits_crc)) {
+        ++regressions;
+        std::printf("CHECKSUM MISMATCH delta=%lld: logits bits differ "
+                    "from the baseline run\n",
+                    static_cast<long long>(delta));
+      }
+      const double baseline_seconds = ExtractNumber(line, "seconds_per_iter");
+      if (baseline_seconds > 0.0 &&
+          r.seconds_per_iter > baseline_seconds * (1.0 + tolerance)) {
+        ++regressions;
+        std::printf("REGRESSION %s delta=%lld: %.3f ms/iter vs baseline "
+                    "%.3f ms/iter (tolerance %.0f%%)\n",
+                    op.c_str(), static_cast<long long>(delta),
+                    r.seconds_per_iter * 1e3, baseline_seconds * 1e3,
+                    tolerance * 100.0);
+      }
+    }
+  }
+  std::printf("baseline check: %d rows compared, %d regressions\n", compared,
+              regressions);
+  return regressions == 0 ? 0 : 1;
+}
+
+int Main(int argc, const char* const argv[]) {
+  const Result<FlagParser> flags = FlagParser::Parse(argc, argv);
+  if (!flags.ok()) {
+    std::fprintf(stderr, "%s\n", flags.status().ToString().c_str());
+    return 2;
+  }
+  const bool quick = flags->GetBool("quick", false);
+  const std::string out_path =
+      flags->GetString("out", "BENCH_incremental.json");
+  const std::string check_path = flags->GetString("check", "");
+  const double tolerance = flags->GetDouble("check-tolerance", 0.5);
+  const std::int64_t timed_iters = quick ? 1 : 3;
+
   bench::PrintHeader("Extension: incremental inference",
                      "delta size vs recomputation and wall time");
   PlantedGraphConfig config;
@@ -45,17 +199,35 @@ void Run() {
   const std::unique_ptr<GnnModel> model =
       bench::UntrainedModelOn(dataset, "sage", /*hidden_dim=*/32);
 
-  WallTimer full_timer;
-  const LayerStates history = ComputeLayerStates(*model, dataset.graph);
-  const double full_seconds = full_timer.ElapsedSeconds();
+  std::vector<BenchRecord> records;
+
+  // Full-pass row: the from-scratch cost every speedup is relative to.
+  double full_seconds = 0.0;
+  Tensor full_logits;
+  LayerStates history;
+  for (std::int64_t i = 0; i < timed_iters; ++i) {
+    WallTimer timer;
+    history = ComputeLayerStates(*model, dataset.graph);
+    full_logits = model->PredictLogits(history.states.back());
+    full_seconds += timer.ElapsedSeconds();
+  }
+  full_seconds /= static_cast<double>(timed_iters);
   const std::int64_t full_work =
       dataset.graph.num_nodes() * model->num_layers();
+  {
+    BenchRecord r;
+    r.seconds_per_iter = full_seconds;
+    r.recomputed = full_work;
+    r.logits_crc = LogitsCrc(full_logits);
+    records.push_back(r);
+  }
   std::printf("full pass: %.3fs, %lld node-state computations\n",
               full_seconds, static_cast<long long>(full_work));
   std::printf("\n%10s | %14s %10s | %10s %9s\n", "delta", "recomputed",
               "of full", "time (s)", "speedup");
   bench::PrintRule();
 
+  int failures = 0;
   Rng rng(5);
   for (const std::int64_t delta_size : {1L, 10L, 100L, 1000L, 10000L}) {
     std::vector<NodeId> changed;
@@ -70,28 +242,67 @@ void Run() {
     GraphDelta delta;
     delta.changed_nodes = changed;
 
-    WallTimer timer;
-    const Result<IncrementalResult> r =
-        IncrementalInference(*model, mutated, history, delta);
-    const double seconds = timer.ElapsedSeconds();
-    INFERTURBO_CHECK(r.ok()) << r.status().ToString();
-    const std::int64_t recomputed = std::accumulate(
-        r->recomputed_per_layer.begin(), r->recomputed_per_layer.end(),
-        std::int64_t{0});
+    BenchRecord record;
+    record.delta_size = delta_size;
+    double seconds = 0.0;
+    for (std::int64_t i = 0; i < timed_iters; ++i) {
+      WallTimer timer;
+      const Result<IncrementalResult> r =
+          IncrementalInference(*model, mutated, history, delta);
+      seconds += timer.ElapsedSeconds();
+      INFERTURBO_CHECK(r.ok()) << r.status().ToString();
+      record.recomputed = std::accumulate(
+          r->recomputed_per_layer.begin(), r->recomputed_per_layer.end(),
+          std::int64_t{0});
+      record.logits_crc = LogitsCrc(r->logits);
+      g_sink = g_sink + record.logits_crc;
+      // Exactness invariant, not just a report: the incremental logits
+      // must match a from-scratch pass on the mutated graph bitwise.
+      if (i == 0) {
+        const LayerStates fresh = ComputeLayerStates(*model, mutated);
+        const Tensor fresh_logits = model->PredictLogits(fresh.states.back());
+        if (LogitsCrc(fresh_logits) != record.logits_crc) {
+          std::fprintf(stderr,
+                       "INVARIANT: delta=%lld incremental logits diverge "
+                       "from the from-scratch pass\n",
+                       static_cast<long long>(delta_size));
+          ++failures;
+        }
+      }
+    }
+    record.seconds_per_iter = seconds / static_cast<double>(timed_iters);
+    record.speedup = full_seconds / std::max(1e-9, record.seconds_per_iter);
+    records.push_back(record);
     std::printf("%10lld | %14lld %9.2f%% | %10.4f %8.1fx\n",
                 static_cast<long long>(delta_size),
-                static_cast<long long>(recomputed),
-                100.0 * static_cast<double>(recomputed) /
+                static_cast<long long>(record.recomputed),
+                100.0 * static_cast<double>(record.recomputed) /
                     static_cast<double>(full_work),
-                seconds, full_seconds / std::max(1e-9, seconds));
+                record.seconds_per_iter, record.speedup);
   }
   std::printf(
       "\nexpected shape: recomputation tracks the delta's k-hop out-cone;\n"
       "small daily deltas re-score a few percent of the graph, converging\n"
       "to a full pass as the delta saturates it.\n");
+
+  char shape[64];
+  std::snprintf(shape, sizeof(shape), "%lldx%lld",
+                static_cast<long long>(config.num_nodes),
+                static_cast<long long>(config.feature_dim));
+  WriteJson(out_path, records, quick, shape);
+
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_incremental: %d invariant violation(s)\n",
+                 failures);
+    return 1;
+  }
+  if (!check_path.empty()) {
+    return CheckAgainstBaseline(records, check_path, tolerance);
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace inferturbo
 
-int main() { inferturbo::Run(); }
+int main(int argc, char** argv) { return inferturbo::Main(argc, argv); }

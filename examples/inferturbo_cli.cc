@@ -6,12 +6,34 @@
 //   train      train a model on tables, save parameters + signatures
 //   infer      load tables + model, full-graph inference, write
 //              sharded scores (+ optional embeddings)
+//   serve      stand up the online serving engine on the trained
+//              model: zipf query threads + a background delta stream,
+//              latency percentiles and cache hit rate at the end
 //
 // Example session:
 //   example_inferturbo_cli --mode=generate --dir=/tmp/job --nodes=5000
 //   example_inferturbo_cli --mode=train    --dir=/tmp/job --model=sage
 //   example_inferturbo_cli --mode=infer    --dir=/tmp/job --model=sage \
 //       --backend=pregel --workers=16 --partial_gather=true
+//   example_inferturbo_cli --mode=serve    --dir=/tmp/job --model=sage \
+//       --serve_threads=4 --serve_requests=2000 --serve_deltas=16 \
+//       --serve_batch_window=1 --serve_max_batch=64
+//
+// Serve-mode flags:
+//   --serve_threads=N         concurrent query threads (default 4)
+//   --serve_requests=N        queries per thread (default 500)
+//   --serve_nodes_per_query=N node ids per query (default 4)
+//   --serve_batch_window=MS   batcher coalescing window (default 1)
+//   --serve_max_batch=N       queries per coalesced batch (default 64)
+//   --serve_cache=BOOL        per-generation logits cache (default true)
+//   --zipf_alpha=A            query popularity skew (default 1.1)
+//   --serve_deltas=N          background graph deltas (default 8)
+//   --delta_features=N        feature rows refreshed per delta
+//   --delta_edges=N           edges added per delta
+//   --delta_interval_ms=MS    pause between deltas (default 5)
+//   --serve_verify=BOOL       after the run, check served logits are
+//                             bit-identical to a from-scratch batch
+//                             pass on the final graph (default true)
 //
 // Observability flags (any mode):
 //   --log_level=debug|info|warning|error
@@ -34,10 +56,14 @@
 //                               halves panel bytes at a wider tolerance
 //
 // Run with no flags for a demo that chains all three in /tmp.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <algorithm>
 #include <numeric>
+#include <thread>
 
 #include "src/common/flags.h"
 #include "src/common/logging.h"
@@ -50,12 +76,16 @@
 #include "src/inference/inferturbo_mapreduce.h"
 #include "src/inference/inferturbo_pregel.h"
 #include "src/inference/output_writer.h"
+#include "src/inference/reference_inference.h"
 #include "src/nn/metrics.h"
 #include "src/common/byte_size.h"
 #include "src/storage/graph_view.h"
 #include "src/storage/shard_store.h"
 #include "src/nn/model.h"
 #include "src/nn/trainer.h"
+#include "src/serving/serving_engine.h"
+#include "src/serving/workload.h"
+#include "src/common/timer.h"
 #include "src/tensor/kernels/kernels.h"
 
 namespace inferturbo {
@@ -340,6 +370,198 @@ int Infer(const FlagParser& flags, const std::string& dir) {
   return 0;
 }
 
+int Serve(const FlagParser& flags, const std::string& dir) {
+  Result<Graph> graph =
+      LoadGraphFromTables(dir + "/nodes.tsv", dir + "/edges.tsv");
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const std::string kind = flags.GetString("model", "sage");
+  Result<std::unique_ptr<GnnModel>> model =
+      MakeModel(kind, ModelConfigFromFlags(flags, *graph));
+  if (!model.ok() || !(*model)->LoadParameters(dir + "/model.bin").ok()) {
+    std::fprintf(stderr, "cannot rebuild the trained model (same flags as "
+                         "--mode=train required)\n");
+    return 1;
+  }
+  // Percentiles come from the registry's histograms; serve mode always
+  // wants them, not only when --metrics_out is set.
+  SetMetricsEnabled(true);
+
+  ServingOptions options;
+  options.batch_window_seconds =
+      flags.GetDouble("serve_batch_window", 1.0) / 1000.0;
+  options.max_batch = flags.GetInt("serve_max_batch", 64);
+  options.cache_logits = flags.GetBool("serve_cache", true);
+  std::printf("warming store: full %lld-layer forward over %lld nodes...\n",
+              static_cast<long long>((*model)->num_layers()),
+              static_cast<long long>(graph->num_nodes()));
+  ServingEngine engine(model->get(), std::move(*graph), options);
+
+  const std::int64_t num_threads =
+      std::max<std::int64_t>(1, flags.GetInt("serve_threads", 4));
+  const std::int64_t requests_per_thread =
+      std::max<std::int64_t>(1, flags.GetInt("serve_requests", 500));
+  const std::int64_t nodes_per_query =
+      std::max<std::int64_t>(1, flags.GetInt("serve_nodes_per_query", 4));
+  const double zipf_alpha = flags.GetDouble("zipf_alpha", 1.1);
+  const std::int64_t num_deltas = flags.GetInt("serve_deltas", 8);
+  const double delta_interval_seconds =
+      flags.GetDouble("delta_interval_ms", 5.0) / 1000.0;
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 11));
+
+  // Queries hit only the warm-start id range: the zipf domain is fixed
+  // up front while the delta stream may append nodes concurrently.
+  const std::int64_t query_domain = engine.graph_snapshot()->num_nodes();
+  std::atomic<std::int64_t> query_failures{0};
+  WallTimer wall;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(num_threads));
+  for (std::int64_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      ZipfQueryStream stream(query_domain, zipf_alpha,
+                             seed + static_cast<std::uint64_t>(t) * 1001);
+      for (std::int64_t i = 0; i < requests_per_thread; ++i) {
+        const Result<QueryResponse> response =
+            engine.Query(stream.Next(nodes_per_query));
+        if (!response.ok()) {
+          query_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Background writer: live graph updates race the query threads.
+  DeltaStream::Options delta_options;
+  delta_options.feature_updates = flags.GetInt("delta_features", 4);
+  delta_options.new_edges = flags.GetInt("delta_edges", 2);
+  delta_options.zipf_alpha = zipf_alpha;
+  delta_options.seed = seed + 7777;
+  DeltaStream delta_stream(*engine.graph_snapshot(), delta_options);
+  std::int64_t delta_failures = 0;
+  for (std::int64_t d = 0; d < num_deltas; ++d) {
+    const Result<DeltaApplied> applied =
+        engine.ApplyMutation(delta_stream.Next());
+    if (!applied.ok()) {
+      std::fprintf(stderr, "%s\n", applied.status().ToString().c_str());
+      ++delta_failures;
+      continue;
+    }
+    INFERTURBO_LOG(Info) << "epoch " << applied->epoch << ": recomputed "
+                         << applied->recomputed_nodes << " node states, "
+                         << "invalidated "
+                         << applied->invalidated_cache_rows
+                         << " cached logits rows in " << applied->seconds
+                         << "s";
+    if (delta_interval_seconds > 0.0 && d + 1 < num_deltas) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(delta_interval_seconds));
+    }
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  const ServingStats stats = engine.stats();
+  const double qps =
+      wall_seconds > 0.0 ? static_cast<double>(stats.queries) / wall_seconds
+                         : 0.0;
+  std::printf(
+      "served %lld queries on %lld threads in %.3fs (%.0f qps), %lld "
+      "batches (mean occupancy %.2f)\n",
+      static_cast<long long>(stats.queries),
+      static_cast<long long>(num_threads), wall_seconds, qps,
+      static_cast<long long>(stats.batches), stats.mean_batch_occupancy);
+  std::printf(
+      "latency p50 %.1fus  p95 %.1fus  p99 %.1fus; cache hit rate %.1f%% "
+      "(%lld hits / %lld misses)\n",
+      stats.query_p50_seconds * 1e6, stats.query_p95_seconds * 1e6,
+      stats.query_p99_seconds * 1e6, stats.cache_hit_rate() * 100.0,
+      static_cast<long long>(stats.cache_hits),
+      static_cast<long long>(stats.cache_misses));
+  std::printf(
+      "deltas: %lld applied -> epoch %lld, %lld node states recomputed, "
+      "%lld cache rows invalidated\n",
+      static_cast<long long>(stats.deltas),
+      static_cast<long long>(stats.epoch),
+      static_cast<long long>(stats.recomputed_nodes),
+      static_cast<long long>(stats.invalidated_cache_rows));
+  if (query_failures.load() > 0 || delta_failures > 0) {
+    std::fprintf(stderr, "%lld queries / %lld deltas failed\n",
+                 static_cast<long long>(query_failures.load()),
+                 static_cast<long long>(delta_failures));
+    return 1;
+  }
+
+  // Exactness spot-check: every served row must be bit-identical to a
+  // from-scratch batch run on the final graph. The oracle is the
+  // layer-wise reference pass — the same fold order the warm store and
+  // change propagation use; the distributed backends match it within
+  // the repo-wide logit tolerance, not bitwise (their partition-local
+  // folds reassociate the gather sums).
+  if (flags.GetBool("serve_verify", true)) {
+    const std::shared_ptr<const Graph> final_graph = engine.graph_snapshot();
+    std::vector<NodeId> all(
+        static_cast<std::size_t>(final_graph->num_nodes()));
+    std::iota(all.begin(), all.end(), 0);
+    const Result<QueryResponse> served = engine.Query(all);
+    if (!served.ok()) {
+      std::fprintf(stderr, "verification query failed\n");
+      return 1;
+    }
+    const Tensor batch = FullGraphReferenceLogits(**model, *final_graph);
+    const bool identical =
+        served->logits.rows() == batch.rows() &&
+        served->logits.cols() == batch.cols() &&
+        std::memcmp(served->logits.RowPtr(0), batch.RowPtr(0),
+                    static_cast<std::size_t>(served->logits.rows() *
+                                             served->logits.cols()) *
+                        sizeof(float)) == 0;
+    if (!identical) {
+      std::fprintf(stderr, "served logits diverge from a from-scratch "
+                           "batch run on the final graph\n");
+      return 1;
+    }
+    std::printf("verify: served logits bit-identical to a from-scratch "
+                "batch run on the final graph (epoch %lld)\n",
+                static_cast<long long>(served->epoch));
+  }
+
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  if (!metrics_out.empty()) {
+    ServingReport serving;
+    serving.queries = stats.queries;
+    serving.batches = stats.batches;
+    serving.cache_hits = stats.cache_hits;
+    serving.cache_misses = stats.cache_misses;
+    serving.deltas = stats.deltas;
+    serving.epoch = stats.epoch;
+    serving.recomputed_nodes = stats.recomputed_nodes;
+    serving.invalidated_cache_rows = stats.invalidated_cache_rows;
+    serving.query_p50_seconds = stats.query_p50_seconds;
+    serving.query_p95_seconds = stats.query_p95_seconds;
+    serving.query_p99_seconds = stats.query_p99_seconds;
+    serving.mean_batch_occupancy = stats.mean_batch_occupancy;
+    serving.cache_hit_rate = stats.cache_hit_rate();
+    serving.wall_seconds = wall_seconds;
+    serving.queries_per_second = qps;
+    RunReportOptions report;
+    report.backend = "serving";
+    report.serving = &serving;
+    for (const std::string& key : flags.Keys()) {
+      report.config[key] = flags.GetString(key, "");
+    }
+    const Status status = WriteRunReport(metrics_out, JobMetrics{}, report);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("run report -> %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
 int Main(int argc, const char* const argv[]) {
   const Result<FlagParser> flags = FlagParser::Parse(argc, argv);
   if (!flags.ok()) {
@@ -393,8 +615,10 @@ int Main(int argc, const char* const argv[]) {
     if (mode == "generate") return Generate(*flags, dir);
     if (mode == "train") return Train(*flags, dir);
     if (mode == "infer") return Infer(*flags, dir);
+    if (mode == "serve") return Serve(*flags, dir);
     if (!mode.empty()) {
-      std::fprintf(stderr, "unknown --mode=%s (generate|train|infer)\n",
+      std::fprintf(stderr,
+                   "unknown --mode=%s (generate|train|infer|serve)\n",
                    mode.c_str());
       return 2;
     }

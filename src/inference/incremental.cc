@@ -71,12 +71,22 @@ void RecomputeRows(const GasConv& layer, const Graph& graph,
   }
 }
 
+/// Entry normalization: callers (a live delta stream in particular)
+/// may deliver ids unordered and with repeats; one sorted, unique copy
+/// makes every downstream pass order- and duplicate-insensitive.
+std::vector<NodeId> SortedUnique(const std::vector<NodeId>& ids) {
+  std::vector<NodeId> out = ids;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 }  // namespace
 
-Result<IncrementalResult> IncrementalInference(const GnnModel& model,
-                                               const Graph& new_graph,
-                                               const LayerStates& old_states,
-                                               const GraphDelta& delta) {
+Result<IncrementalResult> IncrementalInference(
+    const GnnModel& model, const Graph& new_graph,
+    const LayerStates& old_states, const GraphDelta& delta,
+    const IncrementalOptions& options) {
   if (old_states.num_layers() != model.num_layers()) {
     return Status::InvalidArgument("historical states layer count (" +
                                    std::to_string(old_states.num_layers()) +
@@ -88,12 +98,15 @@ Result<IncrementalResult> IncrementalInference(const GnnModel& model,
     return Status::InvalidArgument(
         "node removals are not supported; rebuild from scratch");
   }
-  for (NodeId v : delta.changed_nodes) {
+  const std::vector<NodeId> changed_nodes = SortedUnique(delta.changed_nodes);
+  const std::vector<NodeId> changed_in_edges =
+      SortedUnique(delta.changed_in_edges);
+  for (NodeId v : changed_nodes) {
     if (v < 0 || v >= new_n) {
       return Status::InvalidArgument("changed node out of range");
     }
   }
-  for (NodeId v : delta.changed_in_edges) {
+  for (NodeId v : changed_in_edges) {
     if (v < 0 || v >= new_n) {
       return Status::InvalidArgument("changed destination out of range");
     }
@@ -115,7 +128,7 @@ Result<IncrementalResult> IncrementalInference(const GnnModel& model,
       dirty_list.push_back(v);
     }
   };
-  for (NodeId v : delta.changed_nodes) mark(v);
+  for (NodeId v : changed_nodes) mark(v);
   for (NodeId v = old_n; v < new_n; ++v) mark(v);
 
   for (std::int64_t l = 0; l < model.num_layers(); ++l) {
@@ -134,7 +147,7 @@ Result<IncrementalResult> IncrementalInference(const GnnModel& model,
       mark_next(v);
       for (EdgeId e : new_graph.OutEdges(v)) mark_next(new_graph.EdgeDst(e));
     }
-    for (NodeId v : delta.changed_in_edges) mark_next(v);
+    for (NodeId v : changed_in_edges) mark_next(v);
     std::sort(affected.begin(), affected.end());
 
     // Start from the historical layer (grown to the new node count),
@@ -155,7 +168,12 @@ Result<IncrementalResult> IncrementalInference(const GnnModel& model,
     dirty_list = std::move(affected);
   }
 
-  result.logits = model.PredictLogits(result.states.states.back());
+  // dirty_list now holds the last layer's affected set (sorted) — the
+  // only nodes whose final states, and hence logits, may have moved.
+  result.final_changed_nodes = std::move(dirty_list);
+  if (options.compute_logits) {
+    result.logits = model.PredictLogits(result.states.states.back());
+  }
   return result;
 }
 

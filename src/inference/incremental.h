@@ -40,6 +40,12 @@ struct LayerStates {
 LayerStates ComputeLayerStates(const GnnModel& model, const Graph& graph);
 
 /// What changed between the historical graph and `new_graph`.
+///
+/// Both lists are normalized (sorted + deduplicated) at the entry of
+/// IncrementalInference, so callers — in particular a live delta
+/// stream whose events arrive unordered and may repeat a node — can
+/// hand them over as-is without triggering redundant recomputation or
+/// order-dependent results.
 struct GraphDelta {
   /// Nodes whose raw features differ in new_graph (new nodes appended
   /// at the end of the id range count as changed).
@@ -48,14 +54,26 @@ struct GraphDelta {
   std::vector<NodeId> changed_in_edges;
 };
 
+struct IncrementalOptions {
+  /// Compute IncrementalResult::logits (a full head pass over every
+  /// node). The serving layer turns this off and materializes logits
+  /// lazily per queried node from the returned final-layer states.
+  bool compute_logits = true;
+};
+
 struct IncrementalResult {
   /// Updated per-layer states over new_graph.
   LayerStates states;
   /// Fresh logits for every node (head applied to the final layer).
+  /// Empty when IncrementalOptions::compute_logits is false.
   Tensor logits;
   /// Node-state recomputations performed, per layer. Sum << layers * N
   /// is the savings; a full pass would be exactly layers * N.
   std::vector<std::int64_t> recomputed_per_layer;
+  /// Sorted ids whose *final-layer* state was recomputed — exactly the
+  /// nodes whose logits may differ from the previous generation.
+  /// Downstream result caches invalidate these rows and keep the rest.
+  std::vector<NodeId> final_changed_nodes;
 };
 
 /// Recomputes only the delta's forward cone. `old_states` must come
@@ -65,10 +83,10 @@ struct IncrementalResult {
 ///
 /// Exactness (tested): the returned states equal a from-scratch
 /// ComputeLayerStates(model, new_graph) bit-for-bit on every node.
-Result<IncrementalResult> IncrementalInference(const GnnModel& model,
-                                               const Graph& new_graph,
-                                               const LayerStates& old_states,
-                                               const GraphDelta& delta);
+Result<IncrementalResult> IncrementalInference(
+    const GnnModel& model, const Graph& new_graph,
+    const LayerStates& old_states, const GraphDelta& delta,
+    const IncrementalOptions& options = {});
 
 }  // namespace inferturbo
 

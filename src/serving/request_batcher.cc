@@ -1,0 +1,79 @@
+#include "src/serving/request_batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace inferturbo {
+
+RequestBatcher::RequestBatcher(ExecuteFn execute, const Options& options)
+    : execute_(std::move(execute)), options_(options) {}
+
+Result<QueryResponse> RequestBatcher::Submit(std::vector<NodeId> nodes) {
+  BatchedQuery query;
+  query.nodes = std::move(nodes);
+  Slot slot;
+  slot.query = &query;
+  queries_.fetch_add(1, std::memory_order_relaxed);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  pending_.push_back(&slot);
+  // A leader waiting for max_batch counts pending sizes; wake it.
+  cv_.notify_all();
+  for (;;) {
+    if (slot.done) return std::move(query.response);
+    if (!slot.taken && !leader_active_) {
+      LeadBatch(lock, &slot);
+      return std::move(query.response);
+    }
+    cv_.wait(lock);
+  }
+}
+
+void RequestBatcher::LeadBatch(std::unique_lock<std::mutex>& lock,
+                               Slot* self) {
+  leader_active_ = true;
+  const std::int64_t max_batch = std::max<std::int64_t>(1, options_.max_batch);
+  if (options_.window_seconds > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.window_seconds));
+    while (static_cast<std::int64_t>(pending_.size()) < max_batch &&
+           std::chrono::steady_clock::now() < deadline) {
+      cv_.wait_until(lock, deadline);
+    }
+  }
+
+  // The leader always serves its own query (it must not return before
+  // its response is filled) plus the oldest pending others up to the
+  // cap. Anything beyond the cap stays pending for the next leader.
+  pending_.erase(std::find(pending_.begin(), pending_.end(), self));
+  const std::size_t take_others = std::min(
+      pending_.size(), static_cast<std::size_t>(max_batch - 1));
+  std::vector<Slot*> batch;
+  batch.reserve(take_others + 1);
+  batch.push_back(self);
+  batch.insert(batch.end(), pending_.begin(),
+               pending_.begin() + static_cast<std::ptrdiff_t>(take_others));
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(take_others));
+  for (Slot* s : batch) s->taken = true;
+  leader_active_ = false;
+  // Untaken waiters can promote themselves to leader of the next batch
+  // while this one executes.
+  cv_.notify_all();
+  lock.unlock();
+
+  std::vector<BatchedQuery*> queries;
+  queries.reserve(batch.size());
+  for (Slot* s : batch) queries.push_back(s->query);
+  execute_(queries);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+
+  lock.lock();
+  for (Slot* s : batch) s->done = true;
+  cv_.notify_all();
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,105 @@
+#ifndef INFERTURBO_SERVING_REQUEST_BATCHER_H_
+#define INFERTURBO_SERVING_REQUEST_BATCHER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/graph/graph.h"
+#include "src/tensor/tensor.h"
+
+namespace inferturbo {
+
+/// One served query's answer: a logits row per requested node (row i
+/// corresponds to node_ids[i] of the request) plus the generation it
+/// was computed against, so callers can pin exactness claims to a
+/// graph snapshot.
+struct QueryResponse {
+  Tensor logits;
+  std::int64_t epoch = 0;
+};
+
+/// A query in flight through the batcher. Stack-allocated inside
+/// Submit(); pointers to it are only ever shared with the executing
+/// batch under the batcher's protocol.
+struct BatchedQuery {
+  std::vector<NodeId> nodes;
+  Result<QueryResponse> response = Status::Internal("query never executed");
+};
+
+/// Coalesces concurrent point-lookup queries into one mini-batch.
+///
+/// Protocol (leader/follower): the first thread to find no active
+/// leader becomes the batch leader. It waits up to `window_seconds`
+/// for more queries to arrive — or returns early the moment
+/// `max_batch` queries are pending — then takes (at most `max_batch`
+/// of) the pending queries, runs the execute callback ONCE for the
+/// whole batch outside the lock, and wakes the followers whose
+/// queries it served. Followers block until their own query is done,
+/// or promote themselves to leader of the *next* batch if theirs was
+/// not taken. Several batches may therefore execute concurrently
+/// (leader N+1 can start while leader N's execute is still running);
+/// the execute callback must be thread-safe.
+///
+/// With window_seconds == 0 and an idle batcher this degrades to a
+/// direct call on the submitting thread — single-client latency never
+/// pays the coalescing window.
+class RequestBatcher {
+ public:
+  struct Options {
+    /// How long a leader holds the batch open for stragglers.
+    double window_seconds = 0.001;
+    /// Fire as soon as this many queries are pending (also the hard
+    /// cap on queries per executed batch).
+    std::int64_t max_batch = 64;
+  };
+
+  /// Fills every query's `response`; must be thread-safe (see above).
+  using ExecuteFn = std::function<void(const std::vector<BatchedQuery*>&)>;
+
+  RequestBatcher(ExecuteFn execute, const Options& options);
+
+  RequestBatcher(const RequestBatcher&) = delete;
+  RequestBatcher& operator=(const RequestBatcher&) = delete;
+
+  /// Blocks until a batch containing this query has executed. Safe to
+  /// call from any number of threads concurrently.
+  Result<QueryResponse> Submit(std::vector<NodeId> nodes);
+
+  std::int64_t batches_executed() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  std::int64_t queries_submitted() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    BatchedQuery* query = nullptr;
+    bool taken = false;
+    bool done = false;
+  };
+
+  /// Runs one batch with `self` as leader. Called with `lock` held;
+  /// returns with it held and self->done == true.
+  void LeadBatch(std::unique_lock<std::mutex>& lock, Slot* self);
+
+  const ExecuteFn execute_;
+  const Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot*> pending_;
+  bool leader_active_ = false;
+
+  std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> queries_{0};
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_SERVING_REQUEST_BATCHER_H_

@@ -1,0 +1,413 @@
+#include "src/serving/serving_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "src/common/timer.h"
+#include "src/graph/graph_builder.h"
+#include "src/telemetry/metrics.h"
+#include "src/tensor/ops.h"
+
+namespace inferturbo {
+
+/// One immutable snapshot the front-end serves from. Queries pin a
+/// generation via shared_ptr; only the logits cache inside it mutates
+/// (under cache_mu), and cached bytes are a pure function of
+/// (graph, states, model), so concurrent fills write identical rows.
+struct ServingEngine::Generation {
+  std::int64_t epoch = 0;
+  Graph graph;
+  LayerStates states;
+
+  std::mutex cache_mu;
+  Tensor cached_logits;                  // num_nodes × num_classes
+  std::vector<std::uint8_t> cache_valid; // 1 = row is live
+};
+
+ServingEngine::ServingEngine(const GnnModel* model, Graph graph,
+                             const ServingOptions& options)
+    : ServingEngine(model,
+                    Graph(graph),  // copy: ComputeLayerStates needs it too
+                    ComputeLayerStates(*model, graph), options) {}
+
+ServingEngine::ServingEngine(const GnnModel* model, Graph graph,
+                             LayerStates states,
+                             const ServingOptions& options)
+    : model_(model), options_(options) {
+  auto gen = std::make_shared<Generation>();
+  gen->epoch = 0;
+  gen->graph = std::move(graph);
+  gen->states = std::move(states);
+  if (options_.cache_logits) {
+    gen->cached_logits =
+        Tensor(gen->graph.num_nodes(), model_->num_classes());
+    gen->cache_valid.assign(
+        static_cast<std::size_t>(gen->graph.num_nodes()), 0);
+  }
+  generation_ = std::move(gen);
+
+  MetricRegistry& registry = GlobalMetrics();
+  query_seconds_ = registry.GetHistogram("serving/query_seconds");
+  batch_occupancy_ = registry.GetHistogram("serving/batch_occupancy");
+  batch_unique_nodes_ = registry.GetHistogram("serving/batch_unique_nodes");
+  delta_seconds_ = registry.GetHistogram("serving/delta_seconds");
+  delta_cone_nodes_ = registry.GetHistogram("serving/delta_cone_nodes");
+
+  RequestBatcher::Options batcher_options;
+  batcher_options.window_seconds = options_.batch_window_seconds;
+  batcher_options.max_batch = options_.max_batch;
+  batcher_ = std::make_unique<RequestBatcher>(
+      [this](const std::vector<BatchedQuery*>& batch) {
+        ExecuteBatch(batch);
+      },
+      batcher_options);
+}
+
+std::shared_ptr<ServingEngine::Generation> ServingEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(generation_mu_);
+  return generation_;
+}
+
+void ServingEngine::Publish(std::shared_ptr<Generation> next) {
+  std::lock_guard<std::mutex> lock(generation_mu_);
+  generation_ = std::move(next);
+}
+
+std::int64_t ServingEngine::epoch() const { return Snapshot()->epoch; }
+
+std::shared_ptr<const Graph> ServingEngine::graph_snapshot() const {
+  std::shared_ptr<Generation> gen = Snapshot();
+  const Graph* graph = &gen->graph;
+  return std::shared_ptr<const Graph>(std::move(gen), graph);
+}
+
+Result<QueryResponse> ServingEngine::Query(std::vector<NodeId> nodes) {
+  WallTimer timer;
+  Result<QueryResponse> response = batcher_->Submit(std::move(nodes));
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  query_seconds_->Observe(timer.ElapsedSeconds());
+  return response;
+}
+
+void ServingEngine::ExecuteBatch(const std::vector<BatchedQuery*>& batch) {
+  const std::shared_ptr<Generation> gen = Snapshot();
+  const std::int64_t num_nodes = gen->graph.num_nodes();
+  const std::int64_t num_classes = model_->num_classes();
+
+  // Validate per query; an out-of-range id fails only its own query.
+  // The union of valid queries' nodes is the mini-superstep's frontier.
+  std::vector<char> valid(batch.size(), 1);
+  std::vector<std::int64_t> unique_nodes;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (NodeId v : batch[i]->nodes) {
+      if (v < 0 || v >= num_nodes) {
+        batch[i]->response = Status::InvalidArgument(
+            "queried node " + std::to_string(v) + " outside [0," +
+            std::to_string(num_nodes) + ") at epoch " +
+            std::to_string(gen->epoch));
+        valid[i] = 0;
+        break;
+      }
+    }
+    if (valid[i]) {
+      unique_nodes.insert(unique_nodes.end(), batch[i]->nodes.begin(),
+                          batch[i]->nodes.end());
+    }
+  }
+  std::sort(unique_nodes.begin(), unique_nodes.end());
+  unique_nodes.erase(std::unique(unique_nodes.begin(), unique_nodes.end()),
+                     unique_nodes.end());
+
+  batch_occupancy_->Observe(static_cast<double>(batch.size()));
+  batch_unique_nodes_->Observe(static_cast<double>(unique_nodes.size()));
+
+  // The head pass covers only the cache-missing frontier rows; each
+  // logits row depends only on its own final-state row, so subset
+  // computation stays bit-identical to a full-matrix pass.
+  std::vector<std::int64_t> misses;
+  if (options_.cache_logits) {
+    std::lock_guard<std::mutex> lock(gen->cache_mu);
+    for (std::int64_t v : unique_nodes) {
+      if (!gen->cache_valid[static_cast<std::size_t>(v)]) misses.push_back(v);
+    }
+  } else {
+    misses = unique_nodes;
+  }
+  Tensor computed;
+  if (!misses.empty()) {
+    const Tensor final_rows = GatherRows(gen->states.states.back(), misses);
+    computed = model_->PredictLogits(final_rows);
+  }
+  cache_hits_.fetch_add(
+      static_cast<std::int64_t>(unique_nodes.size() - misses.size()),
+      std::memory_order_relaxed);
+  cache_misses_.fetch_add(static_cast<std::int64_t>(misses.size()),
+                          std::memory_order_relaxed);
+
+  const auto computed_row = [&](std::int64_t v) -> const float* {
+    const auto it = std::lower_bound(misses.begin(), misses.end(), v);
+    return computed.RowPtr(
+        static_cast<std::int64_t>(it - misses.begin()));
+  };
+
+  const auto fill_response = [&](BatchedQuery* query,
+                                 const auto& row_for_node) {
+    QueryResponse response;
+    response.epoch = gen->epoch;
+    response.logits =
+        Tensor(static_cast<std::int64_t>(query->nodes.size()), num_classes);
+    for (std::size_t i = 0; i < query->nodes.size(); ++i) {
+      response.logits.SetRow(static_cast<std::int64_t>(i),
+                             row_for_node(query->nodes[i]));
+    }
+    query->response = std::move(response);
+  };
+
+  if (options_.cache_logits) {
+    std::lock_guard<std::mutex> lock(gen->cache_mu);
+    for (std::size_t i = 0; i < misses.size(); ++i) {
+      gen->cached_logits.SetRow(misses[i],
+                                computed.RowPtr(static_cast<std::int64_t>(i)));
+      gen->cache_valid[static_cast<std::size_t>(misses[i])] = 1;
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!valid[i]) continue;
+      fill_response(batch[i], [&](NodeId v) {
+        return gen->cached_logits.RowPtr(v);
+      });
+    }
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!valid[i]) continue;
+      fill_response(batch[i], computed_row);
+    }
+  }
+}
+
+Result<DeltaApplied> ServingEngine::ApplyMutation(
+    const GraphMutation& mutation) {
+  // Deltas serialize: the mutated graph must build against the graph
+  // that is still current when the new generation publishes.
+  std::lock_guard<std::mutex> delta_lock(delta_mu_);
+  const std::shared_ptr<Generation> current = Snapshot();
+  Result<std::pair<Graph, GraphDelta>> built =
+      BuildMutatedGraph(current->graph, mutation);
+  if (!built.ok()) return built.status();
+  return ApplyDeltaLocked(std::move(built->first), built->second, current);
+}
+
+Result<DeltaApplied> ServingEngine::ApplyDelta(Graph new_graph,
+                                               const GraphDelta& delta) {
+  std::lock_guard<std::mutex> delta_lock(delta_mu_);
+  return ApplyDeltaLocked(std::move(new_graph), delta, Snapshot());
+}
+
+Result<DeltaApplied> ServingEngine::ApplyDeltaLocked(
+    Graph new_graph, const GraphDelta& delta,
+    const std::shared_ptr<Generation>& current) {
+  WallTimer timer;
+  IncrementalOptions inc_options;
+  inc_options.compute_logits = false;  // logits materialize lazily per query
+  Result<IncrementalResult> inc = IncrementalInference(
+      *model_, new_graph, current->states, delta, inc_options);
+  if (!inc.ok()) return inc.status();
+
+  auto next = std::make_shared<Generation>();
+  next->epoch = current->epoch + 1;
+  next->graph = std::move(new_graph);
+  next->states = std::move(inc->states);
+
+  std::int64_t invalidated = 0;
+  if (options_.cache_logits) {
+    const std::int64_t new_n = next->graph.num_nodes();
+    next->cached_logits = Tensor(new_n, model_->num_classes());
+    next->cache_valid.assign(static_cast<std::size_t>(new_n), 0);
+    {
+      // Carry every cached row forward — unchanged final states mean
+      // bit-identical logits — then drop exactly the delta's
+      // final-layer cone (new nodes start invalid by construction).
+      std::lock_guard<std::mutex> cache_lock(current->cache_mu);
+      const std::int64_t old_n = current->graph.num_nodes();
+      for (std::int64_t v = 0; v < old_n; ++v) {
+        if (!current->cache_valid[static_cast<std::size_t>(v)]) continue;
+        next->cached_logits.SetRow(v, current->cached_logits.RowPtr(v));
+        next->cache_valid[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+    for (NodeId v : inc->final_changed_nodes) {
+      if (next->cache_valid[static_cast<std::size_t>(v)]) {
+        next->cache_valid[static_cast<std::size_t>(v)] = 0;
+        ++invalidated;
+      }
+    }
+  }
+
+  Publish(next);
+
+  DeltaApplied applied;
+  applied.epoch = next->epoch;
+  applied.recomputed_per_layer = std::move(inc->recomputed_per_layer);
+  for (std::int64_t count : applied.recomputed_per_layer) {
+    applied.recomputed_nodes += count;
+  }
+  applied.invalidated_cache_rows = invalidated;
+  applied.seconds = timer.ElapsedSeconds();
+
+  deltas_.fetch_add(1, std::memory_order_relaxed);
+  recomputed_nodes_.fetch_add(applied.recomputed_nodes,
+                              std::memory_order_relaxed);
+  invalidated_rows_.fetch_add(invalidated, std::memory_order_relaxed);
+  delta_seconds_->Observe(applied.seconds);
+  delta_cone_nodes_->Observe(static_cast<double>(applied.recomputed_nodes));
+  return applied;
+}
+
+Result<std::pair<Graph, GraphDelta>> ServingEngine::BuildMutatedGraph(
+    const Graph& old_graph, const GraphMutation& mutation) const {
+  const std::int64_t old_n = old_graph.num_nodes();
+  const std::int64_t dim = old_graph.feature_dim();
+  const std::int64_t new_n =
+      old_n + static_cast<std::int64_t>(mutation.new_node_features.size());
+
+  for (const auto& [v, row] : mutation.feature_updates) {
+    if (v < 0 || v >= old_n) {
+      return Status::InvalidArgument("feature update for node " +
+                                     std::to_string(v) + " outside [0," +
+                                     std::to_string(old_n) + ")");
+    }
+    if (static_cast<std::int64_t>(row.size()) != dim) {
+      return Status::InvalidArgument("feature update row has " +
+                                     std::to_string(row.size()) +
+                                     " entries; feature_dim is " +
+                                     std::to_string(dim));
+    }
+  }
+  for (const std::vector<float>& row : mutation.new_node_features) {
+    if (static_cast<std::int64_t>(row.size()) != dim) {
+      return Status::InvalidArgument("new node feature row has " +
+                                     std::to_string(row.size()) +
+                                     " entries; feature_dim is " +
+                                     std::to_string(dim));
+    }
+  }
+  for (const auto& [src, dst] : mutation.new_edges) {
+    if (src < 0 || src >= new_n || dst < 0 || dst >= new_n) {
+      return Status::InvalidArgument(
+          "new edge " + std::to_string(src) + " -> " + std::to_string(dst) +
+          " references a node outside [0," + std::to_string(new_n) + ")");
+    }
+  }
+  const std::int64_t new_edge_count =
+      static_cast<std::int64_t>(mutation.new_edges.size());
+  if (old_graph.has_edge_features()) {
+    if (mutation.new_edge_features.rows() != new_edge_count ||
+        mutation.new_edge_features.cols() !=
+            old_graph.edge_features().cols()) {
+      return Status::InvalidArgument(
+          "graph carries edge features; the mutation must supply one row "
+          "per new edge with matching width");
+    }
+  } else if (!mutation.new_edge_features.empty()) {
+    return Status::InvalidArgument(
+        "edge features supplied for a graph without them");
+  }
+
+  GraphBuilder builder(new_n);
+  builder.ReserveEdges(static_cast<std::size_t>(old_graph.num_edges()) +
+                       mutation.new_edges.size());
+  for (EdgeId e = 0; e < old_graph.num_edges(); ++e) {
+    builder.AddEdge(old_graph.EdgeSrc(e), old_graph.EdgeDst(e));
+  }
+  for (const auto& [src, dst] : mutation.new_edges) {
+    builder.AddEdge(src, dst);
+  }
+
+  Tensor features(new_n, dim);
+  if (old_n > 0) {
+    std::memcpy(features.RowPtr(0), old_graph.node_features().RowPtr(0),
+                static_cast<std::size_t>(old_n * dim) * sizeof(float));
+  }
+  for (const auto& [v, row] : mutation.feature_updates) {
+    features.SetRow(v, row.data());
+  }
+  for (std::size_t i = 0; i < mutation.new_node_features.size(); ++i) {
+    features.SetRow(old_n + static_cast<std::int64_t>(i),
+                    mutation.new_node_features[i].data());
+  }
+  builder.SetNodeFeatures(std::move(features));
+
+  if (old_graph.has_edge_features()) {
+    const Tensor& old_ef = old_graph.edge_features();
+    Tensor edge_features(old_ef.rows() + new_edge_count, old_ef.cols());
+    if (old_ef.rows() > 0) {
+      std::memcpy(edge_features.RowPtr(0), old_ef.RowPtr(0),
+                  static_cast<std::size_t>(old_ef.rows() * old_ef.cols()) *
+                      sizeof(float));
+    }
+    for (std::int64_t i = 0; i < new_edge_count; ++i) {
+      edge_features.SetRow(old_ef.rows() + i,
+                           mutation.new_edge_features.RowPtr(i));
+    }
+    builder.SetEdgeFeatures(std::move(edge_features));
+  }
+
+  if (!old_graph.labels().empty()) {
+    std::vector<std::int64_t> labels = old_graph.labels();
+    labels.resize(static_cast<std::size_t>(new_n), 0);
+    builder.SetLabels(std::move(labels), old_graph.num_classes());
+  }
+  if (old_graph.is_multi_label()) {
+    const Tensor& old_ml = old_graph.multi_labels();
+    Tensor multi(new_n, old_ml.cols());
+    if (old_n > 0) {
+      std::memcpy(multi.RowPtr(0), old_ml.RowPtr(0),
+                  static_cast<std::size_t>(old_n * old_ml.cols()) *
+                      sizeof(float));
+    }
+    builder.SetMultiLabels(std::move(multi));
+  }
+  builder.SetSplits(old_graph.train_nodes(), old_graph.val_nodes(),
+                    old_graph.test_nodes());
+
+  Result<Graph> graph = std::move(builder).Finish();
+  if (!graph.ok()) return graph.status();
+
+  GraphDelta delta;
+  delta.changed_nodes.reserve(mutation.feature_updates.size() +
+                              mutation.new_node_features.size());
+  for (const auto& [v, row] : mutation.feature_updates) {
+    delta.changed_nodes.push_back(v);
+  }
+  for (std::int64_t v = old_n; v < new_n; ++v) {
+    delta.changed_nodes.push_back(v);
+  }
+  for (const auto& [src, dst] : mutation.new_edges) {
+    delta.changed_in_edges.push_back(dst);
+  }
+  return std::make_pair(std::move(graph).ValueOrDie(), std::move(delta));
+}
+
+ServingStats ServingEngine::stats() const {
+  ServingStats stats;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.batches = batcher_->batches_executed();
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.deltas = deltas_.load(std::memory_order_relaxed);
+  stats.epoch = epoch();
+  stats.recomputed_nodes = recomputed_nodes_.load(std::memory_order_relaxed);
+  stats.invalidated_cache_rows =
+      invalidated_rows_.load(std::memory_order_relaxed);
+  stats.query_p50_seconds = query_seconds_->Percentile(0.50);
+  stats.query_p95_seconds = query_seconds_->Percentile(0.95);
+  stats.query_p99_seconds = query_seconds_->Percentile(0.99);
+  stats.mean_batch_occupancy =
+      batch_occupancy_->count() > 0
+          ? batch_occupancy_->sum() /
+                static_cast<double>(batch_occupancy_->count())
+          : 0.0;
+  return stats;
+}
+
+}  // namespace inferturbo

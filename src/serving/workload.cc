@@ -1,0 +1,94 @@
+#include "src/serving/workload.h"
+
+namespace inferturbo {
+
+namespace {
+
+/// Odd stride coprime with most sizes; spreads Zipf ranks over ids.
+constexpr std::int64_t kStride = 2654435761;
+
+std::int64_t RankToNode(std::int64_t rank, std::int64_t n) {
+  return static_cast<std::int64_t>(
+      (static_cast<unsigned __int128>(rank) * kStride) %
+      static_cast<unsigned __int128>(n));
+}
+
+}  // namespace
+
+ZipfQueryStream::ZipfQueryStream(std::int64_t num_nodes, double alpha,
+                                 std::uint64_t seed)
+    : sampler_(num_nodes, alpha), rng_(seed), num_nodes_(num_nodes) {}
+
+std::vector<NodeId> ZipfQueryStream::Next(std::int64_t nodes_per_query) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(nodes_per_query));
+  for (std::int64_t i = 0; i < nodes_per_query; ++i) {
+    nodes.push_back(RankToNode(sampler_.Sample(&rng_), num_nodes_));
+  }
+  return nodes;
+}
+
+DeltaStream::DeltaStream(const Graph& initial_graph, const Options& options)
+    : options_(options),
+      sampler_(initial_graph.num_nodes(), options.zipf_alpha),
+      rng_(options.seed),
+      num_nodes_(initial_graph.num_nodes()),
+      feature_dim_(initial_graph.feature_dim()),
+      edge_feature_dim_(initial_graph.has_edge_features()
+                            ? initial_graph.edge_features().cols()
+                            : 0) {}
+
+GraphMutation DeltaStream::Next() {
+  GraphMutation mutation;
+  // Feature refreshes hit Zipf-popular nodes of the *initial* id range
+  // (the sampler's domain); the resulting update cones overlap the
+  // query stream's hot set, which is the interesting stress case.
+  for (std::int64_t i = 0; i < options_.feature_updates; ++i) {
+    const NodeId v = RankToNode(sampler_.Sample(&rng_), num_nodes_);
+    std::vector<float> row(static_cast<std::size_t>(feature_dim_));
+    for (float& x : row) x = rng_.NextFloat(-1.0f, 1.0f);
+    mutation.feature_updates.emplace_back(v, std::move(row));
+  }
+
+  const bool grow = options_.new_node_every > 0 &&
+                    (calls_ + 1) % options_.new_node_every == 0;
+  std::int64_t new_edge_count = options_.new_edges;
+  if (grow) {
+    std::vector<float> row(static_cast<std::size_t>(feature_dim_));
+    for (float& x : row) x = rng_.NextFloat(-1.0f, 1.0f);
+    mutation.new_node_features.push_back(std::move(row));
+    // Wire the newcomer into the graph in both directions so its state
+    // depends on neighbors and it influences existing nodes.
+    const NodeId fresh = num_nodes_;
+    const NodeId in_peer = static_cast<NodeId>(
+        rng_.NextBounded(static_cast<std::uint64_t>(num_nodes_)));
+    const NodeId out_peer = static_cast<NodeId>(
+        rng_.NextBounded(static_cast<std::uint64_t>(num_nodes_)));
+    mutation.new_edges.emplace_back(in_peer, fresh);
+    mutation.new_edges.emplace_back(fresh, out_peer);
+    new_edge_count += 2;
+    ++num_nodes_;
+  }
+  for (std::int64_t i = 0; i < options_.new_edges; ++i) {
+    const NodeId src = static_cast<NodeId>(
+        rng_.NextBounded(static_cast<std::uint64_t>(num_nodes_)));
+    const NodeId dst = static_cast<NodeId>(
+        rng_.NextBounded(static_cast<std::uint64_t>(num_nodes_)));
+    mutation.new_edges.emplace_back(src, dst);
+  }
+
+  if (edge_feature_dim_ > 0) {
+    mutation.new_edge_features = Tensor(new_edge_count, edge_feature_dim_);
+    for (std::int64_t e = 0; e < new_edge_count; ++e) {
+      for (std::int64_t c = 0; c < edge_feature_dim_; ++c) {
+        *(mutation.new_edge_features.RowPtr(e) + c) =
+            rng_.NextFloat(-1.0f, 1.0f);
+      }
+    }
+  }
+
+  ++calls_;
+  return mutation;
+}
+
+}  // namespace inferturbo

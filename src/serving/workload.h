@@ -1,0 +1,74 @@
+#ifndef INFERTURBO_SERVING_WORKLOAD_H_
+#define INFERTURBO_SERVING_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/graph.h"
+#include "src/graph/power_law.h"
+#include "src/serving/serving_engine.h"
+
+namespace inferturbo {
+
+/// Deterministic query-id stream with a heavy-tailed popularity
+/// profile: node ids are drawn Zipf(alpha), the regime online feature
+/// stores actually see (a few hot entities dominate lookups), which is
+/// also what makes the per-generation logits cache earn its keep.
+/// Rank r maps to node id (r * kStride) mod n so hot ranks are spread
+/// across the id space instead of clustering at low ids.
+class ZipfQueryStream {
+ public:
+  ZipfQueryStream(std::int64_t num_nodes, double alpha, std::uint64_t seed);
+
+  /// The next query: `nodes_per_query` ids (repeats possible, as in
+  /// real lookup traffic).
+  std::vector<NodeId> Next(std::int64_t nodes_per_query);
+
+ private:
+  ZipfSampler sampler_;
+  Rng rng_;
+  std::int64_t num_nodes_;
+};
+
+/// Deterministic stream of live graph updates for benchmarks and
+/// tests: each Next() perturbs features of a few (Zipf-popular) nodes
+/// and occasionally attaches a new node with edges into the existing
+/// graph. Mutations depend only on (seed, call index, graph sizes), so
+/// replaying the stream against equal starting graphs yields equal
+/// mutation sequences.
+class DeltaStream {
+ public:
+  struct Options {
+    /// Feature rows refreshed per mutation.
+    std::int64_t feature_updates = 4;
+    /// New edges added per mutation (between existing nodes).
+    std::int64_t new_edges = 2;
+    /// Every `new_node_every`-th mutation appends one new node wired
+    /// to `new_edges` existing nodes (0 = never grow).
+    std::int64_t new_node_every = 4;
+    double zipf_alpha = 1.1;
+    std::uint64_t seed = 19;
+  };
+
+  DeltaStream(const Graph& initial_graph, const Options& options);
+
+  /// The next mutation, valid against the graph as evolved by all
+  /// previous Next() results (tracks node growth internally).
+  GraphMutation Next();
+
+  std::int64_t mutations_generated() const { return calls_; }
+
+ private:
+  Options options_;
+  ZipfSampler sampler_;
+  Rng rng_;
+  std::int64_t num_nodes_;
+  std::int64_t feature_dim_;
+  std::int64_t edge_feature_dim_;  // 0 when the graph has none
+  std::int64_t calls_ = 0;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_SERVING_WORKLOAD_H_

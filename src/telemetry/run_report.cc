@@ -72,6 +72,26 @@ JsonValue FaultsJson(const SupervisionMetrics& s) {
   });
 }
 
+JsonValue ServingJson(const ServingReport& s) {
+  return JsonValue(JsonValue::Object{
+      {"queries", JsonValue(s.queries)},
+      {"batches", JsonValue(s.batches)},
+      {"cache_hits", JsonValue(s.cache_hits)},
+      {"cache_misses", JsonValue(s.cache_misses)},
+      {"cache_hit_rate", JsonValue(s.cache_hit_rate)},
+      {"deltas", JsonValue(s.deltas)},
+      {"epoch", JsonValue(s.epoch)},
+      {"recomputed_nodes", JsonValue(s.recomputed_nodes)},
+      {"invalidated_cache_rows", JsonValue(s.invalidated_cache_rows)},
+      {"query_p50_seconds", JsonValue(s.query_p50_seconds)},
+      {"query_p95_seconds", JsonValue(s.query_p95_seconds)},
+      {"query_p99_seconds", JsonValue(s.query_p99_seconds)},
+      {"mean_batch_occupancy", JsonValue(s.mean_batch_occupancy)},
+      {"wall_seconds", JsonValue(s.wall_seconds)},
+      {"queries_per_second", JsonValue(s.queries_per_second)},
+  });
+}
+
 }  // namespace
 
 JsonValue BuildRunReport(const JobMetrics& metrics,
@@ -102,7 +122,7 @@ JsonValue BuildRunReport(const JobMetrics& metrics,
     config[key] = JsonValue(value);
   }
 
-  return JsonValue(JsonValue::Object{
+  JsonValue::Object report{
       {"schema", JsonValue("inferturbo.run_report.v1")},
       {"backend", JsonValue(options.backend)},
       {"config", JsonValue(std::move(config))},
@@ -110,7 +130,11 @@ JsonValue BuildRunReport(const JobMetrics& metrics,
       {"storage", StorageJson(metrics.storage)},
       {"faults", FaultsJson(metrics.supervision)},
       {"metrics", GlobalMetrics().Snapshot()},
-  });
+  };
+  if (options.serving != nullptr) {
+    report["serving"] = ServingJson(*options.serving);
+  }
+  return JsonValue(std::move(report));
 }
 
 std::string BuildRunReportJson(const JobMetrics& metrics,

@@ -10,6 +10,28 @@
 
 namespace inferturbo {
 
+/// Serving-mode accounting for the report's "serving" section.
+/// Mirrors ServingStats (src/serving) plus stream-level throughput;
+/// kept as its own struct so telemetry does not depend on the serving
+/// layer's headers.
+struct ServingReport {
+  std::int64_t queries = 0;
+  std::int64_t batches = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t deltas = 0;
+  std::int64_t epoch = 0;
+  std::int64_t recomputed_nodes = 0;
+  std::int64_t invalidated_cache_rows = 0;
+  double query_p50_seconds = 0.0;
+  double query_p95_seconds = 0.0;
+  double query_p99_seconds = 0.0;
+  double mean_batch_occupancy = 0.0;
+  double cache_hit_rate = 0.0;
+  double wall_seconds = 0.0;
+  double queries_per_second = 0.0;
+};
+
 /// Everything about a run that is not already inside JobMetrics.
 struct RunReportOptions {
   /// Which backend produced the JobMetrics ("pregel" | "mapreduce" |
@@ -22,13 +44,18 @@ struct RunReportOptions {
   /// Include per-worker totals (one object per worker). On by default;
   /// jobs with thousands of logical workers may want it off.
   bool per_worker = true;
+  /// When set, the report gains a "serving" section (front-end latency
+  /// percentiles, batch occupancy, cache hit rate, delta accounting).
+  /// Not owned; must outlive the Build call.
+  const ServingReport* serving = nullptr;
 };
 
 /// Builds the machine-readable run report: one JSON document unifying
 /// job accounting (JobMetrics), shard-store accounting
 /// (StorageMetrics), the global metric registry snapshot (histogram
 /// p50/p95/p99 included), and the run's config. Top-level keys:
-/// "schema", "backend", "config", "job", "storage", "metrics".
+/// "schema", "backend", "config", "job", "storage", "metrics", and
+/// (serve mode only) "serving".
 JsonValue BuildRunReport(const JobMetrics& metrics,
                          const RunReportOptions& options);
 

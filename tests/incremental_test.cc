@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "src/graph/datasets.h"
@@ -145,6 +146,86 @@ TEST(IncrementalTest, NoDeltaRecomputesNothing) {
   }
   EXPECT_TRUE(incremental->states.states.back().ApproxEquals(
       old_states.states.back(), 0.0f));
+}
+
+TEST(IncrementalTest, DeltaIdsAreOrderAndDuplicateInsensitive) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+  const LayerStates old_states = ComputeLayerStates(*model, d.graph);
+  const std::vector<std::pair<NodeId, NodeId>> extra = {{8, 123}, {123, 44}};
+  const Graph mutated =
+      MutateGraph(d.graph, {{17, 0.5f}, {230, -1.25f}, {301, 3.0f}}, extra);
+
+  GraphDelta clean;
+  clean.changed_nodes = {17, 230, 301};
+  clean.changed_in_edges = {123, 44};
+  // Shuffled and heavily duplicated: what a live delta stream that
+  // touches hot nodes repeatedly actually delivers.
+  GraphDelta messy;
+  messy.changed_nodes = {301, 17, 230, 17, 17, 301, 230, 230, 301, 17};
+  messy.changed_in_edges = {44, 123, 44, 44, 123, 123};
+
+  const Result<IncrementalResult> a =
+      IncrementalInference(*model, mutated, old_states, clean);
+  const Result<IncrementalResult> b =
+      IncrementalInference(*model, mutated, old_states, messy);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  // Same cone (no redundant recomputation from the duplicates), same
+  // bits, same invalidation set.
+  EXPECT_EQ(a->recomputed_per_layer, b->recomputed_per_layer);
+  EXPECT_EQ(a->final_changed_nodes, b->final_changed_nodes);
+  for (std::size_t l = 0; l < a->states.states.size(); ++l) {
+    EXPECT_TRUE(a->states.states[l].ApproxEquals(b->states.states[l], 0.0f))
+        << "layer " << l;
+  }
+  EXPECT_TRUE(a->logits.ApproxEquals(b->logits, 0.0f));
+
+  // And both match a from-scratch pass on the mutated graph.
+  const LayerStates fresh = ComputeLayerStates(*model, mutated);
+  EXPECT_TRUE(b->states.states.back().ApproxEquals(fresh.states.back(),
+                                                   0.0f));
+}
+
+TEST(IncrementalTest, FinalChangedNodesBoundsTheLogitsDiff) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+  const LayerStates old_states = ComputeLayerStates(*model, d.graph);
+  const Graph mutated = MutateGraph(d.graph, {{42, 2.0f}}, {});
+  GraphDelta delta;
+  delta.changed_nodes = {42};
+  const Result<IncrementalResult> incremental =
+      IncrementalInference(*model, mutated, old_states, delta);
+  ASSERT_TRUE(incremental.ok());
+
+  // final_changed_nodes is sorted, unique, and covers every row whose
+  // final state differs from the historical one — the exact contract
+  // the serving layer's cache invalidation relies on.
+  const std::vector<NodeId>& changed = incremental->final_changed_nodes;
+  EXPECT_TRUE(std::is_sorted(changed.begin(), changed.end()));
+  EXPECT_EQ(static_cast<std::int64_t>(changed.size()),
+            incremental->recomputed_per_layer.back());
+  const Tensor& old_final = old_states.states.back();
+  const Tensor& new_final = incremental->states.states.back();
+  for (NodeId v = 0; v < d.graph.num_nodes(); ++v) {
+    if (std::binary_search(changed.begin(), changed.end(), v)) continue;
+    for (std::int64_t j = 0; j < new_final.cols(); ++j) {
+      ASSERT_EQ(old_final.At(v, j), new_final.At(v, j))
+          << "node " << v << " outside final_changed_nodes moved";
+    }
+  }
+}
+
+TEST(IncrementalTest, OptionsCanSkipLogits) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+  const LayerStates old_states = ComputeLayerStates(*model, d.graph);
+  IncrementalOptions options;
+  options.compute_logits = false;
+  const Result<IncrementalResult> r = IncrementalInference(
+      *model, d.graph, old_states, GraphDelta{}, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->logits.empty());
 }
 
 TEST(IncrementalTest, RejectsMismatchedHistory) {

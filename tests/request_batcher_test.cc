@@ -1,0 +1,180 @@
+#include "src/serving/request_batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace inferturbo {
+namespace {
+
+/// Execute callback that answers every query with a 1x1 tensor holding
+/// the sum of its node ids, and records per-batch sizes.
+class EchoExecutor {
+ public:
+  RequestBatcher::ExecuteFn fn() {
+    return [this](const std::vector<BatchedQuery*>& batch) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        batch_sizes_.push_back(static_cast<std::int64_t>(batch.size()));
+      }
+      for (BatchedQuery* query : batch) {
+        QueryResponse response;
+        response.logits = Tensor(1, 1);
+        float sum = 0.0f;
+        for (NodeId v : query->nodes) sum += static_cast<float>(v);
+        response.logits.At(0, 0) = sum;
+        query->response = std::move(response);
+      }
+    };
+  }
+
+  std::vector<std::int64_t> batch_sizes() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batch_sizes_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::int64_t> batch_sizes_;
+};
+
+TEST(RequestBatcherTest, SingleQueryExecutesImmediatelyWithZeroWindow) {
+  EchoExecutor executor;
+  RequestBatcher::Options options;
+  options.window_seconds = 0.0;
+  RequestBatcher batcher(executor.fn(), options);
+  const Result<QueryResponse> response = batcher.Submit({3, 4});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->logits.At(0, 0), 7.0f);
+  EXPECT_EQ(batcher.batches_executed(), 1);
+  EXPECT_EQ(batcher.queries_submitted(), 1);
+}
+
+TEST(RequestBatcherTest, EveryConcurrentQueryGetsItsOwnAnswer) {
+  EchoExecutor executor;
+  RequestBatcher::Options options;
+  options.window_seconds = 0.002;
+  options.max_batch = 8;
+  RequestBatcher batcher(executor.fn(), options);
+
+  constexpr int kThreads = 16;
+  constexpr int kPerThread = 25;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const NodeId v = static_cast<NodeId>(t * 1000 + i);
+        const Result<QueryResponse> response = batcher.Submit({v});
+        if (!response.ok() ||
+            response->logits.At(0, 0) != static_cast<float>(v)) {
+          wrong.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(batcher.queries_submitted(), kThreads * kPerThread);
+  // Coalescing must actually happen: strictly fewer batches than
+  // queries (with 16 threads racing a 2ms window this is overwhelmingly
+  // slack), and no batch may exceed the cap.
+  const std::vector<std::int64_t> sizes = executor.batch_sizes();
+  std::int64_t total = 0;
+  for (std::int64_t size : sizes) {
+    EXPECT_GE(size, 1);
+    EXPECT_LE(size, options.max_batch);
+    total += size;
+  }
+  EXPECT_EQ(total, kThreads * kPerThread);
+  EXPECT_LT(static_cast<std::int64_t>(sizes.size()),
+            static_cast<std::int64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(batcher.batches_executed(),
+            static_cast<std::int64_t>(sizes.size()));
+}
+
+TEST(RequestBatcherTest, BacklogBeyondMaxBatchDrainsAcrossBatches) {
+  // Stall the first batch inside execute so a backlog larger than
+  // max_batch piles up, then check everyone still gets served.
+  std::atomic<bool> release{false};
+  std::atomic<int> executed{0};
+  RequestBatcher::Options options;
+  options.window_seconds = 0.0;
+  options.max_batch = 4;
+  RequestBatcher batcher(
+      [&](const std::vector<BatchedQuery*>& batch) {
+        while (!release.load()) std::this_thread::yield();
+        for (BatchedQuery* query : batch) {
+          QueryResponse response;
+          response.logits = Tensor(1, 1);
+          response.logits.At(0, 0) = static_cast<float>(query->nodes[0]);
+          query->response = std::move(response);
+          executed.fetch_add(1);
+        }
+      },
+      options);
+
+  constexpr int kQueries = 19;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i) {
+    threads.emplace_back([&, i] {
+      const Result<QueryResponse> response =
+          batcher.Submit({static_cast<NodeId>(i)});
+      if (response.ok() &&
+          response->logits.At(0, 0) == static_cast<float>(i)) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  // Let the backlog build, then open the gate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  release.store(true);
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(ok.load(), kQueries);
+  EXPECT_EQ(executed.load(), kQueries);
+}
+
+TEST(RequestBatcherTest, ExecutorErrorsPropagateToTheRightQuery) {
+  // The executor fails odd node ids only; even ids must stay fine.
+  RequestBatcher::Options options;
+  options.window_seconds = 0.001;
+  options.max_batch = 16;
+  RequestBatcher batcher(
+      [](const std::vector<BatchedQuery*>& batch) {
+        for (BatchedQuery* query : batch) {
+          if (query->nodes[0] % 2 == 1) {
+            query->response = Status::InvalidArgument("odd id");
+          } else {
+            QueryResponse response;
+            response.logits = Tensor(1, 1);
+            query->response = std::move(response);
+          }
+        }
+      },
+      options);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 10; ++i) {
+    threads.emplace_back([&, i] {
+      const Result<QueryResponse> response =
+          batcher.Submit({static_cast<NodeId>(i)});
+      const bool want_ok = i % 2 == 0;
+      if (response.ok() != want_ok) mismatches.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace inferturbo

@@ -1,0 +1,318 @@
+#include "src/serving/serving_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/datasets.h"
+#include "src/inference/inferturbo_mapreduce.h"
+#include "src/inference/inferturbo_pregel.h"
+#include "src/inference/reference_inference.h"
+#include "src/nn/model.h"
+#include "src/serving/workload.h"
+
+namespace inferturbo {
+namespace {
+
+// The repo-wide bound for the partition-parallel backends vs the
+// layer-wise reference (their partition-local folds reassociate the
+// gather sums); serving vs reference is held to exactly 0.
+constexpr float kBackendTolerance = 2e-3f;
+
+Dataset BaseDataset() {
+  PlantedGraphConfig config;
+  config.num_nodes = 400;
+  config.avg_degree = 5.0;
+  config.num_classes = 3;
+  config.feature_dim = 8;
+  config.seed = 91;
+  return MakePlantedDataset("serving-base", config);
+}
+
+std::unique_ptr<GnnModel> SmallModel(const Graph& g) {
+  ModelConfig config;
+  config.input_dim = g.feature_dim();
+  config.hidden_dim = 8;
+  config.num_classes = g.num_classes();
+  config.num_layers = 2;
+  return MakeModel("sage", config).ValueOrDie();
+}
+
+bool BitIdenticalRow(const Tensor& a, std::int64_t a_row, const Tensor& b,
+                     std::int64_t b_row) {
+  return a.cols() == b.cols() &&
+         std::memcmp(a.RowPtr(a_row), b.RowPtr(b_row),
+                     static_cast<std::size_t>(a.cols()) * sizeof(float)) == 0;
+}
+
+/// The deterministic mutation schedule both the oracle and the engine
+/// under test replay.
+std::vector<GraphMutation> MutationSchedule(const Graph& graph,
+                                            std::int64_t count) {
+  DeltaStream::Options options;
+  options.feature_updates = 3;
+  options.new_edges = 2;
+  options.new_node_every = 3;
+  options.seed = 123;
+  DeltaStream stream(graph, options);
+  std::vector<GraphMutation> mutations;
+  mutations.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) mutations.push_back(stream.Next());
+  return mutations;
+}
+
+/// Per-epoch from-scratch oracle: expected[e] is the reference batch
+/// logits on the graph as of epoch e.
+struct EpochOracle {
+  std::vector<std::shared_ptr<const Graph>> graphs;
+  std::vector<Tensor> logits;
+};
+
+EpochOracle BuildOracle(const GnnModel& model, const Graph& initial,
+                        const std::vector<GraphMutation>& mutations) {
+  EpochOracle oracle;
+  ServingEngine evolver(&model, Graph(initial));
+  oracle.graphs.push_back(evolver.graph_snapshot());
+  oracle.logits.push_back(FullGraphReferenceLogits(model, initial));
+  for (const GraphMutation& mutation : mutations) {
+    EXPECT_TRUE(evolver.ApplyMutation(mutation).ok());
+    std::shared_ptr<const Graph> graph = evolver.graph_snapshot();
+    oracle.logits.push_back(FullGraphReferenceLogits(model, *graph));
+    oracle.graphs.push_back(std::move(graph));
+  }
+  return oracle;
+}
+
+// Flagship: any interleaving of concurrent query batches and delta
+// batches serves logits bit-identical to a from-scratch batch run on
+// the graph of the epoch each response names — and the final graph's
+// served logits match from-scratch runs of both distributed backends.
+// Run under TSan in CI (the batcher and the epoch swap are the point).
+TEST(ServingEngineTest, ConcurrentQueriesExactUnderDeltaStream) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+  constexpr std::int64_t kDeltas = 9;
+  const std::vector<GraphMutation> mutations =
+      MutationSchedule(d.graph, kDeltas);
+  const EpochOracle oracle = BuildOracle(*model, d.graph, mutations);
+
+  ServingOptions options;
+  options.batch_window_seconds = 0.0005;
+  options.max_batch = 16;
+  ServingEngine engine(model.get(), Graph(d.graph), options);
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 60;
+  const std::int64_t query_domain = d.graph.num_nodes();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<std::uint64_t>(t));
+      std::int64_t last_epoch = 0;
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        std::vector<NodeId> nodes;
+        const std::int64_t count = 1 + static_cast<std::int64_t>(
+            rng.NextBounded(5));
+        for (std::int64_t k = 0; k < count; ++k) {
+          nodes.push_back(static_cast<NodeId>(
+              rng.NextBounded(static_cast<std::uint64_t>(query_domain))));
+        }
+        const Result<QueryResponse> response = engine.Query(nodes);
+        if (!response.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        // Epochs are monotone per thread (generations only move
+        // forward) and every served row must match the from-scratch
+        // logits of exactly that epoch's graph, bit for bit.
+        if (response->epoch < last_epoch ||
+            response->epoch >= static_cast<std::int64_t>(
+                                   oracle.logits.size())) {
+          failures.fetch_add(1);
+          continue;
+        }
+        last_epoch = response->epoch;
+        const Tensor& expected =
+            oracle.logits[static_cast<std::size_t>(response->epoch)];
+        for (std::size_t k = 0; k < nodes.size(); ++k) {
+          if (!BitIdenticalRow(response->logits,
+                               static_cast<std::int64_t>(k), expected,
+                               nodes[k])) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  // Deltas race the queries on the main thread.
+  for (const GraphMutation& mutation : mutations) {
+    const Result<DeltaApplied> applied = engine.ApplyMutation(mutation);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.epoch(), kDeltas);
+
+  // Final graph: full query vs the reference (exact) and vs both
+  // distributed backends' own from-scratch runs (repo tolerance).
+  const std::shared_ptr<const Graph> final_graph = engine.graph_snapshot();
+  std::vector<NodeId> all(static_cast<std::size_t>(final_graph->num_nodes()));
+  std::iota(all.begin(), all.end(), 0);
+  const Result<QueryResponse> served = engine.Query(all);
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served->epoch, kDeltas);
+  EXPECT_TRUE(served->logits.ApproxEquals(oracle.logits.back(), 0.0f))
+      << "served final logits diverge from the from-scratch reference";
+
+  const Result<InferenceResult> pregel =
+      RunInferTurboPregel(*final_graph, *model, InferTurboOptions{});
+  const Result<InferenceResult> mapreduce =
+      RunInferTurboMapReduce(*final_graph, *model, InferTurboOptions{});
+  ASSERT_TRUE(pregel.ok() && mapreduce.ok());
+  EXPECT_TRUE(served->logits.ApproxEquals(pregel->logits, kBackendTolerance));
+  EXPECT_TRUE(
+      served->logits.ApproxEquals(mapreduce->logits, kBackendTolerance));
+}
+
+TEST(ServingEngineTest, CacheInvalidatesOnlyTheDeltaCone) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+  ServingOptions options;
+  options.batch_window_seconds = 0.0;
+  ServingEngine engine(model.get(), Graph(d.graph), options);
+
+  // Warm every cache row.
+  std::vector<NodeId> all(static_cast<std::size_t>(d.graph.num_nodes()));
+  std::iota(all.begin(), all.end(), 0);
+  ASSERT_TRUE(engine.Query(all).ok());
+  const ServingStats warm = engine.stats();
+  EXPECT_EQ(warm.cache_misses, d.graph.num_nodes());
+  EXPECT_EQ(warm.cache_hits, 0);
+
+  // A hot repeat is all hits.
+  ASSERT_TRUE(engine.Query({1, 2, 3}).ok());
+  EXPECT_EQ(engine.stats().cache_hits, 3);
+
+  // One feature delta; the cache must survive except the final-layer
+  // cone, and the next full scan misses exactly the invalidated rows.
+  GraphMutation mutation;
+  mutation.feature_updates.emplace_back(
+      7, std::vector<float>(static_cast<std::size_t>(d.graph.feature_dim()),
+                            0.25f));
+  const Result<DeltaApplied> applied = engine.ApplyMutation(mutation);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_GT(applied->invalidated_cache_rows, 0);
+  EXPECT_LT(applied->invalidated_cache_rows, d.graph.num_nodes() / 4);
+  EXPECT_EQ(applied->epoch, 1);
+
+  const std::int64_t misses_before = engine.stats().cache_misses;
+  const Result<QueryResponse> rescan = engine.Query(all);
+  ASSERT_TRUE(rescan.ok());
+  EXPECT_EQ(engine.stats().cache_misses - misses_before,
+            applied->invalidated_cache_rows);
+
+  // And the refilled rows are exact.
+  const Tensor expected =
+      FullGraphReferenceLogits(*model, *engine.graph_snapshot());
+  EXPECT_TRUE(rescan->logits.ApproxEquals(expected, 0.0f));
+}
+
+TEST(ServingEngineTest, GrowsAndServesNewNodes) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+  ServingOptions options;
+  options.batch_window_seconds = 0.0;
+  ServingEngine engine(model.get(), Graph(d.graph), options);
+  const NodeId fresh = d.graph.num_nodes();
+
+  // The new node does not exist yet: its query fails, others work.
+  EXPECT_FALSE(engine.Query({fresh}).ok());
+  EXPECT_TRUE(engine.Query({0}).ok());
+
+  GraphMutation mutation;
+  mutation.new_node_features.push_back(std::vector<float>(
+      static_cast<std::size_t>(d.graph.feature_dim()), 0.5f));
+  mutation.new_edges.emplace_back(3, fresh);
+  mutation.new_edges.emplace_back(fresh, 5);
+  const Result<DeltaApplied> applied = engine.ApplyMutation(mutation);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(engine.graph_snapshot()->num_nodes(), fresh + 1);
+
+  const Result<QueryResponse> response = engine.Query({fresh, 3, 5});
+  ASSERT_TRUE(response.ok());
+  const Tensor expected =
+      FullGraphReferenceLogits(*model, *engine.graph_snapshot());
+  EXPECT_TRUE(BitIdenticalRow(response->logits, 0, expected, fresh));
+  EXPECT_TRUE(BitIdenticalRow(response->logits, 1, expected, 3));
+  EXPECT_TRUE(BitIdenticalRow(response->logits, 2, expected, 5));
+}
+
+TEST(ServingEngineTest, RejectsMalformedMutations) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+  ServingEngine engine(model.get(), Graph(d.graph), ServingOptions{});
+
+  GraphMutation bad_update;
+  bad_update.feature_updates.emplace_back(d.graph.num_nodes() + 5,
+                                          std::vector<float>(8, 0.0f));
+  EXPECT_FALSE(engine.ApplyMutation(bad_update).ok());
+
+  GraphMutation bad_width;
+  bad_width.feature_updates.emplace_back(0, std::vector<float>(3, 0.0f));
+  EXPECT_FALSE(engine.ApplyMutation(bad_width).ok());
+
+  GraphMutation bad_edge;
+  bad_edge.new_edges.emplace_back(0, d.graph.num_nodes());
+  EXPECT_FALSE(engine.ApplyMutation(bad_edge).ok());
+
+  // Failed mutations must not publish a generation.
+  EXPECT_EQ(engine.epoch(), 0);
+  EXPECT_TRUE(engine.Query({0}).ok());
+}
+
+TEST(ServingEngineTest, CacheOffStaysExact) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+  ServingOptions options;
+  options.batch_window_seconds = 0.0;
+  options.cache_logits = false;
+  ServingEngine engine(model.get(), Graph(d.graph), options);
+
+  std::vector<NodeId> all(static_cast<std::size_t>(d.graph.num_nodes()));
+  std::iota(all.begin(), all.end(), 0);
+  const Result<QueryResponse> a = engine.Query(all);
+  const Result<QueryResponse> b = engine.Query(all);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->logits.ApproxEquals(b->logits, 0.0f));
+  EXPECT_TRUE(a->logits.ApproxEquals(
+      FullGraphReferenceLogits(*model, d.graph), 0.0f));
+  EXPECT_EQ(engine.stats().cache_hits, 0);
+}
+
+TEST(ServingEngineTest, AdoptsPrecomputedLayerStates) {
+  const Dataset d = BaseDataset();
+  const std::unique_ptr<GnnModel> model = SmallModel(d.graph);
+  LayerStates states = ComputeLayerStates(*model, d.graph);
+  ServingOptions options;
+  options.batch_window_seconds = 0.0;
+  ServingEngine engine(model.get(), Graph(d.graph), std::move(states),
+                       options);
+  const Result<QueryResponse> response = engine.Query({0, 1, 2});
+  ASSERT_TRUE(response.ok());
+  const Tensor expected = FullGraphReferenceLogits(*model, d.graph);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(BitIdenticalRow(response->logits, i, expected, i));
+  }
+}
+
+}  // namespace
+}  // namespace inferturbo

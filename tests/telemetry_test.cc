@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -154,6 +155,51 @@ TEST_F(TelemetryTest, ConcurrentCountersUnderThreadPoolHammering) {
   EXPECT_EQ(h->count(), static_cast<std::int64_t>(kOps));
   EXPECT_EQ(GlobalMetrics().GetCounter("test.hammer_shared")->value(),
             static_cast<std::int64_t>(2 * kOps));
+}
+
+TEST_F(TelemetryTest, HistogramPercentilesCorrectUnderConcurrentRecording) {
+  // Serving quotes p50/p99 tail latencies straight from these
+  // histograms while many query threads record concurrently — the
+  // percentiles must land in the right buckets, not merely not crash.
+  SetMetricsEnabled(true);
+  HistogramOptions options;
+  options.first_bucket = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 12;
+  Histogram* h = GlobalMetrics().GetHistogram("test.concurrent_pct", options);
+
+  constexpr int kThreads = 8;
+  constexpr int kBody = 1000;  // per thread, value 1.0 -> bucket (0, 1]
+  constexpr int kTail = 50;    // per thread, value 100.0 -> bucket (64, 128]
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      // Interleave body and tail so bucket updates from different
+      // threads genuinely race on both buckets.
+      for (int i = 0; i < kBody; ++i) {
+        h->Observe(1.0);
+        if (i < kTail) h->Observe(100.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Totals are exact: no observation may be lost or double-counted.
+  constexpr std::int64_t kN = kThreads * (kBody + kTail);
+  EXPECT_EQ(h->count(), kN);
+  EXPECT_DOUBLE_EQ(h->sum(), kThreads * (kBody * 1.0 + kTail * 100.0));
+  EXPECT_DOUBLE_EQ(h->max(), 100.0);
+
+  // p50 rank 4200 of 8400 falls well inside the body bucket (0, 1];
+  // p99 rank 8316 > 8000 body observations falls in the tail bucket
+  // (64, 128].
+  const double p50 = h->Percentile(0.50);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, 1.0);
+  const double p99 = h->Percentile(0.99);
+  EXPECT_GT(p99, 64.0);
+  EXPECT_LE(p99, 128.0);
 }
 
 TEST_F(TelemetryTest, ResetValuesKeepsInstruments) {
