@@ -32,7 +32,9 @@
 #include "src/common/rng.h"
 #include "src/common/thread_pool.h"
 #include "src/common/timer.h"
+#include "src/telemetry/perf_counters.h"
 #include "src/tensor/kernels/kernel_config.h"
+#include "src/tensor/kernels/kernel_stats.h"
 #include "src/tensor/kernels/kernels.h"
 #include "src/tensor/kernels/reference.h"
 
@@ -53,6 +55,13 @@ struct BenchRecord {
   double gflops = 0.0;       // 0 for pure-bandwidth ops
   double ns_per_elem = 0.0;  // per "element" as defined by the op below
   double speedup_vs_reference = 0.0;
+  // Roofline coordinates: analytic per-iteration traffic, and hardware
+  // counters per iteration (0 when perf_event_open is unavailable).
+  double bytes_per_flop = 0.0;  // 0 for pure-bandwidth (flops == 0) ops
+  double gb_per_s = 0.0;
+  double cycles_per_iter = 0.0;
+  double instructions_per_iter = 0.0;
+  double llc_misses_per_iter = 0.0;
 };
 
 struct TimingOptions {
@@ -61,10 +70,11 @@ struct TimingOptions {
 };
 
 // Times `fn` by whole iterations until the budget is spent. Returns
-// seconds per iteration. One untimed warmup iteration absorbs cold
-// caches and lazy ISA dispatch.
+// seconds per iteration (and the iteration count via `iters_out`). One
+// untimed warmup iteration absorbs cold caches and lazy ISA dispatch.
 template <typename Fn>
-double TimeIt(const TimingOptions& options, Fn&& fn) {
+double TimeIt(const TimingOptions& options, Fn&& fn,
+              std::int64_t* iters_out = nullptr) {
   fn();
   WallTimer timer;
   std::int64_t iters = 0;
@@ -74,6 +84,7 @@ double TimeIt(const TimingOptions& options, Fn&& fn) {
     ++iters;
     elapsed = timer.ElapsedSeconds();
   }
+  if (iters_out != nullptr) *iters_out = iters;
   return elapsed / static_cast<double>(iters);
 }
 
@@ -102,25 +113,37 @@ struct Harness {
   std::vector<BenchRecord> records;
 
   // Benches one op across the thread sweep against a serial reference
-  // run. `flops`/`elems` describe ONE iteration; gflops uses flops,
-  // ns_per_elem uses elems.
+  // run. `work` describes ONE iteration (flops feed gflops, bytes feed
+  // the roofline columns); `elems` feeds ns_per_elem.
   template <typename RefFn, typename FastFn>
-  void Bench(const std::string& op, const std::string& shape, double flops,
-             double elems, RefFn&& ref, FastFn&& fast) {
+  void Bench(const std::string& op, const std::string& shape,
+             kernels::KernelWork work, double elems, RefFn&& ref,
+             FastFn&& fast) {
     SetThreads(1);
     const double ref_seconds = TimeIt(timing, ref);
-    BenchTimed(op, shape, flops, elems, ref_seconds, fast);
+    BenchTimed(op, shape, work, elems, ref_seconds, fast);
   }
 
   // As Bench, but reuses an already-measured reference time (for
   // op variants sharing one oracle, e.g. the fast-math tiers).
   template <typename FastFn>
   void BenchTimed(const std::string& op, const std::string& shape,
-                  double flops, double elems, double ref_seconds,
+                  kernels::KernelWork work, double elems, double ref_seconds,
                   FastFn&& fast) {
+    const double flops = static_cast<double>(work.flops);
+    const double bytes = static_cast<double>(work.bytes);
     for (const int threads : thread_set) {
       SetThreads(threads);
-      const double seconds = TimeIt(timing, fast);
+      PerfCounterValues counters;
+      std::int64_t iters = 0;
+      double seconds = 0.0;
+      {
+        // Accumulate-form scope: counters bypass the registry and
+        // bracket the whole timing loop (including the one warmup
+        // iteration — hence iters + 1 below).
+        PerfCounterScope profile("bench", &counters);
+        seconds = TimeIt(timing, fast, &iters);
+      }
       BenchRecord record;
       record.op = op;
       record.shape = shape;
@@ -129,12 +152,32 @@ struct Harness {
       record.gflops = flops > 0 ? flops / seconds * 1e-9 : 0.0;
       record.ns_per_elem = elems > 0 ? seconds * 1e9 / elems : 0.0;
       record.speedup_vs_reference = ref_seconds / seconds;
+      record.bytes_per_flop = work.BytesPerFlop();
+      record.gb_per_s = bytes > 0 ? bytes / seconds * 1e-9 : 0.0;
+      if (counters.valid && iters > 0) {
+        const double per_iter = 1.0 / static_cast<double>(iters + 1);
+        record.cycles_per_iter =
+            static_cast<double>(counters.cycles) * per_iter;
+        record.instructions_per_iter =
+            static_cast<double>(counters.instructions) * per_iter;
+        record.llc_misses_per_iter =
+            static_cast<double>(counters.llc_misses) * per_iter;
+      }
       records.push_back(record);
       std::printf("%-16s %-14s threads=%d  %10.3f ms/iter  %7.2f GFLOP/s"
-                  "  %8.3f ns/elem  %5.2fx vs reference\n",
+                  "  %8.3f ns/elem  %5.2fx vs reference",
                   op.c_str(), shape.c_str(), threads, seconds * 1e3,
                   record.gflops, record.ns_per_elem,
                   record.speedup_vs_reference);
+      if (counters.valid) {
+        std::printf("  %.0fM cycles/iter (ipc %.2f)",
+                    record.cycles_per_iter * 1e-6,
+                    record.cycles_per_iter > 0
+                        ? record.instructions_per_iter /
+                              record.cycles_per_iter
+                        : 0.0);
+      }
+      std::printf("\n");
     }
     SetThreads(1);
   }
@@ -186,13 +229,13 @@ void BenchMatMuls(Harness* harness, bool quick, bool fast_math) {
   for (const std::int64_t n : sizes) {
     const Tensor a = Tensor::RandomNormal(n, n, 1.0f, &rng);
     const Tensor b = Tensor::RandomNormal(n, n, 1.0f, &rng);
-    const double flops = 2.0 * static_cast<double>(n) * n * n;
+    const kernels::KernelWork work = kernels::MatMulWork(n, n, n);
     const double elems = static_cast<double>(n) * n;  // output elements
     const std::string shape = MatMulShapeLabel(n, n, n);
     SetThreads(1);
     const double ref_seconds =
         TimeIt(harness->timing, [&] { Sink(kernels::reference::MatMul(a, b)); });
-    harness->BenchTimed("matmul", shape, flops, elems, ref_seconds,
+    harness->BenchTimed("matmul", shape, work, elems, ref_seconds,
                         [&] { Sink(kernels::MatMul(a, b)); });
     SetFastMath(true, /*bf16=*/false);
     const bool fast_available = kernels::UsingFastMath();
@@ -206,21 +249,21 @@ void BenchMatMuls(Harness* harness, bool quick, bool fast_math) {
       SetFastMath(true, /*bf16=*/false);
       CheckFastMath(kernels::MatMul(a, b), oracle, envelope,
                     kernels::kFastMathRelTol, "matmul_fast");
-      harness->BenchTimed("matmul_fast", shape, flops, elems, ref_seconds,
+      harness->BenchTimed("matmul_fast", shape, work, elems, ref_seconds,
                           [&] { Sink(kernels::MatMul(a, b)); });
       SetFastMath(true, /*bf16=*/true);
       CheckFastMath(kernels::MatMul(a, b), oracle, envelope,
                     kernels::kFastMathBf16RelTol, "matmul_fast_bf16");
-      harness->BenchTimed("matmul_fast_bf16", shape, flops, elems,
+      harness->BenchTimed("matmul_fast_bf16", shape, work, elems,
                           ref_seconds, [&] { Sink(kernels::MatMul(a, b)); });
       SetFastMath(false, false);
     }
     harness->Bench(
-        "matmul_tb", shape, flops, elems,
+        "matmul_tb", shape, work, elems,
         [&] { Sink(kernels::reference::MatMulTransposedB(a, b)); },
         [&] { Sink(kernels::MatMulTransposedB(a, b)); });
     harness->Bench(
-        "matmul_ta", shape, flops, elems,
+        "matmul_ta", shape, work, elems,
         [&] { Sink(kernels::reference::MatMulTransposedA(a, b)); },
         [&] { Sink(kernels::MatMulTransposedA(a, b)); });
   }
@@ -242,11 +285,12 @@ void BenchSegmentOps(Harness* harness, bool quick) {
   const std::string shape = label.str();
   const double elems = static_cast<double>(rows) * cols;  // folded floats
   harness->Bench(
-      "segment_sum", shape, elems, elems,
+      "segment_sum", shape, kernels::SegmentFoldWork(rows, cols), elems,
       [&] { Sink(kernels::reference::SegmentSum(values, ids, segments)); },
       [&] { Sink(kernels::SegmentSum(values, ids, segments)); });
   harness->Bench(
-      "segment_mean", shape, elems, elems,
+      "segment_mean", shape,
+      kernels::SegmentMeanWork(rows, cols, segments), elems,
       [&] { Sink(kernels::reference::SegmentMean(values, ids, segments)); },
       [&] { Sink(kernels::SegmentMean(values, ids, segments)); });
 }
@@ -266,13 +310,13 @@ void BenchRowOps(Harness* harness, bool quick) {
   const std::string shape = label.str();
   const double elems = static_cast<double>(source_rows) * cols;
   harness->Bench(
-      "gather_rows", shape, 0.0, elems,
+      "gather_rows", shape, kernels::GatherWork(source_rows, cols), elems,
       [&] { Sink(kernels::reference::GatherRows(source, indices)); },
       [&] { Sink(kernels::GatherRows(source, indices)); });
   // Scatter reuses the gather indices; the accumulator is rebuilt per
   // iteration so every run adds into identical memory.
   harness->Bench(
-      "scatter_add", shape, elems, elems,
+      "scatter_add", shape, kernels::ScatterAddWork(source_rows, cols), elems,
       [&] {
         Tensor acc(source_rows, cols);
         kernels::reference::ScatterAddRows(&acc, indices, source);
@@ -307,17 +351,31 @@ void WriteJson(const std::string& path, const std::vector<BenchRecord>& records,
   out << "  \"thread_set\": \"" << ThreadSetLabel(thread_set) << "\",\n";
   out << "  \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n";
+  // Explicit marker: rows carry real hardware counts, or they are all
+  // zero because perf_event_open is unavailable on this host.
+  out << "  \"perf_counters\": \""
+      << (PerfCountersSupported() ? "available" : "unavailable") << "\",\n";
+  if (!PerfCountersSupported()) {
+    out << "  \"perf_fallback_reason\": \""
+        << PerfCountersUnavailableReason() << "\",\n";
+  }
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
-    char line[512];
+    char line[768];
     std::snprintf(line, sizeof(line),
                   "    {\"op\": \"%s\", \"shape\": \"%s\", \"threads\": %d, "
                   "\"seconds_per_iter\": %.6e, \"gflops\": %.4f, "
-                  "\"ns_per_elem\": %.4f, \"speedup_vs_reference\": %.3f}%s",
+                  "\"ns_per_elem\": %.4f, \"speedup_vs_reference\": %.3f, "
+                  "\"bytes_per_flop\": %.4f, \"gb_per_s\": %.3f, "
+                  "\"cycles_per_iter\": %.0f, "
+                  "\"instructions_per_iter\": %.0f, "
+                  "\"llc_misses_per_iter\": %.0f}%s",
                   r.op.c_str(), r.shape.c_str(), r.threads,
                   r.seconds_per_iter, r.gflops, r.ns_per_elem,
-                  r.speedup_vs_reference,
+                  r.speedup_vs_reference, r.bytes_per_flop, r.gb_per_s,
+                  r.cycles_per_iter, r.instructions_per_iter,
+                  r.llc_misses_per_iter,
                   i + 1 < records.size() ? "," : "");
     out << line << "\n";
   }
@@ -472,11 +530,19 @@ int Main(int argc, char** argv) {
   harness.timing.min_seconds = quick ? 0.02 : 0.3;
   harness.timing.max_iters = quick ? 20 : 200;
 
+  // Measurement is the whole point of a bench run, so profiling is on
+  // unconditionally; rows degrade to zero counters where the host
+  // forbids perf_event_open.
+  SetProfilingEnabled(true);
+
   std::printf("bench_kernels (%s mode, avx2=%s, threads={%s}, %u hardware "
-              "threads)\n\n",
+              "threads, perf counters %s)\n\n",
               quick ? "quick" : "full", kernels::UsingAvx2() ? "on" : "off",
               ThreadSetLabel(harness.thread_set).c_str(),
-              std::thread::hardware_concurrency());
+              std::thread::hardware_concurrency(),
+              PerfCountersSupported()
+                  ? "available"
+                  : PerfCountersUnavailableReason().c_str());
 
   const kernels::KernelConfig saved = kernels::GetKernelConfig();
   BenchMatMuls(&harness, quick, fast_math);

@@ -38,7 +38,22 @@
 // Observability flags (any mode):
 //   --log_level=debug|info|warning|error
 //   --trace_out=FILE     Chrome trace-event JSON (open in Perfetto)
-//   --metrics_out=FILE   machine-readable run report (infer mode)
+//   --metrics_out=FILE   machine-readable run report (infer/serve mode)
+//   --profile=true       hardware-counter profiling (perf_event_open);
+//                        per-scope cycle/instruction/LLC-miss totals
+//                        land in the run report's metrics + profiling
+//                        sections (graceful no-op where unavailable)
+//   --flight_record_out=FILE  always-on flight recorder: on engine
+//                        error or fatal signal the last ~4096
+//                        structured events (retries, evictions, fault
+//                        injections, generation swaps...) dump as
+//                        inferturbo.flight_record.v1 JSON
+//   --stats_interval=SEC serve mode: sampler thread appends one
+//                        inferturbo.run_timeline.v1 JSONL line per
+//                        interval (counter deltas, latency
+//                        percentiles, epoch, batcher occupancy)
+//   --timeline_out=FILE  serve mode: timeline destination (default
+//                        <dir>/timeline.jsonl)
 //
 // Robustness flags (infer mode; any of them enables task supervision):
 //   --task_deadline_ms=N        per-attempt deadline (0 = none)
@@ -63,13 +78,17 @@
 #include <filesystem>
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <thread>
 
 #include "src/common/flags.h"
 #include "src/common/logging.h"
 #include "src/runtime/fault_plan.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/perf_counters.h"
 #include "src/telemetry/run_report.h"
+#include "src/telemetry/timeline.h"
 #include "src/telemetry/trace.h"
 #include "src/graph/datasets.h"
 #include "src/graph/graph_io.h"
@@ -399,6 +418,35 @@ int Serve(const FlagParser& flags, const std::string& dir) {
               static_cast<long long>(graph->num_nodes()));
   ServingEngine engine(model->get(), std::move(*graph), options);
 
+  // --stats_interval / --timeline_out: a sampler thread appends one
+  // run_timeline.v1 JSONL line per interval while the workload runs —
+  // registry counter deltas plus the serving-specific gauges below.
+  std::optional<TimelineSampler> timeline;
+  const double stats_interval = flags.GetDouble("stats_interval", 0.0);
+  std::string timeline_out = flags.GetString("timeline_out", "");
+  if (stats_interval > 0.0 || !timeline_out.empty()) {
+    if (timeline_out.empty()) timeline_out = dir + "/timeline.jsonl";
+    TimelineOptions timeline_options;
+    timeline_options.path = timeline_out;
+    timeline_options.interval_seconds =
+        stats_interval > 0.0 ? stats_interval : 1.0;
+    timeline_options.extra = [&engine] {
+      const ServingStats s = engine.stats();
+      return JsonValue(JsonValue::Object{
+          {"serving",
+           JsonValue(JsonValue::Object{
+               {"epoch", JsonValue(s.epoch)},
+               {"queries", JsonValue(s.queries)},
+               {"batches", JsonValue(s.batches)},
+               {"deltas", JsonValue(s.deltas)},
+               {"mean_batch_occupancy", JsonValue(s.mean_batch_occupancy)},
+               {"cache_hit_rate", JsonValue(s.cache_hit_rate())},
+           })},
+      });
+    };
+    timeline.emplace(timeline_options);
+  }
+
   const std::int64_t num_threads =
       std::max<std::int64_t>(1, flags.GetInt("serve_threads", 4));
   const std::int64_t requests_per_thread =
@@ -462,6 +510,11 @@ int Serve(const FlagParser& flags, const std::string& dir) {
   }
   for (std::thread& worker : workers) worker.join();
   const double wall_seconds = wall.ElapsedSeconds();
+  if (timeline) {
+    timeline->Stop();
+    std::printf("timeline -> %s (%lld samples)\n", timeline_out.c_str(),
+                static_cast<long long>(timeline->samples()));
+  }
 
   const ServingStats stats = engine.stats();
   const double qps =
@@ -607,6 +660,26 @@ int Main(int argc, const char* const argv[]) {
   const std::string trace_out = flags->GetString("trace_out", "");
   if (!trace_out.empty()) SetTracingEnabled(true);
   if (!flags->GetString("metrics_out", "").empty()) SetMetricsEnabled(true);
+  if (flags->GetBool("profile", false)) {
+    // Counter totals accumulate through the registry, so profiling
+    // implies metrics.
+    SetProfilingEnabled(true);
+    SetMetricsEnabled(true);
+    if (!PerfCountersSupported()) {
+      std::fprintf(stderr,
+                   "warning: --profile requested but hardware counters are "
+                   "unavailable (%s); profile.* metrics will stay zero\n",
+                   PerfCountersUnavailableReason().c_str());
+    }
+  }
+  const std::string flight_out = flags->GetString("flight_record_out", "");
+  if (!flight_out.empty()) {
+    // Non-empty path arms the recorder; the signal handler covers
+    // fatal crashes, DumpFlightRecordOnError below covers clean
+    // error exits.
+    SetFlightRecordPath(flight_out);
+    InstallFlightRecordSignalHandler();
+  }
 
   const std::string dir = flags->GetString("dir", "/tmp/inferturbo_cli");
   std::filesystem::create_directories(dir);
@@ -629,6 +702,10 @@ int Main(int argc, const char* const argv[]) {
     if (const int rc = Train(*flags, dir); rc != 0) return rc;
     return Infer(*flags, dir);
   }();
+  if (rc != 0 &&
+      DumpFlightRecordOnError("cli exit code " + std::to_string(rc))) {
+    std::fprintf(stderr, "flight record -> %s\n", flight_out.c_str());
+  }
   if (!trace_out.empty()) {
     const Status status = WriteTraceFile(trace_out);
     if (!status.ok()) {

@@ -15,6 +15,7 @@
 #include "src/mapreduce/mapreduce_engine.h"
 #include "src/storage/graph_view.h"
 #include "src/storage/shard_pipeline.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/tensor/kernels/row_fold.h"
 #include "src/tensor/ops.h"
 
@@ -139,6 +140,8 @@ class MrInferenceDriver {
     if (store && options_.resume_from) {
       Result<CheckpointData> latest = store->LoadLatest();
       if (latest.ok()) {
+        RecordFlightEvent(FlightEventKind::kCheckpointRestore,
+                          "mapreduce/resume", latest->step);
         INFERTURBO_RETURN_NOT_OK(job.RestoreDataflow(latest->engine_state));
         // The table is restored directly — not via FlushBroadcastStaging,
         // which would charge the side channel a second time (and touch
@@ -153,6 +156,8 @@ class MrInferenceDriver {
     }
     const auto save_checkpoint = [&](std::int64_t stage) {
       if (!store) return Status::OK();
+      RecordFlightEvent(FlightEventKind::kCheckpointSave,
+                        "mapreduce/checkpoint", stage);
       CheckpointData data;
       data.step = stage;
       data.engine_state = job.SerializeDataflow();
@@ -627,7 +632,14 @@ Result<InferenceResult> DriveView(const GraphView& view,
                                   std::int64_t hub_threshold,
                                   PipelineStats* pipeline_stats = nullptr) {
   MrInferenceDriver driver(view, model, options, hub_threshold);
-  INFERTURBO_ASSIGN_OR_RETURN(Tensor all_logits, driver.Run());
+  Result<Tensor> logits = driver.Run();
+  if (!logits.ok()) {
+    // Unrecoverable dataflow failure: freeze the flight ring now, while
+    // the retry/restore events leading here are still in it.
+    DumpFlightRecordOnError("mapreduce: " + logits.status().ToString());
+    return logits.status();
+  }
+  Tensor all_logits = std::move(*logits);
   options.failures_recovered = driver.failures_recovered();
   InferenceResult result;
   result.logits = std::move(all_logits);

@@ -12,6 +12,7 @@
 #include "src/pregel/pregel_engine.h"
 #include "src/storage/graph_view.h"
 #include "src/storage/shard_pipeline.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/trace.h"
 #include "src/tensor/kernels/kernels.h"
 #include "src/tensor/ops.h"
@@ -509,9 +510,15 @@ Result<InferenceResult> RunInferTurboPregel(const Graph& graph,
   PregelEngine engine(engine_options, partitioner);
   driver.engine_partitioner_ = &engine.partitioner();
 
-  INFERTURBO_ASSIGN_OR_RETURN(
-      JobMetrics metrics,
-      engine.Run([&driver](PregelContext* ctx) { driver.Compute(ctx); }));
+  Result<JobMetrics> run =
+      engine.Run([&driver](PregelContext* ctx) { driver.Compute(ctx); });
+  if (!run.ok()) {
+    // Unrecoverable engine failure: freeze the flight ring now, while
+    // the retry/reexec/restore events leading here are still in it.
+    DumpFlightRecordOnError("pregel: " + run.status().ToString());
+    return run.status();
+  }
+  JobMetrics metrics = std::move(*run);
   options.failures_recovered = engine.failures_recovered();
 
   InferenceResult result;

@@ -6,6 +6,7 @@
 #include "src/common/binary_io.h"
 #include "src/common/logging.h"
 #include "src/common/timer.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
@@ -202,6 +203,8 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
   if (options_.resume && options_.checkpoint_store != nullptr) {
     Result<CheckpointData> latest = options_.checkpoint_store->LoadLatest();
     if (latest.ok()) {
+      RecordFlightEvent(FlightEventKind::kCheckpointRestore,
+                        "pregel/resume", latest->step);
       INFERTURBO_RETURN_NOT_OK(DecodePregelEngineState(
           latest->engine_state, num_workers, &inboxes, &inbox_partial,
           &board_current_));
@@ -287,6 +290,8 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
             options_.snapshot_state ? options_.snapshot_state() : nullptr;
       }
       has_checkpoint = true;
+      RecordFlightEvent(FlightEventKind::kCheckpointSave, "pregel/checkpoint",
+                        step);
     }
     if (options_.kill_switch && options_.kill_switch(step)) {
       return Status::Aborted("job killed at superstep " +
@@ -374,6 +379,8 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
           // the superstep's inputs are intact — just run it again.
           ++reexecs_this_step;
           ++superstep_reexecutions_total;
+          RecordFlightEvent(FlightEventKind::kSuperstepReexec,
+                            "pregel/reexec", step, reexecs_this_step);
           INFERTURBO_LOG(Warning)
               << "re-executing superstep " << step << " ("
               << reexecs_this_step << "/" << max_reexecs
@@ -385,6 +392,8 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
           // Rung 3: roll back to the last checkpoint.
           ++supervised_restores;
           ++failures_recovered_;
+          RecordFlightEvent(FlightEventKind::kCheckpointRestore,
+                            "pregel/restore", step, checkpoint.step);
           INFERTURBO_LOG(Warning)
               << "superstep " << step
               << " re-execution budget exhausted; restoring checkpoint of "
@@ -437,6 +446,8 @@ Result<JobMetrics> PregelEngine::Run(const ComputeFn& compute) {
               " but checkpointing is disabled (set checkpoint_interval)");
         }
         ++failures_recovered_;
+        RecordFlightEvent(FlightEventKind::kCheckpointRestore,
+                          "pregel/restore", step, checkpoint.step);
         // The aborted attempt's work is still real cost.
         for (std::int64_t w = 0; w < num_workers; ++w) {
           metrics.workers[static_cast<std::size_t>(w)].steps.push_back(

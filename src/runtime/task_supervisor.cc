@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/trace.h"
 
 namespace inferturbo {
@@ -99,7 +100,11 @@ bool TaskAttempt::TryCommit() {
   slot.retry_pending = false;
   won_commit_ = true;
   ++ctx->committed_count;
-  if (speculative_) ++supervisor_->metrics_.speculative_commits;
+  if (speculative_) {
+    ++supervisor_->metrics_.speculative_commits;
+    RecordFlightEvent(FlightEventKind::kSpeculativeCommit, "task/commit",
+                      static_cast<std::int64_t>(task_), attempt_);
+  }
   // The race is decided: rivals stop work at their next abandon poll.
   for (const std::shared_ptr<TaskAttempt>& rival : ctx->running) {
     if (rival->task_ == task_ && rival.get() != this) {
@@ -172,8 +177,12 @@ void TaskSupervisor::LaunchAttempt(StageContext* ctx, std::size_t task,
     slot.backup_inflight = true;
     slot.backup_ever = true;
     ++metrics_.speculative_launched;
+    RecordFlightEvent(FlightEventKind::kSpeculativeLaunch, "task/speculate",
+                      static_cast<std::int64_t>(task), attempt->attempt_);
   } else if (attempt->attempt_ > 0) {
     ++metrics_.retries;
+    RecordFlightEvent(FlightEventKind::kRetry, "task/retry",
+                      static_cast<std::int64_t>(task), attempt->attempt_);
   }
   ++metrics_.attempts;
   ctx->running.push_back(attempt);
@@ -216,6 +225,8 @@ void TaskSupervisor::RunAttemptBody(StageContext* ctx,
       case TaskFaultKind::kCrash: {
         std::lock_guard<std::mutex> lock(mu_);
         ++metrics_.injected_crashes;
+        RecordFlightEvent(FlightEventKind::kFaultInjected, "fault/crash",
+                          attempt->executor_, attempt->attempt_);
         status = Status::Internal(
             "injected crash (stage " +
             std::string(TaskStageKindToString(ctx->stage.kind)) + ":" +
@@ -227,6 +238,8 @@ void TaskSupervisor::RunAttemptBody(StageContext* ctx,
       case TaskFaultKind::kTransient: {
         std::lock_guard<std::mutex> lock(mu_);
         ++metrics_.injected_transients;
+        RecordFlightEvent(FlightEventKind::kFaultInjected, "fault/transient",
+                          attempt->executor_, attempt->attempt_);
         status = Status::Unavailable("injected transient fault (executor " +
                                      std::to_string(attempt->executor_) +
                                      ", attempt " +
@@ -237,6 +250,8 @@ void TaskSupervisor::RunAttemptBody(StageContext* ctx,
         {
           std::lock_guard<std::mutex> lock(mu_);
           ++metrics_.injected_delays;
+          RecordFlightEvent(FlightEventKind::kFaultInjected, "fault/delay",
+                            attempt->executor_, attempt->attempt_);
         }
         // Cooperative straggle: sleep in small slices so a committed
         // rival or an expired deadline cancels the delay promptly.
@@ -314,6 +329,8 @@ void TaskSupervisor::RecordFailureLocked(StageContext* ctx, std::size_t task,
         health.permanent_failures >= options_.quarantine_threshold) {
       health.quarantined = true;
       ++metrics_.quarantined_workers;
+      RecordFlightEvent(FlightEventKind::kQuarantine, "task/quarantine",
+                        executor, health.permanent_failures);
       INFERTURBO_LOG(Warning)
           << "quarantining executor " << executor << " after "
           << health.permanent_failures << " permanent failures";
@@ -322,6 +339,8 @@ void TaskSupervisor::RecordFailureLocked(StageContext* ctx, std::size_t task,
 
   if (slot.failures > options_.max_task_retries) {
     slot.exhausted = true;
+    RecordFlightEvent(FlightEventKind::kTaskFailure, "task/exhausted",
+                      static_cast<std::int64_t>(task), slot.failures);
     if (!ctx->failed) {
       ctx->failed = true;
       ctx->stage_error = StatusWithCode(
@@ -388,6 +407,9 @@ Result<StageResult> TaskSupervisor::RunStage(const TaskStage& stage,
           attempt->abandon_.store(true, std::memory_order_release);
           attempt->failure_counted_ = true;
           ++metrics_.deadline_exceeded;
+          RecordFlightEvent(FlightEventKind::kDeadline, "task/deadline",
+                            static_cast<std::int64_t>(attempt->task_),
+                            attempt->attempt_);
           RecordFailureLocked(
               &ctx, attempt->task_, attempt->executor_,
               Status::DeadlineExceeded(

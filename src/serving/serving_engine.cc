@@ -6,6 +6,7 @@
 
 #include "src/common/timer.h"
 #include "src/graph/graph_builder.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 #include "src/tensor/ops.h"
 
@@ -70,6 +71,8 @@ std::shared_ptr<ServingEngine::Generation> ServingEngine::Snapshot() const {
 }
 
 void ServingEngine::Publish(std::shared_ptr<Generation> next) {
+  RecordFlightEvent(FlightEventKind::kGenerationSwap, "serving/publish",
+                    next->epoch);
   std::lock_guard<std::mutex> lock(generation_mu_);
   generation_ = std::move(next);
 }

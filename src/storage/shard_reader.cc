@@ -13,11 +13,14 @@
 #define INFERTURBO_HAS_IO_URING 0
 #endif
 
+#include <array>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "src/common/timer.h"
+#include "src/telemetry/metrics.h"
 #include "src/tensor/tensor.h"
 
 namespace inferturbo {
@@ -428,22 +431,63 @@ Result<AlignedShardBuffer> AlignedShardBuffer::Allocate(
   return out;
 }
 
+void ObserveShardRead(ShardReadPath path, double seconds,
+                      std::int64_t bytes) {
+  if (!MetricsEnabled()) return;
+  struct Instruments {
+    Histogram* seconds;
+    Counter* bytes;
+    Counter* reads;
+  };
+  static const std::array<Instruments, 5>& instruments = *new auto([] {
+    std::array<Instruments, 5> out{};
+    for (int i = 0; i < static_cast<int>(out.size()); ++i) {
+      const std::string base =
+          "storage.read." +
+          std::string(ShardReadPathName(static_cast<ShardReadPath>(i)));
+      out[static_cast<std::size_t>(i)] = {
+          GlobalMetrics().GetHistogram(base + ".seconds"),
+          GlobalMetrics().GetCounter(base + ".bytes"),
+          GlobalMetrics().GetCounter(base + ".reads"),
+      };
+    }
+    return out;
+  }());
+  const std::size_t index = static_cast<std::size_t>(path) < instruments.size()
+                                ? static_cast<std::size_t>(path)
+                                : 0;
+  instruments[index].seconds->Observe(seconds);
+  instruments[index].bytes->Add(bytes);
+  instruments[index].reads->Increment();
+}
+
 Result<AlignedShardBuffer> ReadFileAligned(const std::string& path,
                                            ShardReadPath path_kind) {
-  switch (path_kind) {
-    case ShardReadPath::kPread:
-      return ReadViaPread(path, /*want_direct=*/false);
-    case ShardReadPath::kDirect:
-      return ReadViaPread(path, /*want_direct=*/true);
-    case ShardReadPath::kUring:
-      return ReadViaUring(path);
-    case ShardReadPath::kAuto:
-    case ShardReadPath::kMmap:
-      break;
+  // Time only when metrics are on, so the zero-perturbation contract
+  // holds: the disabled cost is one relaxed load + branch per read.
+  const bool timed = MetricsEnabled();
+  WallTimer timer;
+  Result<AlignedShardBuffer> result = [&]() -> Result<AlignedShardBuffer> {
+    switch (path_kind) {
+      case ShardReadPath::kPread:
+        return ReadViaPread(path, /*want_direct=*/false);
+      case ShardReadPath::kDirect:
+        return ReadViaPread(path, /*want_direct=*/true);
+      case ShardReadPath::kUring:
+        return ReadViaUring(path);
+      case ShardReadPath::kAuto:
+      case ShardReadPath::kMmap:
+        break;
+    }
+    return Status::InvalidArgument(
+        "ReadFileAligned requires a buffer-filling read path, got '" +
+        std::string(ShardReadPathName(path_kind)) + "'");
+  }();
+  if (timed && result.ok()) {
+    ObserveShardRead(path_kind, timer.ElapsedSeconds(),
+                     static_cast<std::int64_t>(result->size()));
   }
-  return Status::InvalidArgument(
-      "ReadFileAligned requires a buffer-filling read path, got '" +
-      std::string(ShardReadPathName(path_kind)) + "'");
+  return result;
 }
 
 }  // namespace inferturbo

@@ -85,6 +85,16 @@ class AlignedShardBuffer {
 Result<AlignedShardBuffer> ReadFileAligned(const std::string& path,
                                            ShardReadPath path_kind);
 
+/// Records one completed shard read into the per-path latency
+/// instruments: histogram "storage.read.<path>.seconds" plus counters
+/// ".bytes" and ".reads". ReadFileAligned calls this for the
+/// buffer-filling tiers; the shard store calls it for the mmap
+/// fallback, so a `read_path_fallbacks` regression shows up as a
+/// latency distribution shift per tier in the run report's storage
+/// section. Subject to MetricsEnabled(); no-op otherwise.
+void ObserveShardRead(ShardReadPath path, double seconds,
+                      std::int64_t bytes);
+
 }  // namespace inferturbo
 
 #endif  // INFERTURBO_STORAGE_SHARD_READER_H_

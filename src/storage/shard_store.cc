@@ -16,6 +16,8 @@
 
 #include "src/common/atomic_file.h"
 #include "src/common/crc32.h"
+#include "src/common/timer.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
 #include "src/telemetry/trace.h"
 
@@ -261,6 +263,8 @@ void EvictForLocked(State& s, std::uint64_t incoming) {
       }
     }
     if (lru == s.cache.end()) return;  // nothing evictable left
+    RecordFlightEvent(FlightEventKind::kEviction, "storage/evict",
+                      lru->first);
     // Erasing drops the cache's reference; when it is the last one the
     // deleter returns the bytes immediately (atomics only — no `mu`).
     s.cache.erase(lru);
@@ -337,7 +341,15 @@ Result<std::unique_ptr<MappedShard>> LoadFromDisk(
     std::lock_guard<std::mutex> lock(s->mu);
     ++s->counters.read_path_fallbacks;
   }
-  return ShardStoreInternal::MapFromFile(path, s->options.verify_checksums);
+  const bool timed = MetricsEnabled();
+  WallTimer timer;
+  Result<std::unique_ptr<MappedShard>> mapped =
+      ShardStoreInternal::MapFromFile(path, s->options.verify_checksums);
+  if (timed && mapped.ok()) {
+    ObserveShardRead(ShardReadPath::kMmap, timer.ElapsedSeconds(),
+                     static_cast<std::int64_t>((*mapped)->mapped_bytes()));
+  }
+  return mapped;
 }
 
 /// Loads + validates one shard. No budget accounting happens here —

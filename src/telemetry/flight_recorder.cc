@@ -1,0 +1,352 @@
+#include "src/telemetry/flight_recorder.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "src/common/atomic_file.h"
+#include "src/telemetry/trace.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define INFERTURBO_HAVE_POSIX_SIGNALS 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define INFERTURBO_HAVE_POSIX_SIGNALS 0
+#endif
+
+namespace inferturbo {
+
+namespace telemetry_internal {
+std::atomic<bool> g_flight_enabled{false};
+}  // namespace telemetry_internal
+
+void SetFlightRecorderEnabled(bool enabled) {
+  telemetry_internal::g_flight_enabled.store(enabled,
+                                             std::memory_order_relaxed);
+}
+
+std::string_view FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kMark: return "mark";
+    case FlightEventKind::kSpanBegin: return "span_begin";
+    case FlightEventKind::kSpanEnd: return "span_end";
+    case FlightEventKind::kRetry: return "retry";
+    case FlightEventKind::kDeadline: return "deadline";
+    case FlightEventKind::kSpeculativeLaunch: return "speculative_launch";
+    case FlightEventKind::kSpeculativeCommit: return "speculative_commit";
+    case FlightEventKind::kQuarantine: return "quarantine";
+    case FlightEventKind::kFaultInjected: return "fault_injected";
+    case FlightEventKind::kTaskFailure: return "task_failure";
+    case FlightEventKind::kEviction: return "eviction";
+    case FlightEventKind::kGenerationSwap: return "generation_swap";
+    case FlightEventKind::kCheckpointSave: return "checkpoint_save";
+    case FlightEventKind::kCheckpointRestore: return "checkpoint_restore";
+    case FlightEventKind::kSuperstepReexec: return "superstep_reexec";
+    case FlightEventKind::kEngineError: return "engine_error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr std::size_t kRingCapacity = 4096;  // power of two
+constexpr std::size_t kRingMask = kRingCapacity - 1;
+static_assert((kRingCapacity & kRingMask) == 0, "capacity must be 2^n");
+
+/// One ring slot. The stamp is a per-slot seqlock word: 0 = never
+/// written, odd = 2*seq+1 (write in progress), even = 2*seq+2 (payload
+/// for record `seq` is complete). Payload fields are relaxed atomics —
+/// after the ring wraps, two writers a full lap apart can touch the
+/// same slot concurrently, and the stamp protocol only has to make such
+/// mixed payloads *detectable* (stamp mismatch), not impossible.
+struct Slot {
+  std::atomic<std::uint64_t> stamp{0};
+  std::atomic<std::uint8_t> kind{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::int64_t> a{0};
+  std::atomic<std::int64_t> b{0};
+  std::atomic<std::int64_t> time_ns{0};
+  std::atomic<std::uint32_t> thread{0};
+};
+
+Slot* Ring() {
+  static Slot* ring = new Slot[kRingCapacity];
+  return ring;
+}
+
+std::atomic<std::uint64_t> g_flight_seq{0};
+std::atomic<std::uint32_t> g_next_thread_index{0};
+
+std::uint32_t LocalThreadIndex() {
+  thread_local const std::uint32_t index =
+      g_next_thread_index.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+std::mutex& PathMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::string& PathStorage() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+// Signal handlers cannot safely touch std::string; keep a plain copy.
+char g_signal_path[512] = {0};
+
+}  // namespace
+
+void RecordFlightEvent(FlightEventKind kind, const char* name, std::int64_t a,
+                       std::int64_t b) {
+  if (!FlightRecorderEnabled()) return;
+  const std::uint64_t seq =
+      g_flight_seq.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = Ring()[seq & kRingMask];
+  slot.stamp.store(seq * 2 + 1, std::memory_order_relaxed);
+  slot.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.time_ns.store(TraceNowNs(), std::memory_order_relaxed);
+  slot.thread.store(LocalThreadIndex(), std::memory_order_relaxed);
+  slot.stamp.store(seq * 2 + 2, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecordSnapshot() {
+  std::vector<FlightEvent> events;
+  events.reserve(kRingCapacity);
+  Slot* ring = Ring();
+  for (std::size_t i = 0; i < kRingCapacity; ++i) {
+    const Slot& slot = ring[i];
+    const std::uint64_t before = slot.stamp.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) continue;  // empty or mid-write
+    FlightEvent event;
+    event.kind = static_cast<FlightEventKind>(
+        slot.kind.load(std::memory_order_relaxed));
+    event.name = slot.name.load(std::memory_order_relaxed);
+    event.a = slot.a.load(std::memory_order_relaxed);
+    event.b = slot.b.load(std::memory_order_relaxed);
+    event.time_ns = slot.time_ns.load(std::memory_order_relaxed);
+    event.thread = slot.thread.load(std::memory_order_relaxed);
+    const std::uint64_t after = slot.stamp.load(std::memory_order_acquire);
+    if (after != before) continue;  // overwritten while reading — torn
+    event.seq = before / 2 - 1;
+    events.push_back(event);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.seq < y.seq;
+            });
+  return events;
+}
+
+std::uint64_t FlightRecordTotalEvents() {
+  return g_flight_seq.load(std::memory_order_relaxed);
+}
+
+JsonValue BuildFlightRecord(std::string_view reason) {
+  const std::vector<FlightEvent> events = FlightRecordSnapshot();
+  const std::uint64_t total = FlightRecordTotalEvents();
+  JsonValue::Array out;
+  out.reserve(events.size());
+  for (const FlightEvent& e : events) {
+    out.push_back(JsonValue(JsonValue::Object{
+        {"seq", JsonValue(static_cast<std::int64_t>(e.seq))},
+        {"kind", JsonValue(std::string(FlightEventKindName(e.kind)))},
+        {"name", JsonValue(std::string(e.name != nullptr ? e.name : ""))},
+        {"a", JsonValue(e.a)},
+        {"b", JsonValue(e.b)},
+        {"time_ns", JsonValue(e.time_ns)},
+        {"thread", JsonValue(static_cast<std::int64_t>(e.thread))},
+    }));
+  }
+  const std::int64_t kept = static_cast<std::int64_t>(events.size());
+  const std::int64_t dropped =
+      static_cast<std::int64_t>(total) > kept
+          ? static_cast<std::int64_t>(total) - kept
+          : 0;
+  return JsonValue(JsonValue::Object{
+      {"schema", JsonValue("inferturbo.flight_record.v1")},
+      {"reason", JsonValue(std::string(reason))},
+      {"events_recorded", JsonValue(static_cast<std::int64_t>(total))},
+      {"events_dropped", JsonValue(dropped)},
+      {"events", JsonValue(std::move(out))},
+  });
+}
+
+Status WriteFlightRecord(const std::string& path, std::string_view reason) {
+  return WriteFileAtomic(path, BuildFlightRecord(reason).Dump(2) + "\n");
+}
+
+void SetFlightRecordPath(std::string path) {
+  {
+    std::lock_guard<std::mutex> lock(PathMutex());
+    PathStorage() = path;
+    std::snprintf(g_signal_path, sizeof(g_signal_path), "%s", path.c_str());
+  }
+  if (!path.empty()) SetFlightRecorderEnabled(true);
+}
+
+std::string FlightRecordPath() {
+  std::lock_guard<std::mutex> lock(PathMutex());
+  return PathStorage();
+}
+
+bool DumpFlightRecordOnError(std::string_view reason) {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(PathMutex());
+    path = PathStorage();
+  }
+  if (path.empty()) return false;
+  // The ring stores literal names only; the full reason string goes
+  // into the dump's "reason" field instead.
+  RecordFlightEvent(FlightEventKind::kEngineError, "engine/error");
+  return WriteFlightRecord(path, reason).ok();
+}
+
+void ResetFlightRecorder() {
+  Slot* ring = Ring();
+  for (std::size_t i = 0; i < kRingCapacity; ++i) {
+    ring[i].stamp.store(0, std::memory_order_relaxed);
+  }
+  g_flight_seq.store(0, std::memory_order_relaxed);
+}
+
+#if INFERTURBO_HAVE_POSIX_SIGNALS
+
+namespace {
+
+// --- async-signal-safe serializer -----------------------------------
+// The normal dump path allocates (JsonValue, std::string); a fatal
+// signal handler cannot. This path formats the same flight_record.v1
+// document into a fixed static buffer with hand-rolled number/string
+// formatting and writes it with raw write(2).
+
+char g_signal_buffer[1 << 20];
+
+std::size_t AppendRaw(std::size_t pos, const char* text) {
+  while (*text != '\0' && pos + 1 < sizeof(g_signal_buffer)) {
+    g_signal_buffer[pos++] = *text++;
+  }
+  return pos;
+}
+
+std::size_t AppendInt(std::size_t pos, std::int64_t value) {
+  char digits[24];
+  int n = 0;
+  std::uint64_t magnitude;
+  if (value < 0) {
+    if (pos + 1 < sizeof(g_signal_buffer)) g_signal_buffer[pos++] = '-';
+    magnitude = static_cast<std::uint64_t>(-(value + 1)) + 1;
+  } else {
+    magnitude = static_cast<std::uint64_t>(value);
+  }
+  do {
+    digits[n++] = static_cast<char>('0' + magnitude % 10);
+    magnitude /= 10;
+  } while (magnitude != 0 && n < 24);
+  while (n > 0 && pos + 1 < sizeof(g_signal_buffer)) {
+    g_signal_buffer[pos++] = digits[--n];
+  }
+  return pos;
+}
+
+std::size_t AppendQuoted(std::size_t pos, const char* text) {
+  pos = AppendRaw(pos, "\"");
+  for (; text != nullptr && *text != '\0'; ++text) {
+    const char c = *text;
+    if (c == '"' || c == '\\') {
+      if (pos + 2 < sizeof(g_signal_buffer)) {
+        g_signal_buffer[pos++] = '\\';
+        g_signal_buffer[pos++] = c;
+      }
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      if (pos + 1 < sizeof(g_signal_buffer)) g_signal_buffer[pos++] = c;
+    }
+  }
+  return AppendRaw(pos, "\"");
+}
+
+void SignalHandler(int signo) {
+  if (g_signal_path[0] != '\0') {
+    std::size_t pos = 0;
+    pos = AppendRaw(pos,
+                    "{\"schema\":\"inferturbo.flight_record.v1\","
+                    "\"reason\":\"signal:");
+    pos = AppendInt(pos, signo);
+    pos = AppendRaw(pos, "\",\"events_recorded\":");
+    pos = AppendInt(pos, static_cast<std::int64_t>(
+                             g_flight_seq.load(std::memory_order_relaxed)));
+    pos = AppendRaw(pos, ",\"events_dropped\":0,\"events\":[");
+    Slot* ring = Ring();
+    bool first = true;
+    for (std::size_t i = 0; i < kRingCapacity; ++i) {
+      const Slot& slot = ring[i];
+      const std::uint64_t stamp = slot.stamp.load(std::memory_order_acquire);
+      if (stamp == 0 || (stamp & 1) != 0) continue;
+      if (!first) pos = AppendRaw(pos, ",");
+      first = false;
+      pos = AppendRaw(pos, "{\"seq\":");
+      pos = AppendInt(pos, static_cast<std::int64_t>(stamp / 2 - 1));
+      pos = AppendRaw(pos, ",\"kind\":");
+      pos = AppendQuoted(
+          pos, FlightEventKindName(static_cast<FlightEventKind>(
+                                       slot.kind.load(
+                                           std::memory_order_relaxed)))
+                   .data());
+      pos = AppendRaw(pos, ",\"name\":");
+      pos = AppendQuoted(pos, slot.name.load(std::memory_order_relaxed));
+      pos = AppendRaw(pos, ",\"a\":");
+      pos = AppendInt(pos, slot.a.load(std::memory_order_relaxed));
+      pos = AppendRaw(pos, ",\"b\":");
+      pos = AppendInt(pos, slot.b.load(std::memory_order_relaxed));
+      pos = AppendRaw(pos, ",\"time_ns\":");
+      pos = AppendInt(pos, slot.time_ns.load(std::memory_order_relaxed));
+      pos = AppendRaw(pos, ",\"thread\":");
+      pos = AppendInt(pos, static_cast<std::int64_t>(
+                               slot.thread.load(std::memory_order_relaxed)));
+      pos = AppendRaw(pos, "}");
+    }
+    pos = AppendRaw(pos, "]}\n");
+    const int fd = open(g_signal_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      std::size_t written = 0;
+      while (written < pos) {
+        const ssize_t n = write(fd, g_signal_buffer + written, pos - written);
+        if (n <= 0) break;
+        written += static_cast<std::size_t>(n);
+      }
+      close(fd);
+    }
+  }
+  // SA_RESETHAND restored the default action; re-raise so the process
+  // still dies with the original signal (and core dumps still happen).
+  raise(signo);
+}
+
+}  // namespace
+
+void InstallFlightRecordSignalHandler() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &SignalHandler;
+  action.sa_flags = SA_RESETHAND;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGSEGV, &action, nullptr);
+  sigaction(SIGABRT, &action, nullptr);
+  sigaction(SIGBUS, &action, nullptr);
+}
+
+#else  // !INFERTURBO_HAVE_POSIX_SIGNALS
+
+void InstallFlightRecordSignalHandler() {}
+
+#endif  // INFERTURBO_HAVE_POSIX_SIGNALS
+
+}  // namespace inferturbo

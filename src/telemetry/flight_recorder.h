@@ -1,0 +1,109 @@
+#ifndef INFERTURBO_TELEMETRY_FLIGHT_RECORDER_H_
+#define INFERTURBO_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/telemetry/json.h"
+
+namespace inferturbo {
+
+/// What happened. Kinds are coarse on purpose: the flight record is a
+/// postmortem trail ("what were the last ~4k interesting events before
+/// the failure"), not a metrics feed.
+enum class FlightEventKind : std::uint8_t {
+  kMark = 0,             ///< Free-form annotation (a, b caller-defined).
+  kSpanBegin,            ///< TraceSpan opened. a = track.
+  kSpanEnd,              ///< TraceSpan closed. a = track, b = dur_ns.
+  kRetry,                ///< Task attempt will be retried. a = task, b = attempt.
+  kDeadline,             ///< Attempt deadline exceeded. a = task, b = attempt.
+  kSpeculativeLaunch,    ///< Backup attempt launched. a = task, b = attempt.
+  kSpeculativeCommit,    ///< Backup won the commit race. a = task.
+  kQuarantine,           ///< Worker quarantined. a = worker.
+  kFaultInjected,        ///< Chaos fault fired. a = step, b = worker.
+  kTaskFailure,          ///< Task exhausted its retry budget. a = task.
+  kEviction,             ///< Shard store evicted a partition. a = partition,
+                         ///< b = bytes released.
+  kGenerationSwap,       ///< Serving engine published a generation. a = epoch.
+  kCheckpointSave,       ///< a = superstep.
+  kCheckpointRestore,    ///< a = superstep restored to.
+  kSuperstepReexec,      ///< Degradation ladder re-ran a superstep. a = step.
+  kEngineError,          ///< An engine Run() is returning an error status.
+};
+
+std::string_view FlightEventKindName(FlightEventKind kind);
+
+/// One recorded event. `name` is a string literal (the recorder stores
+/// the pointer); `a`/`b` are kind-specific operands, see the enum.
+struct FlightEvent {
+  FlightEventKind kind = FlightEventKind::kMark;
+  const char* name = nullptr;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t time_ns = 0;  ///< Same steady epoch as TraceSpan events.
+  std::uint32_t thread = 0;  ///< Dense per-process thread index.
+  std::uint64_t seq = 0;     ///< Global record order.
+};
+
+/// Recording switch. Off by default (the zero-perturbation contract:
+/// a disabled RecordFlightEvent is one relaxed load + branch); once
+/// enabled the ring is always-on — events are never drained, old slots
+/// are overwritten, and a dump snapshots without stopping writers.
+namespace telemetry_internal {
+extern std::atomic<bool> g_flight_enabled;
+}  // namespace telemetry_internal
+
+inline bool FlightRecorderEnabled() {
+  return telemetry_internal::g_flight_enabled.load(std::memory_order_relaxed);
+}
+void SetFlightRecorderEnabled(bool enabled);
+
+/// Appends one event to the lock-free ring. Wait-free for writers: one
+/// fetch_add to claim a slot plus plain stores guarded by a per-slot
+/// sequence word (seqlock); a writer never blocks on readers or other
+/// writers. `name` MUST be a string literal.
+void RecordFlightEvent(FlightEventKind kind, const char* name,
+                       std::int64_t a = 0, std::int64_t b = 0);
+
+/// Copies the ring's current contents, oldest first. Slots mid-write
+/// at snapshot time are skipped (torn reads are detected via the slot
+/// sequence), so this is safe to call while writers are active — the
+/// dump path does exactly that.
+std::vector<FlightEvent> FlightRecordSnapshot();
+
+/// Total events ever recorded (>= snapshot size once the ring wraps).
+std::uint64_t FlightRecordTotalEvents();
+
+/// {"schema": "inferturbo.flight_record.v1", "reason": ...,
+///  "events_recorded": N, "events_dropped": M, "events": [...]}.
+JsonValue BuildFlightRecord(std::string_view reason);
+
+/// BuildFlightRecord + durable write through WriteFileAtomic.
+Status WriteFlightRecord(const std::string& path, std::string_view reason);
+
+/// Where error paths dump to. Empty (the default) disables dumping;
+/// setting a path also enables recording.
+void SetFlightRecordPath(std::string path);
+std::string FlightRecordPath();
+
+/// Dump-on-error hook the engines and the CLI call when a run is about
+/// to surface a failure. Writes to the configured path; no-op (returns
+/// false) when no path is set. Safe to call more than once — the last
+/// dump wins, which is the one closest to the surfaced error.
+bool DumpFlightRecordOnError(std::string_view reason);
+
+/// Installs SIGSEGV/SIGABRT/SIGBUS handlers that write the ring to the
+/// configured path with a signal-safe serializer (no allocation, write()
+/// only) before re-raising. Call after SetFlightRecordPath.
+void InstallFlightRecordSignalHandler();
+
+/// Clears the ring and counters (test isolation between cases).
+void ResetFlightRecorder();
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TELEMETRY_FLIGHT_RECORDER_H_

@@ -43,9 +43,70 @@ void AtomicMaxDouble(std::atomic<std::uint64_t>* bits, double value) {
 
 }  // namespace
 
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot delta;
+  delta.options = options;
+  delta.buckets.resize(buckets.size());
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::int64_t before =
+        i < earlier.buckets.size() ? earlier.buckets[i] : 0;
+    delta.buckets[i] = buckets[i] - before;
+  }
+  delta.count = count - earlier.count;
+  delta.sum = sum - earlier.sum;
+  delta.max = max;  // a max cannot be un-observed; keep the later bound
+  return delta;
+}
+
+double HistogramSnapshot::BucketUpperBound(int i) const {
+  if (i >= options.num_buckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double bound = options.first_bucket;
+  for (int b = 0; b < i; ++b) bound *= options.growth;
+  return bound;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count <= 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double rank = q * static_cast<double>(count);
+  std::int64_t cumulative = 0;
+  for (int i = 0; i < static_cast<int>(buckets.size()); ++i) {
+    const std::int64_t in_bucket = buckets[static_cast<std::size_t>(i)];
+    if (in_bucket <= 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      const double lower = i == 0 ? 0.0 : BucketUpperBound(i - 1);
+      double upper = BucketUpperBound(i);
+      if (i == static_cast<int>(buckets.size()) - 1) upper = max;
+      if (upper < lower) upper = lower;
+      const double fraction = (rank - static_cast<double>(cumulative)) /
+                              static_cast<double>(in_bucket);
+      return lower + (upper - lower) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
 Histogram::Histogram(const HistogramOptions& options)
     : options_(options),
       buckets_(static_cast<std::size_t>(options.num_buckets)) {}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.options = options_;
+  snapshot.buckets.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    snapshot.buckets.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  snapshot.count = count();
+  snapshot.sum = sum();
+  snapshot.max = max();
+  return snapshot;
+}
 
 double Histogram::BucketUpperBound(int i) const {
   if (i >= options_.num_buckets - 1) {
@@ -194,6 +255,21 @@ JsonValue MetricRegistry::Snapshot() const {
       {"gauges", JsonValue(std::move(gauges))},
       {"histograms", JsonValue(std::move(histograms))},
   });
+}
+
+MetricRegistry::Sample MetricRegistry::TakeSample() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Sample sample;
+  for (const auto& [name, counter] : counters_) {
+    sample.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    sample.gauges[name] = {gauge->value(), gauge->peak()};
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    sample.histograms[name] = histogram->Snapshot();
+  }
+  return sample;
 }
 
 MetricRegistry& GlobalMetrics() {

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/telemetry/json.h"
@@ -81,12 +82,39 @@ struct HistogramOptions {
   int num_buckets = 40;
 };
 
+/// A cheap point-in-time copy of a histogram's state. Supports
+/// subtraction, so a periodic sampler can report percentiles over just
+/// the last interval (snapshot_now - snapshot_then) instead of
+/// since-process-start cumulatives — the timeline's p50/p95/p99 lines
+/// are interval-local for exactly this reason.
+struct HistogramSnapshot {
+  HistogramOptions options;
+  std::vector<std::int64_t> buckets;
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+
+  /// This snapshot minus an `earlier` one of the same histogram:
+  /// bucket-wise and count/sum difference. max cannot be un-observed,
+  /// so the delta keeps the later max (an upper bound for the
+  /// interval).
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const;
+
+  /// Same interpolation as Histogram::Percentile, over this snapshot.
+  double Percentile(double q) const;
+  double BucketUpperBound(int i) const;
+};
+
 /// Fixed exponential-bucket histogram. Observe() touches only relaxed
 /// atomics (one bucket count, a CAS-folded sum, a CAS max), so
 /// concurrent observers never serialize on a lock.
 class Histogram {
  public:
   void Observe(double value);
+
+  /// Point-in-time copy (relaxed loads; no lock, no quiescence —
+  /// concurrent observers may straddle the copy by one count).
+  HistogramSnapshot Snapshot() const;
 
   std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const;
@@ -139,6 +167,16 @@ class MetricRegistry {
   /// {count, sum, max, p50, p95, p99}}} — keys sorted, deterministic.
   JsonValue Snapshot() const;
   std::string SnapshotJson() const { return Snapshot().Dump(2); }
+
+  /// Structured point-in-time copy of every instrument, for samplers
+  /// that need deltas between two points (the serve-mode timeline).
+  struct Sample {
+    std::map<std::string, std::int64_t> counters;
+    /// name -> {value, peak}.
+    std::map<std::string, std::pair<std::int64_t, std::int64_t>> gauges;
+    std::map<std::string, HistogramSnapshot> histograms;
+  };
+  Sample TakeSample() const;
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,239 @@
+#include "src/telemetry/perf_counters.h"
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string_view>
+
+#include "src/telemetry/metrics.h"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define INFERTURBO_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#define INFERTURBO_HAVE_PERF_EVENT 0
+#endif
+
+namespace inferturbo {
+
+namespace telemetry_internal {
+std::atomic<bool> g_profiling_enabled{false};
+}  // namespace telemetry_internal
+
+void SetProfilingEnabled(bool enabled) {
+  telemetry_internal::g_profiling_enabled.store(enabled,
+                                                std::memory_order_relaxed);
+}
+
+PerfCounterValues& PerfCounterValues::operator+=(
+    const PerfCounterValues& other) {
+  cycles += other.cycles;
+  instructions += other.instructions;
+  llc_misses += other.llc_misses;
+  stalled_cycles += other.stalled_cycles;
+  valid = valid || other.valid;
+  return *this;
+}
+
+PerfCounterValues PerfCounterValues::operator-(
+    const PerfCounterValues& other) const {
+  PerfCounterValues delta;
+  delta.cycles = cycles - other.cycles;
+  delta.instructions = instructions - other.instructions;
+  delta.llc_misses = llc_misses - other.llc_misses;
+  delta.stalled_cycles = stalled_cycles - other.stalled_cycles;
+  delta.valid = valid && other.valid;
+  return delta;
+}
+
+namespace {
+
+std::string& UnavailableReason() {
+  static std::string* reason = new std::string();
+  return *reason;
+}
+
+#if INFERTURBO_HAVE_PERF_EVENT
+
+int PerfEventOpen(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 0;
+  // Userspace-only counting works unprivileged under the common
+  // perf_event_paranoid=2 default; counting kernel time would need
+  // CAP_PERFMON, which CI containers do not have.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this thread, any CPU it migrates to.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0UL));
+}
+
+bool ProbeSupport() {
+  const int fd = PerfEventOpen(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  if (fd < 0) {
+    UnavailableReason() =
+        std::string("perf_event_open_failed: ") + std::strerror(errno);
+    return false;
+  }
+  close(fd);
+  return true;
+}
+
+/// The counter set one thread reads. Each event gets its own fd (no
+/// PERF_FORMAT_GROUP: separate fds keep partially-available sets — a
+/// machine without a stalled-cycles event — usable instead of
+/// all-or-nothing). Closed by the thread_local destructor at thread
+/// exit.
+struct ThreadCounters {
+  int cycles_fd = -1;
+  int instructions_fd = -1;
+  int llc_fd = -1;
+  int stalled_fd = -1;
+  bool opened = false;
+
+  void Open() {
+    opened = true;
+    cycles_fd = PerfEventOpen(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+    instructions_fd =
+        PerfEventOpen(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+    llc_fd = PerfEventOpen(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+    stalled_fd = PerfEventOpen(PERF_TYPE_HARDWARE,
+                               PERF_COUNT_HW_STALLED_CYCLES_BACKEND);
+  }
+
+  ~ThreadCounters() {
+    if (cycles_fd >= 0) close(cycles_fd);
+    if (instructions_fd >= 0) close(instructions_fd);
+    if (llc_fd >= 0) close(llc_fd);
+    if (stalled_fd >= 0) close(stalled_fd);
+  }
+
+  static std::int64_t ReadOne(int fd) {
+    if (fd < 0) return 0;
+    std::uint64_t value = 0;
+    if (read(fd, &value, sizeof(value)) != sizeof(value)) return 0;
+    return static_cast<std::int64_t>(value);
+  }
+
+  PerfCounterValues Read() {
+    if (!opened) Open();
+    PerfCounterValues v;
+    v.cycles = ReadOne(cycles_fd);
+    v.instructions = ReadOne(instructions_fd);
+    v.llc_misses = ReadOne(llc_fd);
+    v.stalled_cycles = ReadOne(stalled_fd);
+    v.valid = cycles_fd >= 0;
+    return v;
+  }
+};
+
+ThreadCounters& LocalCounters() {
+  thread_local ThreadCounters counters;
+  return counters;
+}
+
+#else  // !INFERTURBO_HAVE_PERF_EVENT
+
+bool ProbeSupport() {
+  UnavailableReason() = "not_linux";
+  return false;
+}
+
+#endif  // INFERTURBO_HAVE_PERF_EVENT
+
+// Registry accumulation for a dynamic scope name. Profiled scopes are
+// coarse (kernel dispatch, superstep stages), so a mutex-guarded map of
+// cached counter pointers is fine off the disabled fast path.
+struct ScopeCounters {
+  Counter* cycles;
+  Counter* instructions;
+  Counter* llc_misses;
+  Counter* stalled_cycles;
+  Counter* scopes;
+};
+
+ScopeCounters& CountersFor(const char* name) {
+  static std::mutex* mu = new std::mutex();
+  static auto* map = new std::map<std::string, ScopeCounters, std::less<>>();
+  std::lock_guard<std::mutex> lock(*mu);
+  auto it = map->find(std::string_view(name));
+  if (it == map->end()) {
+    const std::string base = std::string("profile.") + name;
+    ScopeCounters entry{
+        GlobalMetrics().GetCounter(base + ".cycles"),
+        GlobalMetrics().GetCounter(base + ".instructions"),
+        GlobalMetrics().GetCounter(base + ".llc_misses"),
+        GlobalMetrics().GetCounter(base + ".stalled_cycles"),
+        GlobalMetrics().GetCounter(base + ".scopes"),
+    };
+    it = map->emplace(std::string(name), entry).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+bool PerfCountersSupported() {
+  static const bool supported = ProbeSupport();
+  return supported;
+}
+
+const std::string& PerfCountersUnavailableReason() {
+  PerfCountersSupported();  // force the probe so the reason is set
+  return UnavailableReason();
+}
+
+PerfCounterValues ReadThreadPerfCounters() {
+#if INFERTURBO_HAVE_PERF_EVENT
+  if (ProfilingEnabled() && PerfCountersSupported()) {
+    return LocalCounters().Read();
+  }
+#endif
+  return PerfCounterValues{};
+}
+
+PerfCounterScope::PerfCounterScope(const char* name) {
+  if (!ProfilingEnabled()) return;
+  name_ = name;
+  start_ = ReadThreadPerfCounters();
+}
+
+PerfCounterScope::PerfCounterScope(const char* name, PerfCounterValues* out) {
+  if (!ProfilingEnabled()) return;
+  name_ = name;
+  out_ = out;
+  start_ = ReadThreadPerfCounters();
+}
+
+PerfCounterScope::~PerfCounterScope() {
+  if (name_ == nullptr) return;
+  const PerfCounterValues delta = ReadThreadPerfCounters() - start_;
+  if (out_ != nullptr) {
+    *out_ += delta;
+    return;
+  }
+  if (!delta.valid) return;
+  const ScopeCounters& counters = CountersFor(name_);
+  counters.cycles->Add(delta.cycles);
+  counters.instructions->Add(delta.instructions);
+  counters.llc_misses->Add(delta.llc_misses);
+  counters.stalled_cycles->Add(delta.stalled_cycles);
+  counters.scopes->Increment();
+}
+
+JsonValue ProfilingReportJson() {
+  return JsonValue(JsonValue::Object{
+      {"available", JsonValue(PerfCountersSupported())},
+      {"enabled", JsonValue(ProfilingEnabled())},
+      {"fallback_reason", JsonValue(PerfCountersUnavailableReason())},
+  });
+}
+
+}  // namespace inferturbo

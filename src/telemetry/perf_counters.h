@@ -1,0 +1,88 @@
+#ifndef INFERTURBO_TELEMETRY_PERF_COUNTERS_H_
+#define INFERTURBO_TELEMETRY_PERF_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/telemetry/json.h"
+
+namespace inferturbo {
+
+/// Process-wide profiling switch, independent of the metrics/tracing
+/// switches. Off by default; when off a PerfCounterScope is a relaxed
+/// atomic load + branch — no syscalls, no fds, no timing.
+namespace telemetry_internal {
+extern std::atomic<bool> g_profiling_enabled;
+}  // namespace telemetry_internal
+
+inline bool ProfilingEnabled() {
+  return telemetry_internal::g_profiling_enabled.load(
+      std::memory_order_relaxed);
+}
+void SetProfilingEnabled(bool enabled);
+
+/// One reading (or delta) of the per-thread hardware counter set.
+/// Fields the kernel could not provision stay zero; `valid` is true
+/// when at least the cycle counter was live for the reading.
+struct PerfCounterValues {
+  std::int64_t cycles = 0;
+  std::int64_t instructions = 0;
+  std::int64_t llc_misses = 0;
+  std::int64_t stalled_cycles = 0;
+  bool valid = false;
+
+  PerfCounterValues& operator+=(const PerfCounterValues& other);
+  PerfCounterValues operator-(const PerfCounterValues& other) const;
+  double ipc() const {
+    return cycles > 0 ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+  }
+};
+
+/// True when perf_event_open is usable in this process (Linux, header
+/// present, and the kernel/perms allow opening a userspace cycle
+/// counter). Probed once per process; cheap to call repeatedly.
+bool PerfCountersSupported();
+
+/// Why PerfCountersSupported() is false: "" when supported, otherwise a
+/// short stable reason ("not_linux", "perf_event_open_failed: ...").
+/// Benches record this as the explicit fallback marker.
+const std::string& PerfCountersUnavailableReason();
+
+/// Current cumulative counters for the calling thread. Opens the
+/// thread's counter fds lazily on first call (when profiling is enabled
+/// and supported); returns valid=false otherwise. Counters run freely
+/// once opened, so deltas between two readings bracket a region.
+PerfCounterValues ReadThreadPerfCounters();
+
+/// RAII delta reader. Reads the thread counters at construction and
+/// destruction and accumulates the delta either into `out` or — for
+/// the registry-accumulating form — into counters named
+/// "profile.<name>.cycles" / ".instructions" / ".llc_misses" /
+/// ".stalled_cycles" / ".scopes" (profiling is its own opt-in; the
+/// metrics master switch is not consulted). `name` must be a string
+/// literal. No-op when profiling is disabled or unsupported.
+class PerfCounterScope {
+ public:
+  explicit PerfCounterScope(const char* name);
+  PerfCounterScope(const char* name, PerfCounterValues* out);
+  ~PerfCounterScope();
+
+  PerfCounterScope(const PerfCounterScope&) = delete;
+  PerfCounterScope& operator=(const PerfCounterScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // nullptr == disarmed
+  PerfCounterValues* out_ = nullptr;
+  PerfCounterValues start_;
+};
+
+/// {"available": bool, "enabled": bool, "fallback_reason": string} —
+/// the run report's "profiling" section.
+JsonValue ProfilingReportJson();
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TELEMETRY_PERF_COUNTERS_H_

@@ -1,0 +1,358 @@
+#include "src/telemetry/report_diff.h"
+
+#include <cmath>
+#include <cstdio>
+#include <initializer_list>
+#include <map>
+#include <utility>
+
+#include "src/common/atomic_file.h"
+
+namespace inferturbo {
+namespace {
+
+bool Contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+bool ContainsAny(std::string_view key,
+                 std::initializer_list<std::string_view> needles) {
+  for (const std::string_view needle : needles) {
+    if (Contains(key, needle)) return true;
+  }
+  return false;
+}
+
+std::string FormatNumber(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return std::string(buf);
+}
+
+}  // namespace
+
+MetricDirection ClassifyMetricKey(std::string_view key) {
+  // Exact-identity values: any drift is a correctness bug, not a perf
+  // regression, so no tolerance applies.
+  if (ContainsAny(key, {"checksum", "crc", "recomputed"})) {
+    return MetricDirection::kExact;
+  }
+  // Throughput-like: shrinking is the regression. Checked before the
+  // time-like class because "queries_per_second" contains "seconds".
+  if (ContainsAny(key, {"gflops", "speedup", "mb_per_s", "per_second",
+                        "qps", "throughput", "hit_rate"})) {
+    return MetricDirection::kLowerIsWorse;
+  }
+  // Time-like and badness counters: growth is the regression.
+  if (ContainsAny(key, {"seconds", "ns_per", "latency", "p50", "p95", "p99",
+                        "fallback", "failures"})) {
+    return MetricDirection::kHigherIsWorse;
+  }
+  return MetricDirection::kInformational;
+}
+
+namespace {
+
+struct DiffContext {
+  const ReportDiffOptions* options;
+  ReportDiffResult* result;
+
+  bool KeyGated(std::string_view key, MetricDirection direction) const {
+    if (direction == MetricDirection::kExact) return true;
+    if (direction == MetricDirection::kInformational) return false;
+    if (options->key_filters.empty()) return true;
+    for (const std::string& filter : options->key_filters) {
+      if (Contains(key, filter)) return true;
+    }
+    return false;
+  }
+
+  void AddFinding(std::string path, std::string kind, double baseline,
+                  double current, std::string detail, bool fails) {
+    result->findings.push_back(ReportDiffFinding{
+        std::move(path), std::move(kind), baseline, current,
+        std::move(detail)});
+    if (fails) result->ok = false;
+  }
+
+  void Missing(const std::string& path) {
+    ++result->missing;
+    if (options->fail_on_missing) {
+      AddFinding(path, "missing", 0.0, 0.0,
+                 "present in baseline, absent in current", true);
+    }
+  }
+};
+
+void CompareValue(DiffContext* ctx, const std::string& path,
+                  std::string_view key, const JsonValue& baseline,
+                  const JsonValue& current);
+
+void CompareNumbers(DiffContext* ctx, const std::string& path,
+                    std::string_view key, const JsonValue& baseline_value,
+                    const JsonValue& current_value) {
+  const MetricDirection direction = ClassifyMetricKey(key);
+  if (!ctx->KeyGated(key, direction)) return;
+  const double baseline = baseline_value.as_double();
+  const double current = current_value.as_double();
+  ++ctx->result->compared;
+
+  if (direction == MetricDirection::kExact) {
+    const bool equal = baseline_value.is_int() && current_value.is_int()
+                           ? baseline_value.as_int() == current_value.as_int()
+                           : baseline == current;
+    if (!equal) {
+      ctx->AddFinding(path, "exact_mismatch", baseline, current,
+                      "exact-identity value changed", true);
+    }
+    return;
+  }
+
+  if (std::fabs(current - baseline) <= ctx->options->abs_tolerance) return;
+  // A zero/negative baseline has no meaningful ratio; exact-class keys
+  // were handled above, so skip rather than divide by zero.
+  if (baseline <= 0.0) return;
+  const double allowed = 1.0 + ctx->options->tolerance;
+  bool regressed = false;
+  std::string detail;
+  if (direction == MetricDirection::kHigherIsWorse) {
+    regressed = current > baseline * allowed;
+    detail = "grew " + FormatNumber(current / baseline) + "x (tolerance " +
+             FormatNumber(allowed) + "x)";
+  } else {
+    regressed = current < baseline / allowed;
+    detail = "shrank to " + FormatNumber(current / baseline) +
+             "x of baseline (tolerance 1/" + FormatNumber(allowed) + ")";
+  }
+  if (regressed) {
+    ctx->AddFinding(path, "regression", baseline, current, detail, true);
+  }
+}
+
+void CompareObjects(DiffContext* ctx, const std::string& path,
+                    const JsonValue::Object& baseline,
+                    const JsonValue::Object& current) {
+  for (const auto& [key, baseline_value] : baseline) {
+    const std::string child_path =
+        path.empty() ? key : path + "." + key;
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      ctx->Missing(child_path);
+      continue;
+    }
+    CompareValue(ctx, child_path, key, baseline_value, it->second);
+  }
+}
+
+void CompareValue(DiffContext* ctx, const std::string& path,
+                  std::string_view key, const JsonValue& baseline,
+                  const JsonValue& current) {
+  if (baseline.is_number() && current.is_number()) {
+    CompareNumbers(ctx, path, key, baseline, current);
+    return;
+  }
+  if (baseline.is_string() && current.is_string()) {
+    if (ClassifyMetricKey(key) == MetricDirection::kExact &&
+        baseline.as_string() != current.as_string()) {
+      ctx->AddFinding(path, "exact_mismatch", 0.0, 0.0,
+                      "\"" + baseline.as_string() + "\" -> \"" +
+                          current.as_string() + "\"",
+                      true);
+    }
+    return;
+  }
+  if (baseline.is_object() && current.is_object()) {
+    CompareObjects(ctx, path, baseline.as_object(), current.as_object());
+    return;
+  }
+  if (baseline.is_array() && current.is_array()) {
+    const JsonValue::Array& a = baseline.as_array();
+    const JsonValue::Array& b = current.as_array();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const std::string child_path = path + "[" + std::to_string(i) + "]";
+      if (i >= b.size()) {
+        ctx->Missing(child_path);
+        continue;
+      }
+      CompareValue(ctx, child_path, key, a[i], b[i]);
+    }
+    return;
+  }
+  if (baseline.is_bool() || baseline.is_null() || current.is_bool() ||
+      current.is_null()) {
+    return;  // flags like "avx2" legitimately differ across hosts
+  }
+  ctx->AddFinding(path, "structure", 0.0, 0.0,
+                  "value types differ between baseline and current", true);
+}
+
+/// Bench-record identity: the string fields that name the row (op,
+/// shape, mode, ...) plus small integer discriminators. Exact-class
+/// strings (CRCs) are *values*, not identity — a changed CRC must be
+/// flagged on a matched row, not silently produce an unmatched one.
+std::string RowIdentity(const JsonValue::Object& row) {
+  std::string identity;
+  for (const auto& [key, value] : row) {
+    const bool discriminator_int =
+        value.is_int() && ContainsAny(key, {"threads", "delta", "workers",
+                                            "step", "layer"});
+    const bool identity_string =
+        value.is_string() &&
+        ClassifyMetricKey(key) != MetricDirection::kExact;
+    if (!discriminator_int && !identity_string) continue;
+    identity += key;
+    identity += '=';
+    identity += value.is_string() ? value.as_string()
+                                  : std::to_string(value.as_int());
+    identity += ',';
+  }
+  if (!identity.empty()) identity.pop_back();
+  return identity;
+}
+
+void CompareResultsArrays(DiffContext* ctx, const JsonValue::Array& baseline,
+                          const JsonValue::Array& current) {
+  std::map<std::string, const JsonValue*> current_rows;
+  for (const JsonValue& row : current) {
+    if (row.is_object()) current_rows[RowIdentity(row.as_object())] = &row;
+  }
+  for (const JsonValue& row : baseline) {
+    if (!row.is_object()) continue;
+    const std::string identity = RowIdentity(row.as_object());
+    const std::string path = "results[" + identity + "]";
+    const auto it = current_rows.find(identity);
+    if (it == current_rows.end()) {
+      ctx->Missing(path);
+      continue;
+    }
+    CompareObjects(ctx, path, row.as_object(), it->second->as_object());
+  }
+}
+
+}  // namespace
+
+ReportDiffResult DiffReports(const JsonValue& baseline,
+                             const JsonValue& current,
+                             const ReportDiffOptions& options) {
+  ReportDiffResult result;
+  DiffContext ctx{&options, &result};
+  const JsonValue* baseline_rows = baseline.Find("results");
+  const JsonValue* current_rows = current.Find("results");
+  if (baseline_rows != nullptr && baseline_rows->is_array() &&
+      current_rows != nullptr && current_rows->is_array()) {
+    // Bench document: align rows by identity, then walk the scalar
+    // envelope (mode, checksums, ratio summaries) around them.
+    CompareResultsArrays(&ctx, baseline_rows->as_array(),
+                         current_rows->as_array());
+    JsonValue::Object baseline_rest = baseline.as_object();
+    JsonValue::Object current_rest = current.as_object();
+    baseline_rest.erase("results");
+    current_rest.erase("results");
+    CompareObjects(&ctx, "", baseline_rest, current_rest);
+  } else {
+    CompareValue(&ctx, "", "", baseline, current);
+  }
+  if (result.compared < options.min_compared) {
+    ctx.AddFinding("", "structure", 0.0, 0.0,
+                   "only " + std::to_string(result.compared) +
+                       " gated values compared (need >= " +
+                       std::to_string(options.min_compared) +
+                       ") — mismatched documents?",
+                   true);
+  }
+  return result;
+}
+
+Result<ReportDiffResult> DiffReportFiles(const std::string& baseline_path,
+                                         const std::string& current_path,
+                                         const ReportDiffOptions& options) {
+  INFERTURBO_ASSIGN_OR_RETURN(const std::string baseline_text,
+                              ReadFileToString(baseline_path));
+  INFERTURBO_ASSIGN_OR_RETURN(const std::string current_text,
+                              ReadFileToString(current_path));
+  Result<JsonValue> baseline = ParseJson(baseline_text);
+  if (!baseline.ok()) {
+    return Status::InvalidArgument(baseline_path + ": " +
+                                   baseline.status().message());
+  }
+  Result<JsonValue> current = ParseJson(current_text);
+  if (!current.ok()) {
+    return Status::InvalidArgument(current_path + ": " +
+                                   current.status().message());
+  }
+  return DiffReports(*baseline, *current, options);
+}
+
+std::string FormatReportDiff(const ReportDiffResult& result) {
+  std::string out;
+  for (const ReportDiffFinding& finding : result.findings) {
+    out += finding.kind == "regression" || finding.kind == "exact_mismatch"
+               ? "FAIL  "
+               : "NOTE  ";
+    out += finding.kind;
+    out += "  ";
+    out += finding.path.empty() ? "<document>" : finding.path;
+    if (finding.kind == "regression") {
+      out += "  baseline=" + FormatNumber(finding.baseline) +
+             " current=" + FormatNumber(finding.current);
+    }
+    if (!finding.detail.empty()) out += "  (" + finding.detail + ")";
+    out += '\n';
+  }
+  out += "compared=" + std::to_string(result.compared) +
+         " missing=" + std::to_string(result.missing) +
+         " findings=" + std::to_string(result.findings.size()) +
+         (result.ok ? " => OK" : " => REGRESSED") + "\n";
+  return out;
+}
+
+Result<std::int64_t> LintJsonFile(const std::string& path,
+                                  std::string_view expect_schema) {
+  INFERTURBO_ASSIGN_OR_RETURN(const std::string text,
+                              ReadFileToString(path));
+  std::vector<JsonValue> documents;
+  Result<JsonValue> whole = ParseJson(text);
+  if (whole.ok()) {
+    documents.push_back(std::move(*whole));
+  } else {
+    // JSONL: every non-empty line is an independent document.
+    std::size_t start = 0;
+    std::int64_t line_number = 0;
+    while (start <= text.size()) {
+      std::size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      ++line_number;
+      const std::string_view line(text.data() + start, end - start);
+      start = end + 1;
+      if (line.find_first_not_of(" \t\r") == std::string_view::npos) {
+        continue;
+      }
+      Result<JsonValue> parsed = ParseJson(line);
+      if (!parsed.ok()) {
+        return Status::InvalidArgument(
+            path + ":" + std::to_string(line_number) + ": " +
+            parsed.status().message());
+      }
+      documents.push_back(std::move(*parsed));
+    }
+  }
+  if (documents.empty()) {
+    return Status::InvalidArgument(path + ": no JSON documents");
+  }
+  if (!expect_schema.empty()) {
+    std::int64_t index = 0;
+    for (const JsonValue& document : documents) {
+      const JsonValue* schema = document.Find("schema");
+      if (schema == nullptr || !schema->is_string() ||
+          schema->as_string() != expect_schema) {
+        return Status::InvalidArgument(
+            path + ": document " + std::to_string(index) +
+            " schema != " + std::string(expect_schema));
+      }
+      ++index;
+    }
+  }
+  return static_cast<std::int64_t>(documents.size());
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,90 @@
+#ifndef INFERTURBO_TELEMETRY_REPORT_DIFF_H_
+#define INFERTURBO_TELEMETRY_REPORT_DIFF_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/telemetry/json.h"
+
+namespace inferturbo {
+
+/// How a metric key is gated when a baseline and a current document
+/// disagree. Classification is by key name (last path segment), so the
+/// same rules apply to run_report.v1 documents and BENCH_*.json bench
+/// records without per-file schemas.
+enum class MetricDirection {
+  kHigherIsWorse,   ///< times, latencies, fallback/failure counters
+  kLowerIsWorse,    ///< throughputs, speedups, hit rates
+  kExact,           ///< checksums/CRCs/recompute counts: any change fails
+  kInformational,   ///< everything else: reported, never gated
+};
+
+MetricDirection ClassifyMetricKey(std::string_view key);
+
+struct ReportDiffOptions {
+  /// Relative tolerance for directional keys: higher-is-worse fails
+  /// when current > baseline * (1 + tolerance); lower-is-worse fails
+  /// when current < baseline / (1 + tolerance).
+  double tolerance = 0.25;
+  /// Absolute floor below which differences are ignored (sub-nanosecond
+  /// jitter on near-zero timings must not trip a relative gate).
+  double abs_tolerance = 1e-9;
+  /// When nonempty, only keys containing one of these substrings are
+  /// gated (exact-class keys are always gated). Lets CI gate
+  /// bench_superstep on host-invariant speedup ratios while ignoring
+  /// absolute seconds across heterogeneous runners.
+  std::vector<std::string> key_filters;
+  /// Treat baseline rows/keys missing from the current document as
+  /// failures (default: count them, don't fail).
+  bool fail_on_missing = false;
+  /// Fail unless at least this many values were actually compared — a
+  /// mis-matched pair of files that aligns zero rows must not pass.
+  std::int64_t min_compared = 1;
+};
+
+struct ReportDiffFinding {
+  std::string path;     ///< "results[op=gather,threads=2].speedup_vs_reference"
+  std::string kind;     ///< "regression" | "exact_mismatch" | "missing" | "structure"
+  double baseline = 0.0;
+  double current = 0.0;
+  std::string detail;   ///< human-readable one-liner
+};
+
+struct ReportDiffResult {
+  std::vector<ReportDiffFinding> findings;
+  std::int64_t compared = 0;  ///< gated values actually checked
+  std::int64_t missing = 0;   ///< baseline values absent from current
+  bool ok = true;
+};
+
+/// Compares two telemetry documents. Documents with a top-level
+/// "results" array of records (the bench output format) are aligned
+/// row-by-row on their identity fields (string fields that are not
+/// exact-class, plus integer discriminators like "threads"/"delta");
+/// any other object is walked recursively and compared key-by-key.
+ReportDiffResult DiffReports(const JsonValue& baseline,
+                             const JsonValue& current,
+                             const ReportDiffOptions& options);
+
+/// Parses both files and diffs them.
+Result<ReportDiffResult> DiffReportFiles(const std::string& baseline_path,
+                                         const std::string& current_path,
+                                         const ReportDiffOptions& options);
+
+/// Multi-line human summary (one line per finding + totals).
+std::string FormatReportDiff(const ReportDiffResult& result);
+
+/// Validates that `path` holds well-formed JSON: either one document,
+/// or (when whole-file parsing fails) JSONL — every non-empty line an
+/// independent document. When `expect_schema` is non-empty, every
+/// document's "schema" member must equal it. Returns the number of
+/// documents validated (>= 1).
+Result<std::int64_t> LintJsonFile(const std::string& path,
+                                  std::string_view expect_schema);
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TELEMETRY_REPORT_DIFF_H_

@@ -6,6 +6,7 @@
 #include "src/common/atomic_file.h"
 #include "src/storage/shard_reader.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/perf_counters.h"
 
 namespace inferturbo {
 namespace {
@@ -21,6 +22,34 @@ JsonValue WorkerTotalsJson(const WorkerStepMetrics& t) {
       {"records_out", JsonValue(t.records_out)},
       {"peak_resident_bytes", JsonValue(t.peak_resident_bytes)},
   });
+}
+
+/// Per-read-path latency distributions, from the instruments
+/// ObserveShardRead feeds. Only tiers that actually served reads this
+/// run appear, so an in-memory run's storage section stays compact and
+/// a `read_path_fallbacks` regression is visible as a second tier
+/// (mmap) showing up next to the configured one.
+JsonValue ReadLatencyJson() {
+  JsonValue::Object out;
+  for (const ShardReadPath path :
+       {ShardReadPath::kMmap, ShardReadPath::kPread, ShardReadPath::kDirect,
+        ShardReadPath::kUring}) {
+    const std::string name(ShardReadPathName(path));
+    const std::string base = "storage.read." + name;
+    Counter* reads = GlobalMetrics().GetCounter(base + ".reads");
+    if (reads->value() == 0) continue;
+    Histogram* seconds = GlobalMetrics().GetHistogram(base + ".seconds");
+    Counter* bytes = GlobalMetrics().GetCounter(base + ".bytes");
+    out[name] = JsonValue(JsonValue::Object{
+        {"reads", JsonValue(reads->value())},
+        {"bytes", JsonValue(bytes->value())},
+        {"p50_seconds", JsonValue(seconds->Percentile(0.50))},
+        {"p95_seconds", JsonValue(seconds->Percentile(0.95))},
+        {"p99_seconds", JsonValue(seconds->Percentile(0.99))},
+        {"max_seconds", JsonValue(seconds->max())},
+    });
+  }
+  return JsonValue(std::move(out));
 }
 
 JsonValue StorageJson(const StorageMetrics& s) {
@@ -51,6 +80,7 @@ JsonValue StorageJson(const StorageMetrics& s) {
        JsonValue(std::string(ShardReadPathName(
            static_cast<ShardReadPath>(s.read_path))))},
       {"read_path_fallbacks", JsonValue(s.read_path_fallbacks)},
+      {"read_latency", ReadLatencyJson()},
   });
 }
 
@@ -130,6 +160,7 @@ JsonValue BuildRunReport(const JobMetrics& metrics,
       {"storage", StorageJson(metrics.storage)},
       {"faults", FaultsJson(metrics.supervision)},
       {"metrics", GlobalMetrics().Snapshot()},
+      {"profiling", ProfilingReportJson()},
   };
   if (options.serving != nullptr) {
     report["serving"] = ServingJson(*options.serving);

@@ -1,0 +1,124 @@
+#include "src/telemetry/timeline.h"
+
+#include <chrono>
+#include <fstream>
+#include <utility>
+
+#include "src/telemetry/trace.h"
+
+namespace inferturbo {
+
+TimelineSampler::TimelineSampler(TimelineOptions options)
+    : options_(std::move(options)) {
+  start_ns_ = TraceNowNs();
+  previous_ns_ = start_ns_;
+  previous_ = GlobalMetrics().TakeSample();
+  // Truncate any stale file so one serve run owns the whole timeline.
+  std::ofstream(options_.path, std::ios::trunc);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+TimelineSampler::~TimelineSampler() { Stop(); }
+
+void TimelineSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+}
+
+void TimelineSampler::Loop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock,
+                   std::chrono::duration<double>(options_.interval_seconds),
+                   [this] { return stop_requested_; });
+      if (stop_requested_) break;
+    }
+    EmitSample();
+  }
+  // Final flush: a run shorter than one interval still gets a line.
+  EmitSample();
+}
+
+void TimelineSampler::EmitSample() {
+  const std::int64_t now_ns = TraceNowNs();
+  const MetricRegistry::Sample sample = GlobalMetrics().TakeSample();
+
+  JsonValue::Object counters;
+  for (const auto& [name, total] : sample.counters) {
+    const auto it = previous_.counters.find(name);
+    const std::int64_t before =
+        it != previous_.counters.end() ? it->second : 0;
+    counters[name] = JsonValue(JsonValue::Object{
+        {"total", JsonValue(total)},
+        {"delta", JsonValue(total - before)},
+    });
+  }
+
+  JsonValue::Object gauges;
+  for (const auto& [name, value_peak] : sample.gauges) {
+    gauges[name] = JsonValue(JsonValue::Object{
+        {"value", JsonValue(value_peak.first)},
+        {"peak", JsonValue(value_peak.second)},
+    });
+  }
+
+  JsonValue::Object histograms;
+  for (const auto& [name, snapshot] : sample.histograms) {
+    JsonValue::Object h{
+        {"count", JsonValue(snapshot.count)},
+        {"p50", JsonValue(snapshot.Percentile(0.50))},
+        {"p95", JsonValue(snapshot.Percentile(0.95))},
+        {"p99", JsonValue(snapshot.Percentile(0.99))},
+    };
+    const auto it = previous_.histograms.find(name);
+    if (it != previous_.histograms.end()) {
+      const HistogramSnapshot delta = snapshot.DeltaSince(it->second);
+      h["interval_count"] = JsonValue(delta.count);
+      h["interval_p50"] = JsonValue(delta.Percentile(0.50));
+      h["interval_p95"] = JsonValue(delta.Percentile(0.95));
+      h["interval_p99"] = JsonValue(delta.Percentile(0.99));
+    } else {
+      h["interval_count"] = JsonValue(snapshot.count);
+    }
+    histograms[name] = JsonValue(std::move(h));
+  }
+
+  JsonValue::Object line{
+      {"schema", JsonValue("inferturbo.run_timeline.v1")},
+      {"seq", JsonValue(next_seq_)},
+      {"uptime_seconds",
+       JsonValue(static_cast<double>(now_ns - start_ns_) / 1e9)},
+      {"interval_seconds",
+       JsonValue(static_cast<double>(now_ns - previous_ns_) / 1e9)},
+      {"counters", JsonValue(std::move(counters))},
+      {"gauges", JsonValue(std::move(gauges))},
+      {"histograms", JsonValue(std::move(histograms))},
+  };
+  if (options_.extra) {
+    const JsonValue extra = options_.extra();
+    if (extra.is_object()) {
+      for (const auto& [key, value] : extra.as_object()) {
+        line[key] = value;
+      }
+    }
+  }
+
+  std::ofstream out(options_.path, std::ios::app);
+  out << JsonValue(std::move(line)).Dump(-1) << "\n";
+  out.flush();
+
+  previous_ = sample;
+  previous_ns_ = now_ns;
+  ++next_seq_;
+  ++samples_;
+}
+
+}  // namespace inferturbo

@@ -1,0 +1,75 @@
+#ifndef INFERTURBO_TELEMETRY_TIMELINE_H_
+#define INFERTURBO_TELEMETRY_TIMELINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/telemetry/json.h"
+#include "src/telemetry/metrics.h"
+
+namespace inferturbo {
+
+struct TimelineOptions {
+  /// JSONL output file; one run_timeline.v1 object is appended per
+  /// sample. Required.
+  std::string path;
+  /// Sampling period. The sampler also emits one final sample on
+  /// Stop(), so even a run shorter than one interval produces a line.
+  double interval_seconds = 1.0;
+  /// Optional per-sample extension: returned object members are merged
+  /// into each line (the serving engine contributes generation epoch,
+  /// queue depth, and batcher occupancy this way). Called on the
+  /// sampler thread; must be thread-safe.
+  std::function<JsonValue()> extra;
+};
+
+/// Background sampler for long-lived processes (serve mode). Every
+/// interval it takes a MetricRegistry sample, diffs it against the
+/// previous one, and appends a `run_timeline.v1` JSON line: counter
+/// totals + interval deltas, gauge value/peak, and histogram
+/// percentiles both cumulative and interval-local (via
+/// HistogramSnapshot::DeltaSince). Lines are flushed per sample so a
+/// tail -f (or a crashed process's last written line) is always
+/// parseable.
+class TimelineSampler {
+ public:
+  explicit TimelineSampler(TimelineOptions options);
+  ~TimelineSampler();
+
+  TimelineSampler(const TimelineSampler&) = delete;
+  TimelineSampler& operator=(const TimelineSampler&) = delete;
+
+  /// Emits one final sample and joins the thread. Idempotent; the
+  /// destructor calls it.
+  void Stop();
+
+  std::int64_t samples() const {
+    return samples_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void EmitSample();
+
+  TimelineOptions options_;
+  MetricRegistry::Sample previous_;
+  std::int64_t start_ns_ = 0;
+  std::int64_t previous_ns_ = 0;
+  std::atomic<std::int64_t> samples_{0};
+  std::int64_t next_seq_ = 0;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TELEMETRY_TIMELINE_H_

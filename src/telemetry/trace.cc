@@ -8,6 +8,7 @@
 #include <set>
 
 #include "src/common/atomic_file.h"
+#include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/json.h"
 
 namespace inferturbo {
@@ -21,9 +22,7 @@ void SetTracingEnabled(bool enabled) {
                                             std::memory_order_relaxed);
 }
 
-namespace {
-
-std::int64_t NowNs() {
+std::int64_t TraceNowNs() {
   // One process-wide steady epoch so timestamps from different threads
   // share an origin. Captured on first use, before any span can end.
   static const std::chrono::steady_clock::time_point epoch =
@@ -33,8 +32,23 @@ std::int64_t NowNs() {
       .count();
 }
 
+namespace {
+
+std::int64_t NowNs() { return TraceNowNs(); }
+
 std::atomic<std::uint64_t> g_seq{0};
 std::atomic<std::int64_t> g_next_default_track{TraceSpan::kDefaultTrackBase};
+
+/// A span that has begun but not yet ended, registered so a drain can
+/// report it instead of losing it. Keyed by the TraceSpan's address —
+/// spans are stack objects, so the address is unique among the
+/// thread's simultaneously-open spans.
+struct OpenSpan {
+  const void* id;
+  const char* name;
+  std::int64_t track;
+  std::int64_t start_ns;
+};
 
 /// Per-thread event buffer. Registered in a global list via shared_ptr
 /// so DrainTrace() can reach buffers of threads that already exited;
@@ -42,6 +56,7 @@ std::atomic<std::int64_t> g_next_default_track{TraceSpan::kDefaultTrackBase};
 struct ThreadBuffer {
   std::mutex mu;
   std::vector<TraceEvent> events;
+  std::vector<OpenSpan> open;
   std::int64_t default_track;
 };
 
@@ -70,15 +85,31 @@ ThreadBuffer& LocalBuffer() {
 }  // namespace
 
 TraceSpan::TraceSpan(const char* name, std::int64_t track) {
-  if (!TracingEnabled()) return;
+  traced_ = TracingEnabled();
+  flight_ = FlightRecorderEnabled();
+  if (!traced_ && !flight_) return;
   name_ = name;
   track_ = track;
   start_ns_ = NowNs();
+  if (flight_) {
+    RecordFlightEvent(FlightEventKind::kSpanBegin, name, track);
+  }
+  if (!traced_) return;
+  // Register as open so a drain that fires inside this span (flight
+  // recorder mid-superstep) can report it as incomplete.
+  ThreadBuffer& buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.open.push_back(OpenSpan{this, name, track, start_ns_});
 }
 
 TraceSpan::~TraceSpan() {
   if (name_ == nullptr) return;
   const std::int64_t end_ns = NowNs();
+  if (flight_) {
+    RecordFlightEvent(FlightEventKind::kSpanEnd, name_, track_,
+                      end_ns - start_ns_);
+  }
+  if (!traced_) return;
   ThreadBuffer& buffer = LocalBuffer();
   TraceEvent event;
   event.name = name_;
@@ -87,17 +118,38 @@ TraceSpan::~TraceSpan() {
   event.dur_ns = end_ns - start_ns_;
   event.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(buffer.mu);
+  for (auto it = buffer.open.rbegin(); it != buffer.open.rend(); ++it) {
+    if (it->id == this) {
+      buffer.open.erase(std::next(it).base());
+      break;
+    }
+  }
   buffer.events.push_back(event);
 }
 
 std::vector<TraceEvent> DrainTrace() {
   std::vector<TraceEvent> all;
+  const std::int64_t drain_ns = NowNs();
   {
     std::lock_guard<std::mutex> lock(BuffersMutex());
     for (const std::shared_ptr<ThreadBuffer>& buffer : Buffers()) {
       std::lock_guard<std::mutex> buffer_lock(buffer->mu);
       all.insert(all.end(), buffer->events.begin(), buffer->events.end());
       buffer->events.clear();
+      // Snapshot still-open spans as incomplete events, without
+      // consuming them: the owning TraceSpan may yet end normally, in
+      // which case a later drain sees the completed event.
+      for (const OpenSpan& open : buffer->open) {
+        TraceEvent event;
+        event.name = open.name;
+        event.track =
+            open.track >= 0 ? open.track : buffer->default_track;
+        event.start_ns = open.start_ns;
+        event.dur_ns = drain_ns - open.start_ns;
+        event.seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+        event.complete = false;
+        all.push_back(event);
+      }
     }
   }
   // Sort lanes, then time within a lane; an enclosing span shares its
@@ -148,10 +200,11 @@ std::string DrainTraceJson() {
     AppendJsonEscaped(e.name, &out);
     std::snprintf(buf, sizeof(buf),
                   ",\"ph\":\"X\",\"pid\":1,\"tid\":%lld,"
-                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  "\"ts\":%.3f,\"dur\":%.3f%s}",
                   static_cast<long long>(e.track),
                   static_cast<double>(e.start_ns) / 1000.0,
-                  static_cast<double>(e.dur_ns) / 1000.0);
+                  static_cast<double>(e.dur_ns) / 1000.0,
+                  e.complete ? "" : ",\"args\":{\"incomplete\":true}");
     out.append(buf);
   }
   out.append("\n]}\n");

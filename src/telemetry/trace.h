@@ -22,15 +22,24 @@ inline bool TracingEnabled() {
 }
 void SetTracingEnabled(bool enabled);
 
-/// One completed span, exposed for tests that assert on structure
-/// without round-tripping through JSON.
+/// Nanoseconds since the process-wide trace epoch (captured on first
+/// use). Shared by TraceSpan and the flight recorder so both timelines
+/// line up in a postmortem.
+std::int64_t TraceNowNs();
+
+/// One span, exposed for tests that assert on structure without
+/// round-tripping through JSON. Usually complete; a drain that runs
+/// while spans are still open (the flight recorder firing
+/// mid-superstep) reports those as incomplete snapshots instead of
+/// dropping them.
 struct TraceEvent {
   const char* name;       ///< Static string; spans must pass literals.
   std::int64_t track;     ///< Logical lane (worker/partition id) or the
                           ///< thread's default track when unspecified.
   std::int64_t start_ns;  ///< Nanoseconds since the trace epoch.
-  std::int64_t dur_ns;
+  std::int64_t dur_ns;    ///< For incomplete spans: start-to-drain time.
   std::uint64_t seq;      ///< Global completion order, for stable sorts.
+  bool complete = true;   ///< False when the span was open at drain time.
 };
 
 /// RAII scoped span. Records a complete ("ph":"X") event covering the
@@ -56,15 +65,20 @@ class TraceSpan {
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
-  const char* name_ = nullptr;  // nullptr == disarmed (tracing off)
+  const char* name_ = nullptr;  // nullptr == fully disarmed
   std::int64_t track_ = 0;
   std::int64_t start_ns_ = 0;
+  bool traced_ = false;  // recording into the trace buffer
+  bool flight_ = false;  // emitting span_begin/span_end flight events
 };
 
 /// Removes and returns all completed spans from every thread's buffer
 /// (including threads that have since exited), sorted by (track, start,
 /// longer-span-first, completion seq) so per-track ordering is stable
-/// and deterministic for a deterministic run.
+/// and deterministic for a deterministic run. Spans still open at drain
+/// time are additionally reported as incomplete events (dur = time
+/// until the drain) WITHOUT being consumed — if the span later ends
+/// normally, a subsequent drain sees the completed event.
 std::vector<TraceEvent> DrainTrace();
 
 /// Drains and serializes as Chrome trace-event JSON — an object with a

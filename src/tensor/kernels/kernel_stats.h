@@ -1,0 +1,73 @@
+#ifndef INFERTURBO_TENSOR_KERNELS_KERNEL_STATS_H_
+#define INFERTURBO_TENSOR_KERNELS_KERNEL_STATS_H_
+
+#include <cstdint>
+
+namespace inferturbo {
+namespace kernels {
+
+/// Analytic work estimate for one kernel invocation: useful floating
+/// point operations and the minimum bytes the op must move (each
+/// operand touched once; read-modify-write destinations counted
+/// twice). Shared by the dispatch layer's per-kernel accounting
+/// ("kernel.<op>.flops"/".bytes" counters) and the bench harnesses'
+/// roofline columns — gflops over a measured time plus bytes_per_flop
+/// from the same estimate locate an op against the machine's compute
+/// and bandwidth ceilings.
+///
+/// Estimates are workload properties, not measurements: a cache-
+/// resident op moves fewer DRAM bytes, a streaming one more. That is
+/// exactly why the ratio is useful — measured LLC misses against an
+/// analytic byte floor show how far the implementation is from the
+/// minimum traffic.
+struct KernelWork {
+  std::int64_t flops = 0;
+  std::int64_t bytes = 0;
+
+  constexpr double BytesPerFlop() const {
+    return flops > 0 ? static_cast<double>(bytes) / static_cast<double>(flops)
+                     : 0.0;
+  }
+};
+
+constexpr std::int64_t kFloatBytes = 4;
+constexpr std::int64_t kIndexBytes = 8;
+
+/// C(m×n) = A(m×k) · B(k×n): 2mkn flops; A, B read once, C written.
+constexpr KernelWork MatMulWork(std::int64_t m, std::int64_t k,
+                                std::int64_t n) {
+  return {2 * m * k * n, kFloatBytes * (m * k + k * n + m * n)};
+}
+
+/// Fold `rows` value-rows of width `cols` into segment accumulators:
+/// one flop per folded element; values read once, ids read once,
+/// destination rows read-modify-written.
+constexpr KernelWork SegmentFoldWork(std::int64_t rows, std::int64_t cols) {
+  return {rows * cols,
+          kIndexBytes * rows + 3 * kFloatBytes * rows * cols};
+}
+
+/// SegmentFoldWork plus the per-segment 1/count scale pass.
+constexpr KernelWork SegmentMeanWork(std::int64_t rows, std::int64_t cols,
+                                     std::int64_t segments) {
+  return {rows * cols + segments * cols,
+          kIndexBytes * rows + 3 * kFloatBytes * rows * cols +
+              2 * kFloatBytes * segments * cols};
+}
+
+/// Pure data movement: ids read, source rows read, output written.
+constexpr KernelWork GatherWork(std::int64_t rows, std::int64_t cols) {
+  return {0, kIndexBytes * rows + 2 * kFloatBytes * rows * cols};
+}
+
+/// One add per element; ids read, source rows read, destinations
+/// read-modify-written.
+constexpr KernelWork ScatterAddWork(std::int64_t rows, std::int64_t cols) {
+  return {rows * cols,
+          kIndexBytes * rows + 3 * kFloatBytes * rows * cols};
+}
+
+}  // namespace kernels
+}  // namespace inferturbo
+
+#endif  // INFERTURBO_TENSOR_KERNELS_KERNEL_STATS_H_

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/perf_counters.h"
+#include "src/tensor/kernels/kernel_stats.h"
 #include "src/tensor/kernels/matmul_tiles.h"
 #include "src/tensor/kernels/reference.h"
 #include "src/tensor/kernels/row_fold.h"
@@ -13,6 +18,43 @@
 namespace inferturbo {
 namespace kernels {
 namespace {
+
+/// Per-op FLOP/byte/call accounting into the global registry
+/// ("kernel.<op>.calls/.flops/.bytes"). Disabled cost is one relaxed
+/// load + branch; the map lookup only runs when metrics are on, and
+/// kernel calls are coarse (one per layer per superstep) relative to
+/// the mutex cost. Composed ops (SegmentMean over SegmentSum) also
+/// count their building blocks.
+void AccountKernel(const char* op, const KernelWork& work) {
+  if (!MetricsEnabled()) return;
+  struct OpCounters {
+    Counter* calls;
+    Counter* flops;
+    Counter* bytes;
+  };
+  static std::mutex* mu = new std::mutex();
+  static auto* cache = new std::map<std::string, OpCounters, std::less<>>();
+  OpCounters counters;
+  {
+    std::lock_guard<std::mutex> lock(*mu);
+    auto it = cache->find(std::string_view(op));
+    if (it == cache->end()) {
+      const std::string base = std::string("kernel.") + op;
+      it = cache
+               ->emplace(std::string(op),
+                         OpCounters{
+                             GlobalMetrics().GetCounter(base + ".calls"),
+                             GlobalMetrics().GetCounter(base + ".flops"),
+                             GlobalMetrics().GetCounter(base + ".bytes"),
+                         })
+               .first;
+    }
+    counters = it->second;
+  }
+  counters.calls->Increment();
+  counters.flops->Add(work.flops);
+  counters.bytes->Add(work.bytes);
+}
 
 using RowKernel = void (*)(const float*, const float*, float*, std::int64_t,
                            std::int64_t, std::int64_t, std::int64_t);
@@ -157,6 +199,8 @@ bool UsingFastMath() {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  PerfCounterScope profile("kernel.matmul");
+  AccountKernel("matmul", MatMulWork(m, k, n));
   Tensor c(m, n);
   if (c.empty()) return c;
   MatMulInto(a.data(), b.data(), c.data(), m, k, n);
@@ -165,6 +209,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
   const std::int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  PerfCounterScope profile("kernel.matmul_tb");
+  AccountKernel("matmul_tb", MatMulWork(m, k, n));
   Tensor c(m, n);
   if (c.empty()) return c;
   const RowKernel kernel = MatMulTBRowsKernel();
@@ -179,6 +225,8 @@ Tensor MatMulTransposedB(const Tensor& a, const Tensor& b) {
 
 Tensor MatMulTransposedA(const Tensor& a, const Tensor& b) {
   const std::int64_t k = a.rows(), m = a.cols(), n = b.cols();
+  PerfCounterScope profile("kernel.matmul_ta");
+  AccountKernel("matmul_ta", MatMulWork(m, k, n));
   if (m * k * n < kTransposeAMinMulAdds && !UsingFastMath()) {
     return reference::MatMulTransposedA(a, b);
   }
@@ -298,6 +346,9 @@ Tensor SegmentExtremum(const Tensor& values, std::span<const std::int64_t> ids,
 Tensor SegmentSum(const Tensor& values, std::span<const std::int64_t> ids,
                   std::int64_t num_segments) {
   const std::int64_t cols = values.cols();
+  PerfCounterScope profile("kernel.segment_sum");
+  AccountKernel("segment_sum",
+                SegmentFoldWork(static_cast<std::int64_t>(ids.size()), cols));
   Tensor out(num_segments, cols);
   if (ids.empty() || cols == 0) return out;
   SegmentFoldInto(&out, values, ids, num_segments, detail::RowAdd());
@@ -306,6 +357,10 @@ Tensor SegmentSum(const Tensor& values, std::span<const std::int64_t> ids,
 
 Tensor SegmentMax(const Tensor& values, std::span<const std::int64_t> ids,
                   std::int64_t num_segments) {
+  PerfCounterScope profile("kernel.segment_max");
+  AccountKernel("segment_max",
+                SegmentFoldWork(static_cast<std::int64_t>(ids.size()),
+                                values.cols()));
   return SegmentExtremum(values, ids, num_segments,
                          -std::numeric_limits<float>::infinity(),
                          detail::RowMax());
@@ -313,6 +368,10 @@ Tensor SegmentMax(const Tensor& values, std::span<const std::int64_t> ids,
 
 Tensor SegmentMin(const Tensor& values, std::span<const std::int64_t> ids,
                   std::int64_t num_segments) {
+  PerfCounterScope profile("kernel.segment_min");
+  AccountKernel("segment_min",
+                SegmentFoldWork(static_cast<std::int64_t>(ids.size()),
+                                values.cols()));
   return SegmentExtremum(values, ids, num_segments,
                          std::numeric_limits<float>::infinity(),
                          detail::RowMin());
@@ -320,6 +379,10 @@ Tensor SegmentMin(const Tensor& values, std::span<const std::int64_t> ids,
 
 Tensor SegmentMean(const Tensor& values, std::span<const std::int64_t> ids,
                    std::int64_t num_segments) {
+  PerfCounterScope profile("kernel.segment_mean");
+  AccountKernel("segment_mean",
+                SegmentMeanWork(static_cast<std::int64_t>(ids.size()),
+                                values.cols(), num_segments));
   Tensor out = SegmentSum(values, ids, num_segments);
   if (num_segments == 0) return out;
   std::vector<std::int64_t> counts(static_cast<std::size_t>(num_segments), 0);
@@ -343,6 +406,8 @@ Tensor SegmentMean(const Tensor& values, std::span<const std::int64_t> ids,
 Tensor GatherRows(const Tensor& a, std::span<const std::int64_t> indices) {
   const std::int64_t out_rows = static_cast<std::int64_t>(indices.size());
   const std::int64_t cols = a.cols();
+  PerfCounterScope profile("kernel.gather_rows");
+  AccountKernel("gather_rows", GatherWork(out_rows, cols));
   for (std::int64_t idx : indices) {
     INFERTURBO_CHECK(0 <= idx && idx < a.rows())
         << "GatherRows index " << idx << " out of " << a.rows();
@@ -363,6 +428,10 @@ Tensor GatherRows(const Tensor& a, std::span<const std::int64_t> indices) {
 
 void ScatterAddRows(Tensor* acc, std::span<const std::int64_t> indices,
                     const Tensor& rows) {
+  PerfCounterScope profile("kernel.scatter_add_rows");
+  AccountKernel("scatter_add_rows",
+                ScatterAddWork(static_cast<std::int64_t>(indices.size()),
+                               rows.cols()));
   for (std::int64_t idx : indices) {
     INFERTURBO_CHECK(0 <= idx && idx < acc->rows())
         << "ScatterAddRows index " << idx << " out of " << acc->rows();
